@@ -1,0 +1,176 @@
+// Ablation bench: the VRC codec's design choices (DESIGN.md E11).
+//
+// Micro-benchmarks (google-benchmark) over the codec substrate quantify the
+// knobs behind the system-level results: profile (H264-like vs HEVC-like),
+// GOP structure, motion-search radius, QP, and the raw throughput of the
+// transform and entropy stages. Bitstream sizes are reported as counters so
+// the rate/speed trade is visible in one table.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "video/codec/codec.h"
+#include "video/codec/dct.h"
+#include "video/codec/entropy.h"
+#include "video/codec/motion.h"
+
+namespace visualroad::video::codec {
+namespace {
+
+Video MakeContent(int w, int h, int frames) {
+  Pcg32 rng(1234, 9);
+  Video v;
+  v.fps = 15;
+  for (int f = 0; f < frames; ++f) {
+    Frame frame(w, h);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        double value = 120 + 70 * std::sin((x + 2 * f) * 0.09) *
+                                 std::cos((y + f) * 0.06) +
+                       rng.NextGaussian(0, 3);
+        frame.SetPixel(x, y,
+                       static_cast<uint8_t>(std::clamp(value, 0.0, 255.0)),
+                       static_cast<uint8_t>(118 + (x % 24)),
+                       static_cast<uint8_t>(142 - (y % 24)));
+      }
+    }
+    v.frames.push_back(std::move(frame));
+  }
+  return v;
+}
+
+const Video& Content() {
+  static const Video* content = new Video(MakeContent(240, 136, 8));
+  return *content;
+}
+
+void BM_EncodeProfile(benchmark::State& state) {
+  EncoderConfig config;
+  config.profile = static_cast<Profile>(state.range(0));
+  config.qp = 28;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = Encode(Content(), config);
+    if (!encoded.ok()) state.SkipWithError("encode failed");
+    bytes = encoded->TotalBytes();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.SetLabel(ProfileName(config.profile));
+}
+BENCHMARK(BM_EncodeProfile)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeGop(benchmark::State& state) {
+  EncoderConfig config;
+  config.gop_length = static_cast<int>(state.range(0));
+  config.qp = 28;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = Encode(Content(), config);
+    if (!encoded.ok()) state.SkipWithError("encode failed");
+    bytes = encoded->TotalBytes();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_EncodeGop)->Arg(1)->Arg(4)->Arg(15)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeSearchRadius(benchmark::State& state) {
+  EncoderConfig config;
+  config.search_radius = static_cast<int>(state.range(0));
+  config.qp = 28;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = Encode(Content(), config);
+    if (!encoded.ok()) state.SkipWithError("encode failed");
+    bytes = encoded->TotalBytes();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_EncodeSearchRadius)->Arg(2)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EncodeQp(benchmark::State& state) {
+  EncoderConfig config;
+  config.qp = static_cast<int>(state.range(0));
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = Encode(Content(), config);
+    if (!encoded.ok()) state.SkipWithError("encode failed");
+    bytes = encoded->TotalBytes();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_EncodeQp)->Arg(12)->Arg(28)->Arg(44)->Unit(benchmark::kMillisecond);
+
+void BM_Decode(benchmark::State& state) {
+  EncoderConfig config;
+  config.qp = 28;
+  auto encoded = Encode(Content(), config);
+  for (auto _ : state) {
+    auto decoded = Decode(*encoded);
+    if (!decoded.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_Decode)->Unit(benchmark::kMillisecond);
+
+void BM_ForwardDct(benchmark::State& state) {
+  Pcg32 rng(5, 5);
+  int16_t block[kTransformArea];
+  for (int16_t& v : block) v = static_cast<int16_t>(rng.NextInt(-128, 127));
+  double coefficients[kTransformArea];
+  for (auto _ : state) {
+    ForwardDct8x8(block, coefficients);
+    benchmark::DoNotOptimize(coefficients);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardDct);
+
+void BM_ArithmeticCoder(benchmark::State& state) {
+  Pcg32 rng(6, 6);
+  std::vector<int> bits(10000);
+  for (int& bit : bits) bit = rng.NextBool(0.8) ? 0 : 1;
+  for (auto _ : state) {
+    ArithmeticEncoder encoder;
+    BitModel model;
+    for (int bit : bits) encoder.EncodeBit(model, bit);
+    auto data = encoder.Finish();
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(bits.size()));
+}
+BENCHMARK(BM_ArithmeticCoder);
+
+void BM_DiamondSearch(benchmark::State& state) {
+  Plane reference(240, 136), current(240, 136);
+  for (int y = 0; y < 136; ++y) {
+    for (int x = 0; x < 240; ++x) {
+      uint8_t v = static_cast<uint8_t>(128 + 80 * std::sin(x * 0.12) *
+                                                 std::cos(y * 0.1));
+      reference.Set(x, y, v);
+      current.Set(x, y,
+                  reference.At(std::min(239, x + 3), std::max(0, y - 2)));
+    }
+  }
+  int radius = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int by = 0; by + 16 <= 136; by += 16) {
+      for (int bx = 0; bx + 16 <= 240; bx += 16) {
+        MotionVector mv = DiamondSearch(current, reference, bx, by, 16, radius, {});
+        benchmark::DoNotOptimize(mv);
+      }
+    }
+  }
+}
+BENCHMARK(BM_DiamondSearch)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace visualroad::video::codec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Reproduces Figure 6: total benchmark-query runtime as the scale factor L
+// grows (paper: per-query plots at L = 1..; here L in {1, 2, 4} by default,
+// override with VR_FIG6_LMAX).
+//
+// Shapes to reproduce: no single system dominates at small L; as L grows the
+// batch (Scanner-like) engine falls behind on memory-bound queries (its
+// retained tables cross the budget and every stage starts round-tripping
+// through disk), the cascade (NoScope-like) engine keeps its Q2(c) lead, and
+// batch Q4 remains N/A throughout.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace visualroad::bench {
+namespace {
+
+int Run() {
+  int l_max = EnvInt("VR_FIG6_LMAX", QuickMode() ? 2 : 4);
+  std::vector<int> scales;
+  for (int l = 1; l <= l_max; l *= 2) scales.push_back(l);
+  double duration = QuickMode() ? 0.5 : 0.75;
+
+  PrintBanner("Figure 6 - Runtime vs scale factor",
+              "Each cell: total batch runtime (batch size 4L).");
+
+  // Per-query tables: rows = engines, columns = L values.
+  std::map<queries::QueryId,
+           std::map<std::string, std::vector<std::string>>> cells;
+
+  for (int scale : scales) {
+    auto dataset =
+        MakeBenchDataset(scale, kBaseWidth, kBaseHeight, duration,
+                         600 + static_cast<uint64_t>(scale));
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "dataset failed: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    systems::EngineOptions engine_options = BenchEngineOptions();
+    auto batch = systems::MakeBatchEngine(engine_options);
+    auto pipeline = systems::MakePipelineEngine(engine_options);
+    auto cascade = systems::MakeCascadeEngine(engine_options);
+
+    driver::VcdOptions vcd_options = BenchVcdOptions();
+    vcd_options.validate = false;
+    // The composite queries scan the whole corpus per instance, so their
+    // batch cost grows as L^2; cap instances for bench tractability
+    // (VR_FULL_BATCH=1 restores the strict 4L rule).
+    bool full_batch = EnvInt("VR_FULL_BATCH", 0) == 1;
+
+    for (systems::Vdbms* engine : {batch.get(), pipeline.get(), cascade.get()}) {
+      for (queries::QueryId id : queries::AllQueries()) {
+        driver::VcdOptions per_query = vcd_options;
+        if (!full_batch && !queries::IsMicrobenchmark(id)) {
+          per_query.batch_size_override = std::min(8, 4 * scale);
+        }
+        driver::VisualCityDriver per_query_vcd(*dataset, per_query);
+        auto result = per_query_vcd.RunQueryBatch(*engine, id);
+        std::string cell;
+        if (!result.ok()) {
+          cell = "error";
+        } else if (!result->Supported()) {
+          cell = "-";
+        } else if (result->resource_exhausted > 0 &&
+                   result->succeeded < result->instances) {
+          cell = "N/A";
+        } else if (result->failed > 0) {
+          cell = "FAILED";
+        } else {
+          cell = driver::FormatSeconds(result->total_seconds);
+        }
+        cells[id][engine->name()].push_back(cell);
+      }
+      engine->Quiesce();
+    }
+  }
+
+  for (queries::QueryId id : queries::AllQueries()) {
+    std::printf("--- %s ---\n", queries::QueryName(id));
+    driver::TextTable table;
+    std::vector<std::string> header{"Engine"};
+    for (int scale : scales) header.push_back("L=" + std::to_string(scale));
+    table.SetHeader(header);
+    for (const char* engine :
+         {"BatchEngine", "PipelineEngine", "CascadeEngine"}) {
+      std::vector<std::string> row{engine};
+      for (const std::string& cell : cells[id][engine]) row.push_back(cell);
+      table.AddRow(row);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace visualroad::bench
+
+int main() { return visualroad::bench::Run(); }

@@ -1,0 +1,115 @@
+// Reproduces Figure 7: lines of code required to express each benchmark
+// query on each system.
+//
+// The paper counts the minimal auto-formatted code needed to run each query
+// per system, plus any supporting extension code. Here each engine's
+// per-query implementation is delimited by "vr:<query>:begin/end" markers in
+// its source file; this bench reads the sources (via the compiled-in source
+// root) and counts non-empty, non-marker lines — the same methodology at the
+// granularity this codebase expresses queries.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+
+namespace visualroad::bench {
+namespace {
+
+std::map<std::string, int> CountMarkedSections(const std::string& path) {
+  std::map<std::string, int> counts;
+  std::ifstream file(path);
+  if (!file) return counts;
+  std::string line;
+  std::string active;
+  while (std::getline(file, line)) {
+    size_t begin = line.find("// vr:");
+    if (begin != std::string::npos) {
+      std::string marker = line.substr(begin + 6);
+      size_t colon = marker.find(':');
+      if (colon != std::string::npos) {
+        std::string query = marker.substr(0, colon);
+        std::string kind = marker.substr(colon + 1);
+        if (kind.find("begin") == 0) {
+          active = query;
+          continue;
+        }
+        if (kind.find("end") == 0) {
+          active.clear();
+          continue;
+        }
+      }
+    }
+    if (active.empty()) continue;
+    // Count non-empty, non-pure-comment lines (auto-formatted source).
+    std::string trimmed;
+    for (char c : line) {
+      if (!isspace(static_cast<unsigned char>(c))) trimmed += c;
+    }
+    if (trimmed.empty()) continue;
+    if (trimmed.rfind("//", 0) == 0) continue;
+    ++counts[active];
+  }
+  return counts;
+}
+
+int Run() {
+  PrintBanner("Figure 7 - Lines of code per query per system",
+              "Counting marked per-query implementation sections.");
+
+  const std::string root = VISUALROAD_SOURCE_DIR;
+  struct EngineSource {
+    const char* name;
+    std::string path;
+  };
+  const EngineSource sources[] = {
+      {"BatchEngine", root + "/src/systems/batch_engine.cc"},
+      {"PipelineEngine", root + "/src/systems/pipeline_engine.cc"},
+      {"CascadeEngine", root + "/src/systems/cascade_engine.cc"},
+  };
+
+  std::map<std::string, std::map<std::string, int>> counts;
+  for (const EngineSource& source : sources) {
+    counts[source.name] = CountMarkedSections(source.path);
+    if (counts[source.name].empty()) {
+      std::fprintf(stderr, "no marked sections found in %s\n",
+                   source.path.c_str());
+      return 1;
+    }
+  }
+
+  driver::TextTable table;
+  table.SetHeader({"Query", "BatchEngine", "PipelineEngine", "CascadeEngine"});
+  int totals[3] = {0, 0, 0};
+  for (queries::QueryId id : queries::AllQueries()) {
+    std::string name = queries::QueryName(id);
+    std::vector<std::string> row{name};
+    int e = 0;
+    for (const EngineSource& source : sources) {
+      auto it = counts[source.name].find(name);
+      if (it == counts[source.name].end()) {
+        row.push_back("-");
+      } else {
+        row.push_back(std::to_string(it->second));
+        totals[e] += it->second;
+      }
+      ++e;
+    }
+    table.AddRow(row);
+  }
+  table.AddRow({"Total", std::to_string(totals[0]), std::to_string(totals[1]),
+                std::to_string(totals[2])});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Shape to reproduce: the specialised cascade engine needs code for"
+              " only two queries;\nthe two general engines have similar counts"
+              " per query (both are C++ dataflow code).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace visualroad::bench
+
+int main() { return visualroad::bench::Run(); }

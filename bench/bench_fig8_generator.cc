@@ -1,0 +1,85 @@
+// Reproduces Figure 8: single-node VCG generation time by scale factor and
+// resolution.
+//
+// The paper shows approximately linear growth in L at each resolution (the
+// number of cameras, and so the number of rendered pixels, is linear in L),
+// with the highest resolution growing fastest. Resolutions here are the
+// proportionally scaled 1k/2k/4k equivalents.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace visualroad::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Figure 8 - Generator time by scale and resolution",
+              "Single-node VCG runs; expect ~linear growth in L per resolution.");
+
+  double duration = QuickMode() ? 0.5 : 1.0;
+  int l_max = EnvInt("VR_FIG8_LMAX", QuickMode() ? 2 : 4);
+
+  struct Resolution {
+    const char* label;
+    int width, height;
+    int l_cap;  // 4k-proportional renders ~16x the pixels of 1k; cap its L.
+  };
+  const Resolution resolutions[] = {
+      {"1k", 240, 136, l_max},
+      {"2k", 480, 270, l_max},
+      {"4k", 960, 540, QuickMode() ? 1 : 2},
+  };
+
+  driver::TextTable table;
+  std::vector<std::string> header{"Resolution"};
+  for (int l = 1; l <= l_max; l *= 2) header.push_back("L=" + std::to_string(l));
+  header.push_back("growth L1->Lmax");
+  table.SetHeader(header);
+
+  for (const Resolution& resolution : resolutions) {
+    std::vector<std::string> row{resolution.label};
+    double first = 0.0, last = 0.0;
+    int last_l = 1;
+    for (int l = 1; l <= l_max; l *= 2) {
+      if (l > resolution.l_cap) {
+        row.push_back("(skipped)");
+        continue;
+      }
+      sim::CityConfig config;
+      config.scale_factor = l;
+      config.width = resolution.width;
+      config.height = resolution.height;
+      config.duration_seconds = duration;
+      config.fps = kBaseFps;
+      config.seed = 800 + static_cast<uint64_t>(l);
+      sim::GeneratorOptions options;
+      options.codec.qp = 26;
+      sim::VisualCityGenerator generator(options);
+      auto dataset = generator.Generate(config);
+      if (!dataset.ok()) {
+        std::fprintf(stderr, "generation failed: %s\n",
+                     dataset.status().ToString().c_str());
+        return 1;
+      }
+      double seconds = generator.last_stats().total_seconds;
+      if (l == 1) first = seconds;
+      last = seconds;
+      last_l = l;
+      row.push_back(driver::FormatSeconds(seconds));
+    }
+    char growth[48];
+    std::snprintf(growth, sizeof(growth), "%.1fx over %dx tiles",
+                  first > 0 ? last / first : 0.0, last_l);
+    row.push_back(growth);
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace visualroad::bench
+
+int main() { return visualroad::bench::Run(); }

@@ -1,0 +1,77 @@
+// Reproduces Table 2: the six pregenerated dataset configurations.
+//
+// The paper publishes 1k/2k/4k x short/long datasets; this bench generates
+// each configuration (proportionally scaled, see driver/datasets.h) with the
+// VCG and reports the generation statistics, demonstrating that every named
+// configuration is reproducible from its hyperparameters alone.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+
+namespace visualroad::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Table 2 - Pregenerated datasets",
+              "Generating each named configuration from {L, R, t, s}.");
+
+  // Bench-time caps so the suite stays tractable on one core; lift with
+  // VR_TABLE2_MAX_SECONDS / VR_TABLE2_MAX_WIDTH.
+  double max_seconds = EnvInt("VR_TABLE2_MAX_SECONDS", QuickMode() ? 1 : 3);
+  int max_width = EnvInt("VR_TABLE2_MAX_WIDTH", QuickMode() ? 240 : 480);
+
+  driver::TextTable table;
+  table.SetHeader({"Name", "L", "Resolution", "Duration", "Videos", "MB",
+                   "Gen time", "Kbps/video"});
+
+  for (const driver::NamedDataset& named : driver::PregeneratedConfigs()) {
+    sim::CityConfig config = named.config;
+    bool capped = false;
+    if (config.duration_seconds > max_seconds) {
+      config.duration_seconds = max_seconds;
+      capped = true;
+    }
+    while (config.width > max_width) {
+      config.width /= 2;
+      config.height /= 2;
+      capped = true;
+    }
+
+    sim::GeneratorOptions options;
+    options.codec.qp = 26;
+    sim::VisualCityGenerator generator(options);
+    auto dataset = generator.Generate(config);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "generation failed for %s: %s\n", named.name.c_str(),
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    const sim::GeneratorStats& stats = generator.last_stats();
+
+    char resolution[32], duration[32], megabytes[32], kbps[32];
+    std::snprintf(resolution, sizeof(resolution), "%dx%d%s", config.width,
+                  config.height, capped ? "*" : "");
+    std::snprintf(duration, sizeof(duration), "%.0fs%s", config.duration_seconds,
+                  capped ? "*" : "");
+    std::snprintf(megabytes, sizeof(megabytes), "%.2f",
+                  static_cast<double>(stats.bytes_encoded) / (1 << 20));
+    double seconds_of_video =
+        config.duration_seconds * static_cast<double>(dataset->assets.size());
+    std::snprintf(kbps, sizeof(kbps), "%.0f",
+                  stats.bytes_encoded * 8.0 / 1000.0 / seconds_of_video);
+    table.AddRow({named.name, std::to_string(config.scale_factor), resolution,
+                  duration, std::to_string(dataset->assets.size()), megabytes,
+                  driver::FormatSeconds(stats.total_seconds), kbps});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("* = capped for bench time; lift with VR_TABLE2_MAX_SECONDS /"
+              " VR_TABLE2_MAX_WIDTH.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace visualroad::bench
+
+int main() { return visualroad::bench::Run(); }

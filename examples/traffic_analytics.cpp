@@ -1,0 +1,101 @@
+// Traffic analytics: the object-detection application the paper's intro
+// motivates — run the Q7 composite pipeline (detect -> overlay -> background
+// removal) over every traffic camera in a Visual City and produce a simple
+// per-camera traffic report.
+//
+//   $ ./build/examples/traffic_analytics
+//
+// Demonstrates: running the MiniYolo detector directly, semantic validation
+// against automatic ground truth, and the Q7 composition from Table 6.
+
+#include <cstdio>
+
+#include "driver/datasets.h"
+#include "driver/validation.h"
+#include "queries/reference.h"
+
+using namespace visualroad;
+
+int main() {
+  sim::CityConfig config;
+  config.scale_factor = 2;  // Two tiles: eight traffic cameras.
+  config.width = 240;
+  config.height = 136;
+  config.duration_seconds = 2.0;
+  config.fps = 15.0;
+  config.seed = 7;
+
+  std::printf("Generating a two-tile Visual City...\n");
+  auto dataset = driver::PrepareDataset(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  vision::MiniYolo detector;
+  queries::ReferenceContext context;
+  context.dataset = &*dataset;
+
+  std::printf("\n%-8s %-28s %-10s %-12s %-12s %-10s\n", "Camera", "Tile/Weather",
+              "Frames", "Vehicles", "Pedestrians", "Valid%%");
+
+  std::vector<const sim::VideoAsset*> traffic = dataset->TrafficAssets();
+  for (size_t v = 0; v < traffic.size(); ++v) {
+    const sim::VideoAsset& asset = *traffic[v];
+    auto decoded = video::codec::Decode(asset.container.video);
+    if (!decoded.ok()) continue;
+
+    // Q2(c) for each class; Q7 composes Q2(d) . Q6(a) . Q2(c) — run the
+    // detection stage and collect analytics.
+    int64_t vehicles = 0, pedestrians = 0;
+    std::vector<std::vector<vision::Detection>> all;
+    for (int f = 0; f < decoded->FrameCount(); ++f) {
+      const sim::FrameGroundTruth& truth = asset.ground_truth[static_cast<size_t>(f)];
+      std::vector<vision::Detection> detections =
+          detector.Detect(decoded->frames[static_cast<size_t>(f)], truth, f);
+      for (const vision::Detection& d : detections) {
+        if (d.object_class == sim::ObjectClass::kVehicle) ++vehicles;
+        if (d.object_class == sim::ObjectClass::kPedestrian) ++pedestrians;
+      }
+      all.push_back(std::move(detections));
+    }
+
+    // Semantic validation (Section 3.2): are the reported boxes real?
+    auto vehicle_validation = driver::SemanticValidate(
+        all, asset.ground_truth, sim::ObjectClass::kVehicle);
+    double valid_percent =
+        vehicle_validation.ok() && vehicle_validation->checked > 0
+            ? vehicle_validation->PassRate() * 100.0
+            : 100.0;
+
+    char label[40];
+    std::snprintf(label, sizeof(label), "tile %d", asset.camera.tile_index);
+
+    std::printf("%-8d %-28s %-10d %-12lld %-12lld %5.1f%%\n",
+                asset.camera.camera_id, label, decoded->FrameCount(),
+                static_cast<long long>(vehicles),
+                static_cast<long long>(pedestrians), valid_percent);
+  }
+
+  // Run the full Q7 composite on one camera to show the end-to-end pipeline.
+  std::printf("\nRunning the full Q7 pipeline (detect + overlay + background"
+              " removal) on camera 0...\n");
+  queries::QueryInstance q7;
+  q7.id = queries::QueryId::kQ7;
+  q7.video_index = 0;
+  q7.object_class = sim::ObjectClass::kVehicle;
+  q7.q2d_m = 8;
+  q7.q2d_epsilon = 0.2;
+  auto input = video::codec::Decode(traffic[0]->container.video);
+  if (!input.ok()) return 1;
+  auto q7_result = queries::RunReference(context, q7, *input);
+  if (!q7_result.ok()) {
+    std::fprintf(stderr, "Q7 failed: %s\n", q7_result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Q7 produced %d frames at %dx%d.\n",
+              q7_result->video.FrameCount(), q7_result->video.Width(),
+              q7_result->video.Height());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Vehicle tracking: the Q8 "find this license plate" application. A vehicle
+// is picked from the city's ground truth, its plate is handed to the
+// tracking query (which knows nothing but the six characters), and the
+// resulting vehicle tracking segments (VTSs) are reported — the pipeline of
+// Figure 4 in the paper.
+//
+//   $ ./build/examples/vehicle_tracking
+//
+// Demonstrates: detector-proposed plate regions, the ALPR matched filter,
+// VTS formation, and entry-time-ordered concatenation.
+
+#include <cstdio>
+#include <map>
+
+#include "driver/datasets.h"
+#include "queries/reference.h"
+
+using namespace visualroad;
+
+int main() {
+  // A denser city raises the chance of multiple sightings of one vehicle.
+  sim::CityConfig config;
+  config.scale_factor = 2;
+  config.width = 320;
+  config.height = 180;
+  config.duration_seconds = 3.0;
+  config.fps = 15.0;
+  config.seed = 1023;
+
+  // Generate a city with at least one identifiable plate (a city where no
+  // plate is ever readable is possible at tiny scales; retry a few seeds).
+  StatusOr<sim::Dataset> dataset = Status::NotFound("not generated");
+  std::map<std::string, int> sightings;
+  for (int attempt = 0; attempt < 4 && sightings.empty(); ++attempt) {
+    config.seed = 1023 + static_cast<uint64_t>(attempt);
+    std::printf("Generating Visual City (seed %llu)...\n",
+                static_cast<unsigned long long>(config.seed));
+    dataset = driver::PrepareDataset(config);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    // Pick the most-sighted plate from ground truth — in a real deployment
+    // this would be the watchlist entry.
+    for (const sim::VideoAsset* asset : dataset->TrafficAssets()) {
+      for (const sim::FrameGroundTruth& frame : asset->ground_truth) {
+        for (const sim::GroundTruthBox& box : frame.boxes) {
+          if (box.plate_visible) ++sightings[box.plate];
+        }
+      }
+    }
+  }
+  if (sightings.empty()) {
+    std::printf("No plate was ever identifiable in these cities; try other"
+                " seeds.\n");
+    return 0;
+  }
+  std::string plate;
+  int best = 0;
+  for (const auto& [candidate, count] : sightings) {
+    if (count > best) {
+      best = count;
+      plate = candidate;
+    }
+  }
+  std::printf("Tracking plate \"%s\" (%d ground-truth sightings).\n\n",
+              plate.c_str(), best);
+
+  // Run Q8: every traffic video is scanned with the detector + ALPR matched
+  // filter; contiguous hits form VTSs, concatenated by entry time.
+  queries::ReferenceContext context;
+  context.dataset = &*dataset;
+  std::vector<queries::TrackingSegment> segments;
+  auto tracking = queries::TrackingQuery(context, plate, &segments);
+  if (!tracking.ok()) {
+    std::fprintf(stderr, "tracking failed: %s\n",
+                 tracking.status().ToString().c_str());
+    return 1;
+  }
+
+  if (segments.empty()) {
+    std::printf("The recogniser never confirmed the plate (it can genuinely"
+                " miss:\nocclusion, distance, or fog) - the output video is"
+                " empty, which is a\nvalid Q8 result.\n");
+    return 0;
+  }
+  std::printf("%-6s %-10s %-14s %-14s\n", "VTS", "Camera", "Enter (s)",
+              "Exit (s)");
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const queries::TrackingSegment& segment = segments[i];
+    std::printf("%-6zu %-10d %-14.2f %-14.2f\n", i + 1, segment.asset_index,
+                segment.first_frame / config.fps,
+                (segment.last_frame + 1) / config.fps);
+  }
+  std::printf("\nOutput tracking video: %d frames (%.2f s), the temporal"
+              " concatenation of all VTSs.\n",
+              tracking->FrameCount(),
+              tracking->FrameCount() / config.fps);
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "common/bitstream.h"
+
+#include <bit>
+#include <cassert>
+
+namespace visualroad {
+
+void BitWriter::WriteBits(uint64_t bits, int count) {
+  assert(count >= 0 && count <= 57);
+  for (int i = count - 1; i >= 0; --i) {
+    current_ = static_cast<uint8_t>((current_ << 1) | ((bits >> i) & 1));
+    if (++bit_pos_ == 8) {
+      buffer_.push_back(current_);
+      current_ = 0;
+      bit_pos_ = 0;
+    }
+  }
+}
+
+void BitWriter::WriteUe(uint32_t value) {
+  // Encode value+1 as <leading zeros><binary>.
+  uint64_t v = static_cast<uint64_t>(value) + 1;
+  int bits = 64 - std::countl_zero(v);
+  WriteBits(0, bits - 1);
+  WriteBits(v, bits);
+}
+
+void BitWriter::WriteSe(int32_t value) {
+  // Map 0, 1, -1, 2, -2, ... to 0, 1, 2, 3, 4, ...
+  uint32_t mapped =
+      value > 0 ? 2 * static_cast<uint32_t>(value) - 1 : 2 * static_cast<uint32_t>(-value);
+  WriteUe(mapped);
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  if (bit_pos_ > 0) {
+    buffer_.push_back(static_cast<uint8_t>(current_ << (8 - bit_pos_)));
+    current_ = 0;
+    bit_pos_ = 0;
+  }
+  return std::move(buffer_);
+}
+
+uint64_t BitReader::ReadBits(int count) {
+  assert(count >= 0 && count <= 57);
+  uint64_t result = 0;
+  for (int i = 0; i < count; ++i) {
+    uint64_t bit = 0;
+    if (byte_pos_ < size_) {
+      bit = (data_[byte_pos_] >> (7 - bit_pos_)) & 1;
+      if (++bit_pos_ == 8) {
+        bit_pos_ = 0;
+        ++byte_pos_;
+      }
+    }
+    result = (result << 1) | bit;
+  }
+  return result;
+}
+
+uint32_t BitReader::ReadUe() {
+  int zeros = 0;
+  while (!ReadBit()) {
+    if (++zeros > 32 || (byte_pos_ >= size_)) return 0;  // Corrupt stream guard.
+  }
+  uint64_t value = 1;
+  value = (value << zeros) | ReadBits(zeros);
+  return static_cast<uint32_t>(value - 1);
+}
+
+int32_t BitReader::ReadSe() {
+  uint32_t mapped = ReadUe();
+  if (mapped == 0) return 0;
+  uint32_t magnitude = (mapped + 1) / 2;
+  return (mapped & 1) ? static_cast<int32_t>(magnitude)
+                      : -static_cast<int32_t>(magnitude);
+}
+
+}  // namespace visualroad

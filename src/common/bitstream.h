@@ -1,0 +1,58 @@
+#ifndef VISUALROAD_COMMON_BITSTREAM_H_
+#define VISUALROAD_COMMON_BITSTREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace visualroad {
+
+/// MSB-first bit writer used by the VRC codec's header and Golomb paths.
+class BitWriter {
+ public:
+  /// Appends the low `count` bits of `bits` (MSB first). count <= 57.
+  void WriteBits(uint64_t bits, int count);
+  /// Appends one bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+  /// Unsigned exponential-Golomb code (order 0), as in H.264 headers.
+  void WriteUe(uint32_t value);
+  /// Signed exponential-Golomb code.
+  void WriteSe(int32_t value);
+  /// Pads to a byte boundary with zero bits and returns the buffer.
+  std::vector<uint8_t> Finish();
+
+  size_t BitCount() const { return buffer_.size() * 8 + bit_pos_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  uint8_t current_ = 0;
+  int bit_pos_ = 0;  // Bits already written into `current_`.
+};
+
+/// MSB-first bit reader matching BitWriter.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BitReader(const std::vector<uint8_t>& data)
+      : BitReader(data.data(), data.size()) {}
+
+  /// Reads `count` bits (MSB first). Returns 0 bits past the end. count <= 57.
+  uint64_t ReadBits(int count);
+  bool ReadBit() { return ReadBits(1) != 0; }
+  uint32_t ReadUe();
+  int32_t ReadSe();
+
+  /// True if every bit has been consumed (ignoring byte padding).
+  bool Exhausted() const { return byte_pos_ >= size_; }
+  size_t BitPosition() const { return byte_pos_ * 8 + bit_pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;
+};
+
+}  // namespace visualroad
+
+#endif  // VISUALROAD_COMMON_BITSTREAM_H_

@@ -1,0 +1,58 @@
+#include "common/geometry.h"
+
+namespace visualroad {
+
+Mat3 Mat3::operator*(const Mat3& o) const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      r.m[i][j] = m[i][0] * o.m[0][j] + m[i][1] * o.m[1][j] + m[i][2] * o.m[2][j];
+    }
+  }
+  return r;
+}
+
+Mat3 Mat3::Transposed() const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+  }
+  return r;
+}
+
+Mat3 Mat3::RotationZ(double radians) {
+  double c = std::cos(radians), s = std::sin(radians);
+  Mat3 r;
+  r.m[0][0] = c;
+  r.m[0][1] = -s;
+  r.m[1][0] = s;
+  r.m[1][1] = c;
+  return r;
+}
+
+Mat3 Mat3::RotationX(double radians) {
+  double c = std::cos(radians), s = std::sin(radians);
+  Mat3 r;
+  r.m[1][1] = c;
+  r.m[1][2] = -s;
+  r.m[2][1] = s;
+  r.m[2][2] = c;
+  return r;
+}
+
+double IoU(const RectI& a, const RectI& b) {
+  int64_t inter = a.Intersect(b).Area();
+  if (inter == 0) return 0.0;
+  int64_t uni = a.Area() + b.Area() - inter;
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+}
+
+double JaccardDistance(const RectI& a, const RectI& b) { return 1.0 - IoU(a, b); }
+
+double WrapAngle(double radians) {
+  while (radians > kPi) radians -= 2.0 * kPi;
+  while (radians <= -kPi) radians += 2.0 * kPi;
+  return radians;
+}
+
+}  // namespace visualroad

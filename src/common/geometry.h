@@ -1,0 +1,115 @@
+#ifndef VISUALROAD_COMMON_GEOMETRY_H_
+#define VISUALROAD_COMMON_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace visualroad {
+
+/// 2D vector of doubles (ground-plane coordinates, metres).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  double Norm() const { return std::sqrt(x * x + y * y); }
+};
+
+/// 3D vector of doubles (world coordinates: x east, y north, z up, metres).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double Norm() const { return std::sqrt(x * x + y * y + z * z); }
+  Vec3 Normalized() const {
+    double n = Norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+};
+
+/// Row-major 3x3 matrix, used for camera rotations.
+struct Mat3 {
+  double m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  Vec3 operator*(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+  Mat3 operator*(const Mat3& o) const;
+  Mat3 Transposed() const;
+
+  /// Rotation about the +z (up) axis by `radians` (counter-clockwise).
+  static Mat3 RotationZ(double radians);
+  /// Rotation about the +x (east) axis by `radians`.
+  static Mat3 RotationX(double radians);
+};
+
+/// Axis-aligned integer pixel rectangle, half-open: [x0, x1) x [y0, y1).
+struct RectI {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+
+  int Width() const { return x1 - x0; }
+  int Height() const { return y1 - y0; }
+  bool Empty() const { return x1 <= x0 || y1 <= y0; }
+  int64_t Area() const {
+    return Empty() ? 0 : static_cast<int64_t>(Width()) * Height();
+  }
+  bool Contains(int x, int y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+
+  RectI Intersect(const RectI& o) const {
+    return {std::max(x0, o.x0), std::max(y0, o.y0), std::min(x1, o.x1),
+            std::min(y1, o.y1)};
+  }
+  RectI Union(const RectI& o) const {
+    if (Empty()) return o;
+    if (o.Empty()) return *this;
+    return {std::min(x0, o.x0), std::min(y0, o.y0), std::max(x1, o.x1),
+            std::max(y1, o.y1)};
+  }
+  /// Clamps this rectangle to [0,w) x [0,h).
+  RectI Clamp(int w, int h) const {
+    return {std::clamp(x0, 0, w), std::clamp(y0, 0, h), std::clamp(x1, 0, w),
+            std::clamp(y1, 0, h)};
+  }
+  bool operator==(const RectI& o) const = default;
+};
+
+/// Intersection-over-union of two pixel rectangles, in [0, 1].
+double IoU(const RectI& a, const RectI& b);
+
+/// Jaccard distance = 1 - IoU. The paper's semantic-validation metric: a
+/// detection is valid when JaccardDistance(reported, reference) <= epsilon
+/// with epsilon = 0.5 (the PASCAL VOC threshold).
+double JaccardDistance(const RectI& a, const RectI& b);
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Degrees-to-radians conversion.
+constexpr double DegToRad(double degrees) { return degrees * kPi / 180.0; }
+/// Radians-to-degrees conversion.
+constexpr double RadToDeg(double radians) { return radians * 180.0 / kPi; }
+
+/// Wraps an angle to (-pi, pi].
+double WrapAngle(double radians);
+
+}  // namespace visualroad
+
+#endif  // VISUALROAD_COMMON_GEOMETRY_H_

@@ -1,0 +1,25 @@
+#ifndef VISUALROAD_COMMON_GLYPHS_H_
+#define VISUALROAD_COMMON_GLYPHS_H_
+
+#include <cstdint>
+
+namespace visualroad {
+
+/// Width and height of the built-in bitmap font.
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+
+/// Returns the 5x7 bitmap for an ASCII character as 7 row bytes (low 5 bits
+/// used, MSB of those 5 is the leftmost column). Characters outside
+/// [A-Z0-9 .:-] render as a filled block; lowercase is folded to uppercase.
+/// The same glyphs are rasterised onto license plates by the simulator and
+/// template-matched by the ALPR recogniser, so recognition is a genuine
+/// pixel-domain task.
+const uint8_t* GlyphRows(char c);
+
+/// True if the glyph bitmap for `c` has the pixel at (x, y) set.
+bool GlyphPixel(char c, int x, int y);
+
+}  // namespace visualroad
+
+#endif  // VISUALROAD_COMMON_GLYPHS_H_

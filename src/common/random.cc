@@ -1,0 +1,109 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace visualroad {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashLabel(std::string_view label) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1) | 1) {
+  Next();
+  state_ += seed;
+  Next();
+}
+
+uint32_t Pcg32::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18) ^ old) >> 27);
+  uint32_t rot = static_cast<uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  if (bound <= 1) return 0;
+  uint64_t product = static_cast<uint64_t>(Next()) * bound;
+  uint32_t low = static_cast<uint32_t>(product);
+  if (low < bound) {
+    uint32_t threshold = (0u - bound) % bound;
+    while (low < threshold) {
+      product = static_cast<uint64_t>(Next()) * bound;
+      low = static_cast<uint32_t>(product);
+    }
+  }
+  return static_cast<uint32_t>(product >> 32);
+}
+
+int64_t Pcg32::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // Full 64-bit span requested.
+    uint64_t value = (static_cast<uint64_t>(Next()) << 32) | Next();
+    return static_cast<int64_t>(value);
+  }
+  if (range <= UINT32_MAX) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint32_t>(range)));
+  }
+  // Rejection-sample a 64-bit value into the range.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t value;
+  do {
+    value = (static_cast<uint64_t>(Next()) << 32) | Next();
+  } while (value >= limit);
+  return lo + static_cast<int64_t>(value % range);
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits into [0, 1).
+  uint64_t bits = (static_cast<uint64_t>(Next()) << 21) ^ Next();
+  return static_cast<double>(bits & ((1ULL << 53) - 1)) * (1.0 / 9007199254740992.0);
+}
+
+double Pcg32::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Pcg32::NextBool(double p) { return NextDouble() < p; }
+
+double Pcg32::NextGaussian(double mean, double stddev) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return mean + stddev * u * factor;
+}
+
+Pcg32 SubStream(uint64_t master_seed, std::string_view label, uint64_t index) {
+  uint64_t state = master_seed ^ HashLabel(label);
+  state ^= index * 0x9e3779b97f4a7c15ULL;
+  uint64_t seed = SplitMix64(state);
+  uint64_t stream = SplitMix64(state);
+  return Pcg32(seed, stream);
+}
+
+}  // namespace visualroad

@@ -1,0 +1,62 @@
+#ifndef VISUALROAD_COMMON_RANDOM_H_
+#define VISUALROAD_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace visualroad {
+
+/// SplitMix64 mixing step; used to derive independent seeds from a master
+/// seed so every subsystem of the benchmark is deterministically seeded.
+uint64_t SplitMix64(uint64_t& state);
+
+/// Hashes a label into a 64-bit value (FNV-1a). Combined with the master
+/// seed this gives named, order-independent substreams: the tile generator,
+/// the camera placer, and the query-parameter sampler each draw from their
+/// own stream, so adding draws to one never perturbs another.
+uint64_t HashLabel(std::string_view label);
+
+/// PCG32: a small, fast, statistically strong PRNG with a 64-bit state and
+/// 64-bit stream-selector. Deterministic across platforms, which is what
+/// lets two users of the benchmark reproduce the identical dataset from the
+/// same seed (Section 3.1 of the paper).
+class Pcg32 {
+ public:
+  /// Seeds the generator. `stream` selects one of 2^63 independent sequences.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1);
+
+  /// Returns the next 32 uniformly random bits.
+  uint32_t Next();
+
+  /// Returns a uniform integer in [0, bound) using Lemire's method
+  /// (unbiased, no modulo loop in the common case).
+  uint32_t NextBounded(uint32_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns a uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Returns true with probability `p`.
+  bool NextBool(double p);
+
+  /// Returns a normally distributed value (Box-Muller, cached spare).
+  double NextGaussian(double mean = 0.0, double stddev = 1.0);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Derives a PCG32 generator for a named substream of a master seed.
+Pcg32 SubStream(uint64_t master_seed, std::string_view label, uint64_t index = 0);
+
+}  // namespace visualroad
+
+#endif  // VISUALROAD_COMMON_RANDOM_H_

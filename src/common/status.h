@@ -1,0 +1,136 @@
+#ifndef VISUALROAD_COMMON_STATUS_H_
+#define VISUALROAD_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace visualroad {
+
+/// Canonical error codes, modeled after the usual database-engine set.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kDataLoss,
+  kIoError,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result used throughout the library instead
+/// of exceptions. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Ok" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type `T` or an error `Status`. Accessing the value
+/// of an errored StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse,
+  /// mirroring absl::StatusOr.
+  StatusOr(T value) : value_(std::move(value)) {}        // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace visualroad
+
+/// Propagates a non-OK Status to the caller.
+#define VR_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::visualroad::Status _vr_status = (expr);     \
+    if (!_vr_status.ok()) return _vr_status;      \
+  } while (false)
+
+#define VR_STATUS_CONCAT_INNER_(x, y) x##y
+#define VR_STATUS_CONCAT_(x, y) VR_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a StatusOr), propagating errors, otherwise moving the
+/// value into `lhs`.
+#define VR_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto VR_STATUS_CONCAT_(_vr_statusor_, __LINE__) = (rexpr);        \
+  if (!VR_STATUS_CONCAT_(_vr_statusor_, __LINE__).ok())             \
+    return VR_STATUS_CONCAT_(_vr_statusor_, __LINE__).status();     \
+  lhs = std::move(VR_STATUS_CONCAT_(_vr_statusor_, __LINE__)).value()
+
+#endif  // VISUALROAD_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+#ifndef VISUALROAD_COMMON_THREAD_POOL_H_
+#define VISUALROAD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace visualroad {
+
+/// A fixed-size worker pool. Used by the VCG's distributed mode (one worker
+/// per simulated node) and by the BatchEngine's stage executor.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(i)` for i in [0, count) across the pool and waits. The calling
+  /// thread does not participate, matching a dispatch-to-cluster model.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace visualroad
+
+#endif  // VISUALROAD_COMMON_THREAD_POOL_H_

@@ -1,0 +1,187 @@
+#include "driver/conformance.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "driver/report.h"
+
+namespace visualroad::driver {
+
+bool ConformanceReport::Passed() const {
+  for (const QueryBatchResult& result : results) {
+    if (!result.Supported()) continue;
+    if (result.failed > 0 && result.resource_exhausted < result.failed) return false;
+    if (result.validation.checked == 0) continue;
+    if (queries::ValidationFor(result.id) == queries::ValidationKind::kSemantic) {
+      // Semantic validation is statistical: the specified detector has a
+      // false-positive rate by design, so conformance requires a high pass
+      // rate over a meaningful sample, not perfection.
+      if (result.validation.checked >= 5 && result.validation.PassRate() < 0.8) {
+        return false;
+      }
+    } else if (result.validation.passed < result.validation.checked) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int ConformanceReport::SupportedQueryCount() const {
+  int count = 0;
+  for (const QueryBatchResult& result : results) {
+    if (result.Supported()) ++count;
+  }
+  return count;
+}
+
+ConformanceReport BuildConformanceReport(const sim::Dataset& dataset,
+                                         const VcdOptions& options,
+                                         const std::string& system_name,
+                                         std::vector<QueryBatchResult> results) {
+  ConformanceReport report;
+  report.system_name = system_name;
+  report.scale_factor = dataset.config.scale_factor;
+  report.width = dataset.config.width;
+  report.height = dataset.config.height;
+  report.duration_seconds = dataset.config.duration_seconds;
+  report.fps = dataset.config.fps;
+  report.seed = dataset.config.seed;
+  report.execution_mode = options.execution_mode;
+  report.output_mode = options.output_mode;
+  report.results = std::move(results);
+  return report;
+}
+
+std::string FormatConformanceReport(const ConformanceReport& report) {
+  std::ostringstream out;
+  out << "=== " << report.benchmark_version << " conformance report ===\n";
+  out << "System:      " << report.system_name << "\n";
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "Elections:   L=%d, R=%dx%d, t=%.1fs @ %.0f FPS, seed=%llu\n",
+                report.scale_factor, report.width, report.height,
+                report.duration_seconds, report.fps,
+                static_cast<unsigned long long>(report.seed));
+  out << line;
+  out << "Modes:       "
+      << (report.execution_mode == systems::ExecutionMode::kOffline ? "offline"
+                                                                    : "online")
+      << " execution, "
+      << (report.output_mode == systems::OutputMode::kWrite ? "write" : "streaming")
+      << " output\n";
+  out << "Supported:   " << report.SupportedQueryCount() << "/"
+      << report.results.size() << " queries\n";
+  out << "Outcome:     " << (report.Passed() ? "PASS" : "FAIL") << "\n\n";
+  out << FormatBenchmarkReport(report.results);
+  return out.str();
+}
+
+std::string SerializeConformanceReport(const ConformanceReport& report) {
+  std::ostringstream out;
+  out << "version=" << report.benchmark_version << "\n";
+  out << "system=" << report.system_name << "\n";
+  out << "scale=" << report.scale_factor << "\n";
+  out << "width=" << report.width << "\n";
+  out << "height=" << report.height << "\n";
+  out << "duration=" << report.duration_seconds << "\n";
+  out << "fps=" << report.fps << "\n";
+  out << "seed=" << report.seed << "\n";
+  out << "execution=" << static_cast<int>(report.execution_mode) << "\n";
+  out << "output=" << static_cast<int>(report.output_mode) << "\n";
+  for (const QueryBatchResult& result : report.results) {
+    out << "query=" << queries::QueryName(result.id)
+        << ";instances=" << result.instances << ";succeeded=" << result.succeeded
+        << ";unsupported=" << result.unsupported << ";failed=" << result.failed
+        << ";oom=" << result.resource_exhausted
+        << ";seconds=" << result.total_seconds << ";fps=" << result.frames_per_second
+        << ";checked=" << result.validation.checked
+        << ";passed=" << result.validation.passed
+        << ";mean_psnr=" << result.validation.mean_psnr_db << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Parses "key=value" off a line; returns false when the prefix mismatches.
+bool TakeValue(const std::string& line, const char* key, std::string& value) {
+  std::string prefix = std::string(key) + "=";
+  if (line.rfind(prefix, 0) != 0) return false;
+  value = line.substr(prefix.size());
+  return true;
+}
+
+/// Parses one ";"-separated field list of a query record into a map.
+std::map<std::string, std::string> ParseFields(const std::string& text) {
+  std::map<std::string, std::string> fields;
+  std::istringstream in(text);
+  std::string field;
+  while (std::getline(in, field, ';')) {
+    size_t eq = field.find('=');
+    if (eq != std::string::npos) {
+      fields[field.substr(0, eq)] = field.substr(eq + 1);
+    }
+  }
+  return fields;
+}
+
+queries::QueryId QueryIdFromName(const std::string& name) {
+  for (queries::QueryId id : queries::AllQueries()) {
+    if (name == queries::QueryName(id)) return id;
+  }
+  return queries::QueryId::kQ1;
+}
+
+}  // namespace
+
+StatusOr<ConformanceReport> ParseConformanceReport(const std::string& text) {
+  ConformanceReport report;
+  std::istringstream in(text);
+  std::string line, value;
+  bool saw_version = false;
+  while (std::getline(in, line)) {
+    if (TakeValue(line, "version", value)) {
+      report.benchmark_version = value;
+      saw_version = true;
+    } else if (TakeValue(line, "system", value)) {
+      report.system_name = value;
+    } else if (TakeValue(line, "scale", value)) {
+      report.scale_factor = std::atoi(value.c_str());
+    } else if (TakeValue(line, "width", value)) {
+      report.width = std::atoi(value.c_str());
+    } else if (TakeValue(line, "height", value)) {
+      report.height = std::atoi(value.c_str());
+    } else if (TakeValue(line, "duration", value)) {
+      report.duration_seconds = std::atof(value.c_str());
+    } else if (TakeValue(line, "fps", value)) {
+      report.fps = std::atof(value.c_str());
+    } else if (TakeValue(line, "seed", value)) {
+      report.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (TakeValue(line, "execution", value)) {
+      report.execution_mode = static_cast<systems::ExecutionMode>(std::atoi(value.c_str()));
+    } else if (TakeValue(line, "output", value)) {
+      report.output_mode = static_cast<systems::OutputMode>(std::atoi(value.c_str()));
+    } else if (line.rfind("query=", 0) == 0) {
+      std::map<std::string, std::string> fields = ParseFields(line);
+      QueryBatchResult result;
+      result.id = QueryIdFromName(fields["query"]);
+      result.engine = report.system_name;
+      result.instances = std::atoi(fields["instances"].c_str());
+      result.succeeded = std::atoi(fields["succeeded"].c_str());
+      result.unsupported = std::atoi(fields["unsupported"].c_str());
+      result.failed = std::atoi(fields["failed"].c_str());
+      result.resource_exhausted = std::atoi(fields["oom"].c_str());
+      result.total_seconds = std::atof(fields["seconds"].c_str());
+      result.frames_per_second = std::atof(fields["fps"].c_str());
+      result.validation.checked = std::atoll(fields["checked"].c_str());
+      result.validation.passed = std::atoll(fields["passed"].c_str());
+      result.validation.mean_psnr_db = std::atof(fields["mean_psnr"].c_str());
+      report.results.push_back(std::move(result));
+    }
+  }
+  if (!saw_version) return Status::InvalidArgument("not a conformance report");
+  return report;
+}
+
+}  // namespace visualroad::driver

@@ -1,0 +1,55 @@
+#ifndef VISUALROAD_DRIVER_CONFORMANCE_H_
+#define VISUALROAD_DRIVER_CONFORMANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "driver/vcd.h"
+
+namespace visualroad::driver {
+
+/// A complete benchmark conformance report, as Section 3.2 requires an
+/// evaluator to publish: per-query validation descriptive statistics, the
+/// performance figures (total runtime / frames per second), and the global
+/// elections — scale factor, resolution, duration, and execution mode.
+struct ConformanceReport {
+  std::string system_name;
+  std::string benchmark_version = "VisualRoad-1.0 (C++ reproduction)";
+  // Global elections.
+  int scale_factor = 0;
+  int width = 0;
+  int height = 0;
+  double duration_seconds = 0.0;
+  double fps = 0.0;
+  uint64_t seed = 0;
+  systems::ExecutionMode execution_mode = systems::ExecutionMode::kOffline;
+  systems::OutputMode output_mode = systems::OutputMode::kWrite;
+  // Per-query outcomes, in submission order.
+  std::vector<QueryBatchResult> results;
+
+  /// True when every supported query succeeded and every validated result
+  /// passed its threshold.
+  bool Passed() const;
+  /// Number of queries the system could express at all.
+  int SupportedQueryCount() const;
+};
+
+/// Assembles the report from a finished benchmark run.
+ConformanceReport BuildConformanceReport(const sim::Dataset& dataset,
+                                         const VcdOptions& options,
+                                         const std::string& system_name,
+                                         std::vector<QueryBatchResult> results);
+
+/// Renders the report for publication (the text form an evaluator would
+/// attach to results, e.g. "We executed Visual Road 1.0 with scale L,
+/// resolution R, duration t, and seed s").
+std::string FormatConformanceReport(const ConformanceReport& report);
+
+/// Machine-readable serialisation (line-oriented key=value records), and
+/// its parser — lets published results be diffed and re-checked.
+std::string SerializeConformanceReport(const ConformanceReport& report);
+StatusOr<ConformanceReport> ParseConformanceReport(const std::string& text);
+
+}  // namespace visualroad::driver
+
+#endif  // VISUALROAD_DRIVER_CONFORMANCE_H_

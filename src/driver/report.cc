@@ -1,0 +1,104 @@
+#include "driver/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace visualroad::driver {
+
+void TextTable::SetHeader(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<size_t> widths(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < columns; ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      out << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    out << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fms", seconds * 1e3);
+  } else if (seconds < 100.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0fs", seconds);
+  }
+  return buffer;
+}
+
+std::string FormatRatio(double ratio) {
+  char buffer[32];
+  if (ratio >= 9.95) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fx", ratio);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fx", ratio);
+  }
+  return buffer;
+}
+
+std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) {
+  TextTable table;
+  table.SetHeader({"Query", "Engine", "Batch", "Runtime", "FPS", "Validation"});
+  for (const QueryBatchResult& result : results) {
+    std::string validation;
+    if (!result.Supported()) {
+      validation = "unsupported";
+    } else if (result.resource_exhausted == result.failed && result.failed > 0) {
+      validation = "N/A (out of memory)";
+    } else if (result.failed > 0) {
+      validation = "FAILED: " + result.first_error;
+    } else if (result.validation.checked == 0) {
+      validation = "-";
+    } else {
+      char buffer[64];
+      if (result.validation.mean_psnr_db > 0.0) {
+        std::snprintf(buffer, sizeof(buffer), "%.0f%% pass (%.1f dB mean)",
+                      result.validation.PassRate() * 100.0,
+                      result.validation.mean_psnr_db);
+      } else {
+        std::snprintf(buffer, sizeof(buffer), "%.0f%% pass (semantic)",
+                      result.validation.PassRate() * 100.0);
+      }
+      validation = buffer;
+    }
+    char fps[32];
+    std::snprintf(fps, sizeof(fps), "%.0f", result.frames_per_second);
+    table.AddRow({queries::QueryName(result.id), result.engine,
+                  std::to_string(result.instances),
+                  result.Supported() ? FormatSeconds(result.total_seconds) : "N/A",
+                  result.Supported() ? fps : "-", validation});
+  }
+  return table.ToString();
+}
+
+}  // namespace visualroad::driver

@@ -1,0 +1,39 @@
+#ifndef VISUALROAD_DRIVER_REPORT_H_
+#define VISUALROAD_DRIVER_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "driver/vcd.h"
+
+namespace visualroad::driver {
+
+/// A minimal fixed-width text table used by the bench binaries to print
+/// paper-style tables and figure series.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> cells);
+  /// Appends a data row.
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with column alignment and a header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with adaptive precision ("3.42s", "128ms").
+std::string FormatSeconds(double seconds);
+
+/// Formats a ratio as the paper prints speedups ("0.9x", "26x").
+std::string FormatRatio(double ratio);
+
+/// Renders a batch-result list as the standard per-query report (runtime,
+/// FPS, validation summary).
+std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results);
+
+}  // namespace visualroad::driver
+
+#endif  // VISUALROAD_DRIVER_REPORT_H_

@@ -1,0 +1,198 @@
+#include "driver/validation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "video/metrics.h"
+
+namespace visualroad::driver {
+
+void ValidationStats::Merge(const ValidationStats& other) {
+  if (other.checked == 0) return;
+  if (checked == 0) {
+    *this = other;
+    return;
+  }
+  min_psnr_db = std::min(min_psnr_db, other.min_psnr_db);
+  max_psnr_db = std::max(max_psnr_db, other.max_psnr_db);
+  mean_psnr_db = (mean_psnr_db * static_cast<double>(checked) +
+                  other.mean_psnr_db * static_cast<double>(other.checked)) /
+                 static_cast<double>(checked + other.checked);
+  checked += other.checked;
+  passed += other.passed;
+}
+
+StatusOr<ValidationStats> FrameValidate(const video::codec::EncodedVideo& actual,
+                                        const video::Video& reference,
+                                        double threshold_db) {
+  if (reference.frames.empty()) {
+    ValidationStats empty;
+    // An empty reference validates an empty result.
+    empty.checked = actual.FrameCount() == 0 ? 0 : 1;
+    empty.passed = 0;
+    return empty;
+  }
+  VR_ASSIGN_OR_RETURN(video::Video decoded, video::codec::Decode(actual));
+  if (decoded.frames.size() != reference.frames.size()) {
+    return Status::InvalidArgument("output frame count differs from reference");
+  }
+  ValidationStats stats;
+  stats.min_psnr_db = std::numeric_limits<double>::infinity();
+  stats.max_psnr_db = 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < decoded.frames.size(); ++i) {
+    VR_ASSIGN_OR_RETURN(double psnr,
+                        video::Psnr(decoded.frames[i], reference.frames[i]));
+    psnr = std::min(psnr, 99.0);  // Finite cap for identical frames.
+    ++stats.checked;
+    if (psnr >= threshold_db) ++stats.passed;
+    stats.min_psnr_db = std::min(stats.min_psnr_db, psnr);
+    stats.max_psnr_db = std::max(stats.max_psnr_db, psnr);
+    sum += psnr;
+  }
+  stats.mean_psnr_db = sum / static_cast<double>(stats.checked);
+  return stats;
+}
+
+StatusOr<ValidationStats> SemanticValidate(
+    const std::vector<std::vector<vision::Detection>>& detections,
+    const std::vector<sim::FrameGroundTruth>& truth, sim::ObjectClass object_class,
+    double epsilon) {
+  ValidationStats stats;
+  for (size_t f = 0; f < detections.size(); ++f) {
+    static const sim::FrameGroundTruth kEmpty;
+    const sim::FrameGroundTruth& gt = f < truth.size() ? truth[f] : kEmpty;
+    for (const vision::Detection& detection : detections[f]) {
+      if (detection.object_class != object_class) continue;
+      ++stats.checked;
+      // The VCD queries the scene geometry: is there a real object of this
+      // class within the Jaccard tolerance?
+      bool valid = false;
+      for (const sim::GroundTruthBox& box : gt.boxes) {
+        if (box.object_class != object_class) continue;
+        if (JaccardDistance(detection.box, box.box) <= epsilon) {
+          valid = true;
+          break;
+        }
+      }
+      if (valid) ++stats.passed;
+    }
+  }
+  return stats;
+}
+
+StatusOr<ValidationStats> MaskValidate(const video::codec::EncodedVideo& actual,
+                                       const video::Video& reference_mask,
+                                       double min_agreement) {
+  VR_ASSIGN_OR_RETURN(video::Video decoded, video::codec::Decode(actual));
+  if (decoded.frames.size() != reference_mask.frames.size()) {
+    return Status::InvalidArgument("mask output frame count differs from reference");
+  }
+  ValidationStats stats;
+  for (size_t f = 0; f < decoded.frames.size(); ++f) {
+    const video::Frame& a = decoded.frames[f];
+    const video::Frame& b = reference_mask.frames[f];
+    if (a.width() != b.width() || a.height() != b.height()) {
+      return Status::InvalidArgument("mask output resolution differs");
+    }
+    int64_t agree = 0, total = 0;
+    for (int y = 0; y < a.height(); ++y) {
+      for (int x = 0; x < a.width(); ++x) {
+        // A pixel is "masked" when near the black sentinel. The output has
+        // been through a near-lossless encode, so compare with tolerance.
+        bool a_masked = a.Y(x, y) < 16 && std::abs(a.U(x, y) - 128) < 12 &&
+                        std::abs(a.V(x, y) - 128) < 12;
+        bool b_masked = b.Y(x, y) < 16 && std::abs(b.U(x, y) - 128) < 12 &&
+                        std::abs(b.V(x, y) - 128) < 12;
+        agree += a_masked == b_masked ? 1 : 0;
+        ++total;
+      }
+    }
+    ++stats.checked;
+    if (total > 0 &&
+        static_cast<double>(agree) / static_cast<double>(total) >= min_agreement) {
+      ++stats.passed;
+    }
+  }
+  return stats;
+}
+
+double AveragePrecision(const std::vector<std::vector<vision::Detection>>& detections,
+                        const std::vector<sim::FrameGroundTruth>& truth,
+                        sim::ObjectClass object_class, double iou_threshold,
+                        double min_visible_fraction) {
+  // Pool (frame, detection) pairs ranked by confidence.
+  struct Ranked {
+    double score;
+    size_t frame;
+    const vision::Detection* detection;
+  };
+  std::vector<Ranked> ranked;
+  for (size_t f = 0; f < detections.size(); ++f) {
+    for (const vision::Detection& d : detections[f]) {
+      if (d.object_class == object_class) ranked.push_back({d.score, f, &d});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.score > b.score; });
+
+  // Count ground-truth positives (sufficiently visible objects).
+  int64_t positives = 0;
+  std::vector<std::vector<bool>> matched(truth.size());
+  for (size_t f = 0; f < truth.size(); ++f) {
+    matched[f].assign(truth[f].boxes.size(), false);
+    for (const sim::GroundTruthBox& box : truth[f].boxes) {
+      if (box.object_class == object_class &&
+          box.visible_fraction >= min_visible_fraction) {
+        ++positives;
+      }
+    }
+  }
+  if (positives == 0) return 0.0;
+
+  // Sweep the ranked list accumulating precision/recall points.
+  std::vector<double> precision, recall;
+  int64_t tp = 0, fp = 0;
+  for (const Ranked& r : ranked) {
+    bool is_tp = false;
+    if (r.frame < truth.size()) {
+      const sim::FrameGroundTruth& gt = truth[r.frame];
+      for (size_t b = 0; b < gt.boxes.size(); ++b) {
+        const sim::GroundTruthBox& box = gt.boxes[b];
+        if (box.object_class != object_class || matched[r.frame][b]) continue;
+        if (box.visible_fraction < min_visible_fraction) continue;
+        if (IoU(r.detection->box, box.box) >= iou_threshold) {
+          matched[r.frame][b] = true;
+          is_tp = true;
+          break;
+        }
+      }
+    }
+    if (is_tp) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    precision.push_back(static_cast<double>(tp) / static_cast<double>(tp + fp));
+    recall.push_back(static_cast<double>(tp) / static_cast<double>(positives));
+  }
+
+  // Interpolated AP: monotone precision envelope (suffix max), then the
+  // rectangle sum over recall increments.
+  std::vector<double> envelope(precision.size());
+  double running_max = 0.0;
+  for (size_t i = precision.size(); i-- > 0;) {
+    running_max = std::max(running_max, precision[i]);
+    envelope[i] = running_max;
+  }
+  double ap = 0.0;
+  double previous_recall = 0.0;
+  for (size_t i = 0; i < envelope.size(); ++i) {
+    ap += envelope[i] * (recall[i] - previous_recall);
+    previous_recall = recall[i];
+  }
+  return ap;
+}
+
+}  // namespace visualroad::driver

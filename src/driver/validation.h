@@ -1,0 +1,63 @@
+#ifndef VISUALROAD_DRIVER_VALIDATION_H_
+#define VISUALROAD_DRIVER_VALIDATION_H_
+
+#include <vector>
+
+#include "simulation/ground_truth.h"
+#include "video/codec/codec.h"
+#include "vision/miniyolo.h"
+
+namespace visualroad::driver {
+
+/// Aggregated validation outcome for one query instance or batch.
+struct ValidationStats {
+  int64_t checked = 0;
+  int64_t passed = 0;
+  double min_psnr_db = 0.0;
+  double mean_psnr_db = 0.0;
+  double max_psnr_db = 0.0;
+
+  double PassRate() const {
+    return checked > 0 ? static_cast<double>(passed) / static_cast<double>(checked)
+                       : 1.0;
+  }
+  /// Merges another stats block into this one.
+  void Merge(const ValidationStats& other);
+};
+
+/// Frame validation (Section 3.2): decodes the engine's encoded output and
+/// compares it frame-by-frame against the reference output using PSNR; a
+/// frame passes at >= threshold_db (40 dB for most queries, 30 dB for Q9).
+StatusOr<ValidationStats> FrameValidate(const video::codec::EncodedVideo& actual,
+                                        const video::Video& reference,
+                                        double threshold_db);
+
+/// Semantic validation (Section 3.2, Q2(c)): maps each reported detection
+/// back to the scene geometry. A detection passes when some ground-truth
+/// object of the same class has Jaccard distance <= epsilon from the
+/// reported box (epsilon = 0.5, the PASCAL VOC threshold).
+StatusOr<ValidationStats> SemanticValidate(
+    const std::vector<std::vector<vision::Detection>>& detections,
+    const std::vector<sim::FrameGroundTruth>& truth, sim::ObjectClass object_class,
+    double epsilon = 0.5);
+
+/// Semantic validation for Q2(d): decodes the engine's masked output and
+/// compares its omega (static-region) classification per pixel against the
+/// reference mask computed from the same input and parameters. A frame
+/// passes when at least `min_agreement` of its pixels agree.
+StatusOr<ValidationStats> MaskValidate(const video::codec::EncodedVideo& actual,
+                                       const video::Video& reference_mask,
+                                       double min_agreement = 0.99);
+
+/// Average precision at the given IoU threshold over a detection set —
+/// the Section 6.3.1 video-quality metric. Detections across frames are
+/// pooled and ranked by score; AP is the area under the interpolated
+/// precision-recall curve.
+double AveragePrecision(const std::vector<std::vector<vision::Detection>>& detections,
+                        const std::vector<sim::FrameGroundTruth>& truth,
+                        sim::ObjectClass object_class, double iou_threshold = 0.5,
+                        double min_visible_fraction = 0.20);
+
+}  // namespace visualroad::driver
+
+#endif  // VISUALROAD_DRIVER_VALIDATION_H_

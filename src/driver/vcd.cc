@@ -1,0 +1,212 @@
+#include "driver/vcd.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "systems/video_source.h"
+#include "video/metrics.h"
+
+namespace visualroad::driver {
+
+using queries::QueryId;
+using queries::QueryInstance;
+
+int VisualCityDriver::BatchSize() const {
+  if (options_.batch_size_override > 0) return options_.batch_size_override;
+  return 4 * dataset_->config.scale_factor;
+}
+
+StatusOr<std::vector<QueryInstance>> VisualCityDriver::SampleBatch(
+    QueryId id) const {
+  // The sampler substream depends only on (seed, query), so batches are
+  // identical across engines and runs.
+  Pcg32 rng = SubStream(options_.seed, "query-batch", static_cast<uint64_t>(id));
+  std::vector<QueryInstance> batch;
+  int size = BatchSize();
+  batch.reserve(size);
+  for (int i = 0; i < size; ++i) {
+    VR_ASSIGN_OR_RETURN(QueryInstance instance,
+                        queries::SampleQueryInstance(id, *dataset_, rng,
+                                                     options_.sampler));
+    batch.push_back(std::move(instance));
+  }
+  return batch;
+}
+
+int64_t VisualCityDriver::InputFrames(const QueryInstance& instance) const {
+  switch (instance.id) {
+    case QueryId::kQ8: {
+      int64_t total = 0;
+      for (const sim::VideoAsset* asset : dataset_->TrafficAssets()) {
+        total += asset->container.video.FrameCount();
+      }
+      return total;
+    }
+    case QueryId::kQ9:
+    case QueryId::kQ10: {
+      std::vector<const sim::VideoAsset*> faces =
+          dataset_->PanoramicGroup(instance.pano_group);
+      int64_t total = 0;
+      for (const sim::VideoAsset* face : faces) {
+        if (face != nullptr) total += face->container.video.FrameCount();
+      }
+      return total;
+    }
+    default: {
+      std::vector<const sim::VideoAsset*> traffic = dataset_->TrafficAssets();
+      if (instance.video_index < 0 ||
+          static_cast<size_t>(instance.video_index) >= traffic.size()) {
+        return 0;
+      }
+      return traffic[static_cast<size_t>(instance.video_index)]
+          ->container.video.FrameCount();
+    }
+  }
+}
+
+Status VisualCityDriver::Validate(const QueryInstance& instance,
+                                  const systems::QueryOutput& output,
+                                  ValidationStats& stats) const {
+  queries::ValidationKind kind = queries::ValidationFor(instance.id);
+  if (kind == queries::ValidationKind::kNone) return Status::Ok();
+
+  if (kind == queries::ValidationKind::kSemantic) {
+    if (instance.id == QueryId::kQ2d) {
+      // Q2(d): per-pixel agreement of the static/dynamic classification
+      // with the reference mask derived from the same input.
+      if (output.video.FrameCount() == 0) return Status::Ok();
+      VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
+                          systems::detail::InputAsset(instance, *dataset_));
+      VR_ASSIGN_OR_RETURN(video::Video input,
+                          video::codec::Decode(asset->container.video));
+      queries::ReferenceContext context;
+      context.dataset = dataset_;
+      context.detector_options = options_.detector;
+      VR_ASSIGN_OR_RETURN(queries::ReferenceResult reference,
+                          queries::RunReference(context, instance, input));
+      VR_ASSIGN_OR_RETURN(ValidationStats mask_stats,
+                          MaskValidate(output.video, reference.video));
+      stats.Merge(mask_stats);
+      return Status::Ok();
+    }
+    // Q2(c): each reported detection mapped back to scene geometry.
+    if (output.detections.empty()) return Status::Ok();
+    VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
+                        systems::detail::InputAsset(instance, *dataset_));
+    VR_ASSIGN_OR_RETURN(
+        ValidationStats semantic,
+        SemanticValidate(output.detections, asset->ground_truth,
+                         instance.object_class, /*epsilon=*/0.5));
+    stats.Merge(semantic);
+    return Status::Ok();
+  }
+
+  // Frame validation: run the reference implementation on the same decoded
+  // input and compare PSNR per frame.
+  queries::ReferenceContext context;
+  context.dataset = dataset_;
+  context.detector_options = options_.detector;
+
+  video::Video input;
+  if (instance.id != QueryId::kQ9 && instance.id != QueryId::kQ10) {
+    VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
+                        systems::detail::InputAsset(instance, *dataset_));
+    VR_ASSIGN_OR_RETURN(input, video::codec::Decode(asset->container.video));
+  }
+  VR_ASSIGN_OR_RETURN(queries::ReferenceResult reference,
+                      queries::RunReference(context, instance, input));
+
+  double threshold = instance.id == QueryId::kQ9 ? video::kStitchingPsnrDb
+                                                 : video::kValidationPsnrDb;
+  if (reference.video.frames.empty() && output.video.FrameCount() == 0) {
+    return Status::Ok();
+  }
+  VR_ASSIGN_OR_RETURN(ValidationStats frame_stats,
+                      FrameValidate(output.video, reference.video, threshold));
+  stats.Merge(frame_stats);
+  return Status::Ok();
+}
+
+StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engine,
+                                                           QueryId id) {
+  VR_ASSIGN_OR_RETURN(std::vector<QueryInstance> batch, SampleBatch(id));
+
+  QueryBatchResult result;
+  result.id = id;
+  result.engine = engine.name();
+  result.instances = static_cast<int>(batch.size());
+
+  if (!engine.Supports(id)) {
+    result.unsupported = result.instances;
+    return result;
+  }
+
+  std::vector<systems::QueryOutput> outputs(batch.size());
+  int64_t input_frames = 0;
+
+  Stopwatch stopwatch;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (options_.execution_mode == systems::ExecutionMode::kOnline) {
+      // Online processing (Section 3.2): data arrives through a throttled
+      // forward-only feed at the camera's capture rate. The engine cannot
+      // start ahead of the data, so the ingest gate is part of the measured
+      // runtime.
+      std::vector<const sim::VideoAsset*> traffic = dataset_->TrafficAssets();
+      if (batch[i].video_index >= 0 &&
+          static_cast<size_t>(batch[i].video_index) < traffic.size()) {
+        systems::VideoSource source = systems::VideoSource::Online(
+            &traffic[static_cast<size_t>(batch[i].video_index)]->container.video,
+            options_.online_rate_multiplier);
+        while (!source.AtEnd()) {
+          if (!source.Next().ok()) break;
+        }
+      }
+    }
+    StatusOr<systems::QueryOutput> output =
+        engine.Execute(batch[i], *dataset_, options_.output_mode,
+                       options_.output_dir);
+    if (output.ok()) {
+      outputs[i] = std::move(output).value();
+      ++result.succeeded;
+      input_frames += InputFrames(batch[i]);
+    } else if (output.status().code() == StatusCode::kUnimplemented) {
+      ++result.unsupported;
+    } else {
+      ++result.failed;
+      if (output.status().code() == StatusCode::kResourceExhausted) {
+        ++result.resource_exhausted;
+      }
+      if (result.first_error.empty()) {
+        result.first_error = output.status().ToString();
+      }
+    }
+  }
+  result.total_seconds = stopwatch.ElapsedSeconds();
+  result.frames_per_second =
+      result.total_seconds > 0
+          ? static_cast<double>(input_frames) / result.total_seconds
+          : 0.0;
+
+  // Validation happens after the measured window (reference computation is
+  // the VCD's cost, not the engine's).
+  if (options_.validate && options_.output_mode == systems::OutputMode::kWrite) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!outputs[i].produced && outputs[i].detections.empty()) continue;
+      VR_RETURN_IF_ERROR(Validate(batch[i], outputs[i], result.validation));
+    }
+  }
+  return result;
+}
+
+StatusOr<std::vector<QueryBatchResult>> VisualCityDriver::RunBenchmark(
+    systems::Vdbms& engine) {
+  std::vector<QueryBatchResult> results;
+  for (QueryId id : queries::AllQueries()) {
+    VR_ASSIGN_OR_RETURN(QueryBatchResult result, RunQueryBatch(engine, id));
+    results.push_back(std::move(result));
+    engine.Quiesce();  // Engines may quiesce between batches (Section 3.2).
+  }
+  return results;
+}
+
+}  // namespace visualroad::driver

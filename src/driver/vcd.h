@@ -1,0 +1,100 @@
+#ifndef VISUALROAD_DRIVER_VCD_H_
+#define VISUALROAD_DRIVER_VCD_H_
+
+#include <string>
+#include <vector>
+
+#include "driver/validation.h"
+#include "systems/vdbms.h"
+
+namespace visualroad::driver {
+
+/// VCD configuration.
+struct VcdOptions {
+  systems::OutputMode output_mode = systems::OutputMode::kWrite;
+  systems::ExecutionMode execution_mode = systems::ExecutionMode::kOffline;
+  /// Online mode: the VCD exposes each input through a forward-only source
+  /// throttled to the camera's capture rate x this multiplier (1.0 = strict
+  /// real time; larger accelerates simulated time for tests/benches). The
+  /// ingest time is part of the measured batch runtime, as with a named
+  /// pipe or RTP feed.
+  double online_rate_multiplier = 1.0;
+  /// Validate results against the reference implementation (write mode
+  /// only; validation time is excluded from the measured batch runtime).
+  bool validate = true;
+  /// Directory for write-mode result containers; empty keeps results in
+  /// memory only.
+  std::string output_dir;
+  /// Seed for parameter sampling. The sampler stream depends only on this
+  /// seed and the query id, never on the engine, so every engine receives
+  /// the identical batch.
+  uint64_t seed = 0x5EED;
+  /// Override for the per-query batch size; 0 uses the benchmark's 4L rule.
+  int batch_size_override = 0;
+  queries::SamplerOptions sampler;
+  /// Reference detector configuration used when computing reference results.
+  vision::DetectorOptions detector;
+};
+
+/// Measured outcome of one query batch on one engine.
+struct QueryBatchResult {
+  queries::QueryId id = queries::QueryId::kQ1;
+  std::string engine;
+  int instances = 0;
+  int succeeded = 0;
+  int unsupported = 0;
+  int failed = 0;
+  /// Of the failures, how many were memory exhaustion (the paper reports
+  /// these as N/A, e.g. Scanner on Q4).
+  int resource_exhausted = 0;
+  /// Wall-clock seconds for the whole batch (persist time included in write
+  /// mode, per Section 3.2).
+  double total_seconds = 0.0;
+  /// Input frames processed per second of batch runtime.
+  double frames_per_second = 0.0;
+  ValidationStats validation;
+  /// First error message, when failures occurred.
+  std::string first_error;
+
+  bool Supported() const { return unsupported < instances; }
+};
+
+/// The Visual City Driver (Section 3.2): samples query batches, submits them
+/// to a VDBMS, measures runtime, and validates results against the reference
+/// implementation.
+class VisualCityDriver {
+ public:
+  VisualCityDriver(const sim::Dataset& dataset, const VcdOptions& options)
+      : dataset_(&dataset), options_(options) {}
+
+  /// Number of instances per batch: 4L (Section 3.1) unless overridden.
+  int BatchSize() const;
+
+  /// Samples the batch for query `id` (deterministic in the VCD seed).
+  StatusOr<std::vector<queries::QueryInstance>> SampleBatch(queries::QueryId id) const;
+
+  /// Submits one query batch to `engine` and measures it.
+  StatusOr<QueryBatchResult> RunQueryBatch(systems::Vdbms& engine,
+                                           queries::QueryId id);
+
+  /// Runs every benchmark query in submission order (Q1 first).
+  StatusOr<std::vector<QueryBatchResult>> RunBenchmark(systems::Vdbms& engine);
+
+  const VcdOptions& options() const { return options_; }
+  const sim::Dataset& dataset() const { return *dataset_; }
+
+ private:
+  /// Computes the reference result and validates `output` against it.
+  Status Validate(const queries::QueryInstance& instance,
+                  const systems::QueryOutput& output, ValidationStats& stats) const;
+
+  /// Input frames a query instance consumes (for the FPS metric).
+  int64_t InputFrames(const queries::QueryInstance& instance) const;
+
+  const sim::Dataset* dataset_;
+  VcdOptions options_;
+};
+
+}  // namespace visualroad::driver
+
+#endif  // VISUALROAD_DRIVER_VCD_H_

@@ -1,0 +1,220 @@
+#include "queries/params.h"
+
+#include <algorithm>
+
+namespace visualroad::queries {
+
+const std::array<QueryId, kQueryCount>& AllQueries() {
+  static const std::array<QueryId, kQueryCount> kAll = {
+      QueryId::kQ1,  QueryId::kQ2a, QueryId::kQ2b, QueryId::kQ2c, QueryId::kQ2d,
+      QueryId::kQ3,  QueryId::kQ4,  QueryId::kQ5,  QueryId::kQ6a, QueryId::kQ6b,
+      QueryId::kQ7,  QueryId::kQ8,  QueryId::kQ9,  QueryId::kQ10};
+  return kAll;
+}
+
+const char* QueryName(QueryId id) {
+  switch (id) {
+    case QueryId::kQ1:
+      return "Q1";
+    case QueryId::kQ2a:
+      return "Q2(a)";
+    case QueryId::kQ2b:
+      return "Q2(b)";
+    case QueryId::kQ2c:
+      return "Q2(c)";
+    case QueryId::kQ2d:
+      return "Q2(d)";
+    case QueryId::kQ3:
+      return "Q3";
+    case QueryId::kQ4:
+      return "Q4";
+    case QueryId::kQ5:
+      return "Q5";
+    case QueryId::kQ6a:
+      return "Q6(a)";
+    case QueryId::kQ6b:
+      return "Q6(b)";
+    case QueryId::kQ7:
+      return "Q7";
+    case QueryId::kQ8:
+      return "Q8";
+    case QueryId::kQ9:
+      return "Q9";
+    case QueryId::kQ10:
+      return "Q10";
+  }
+  return "Q?";
+}
+
+bool IsMicrobenchmark(QueryId id) {
+  switch (id) {
+    case QueryId::kQ7:
+    case QueryId::kQ8:
+    case QueryId::kQ9:
+    case QueryId::kQ10:
+      return false;
+    default:
+      return true;
+  }
+}
+
+ValidationKind ValidationFor(QueryId id) {
+  switch (id) {
+    case QueryId::kQ2c:
+    case QueryId::kQ2d:
+      return ValidationKind::kSemantic;
+    case QueryId::kQ7:
+    case QueryId::kQ8:
+    case QueryId::kQ10:
+      return ValidationKind::kNone;
+    default:
+      return ValidationKind::kFrame;  // Includes Q9 (30 dB threshold).
+  }
+}
+
+namespace {
+
+/// Picks a random traffic-asset index.
+StatusOr<int> RandomTrafficIndex(const sim::Dataset& dataset, Pcg32& rng) {
+  int count = static_cast<int>(dataset.TrafficAssets().size());
+  if (count == 0) return Status::FailedPrecondition("dataset has no traffic videos");
+  return static_cast<int>(rng.NextBounded(static_cast<uint32_t>(count)));
+}
+
+/// Picks a random visible plate from the dataset's ground truth; falls back
+/// to any vehicle's plate when no sighting exists.
+std::string RandomQueriedPlate(const sim::Dataset& dataset, Pcg32& rng) {
+  std::vector<std::string> sighted;
+  for (const sim::VideoAsset* asset : dataset.TrafficAssets()) {
+    for (const sim::FrameGroundTruth& frame : asset->ground_truth) {
+      for (const sim::GroundTruthBox& box : frame.boxes) {
+        if (box.plate_visible) sighted.push_back(box.plate);
+      }
+    }
+  }
+  if (!sighted.empty()) {
+    return sighted[rng.NextBounded(static_cast<uint32_t>(sighted.size()))];
+  }
+  for (const sim::VideoAsset* asset : dataset.TrafficAssets()) {
+    for (const sim::FrameGroundTruth& frame : asset->ground_truth) {
+      if (!frame.boxes.empty() && !frame.boxes.front().plate.empty()) {
+        return frame.boxes.front().plate;
+      }
+    }
+  }
+  return "ZZZZZZ";  // A plate no vehicle carries: an empty-result query.
+}
+
+}  // namespace
+
+StatusOr<QueryInstance> SampleQueryInstance(QueryId id, const sim::Dataset& dataset,
+                                            Pcg32& rng,
+                                            const SamplerOptions& options) {
+  QueryInstance instance;
+  instance.id = id;
+
+  const sim::CityConfig& config = dataset.config;
+  int rx = config.width, ry = config.height;
+  double duration = config.duration_seconds;
+
+  if (id != QueryId::kQ9 && id != QueryId::kQ10) {
+    VR_ASSIGN_OR_RETURN(instance.video_index, RandomTrafficIndex(dataset, rng));
+  }
+
+  switch (id) {
+    case QueryId::kQ1: {
+      // 0 <= x1 < x2 <= Rx etc. (Table 3); rejection-free sampling by
+      // ordering two distinct draws.
+      int x1 = static_cast<int>(rng.NextBounded(static_cast<uint32_t>(rx)));
+      int x2 = static_cast<int>(rng.NextInt(x1 + 1, rx));
+      int y1 = static_cast<int>(rng.NextBounded(static_cast<uint32_t>(ry)));
+      int y2 = static_cast<int>(rng.NextInt(y1 + 1, ry));
+      double t1 = rng.NextDouble(0.0, duration);
+      double t2 = rng.NextDouble(t1, duration);
+      instance.q1_rect = {x1, y1, x2, y2};
+      instance.q1_t1 = t1;
+      instance.q1_t2 = t2;
+      break;
+    }
+    case QueryId::kQ2a:
+      break;
+    case QueryId::kQ2b: {
+      // d in [3, 20]; the separable kernel needs odd d, so even draws round
+      // up (preserving uniformity over realisable kernels).
+      int d = static_cast<int>(rng.NextInt(3, 20));
+      if (d % 2 == 0) ++d;
+      instance.q2b_d = d;
+      break;
+    }
+    case QueryId::kQ2c:
+    case QueryId::kQ7:
+      instance.object_class = rng.NextBool(0.5) ? sim::ObjectClass::kVehicle
+                                                : sim::ObjectClass::kPedestrian;
+      break;
+    case QueryId::kQ2d: {
+      instance.q2d_m = static_cast<int>(rng.NextInt(2, 60));
+      instance.q2d_epsilon = rng.NextDouble(0.05, 0.95);
+      break;
+    }
+    case QueryId::kQ3: {
+      int nx = static_cast<int>(rng.NextInt(1, 3));
+      int ny = static_cast<int>(rng.NextInt(1, 3));
+      instance.q3_dx = std::max(8, rx >> nx);
+      instance.q3_dy = std::max(8, ry >> ny);
+      int cols = (rx + instance.q3_dx - 1) / instance.q3_dx;
+      int rows = (ry + instance.q3_dy - 1) / instance.q3_dy;
+      instance.q3_bitrates.resize(static_cast<size_t>(cols) * rows);
+      for (int64_t& bitrate : instance.q3_bitrates) {
+        bitrate = int64_t{1} << rng.NextInt(16, 22);
+      }
+      break;
+    }
+    case QueryId::kQ4: {
+      instance.q45_alpha = 1 << rng.NextInt(1, options.max_upsample_exponent);
+      instance.q45_beta = 1 << rng.NextInt(1, options.max_upsample_exponent);
+      break;
+    }
+    case QueryId::kQ5: {
+      // Keep the downsampled frame at least 8 pixels on a side.
+      int max_nx = 1, max_ny = 1;
+      while ((rx >> (max_nx + 1)) >= 8 && max_nx < options.max_downsample_exponent) {
+        ++max_nx;
+      }
+      while ((ry >> (max_ny + 1)) >= 8 && max_ny < options.max_downsample_exponent) {
+        ++max_ny;
+      }
+      instance.q45_alpha = 1 << rng.NextInt(1, max_nx);
+      instance.q45_beta = 1 << rng.NextInt(1, max_ny);
+      break;
+    }
+    case QueryId::kQ6a:
+    case QueryId::kQ6b:
+      break;
+    case QueryId::kQ8:
+      instance.q8_plate = RandomQueriedPlate(dataset, rng);
+      break;
+    case QueryId::kQ9:
+    case QueryId::kQ10: {
+      int groups = dataset.PanoramicGroupCount();
+      if (groups == 0) {
+        return Status::FailedPrecondition("dataset has no panoramic cameras");
+      }
+      instance.pano_group = static_cast<int>(rng.NextBounded(static_cast<uint32_t>(groups)));
+      if (id == QueryId::kQ10) {
+        int64_t b_h = int64_t{1} << 21;
+        int64_t b_l = int64_t{1} << 17;
+        for (int64_t& bitrate : instance.q10_bitrates) {
+          bitrate = rng.NextBool(0.4) ? b_h : b_l;
+        }
+        // Client resolution: a headset-like fraction of the panorama.
+        instance.q10_client_width = std::max(16, rx);
+        instance.q10_client_height = std::max(16, rx / 2);
+        break;
+      }
+      break;
+    }
+  }
+  return instance;
+}
+
+}  // namespace visualroad::queries

@@ -1,0 +1,52 @@
+#include "simulation/camera.h"
+
+namespace visualroad::sim {
+
+Camera::Camera(const CameraIntrinsics& intrinsics, const CameraPose& pose)
+    : intrinsics_(intrinsics), pose_(pose) {
+  double cp = std::cos(pose.pitch), sp = std::sin(pose.pitch);
+  double cy = std::cos(pose.yaw), sy = std::sin(pose.yaw);
+  forward_ = {cp * cy, cp * sy, sp};
+  // Right-handed basis with world up (0,0,1): right = forward x up.
+  right_ = forward_.Cross({0.0, 0.0, 1.0}).Normalized();
+  if (right_.Norm() < 0.5) right_ = {0.0, -1.0, 0.0};  // Looking straight up/down.
+  up_ = right_.Cross(forward_);
+}
+
+Vec3 Camera::ToCamera(const Vec3& world) const {
+  Vec3 d = world - pose_.position;
+  return {d.Dot(right_), d.Dot(up_), d.Dot(forward_)};
+}
+
+std::optional<ProjectedPoint> Camera::Project(const Vec3& world) const {
+  Vec3 cam = ToCamera(world);
+  if (cam.z <= 1e-4) return std::nullopt;
+  double focal = intrinsics_.Focal();
+  return ProjectedPoint{intrinsics_.width / 2.0 + focal * cam.x / cam.z,
+                        intrinsics_.height / 2.0 - focal * cam.y / cam.z, cam.z};
+}
+
+Vec3 Camera::PixelRay(double px, double py) const {
+  double focal = intrinsics_.Focal();
+  double cx = (px - intrinsics_.width / 2.0) / focal;
+  double cy = -(py - intrinsics_.height / 2.0) / focal;
+  Vec3 dir = forward_ + right_ * cx + up_ * cy;
+  return dir.Normalized();
+}
+
+std::array<Camera, 4> PanoramicRig::Faces() const {
+  CameraPose pose;
+  pose.position = position;
+  pose.pitch = 0.0;
+  pose.yaw = base_yaw;
+  Camera c0(face_intrinsics, pose);
+  pose.yaw = base_yaw + kPi / 2.0;
+  Camera c1(face_intrinsics, pose);
+  pose.yaw = base_yaw + kPi;
+  Camera c2(face_intrinsics, pose);
+  pose.yaw = base_yaw + 3.0 * kPi / 2.0;
+  Camera c3(face_intrinsics, pose);
+  return {c0, c1, c2, c3};
+}
+
+}  // namespace visualroad::sim

@@ -1,0 +1,82 @@
+#ifndef VISUALROAD_SIMULATION_CAMERA_H_
+#define VISUALROAD_SIMULATION_CAMERA_H_
+
+#include <array>
+#include <optional>
+
+#include "common/geometry.h"
+
+namespace visualroad::sim {
+
+/// Pinhole camera intrinsics.
+struct CameraIntrinsics {
+  int width = 320;
+  int height = 180;
+  /// Horizontal field of view in degrees.
+  double fov_deg = 90.0;
+
+  /// Focal length in pixels.
+  double Focal() const { return (width / 2.0) / std::tan(DegToRad(fov_deg) / 2.0); }
+};
+
+/// Camera pose: position plus yaw (about +z, 0 = +x) and pitch (positive
+/// looks up, negative looks down).
+struct CameraPose {
+  Vec3 position;
+  double yaw = 0.0;
+  double pitch = 0.0;
+};
+
+/// A projected world point.
+struct ProjectedPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double depth = 0.0;  // Camera-space forward distance (metres).
+};
+
+/// A world-space pinhole camera with the basis, projection, and inverse
+/// projection used by the renderer, the ground-truth extractor, and the
+/// panoramic stitcher.
+class Camera {
+ public:
+  Camera(const CameraIntrinsics& intrinsics, const CameraPose& pose);
+
+  const CameraIntrinsics& intrinsics() const { return intrinsics_; }
+  const CameraPose& pose() const { return pose_; }
+  const Vec3& forward() const { return forward_; }
+  const Vec3& right() const { return right_; }
+  const Vec3& up() const { return up_; }
+
+  /// Transforms a world point into camera coordinates (right, up, forward).
+  Vec3 ToCamera(const Vec3& world) const;
+
+  /// Projects a world point to pixel coordinates; nullopt when behind the
+  /// image plane (depth <= epsilon).
+  std::optional<ProjectedPoint> Project(const Vec3& world) const;
+
+  /// Unit world-space ray direction through pixel centre (px, py).
+  Vec3 PixelRay(double px, double py) const;
+
+ private:
+  CameraIntrinsics intrinsics_;
+  CameraPose pose_;
+  Vec3 forward_;
+  Vec3 right_;
+  Vec3 up_;
+};
+
+/// A panoramic camera rig: four ordinary cameras with overlapping 120-degree
+/// fields of view at 90-degree yaw spacing, together covering 360 degrees
+/// (Section 3.1).
+struct PanoramicRig {
+  Vec3 position;
+  double base_yaw = 0.0;
+  CameraIntrinsics face_intrinsics{320, 180, 120.0};
+
+  /// The rig's four constituent cameras.
+  std::array<Camera, 4> Faces() const;
+};
+
+}  // namespace visualroad::sim
+
+#endif  // VISUALROAD_SIMULATION_CAMERA_H_

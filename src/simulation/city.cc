@@ -1,0 +1,95 @@
+#include "simulation/city.h"
+
+#include "common/random.h"
+
+namespace visualroad::sim {
+
+VisualCity VisualCity::Build(const CityConfig& config) {
+  VisualCity city;
+  city.config_ = config;
+  city.tiles_ = std::make_shared<std::vector<Tile>>();
+
+  // Tile selection: L draws with replacement from the 72-archetype pool.
+  Pcg32 tile_rng = SubStream(config.seed, "tile-selection");
+  for (int i = 0; i < config.scale_factor; ++i) {
+    int archetype_id = static_cast<int>(tile_rng.NextBounded(kTilePoolSize));
+    uint64_t instance_seed = config.seed ^ (static_cast<uint64_t>(i) << 32);
+    city.tiles_->emplace_back(TilePoolEntry(archetype_id), instance_seed);
+  }
+
+  // Camera placement (Section 3.1): traffic cameras 10-20m above a roadway
+  // with random orientation; panoramic cameras 5-10m above sidewalks.
+  int camera_id = 0;
+  int pano_group = 0;
+  for (int t = 0; t < config.scale_factor; ++t) {
+    const Tile& tile = (*city.tiles_)[t];
+    const RoadNetwork& roads = tile.roads();
+    Pcg32 cam_rng = SubStream(config.seed, "cameras", static_cast<uint64_t>(t));
+
+    for (int c = 0; c < config.traffic_cameras_per_tile; ++c) {
+      CameraPlacement placement;
+      placement.camera_id = camera_id++;
+      placement.tile_index = t;
+      placement.kind = CameraKind::kTraffic;
+      placement.fov_deg = 62.0;
+
+      // A random point on a random road.
+      double line = roads.road_lines()[cam_rng.NextBounded(
+          static_cast<uint32_t>(roads.road_lines().size()))];
+      double along = cam_rng.NextDouble(20.0, roads.tile_size() - 20.0);
+      bool x_axis_road = cam_rng.NextBool(0.5);
+      Vec2 ground = x_axis_road ? Vec2{along, line} : Vec2{line, along};
+
+      placement.pose.position = {ground.x, ground.y,
+                                 cam_rng.NextDouble(10.0, 20.0)};
+      // Random orientation biased along the roadway (a traffic camera's
+      // mounting): one of the road's two directions plus jitter, pitched
+      // down so the street stays in view from 10-20m up.
+      double road_axis = x_axis_road ? 0.0 : kPi / 2.0;
+      if (cam_rng.NextBool(0.5)) road_axis += kPi;
+      placement.pose.yaw = road_axis + cam_rng.NextDouble(-0.5, 0.5);
+      placement.pose.pitch = cam_rng.NextDouble(-0.85, -0.45);
+      city.cameras_.push_back(placement);
+    }
+
+    for (int c = 0; c < config.panoramic_cameras_per_tile; ++c) {
+      // A random sidewalk point: beside a random road.
+      double line = roads.road_lines()[cam_rng.NextBounded(
+          static_cast<uint32_t>(roads.road_lines().size()))];
+      double along = cam_rng.NextDouble(20.0, roads.tile_size() - 20.0);
+      double side = (roads.road_half_width() + roads.sidewalk_outer()) / 2.0;
+      side *= cam_rng.NextBool(0.5) ? 1.0 : -1.0;
+      bool x_axis_road = cam_rng.NextBool(0.5);
+      Vec2 ground =
+          x_axis_road ? Vec2{along, line + side} : Vec2{line + side, along};
+      double height = cam_rng.NextDouble(5.0, 10.0);
+      double base_yaw = cam_rng.NextDouble(0.0, 2.0 * kPi);
+
+      for (int face = 0; face < 4; ++face) {
+        CameraPlacement placement;
+        placement.camera_id = camera_id++;
+        placement.tile_index = t;
+        placement.kind = CameraKind::kPanoramicFace;
+        placement.pano_group = pano_group;
+        placement.pano_face = face;
+        placement.fov_deg = 120.0;
+        placement.pose.position = {ground.x, ground.y, height};
+        placement.pose.yaw = base_yaw + face * (kPi / 2.0);
+        placement.pose.pitch = 0.0;
+        city.cameras_.push_back(placement);
+      }
+      ++pano_group;
+    }
+  }
+  return city;
+}
+
+std::vector<const CameraPlacement*> VisualCity::CamerasOfTile(int tile_index) const {
+  std::vector<const CameraPlacement*> result;
+  for (const CameraPlacement& camera : cameras_) {
+    if (camera.tile_index == tile_index) result.push_back(&camera);
+  }
+  return result;
+}
+
+}  // namespace visualroad::sim

@@ -1,0 +1,82 @@
+#ifndef VISUALROAD_SIMULATION_CITY_H_
+#define VISUALROAD_SIMULATION_CITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simulation/camera.h"
+#include "simulation/tile.h"
+
+namespace visualroad::sim {
+
+/// The benchmark's four user-facing hyperparameters (Section 3.1) plus the
+/// fixed per-tile camera configuration C = {c_t, c_p} = {4, 1}.
+struct CityConfig {
+  /// Scale factor L: number of tiles, and the per-query batch size is 4L.
+  int scale_factor = 1;
+  /// Camera resolution R.
+  int width = 320;
+  int height = 180;
+  /// Simulation duration t in seconds, applied to every camera.
+  double duration_seconds = 3.0;
+  /// Capture rate; Visual Road supports 15-90 FPS (Section 5).
+  double fps = 15.0;
+  /// Random seed s; identical configurations reproduce identical datasets.
+  uint64_t seed = 1;
+  /// Traffic cameras per tile (c_t).
+  int traffic_cameras_per_tile = 4;
+  /// Panoramic cameras per tile (c_p); each contributes four face cameras.
+  int panoramic_cameras_per_tile = 1;
+
+  int FrameCount() const { return static_cast<int>(duration_seconds * fps + 0.5); }
+};
+
+/// Camera roles within Visual City.
+enum class CameraKind {
+  kTraffic = 0,
+  kPanoramicFace = 1,
+};
+
+/// One placed camera. Panoramic rigs contribute four placements sharing a
+/// `pano_group`, with `pano_face` in [0, 4).
+struct CameraPlacement {
+  int camera_id = 0;
+  int tile_index = 0;
+  CameraKind kind = CameraKind::kTraffic;
+  int pano_group = -1;
+  int pano_face = -1;
+  CameraPose pose;
+  double fov_deg = 60.0;
+
+  /// Builds the concrete camera at resolution (width, height).
+  Camera MakeCamera(int width, int height) const {
+    return Camera(CameraIntrinsics{width, height, fov_deg}, pose);
+  }
+};
+
+/// A constructed Visual City: L tiles drawn with replacement from the 72-tile
+/// pool, each populated and instrumented with cameras (Section 3.1).
+class VisualCity {
+ public:
+  /// Deterministically builds a city from the configuration (seeded
+  /// substreams for tile choice, camera placement, and populations).
+  static VisualCity Build(const CityConfig& config);
+
+  const CityConfig& config() const { return config_; }
+  std::vector<Tile>& tiles() { return *tiles_; }
+  const std::vector<Tile>& tiles() const { return *tiles_; }
+  const std::vector<CameraPlacement>& cameras() const { return cameras_; }
+
+  /// All cameras belonging to tile `tile_index`.
+  std::vector<const CameraPlacement*> CamerasOfTile(int tile_index) const;
+
+ private:
+  CityConfig config_;
+  std::shared_ptr<std::vector<Tile>> tiles_;  // Shared: Tile is not copyable-cheap.
+  std::vector<CameraPlacement> cameras_;
+};
+
+}  // namespace visualroad::sim
+
+#endif  // VISUALROAD_SIMULATION_CITY_H_

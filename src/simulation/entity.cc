@@ -1,0 +1,23 @@
+#include "simulation/entity.h"
+
+namespace visualroad::sim {
+
+const char* ObjectClassName(ObjectClass cls) {
+  return cls == ObjectClass::kVehicle ? "vehicle" : "pedestrian";
+}
+
+double Vehicle::Heading() const {
+  if (axis == Axis::kX) return direction > 0 ? 0.0 : kPi;
+  return direction > 0 ? kPi / 2.0 : -kPi / 2.0;
+}
+
+std::string RandomPlate(Pcg32& rng) {
+  static const char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string plate(6, 'A');
+  for (char& c : plate) {
+    c = kAlphabet[rng.NextBounded(36)];
+  }
+  return plate;
+}
+
+}  // namespace visualroad::sim

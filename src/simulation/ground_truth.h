@@ -1,0 +1,56 @@
+#ifndef VISUALROAD_SIMULATION_GROUND_TRUTH_H_
+#define VISUALROAD_SIMULATION_GROUND_TRUTH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simulation/render/scene_renderer.h"
+
+namespace visualroad::sim {
+
+/// Exact, simulation-derived annotation for one object in one frame. This is
+/// what the paper means by "the VCD queries the simulation engine": because
+/// the pixels and the annotation come from the same geometry, ground truth is
+/// automatic and precise (Section 2).
+struct GroundTruthBox {
+  int32_t entity_id = 0;
+  ObjectClass object_class = ObjectClass::kVehicle;
+  /// Projected bounding rectangle in pixels, clamped to the frame.
+  RectI box;
+  /// Fraction of the object's projected extent that is actually visible
+  /// (occlusion-aware, from the renderer's id buffer), in [0, 1].
+  double visible_fraction = 0.0;
+  /// Vehicle-only: the six-character license plate.
+  std::string plate;
+  /// Vehicle-only: projected plate rectangle (empty when not visible).
+  RectI plate_box;
+  /// Vehicle-only: true when the plate faces the camera unoccluded and is
+  /// large enough to resolve (the Q8 "identifiable" condition).
+  bool plate_visible = false;
+};
+
+/// All annotations for one frame of one camera.
+struct FrameGroundTruth {
+  std::vector<GroundTruthBox> boxes;
+
+  /// Returns the box for `entity_id`, or nullptr.
+  const GroundTruthBox* Find(int32_t entity_id) const;
+};
+
+/// Extracts ground truth for the tile state seen by `camera` from the
+/// framebuffer the renderer produced for that exact state.
+FrameGroundTruth ExtractGroundTruth(const Tile& tile, const Camera& camera,
+                                    const Framebuffer& framebuffer);
+
+/// Serialises per-frame ground truth into the payload of a "GTRU" container
+/// track.
+std::vector<uint8_t> SerializeGroundTruth(const std::vector<FrameGroundTruth>& frames);
+
+/// Parses a "GTRU" payload.
+StatusOr<std::vector<FrameGroundTruth>> ParseGroundTruth(
+    const std::vector<uint8_t>& bytes);
+
+}  // namespace visualroad::sim
+
+#endif  // VISUALROAD_SIMULATION_GROUND_TRUTH_H_

@@ -1,0 +1,160 @@
+#include "simulation/recorded_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "video/color.h"
+
+namespace visualroad::sim {
+
+namespace {
+
+uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+}
+
+/// Applies sensor artefacts in place: additive Gaussian noise and a global
+/// exposure gain.
+void ApplySensorModel(video::RgbImage& image, double noise_stddev, double gain,
+                      Pcg32& rng) {
+  for (uint8_t& sample : image.data) {
+    double value = sample * gain + rng.NextGaussian(0.0, noise_stddev);
+    sample = ClampByte(value);
+  }
+}
+
+}  // namespace
+
+StatusOr<Dataset> GenerateRecordedCorpus(
+    const RecordedCorpusConfig& config,
+    const video::codec::EncoderConfig& codec_config) {
+  if (config.video_count < 1) {
+    return Status::InvalidArgument("recorded corpus needs at least one video");
+  }
+  Dataset dataset;
+  dataset.config.width = config.width;
+  dataset.config.height = config.height;
+  dataset.config.fps = config.fps;
+  dataset.config.duration_seconds = config.duration_seconds;
+  dataset.config.seed = config.seed;
+  dataset.config.scale_factor = std::max(1, config.video_count / 4);
+
+  int frame_count = static_cast<int>(config.duration_seconds * config.fps + 0.5);
+  double dt = 1.0 / config.fps;
+
+  for (int v = 0; v < config.video_count; ++v) {
+    Pcg32 rng = SubStream(config.seed, "recorded", static_cast<uint64_t>(v));
+    // Each recording gets its own scene (a random archetype) and a fixed
+    // roadside viewpoint: lower and closer than Visual Road traffic cameras,
+    // the way UA-DETRAC's pole-mounted recordings sit.
+    TileArchetype archetype = TilePoolEntry(static_cast<int>(rng.NextBounded(kTilePoolSize)));
+    Tile tile(archetype, config.seed ^ (static_cast<uint64_t>(v) << 24));
+
+    const RoadNetwork& roads = tile.roads();
+    double line = roads.road_lines()[rng.NextBounded(
+        static_cast<uint32_t>(roads.road_lines().size()))];
+    double along = rng.NextDouble(30.0, roads.tile_size() - 30.0);
+
+    CameraPlacement placement;
+    placement.camera_id = v;
+    placement.tile_index = 0;
+    placement.kind = CameraKind::kTraffic;
+    placement.fov_deg = 58.0;
+    placement.pose.position = {along, line + rng.NextDouble(7.0, 10.0),
+                               rng.NextDouble(6.0, 9.0)};
+    placement.pose.yaw = -kPi / 2.0 + rng.NextDouble(-0.4, 0.4);
+    placement.pose.pitch = rng.NextDouble(-0.5, -0.3);
+
+    VR_ASSIGN_OR_RETURN(
+        video::codec::Encoder encoder,
+        video::codec::Encoder::Create(config.width, config.height, codec_config));
+
+    VideoAsset asset;
+    asset.camera = placement;
+    asset.container.video.profile = codec_config.profile;
+    asset.container.video.width = config.width;
+    asset.container.video.height = config.height;
+    asset.container.video.fps = config.fps;
+
+    double wobble_phase = rng.NextDouble(0.0, 2.0 * kPi);
+    for (int f = 0; f < frame_count; ++f) {
+      tile.Step(dt);
+      // Handheld-style jitter: the pose wanders slightly every frame.
+      CameraPlacement jittered = placement;
+      jittered.pose.yaw += rng.NextGaussian(0.0, config.jitter_radians);
+      jittered.pose.pitch += rng.NextGaussian(0.0, config.jitter_radians);
+      Camera camera = jittered.MakeCamera(config.width, config.height);
+
+      Framebuffer fb = RenderScene(tile, camera, f, config.seed ^ 0x0DE7EC7);
+      double gain =
+          1.0 + config.exposure_wobble * std::sin(wobble_phase + f * 0.21) +
+          rng.NextGaussian(0.0, config.exposure_wobble * 0.2);
+      ApplySensorModel(fb.color, config.sensor_noise_stddev, gain, rng);
+
+      video::Frame frame = video::RgbToFrame(fb.color);
+      VR_ASSIGN_OR_RETURN(video::codec::EncodedFrame encoded,
+                          encoder.EncodeFrame(frame));
+      asset.container.video.frames.push_back(std::move(encoded));
+      asset.ground_truth.push_back(ExtractGroundTruth(tile, camera, fb));
+    }
+    asset.container.tracks.push_back(video::container::MetadataTrack{
+        "GTRU", SerializeGroundTruth(asset.ground_truth)});
+    dataset.assets.push_back(std::move(asset));
+  }
+  return dataset;
+}
+
+Dataset MakeDuplicateCorpus(const Dataset& source, int count) {
+  Dataset dataset;
+  dataset.config = source.config;
+  if (source.assets.empty() || count < 1) return dataset;
+  const VideoAsset& original = source.assets.front();
+  dataset.assets.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    VideoAsset copy = original;
+    copy.camera.camera_id = i;
+    dataset.assets.push_back(std::move(copy));
+  }
+  return dataset;
+}
+
+StatusOr<Dataset> MakeRandomCorpus(const Dataset& like,
+                                   const video::codec::EncoderConfig& codec_config,
+                                   uint64_t seed) {
+  Dataset dataset;
+  dataset.config = like.config;
+  for (size_t v = 0; v < like.assets.size(); ++v) {
+    const VideoAsset& reference = like.assets[v];
+    int width = reference.container.video.width;
+    int height = reference.container.video.height;
+    int frame_count = reference.container.video.FrameCount();
+
+    Pcg32 rng = SubStream(seed, "random-corpus", v);
+    VR_ASSIGN_OR_RETURN(video::codec::Encoder encoder,
+                        video::codec::Encoder::Create(width, height, codec_config));
+
+    VideoAsset asset;
+    asset.camera = reference.camera;
+    asset.container.video.profile = codec_config.profile;
+    asset.container.video.width = width;
+    asset.container.video.height = height;
+    asset.container.video.fps = reference.container.video.fps;
+    for (int f = 0; f < frame_count; ++f) {
+      video::Frame frame(width, height);
+      for (uint8_t& s : frame.y_plane()) s = static_cast<uint8_t>(rng.Next());
+      for (uint8_t& s : frame.u_plane()) s = static_cast<uint8_t>(rng.Next());
+      for (uint8_t& s : frame.v_plane()) s = static_cast<uint8_t>(rng.Next());
+      VR_ASSIGN_OR_RETURN(video::codec::EncodedFrame encoded,
+                          encoder.EncodeFrame(frame));
+      asset.container.video.frames.push_back(std::move(encoded));
+      asset.ground_truth.emplace_back();  // Noise has no objects.
+    }
+    asset.container.tracks.push_back(video::container::MetadataTrack{
+        "GTRU", SerializeGroundTruth(asset.ground_truth)});
+    dataset.assets.push_back(std::move(asset));
+  }
+  return dataset;
+}
+
+}  // namespace visualroad::sim

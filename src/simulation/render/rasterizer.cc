@@ -1,0 +1,166 @@
+#include "simulation/render/rasterizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace visualroad::sim {
+
+namespace {
+constexpr double kNearPlane = 0.2;
+}  // namespace
+
+Framebuffer::Framebuffer(int w, int h)
+    : width(w),
+      height(h),
+      color(w, h),
+      depth(static_cast<size_t>(w) * h, std::numeric_limits<float>::infinity()),
+      ids(static_cast<size_t>(w) * h, kNoEntity) {}
+
+void Framebuffer::Clear() {
+  std::fill(color.data.begin(), color.data.end(), 0);
+  std::fill(depth.begin(), depth.end(), std::numeric_limits<float>::infinity());
+  std::fill(ids.begin(), ids.end(), kNoEntity);
+}
+
+void Rasterizer::DrawTriangle(const RasterVertex& a, const RasterVertex& b,
+                              const RasterVertex& c, const FragmentShader& shader,
+                              int32_t id) {
+  ClippedVertex verts[3] = {{camera_.ToCamera(a.position), a.u, a.v},
+                            {camera_.ToCamera(b.position), b.u, b.v},
+                            {camera_.ToCamera(c.position), c.u, c.v}};
+
+  // Sutherland-Hodgman clip against the near plane (z = kNearPlane).
+  ClippedVertex poly[4];
+  int count = 0;
+  for (int i = 0; i < 3; ++i) {
+    const ClippedVertex& current = verts[i];
+    const ClippedVertex& next = verts[(i + 1) % 3];
+    bool current_in = current.cam.z >= kNearPlane;
+    bool next_in = next.cam.z >= kNearPlane;
+    if (current_in) poly[count++] = current;
+    if (current_in != next_in) {
+      double t = (kNearPlane - current.cam.z) / (next.cam.z - current.cam.z);
+      ClippedVertex clipped;
+      clipped.cam = current.cam + (next.cam - current.cam) * t;
+      clipped.u = current.u + (next.u - current.u) * t;
+      clipped.v = current.v + (next.v - current.v) * t;
+      poly[count++] = clipped;
+    }
+  }
+  if (count < 3) return;
+  DrawClipped(poly[0], poly[1], poly[2], shader, id);
+  if (count == 4) DrawClipped(poly[0], poly[2], poly[3], shader, id);
+}
+
+void Rasterizer::DrawClipped(const ClippedVertex& a, const ClippedVertex& b,
+                             const ClippedVertex& c, const FragmentShader& shader,
+                             int32_t id) {
+  double focal = camera_.intrinsics().Focal();
+  double half_w = fb_.width / 2.0, half_h = fb_.height / 2.0;
+
+  struct Screen {
+    double x, y, inv_z, u_over_z, v_over_z;
+  };
+  auto to_screen = [&](const ClippedVertex& vertex) -> Screen {
+    double inv_z = 1.0 / vertex.cam.z;
+    return {half_w + focal * vertex.cam.x * inv_z,
+            half_h - focal * vertex.cam.y * inv_z, inv_z, vertex.u * inv_z,
+            vertex.v * inv_z};
+  };
+  Screen s0 = to_screen(a), s1 = to_screen(b), s2 = to_screen(c);
+
+  double min_x = std::min({s0.x, s1.x, s2.x});
+  double max_x = std::max({s0.x, s1.x, s2.x});
+  double min_y = std::min({s0.y, s1.y, s2.y});
+  double max_y = std::max({s0.y, s1.y, s2.y});
+  int x0 = std::max(0, static_cast<int>(std::floor(min_x)));
+  int x1 = std::min(fb_.width - 1, static_cast<int>(std::ceil(max_x)));
+  int y0 = std::max(0, static_cast<int>(std::floor(min_y)));
+  int y1 = std::min(fb_.height - 1, static_cast<int>(std::ceil(max_y)));
+  if (x0 > x1 || y0 > y1) return;
+
+  double area = (s1.x - s0.x) * (s2.y - s0.y) - (s2.x - s0.x) * (s1.y - s0.y);
+  if (std::abs(area) < 1e-9) return;
+  double inv_area = 1.0 / area;
+
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      double px = x + 0.5, py = y + 0.5;
+      double w0 = ((s1.x - px) * (s2.y - py) - (s2.x - px) * (s1.y - py)) * inv_area;
+      double w1 = ((s2.x - px) * (s0.y - py) - (s0.x - px) * (s2.y - py)) * inv_area;
+      double w2 = 1.0 - w0 - w1;
+      if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+
+      double inv_z = w0 * s0.inv_z + w1 * s1.inv_z + w2 * s2.inv_z;
+      if (inv_z <= 0) continue;
+      float depth = static_cast<float>(1.0 / inv_z);
+      size_t idx = fb_.Index(x, y);
+      if (depth >= fb_.depth[idx]) continue;
+
+      double u = (w0 * s0.u_over_z + w1 * s1.u_over_z + w2 * s2.u_over_z) / inv_z;
+      double v = (w0 * s0.v_over_z + w1 * s1.v_over_z + w2 * s2.v_over_z) / inv_z;
+      video::Rgb rgb = shader(u, v);
+      uint8_t* pixel = fb_.color.Pixel(x, y);
+      pixel[0] = rgb.r;
+      pixel[1] = rgb.g;
+      pixel[2] = rgb.b;
+      fb_.depth[idx] = depth;
+      fb_.ids[idx] = id;
+    }
+  }
+}
+
+void Rasterizer::DrawQuad(const RasterVertex v[4], const FragmentShader& shader,
+                          int32_t id) {
+  DrawTriangle(v[0], v[1], v[2], shader, id);
+  DrawTriangle(v[0], v[2], v[3], shader, id);
+}
+
+void Rasterizer::DrawCuboid(
+    const Vec3& min_corner, const Vec3& max_corner,
+    const std::function<video::Rgb(const Vec3& normal, double u, double v)>&
+        face_color,
+    int32_t id) {
+  const Vec3& lo = min_corner;
+  const Vec3& hi = max_corner;
+  struct Face {
+    Vec3 corners[4];
+    Vec3 normal;
+  };
+  const Face faces[] = {
+      // +x face.
+      {{{hi.x, lo.y, lo.z}, {hi.x, hi.y, lo.z}, {hi.x, hi.y, hi.z}, {hi.x, lo.y, hi.z}},
+       {1, 0, 0}},
+      // -x face.
+      {{{lo.x, hi.y, lo.z}, {lo.x, lo.y, lo.z}, {lo.x, lo.y, hi.z}, {lo.x, hi.y, hi.z}},
+       {-1, 0, 0}},
+      // +y face.
+      {{{hi.x, hi.y, lo.z}, {lo.x, hi.y, lo.z}, {lo.x, hi.y, hi.z}, {hi.x, hi.y, hi.z}},
+       {0, 1, 0}},
+      // -y face.
+      {{{lo.x, lo.y, lo.z}, {hi.x, lo.y, lo.z}, {hi.x, lo.y, hi.z}, {lo.x, lo.y, hi.z}},
+       {0, -1, 0}},
+      // Top (+z) face.
+      {{{lo.x, lo.y, hi.z}, {hi.x, lo.y, hi.z}, {hi.x, hi.y, hi.z}, {lo.x, hi.y, hi.z}},
+       {0, 0, 1}},
+  };
+  for (const Face& face : faces) {
+    // Back-face cull: skip faces pointing away from the camera.
+    Vec3 to_camera = camera_.pose().position - face.corners[0];
+    if (to_camera.Dot(face.normal) <= 0) continue;
+    RasterVertex quad[4];
+    for (int i = 0; i < 4; ++i) {
+      quad[i].position = face.corners[i];
+      // UVs span each face: u along the first edge, v along the second.
+      quad[i].u = (i == 1 || i == 2) ? 1.0 : 0.0;
+      quad[i].v = (i == 2 || i == 3) ? 1.0 : 0.0;
+    }
+    Vec3 normal = face.normal;
+    DrawQuad(
+        quad, [&face_color, normal](double u, double v) { return face_color(normal, u, v); },
+        id);
+  }
+}
+
+}  // namespace visualroad::sim

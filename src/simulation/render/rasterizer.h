@@ -1,0 +1,82 @@
+#ifndef VISUALROAD_SIMULATION_RENDER_RASTERIZER_H_
+#define VISUALROAD_SIMULATION_RENDER_RASTERIZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simulation/camera.h"
+#include "video/color.h"
+#include "video/frame.h"
+
+namespace visualroad::sim {
+
+/// Entity id written into the id buffer for non-entity geometry.
+inline constexpr int32_t kNoEntity = -1;
+
+/// A render target: color, a float z-buffer (camera-space forward depth),
+/// and an entity-id buffer. The id buffer is what makes semantic ground
+/// truth "free": per-pixel occlusion-aware object visibility falls out of
+/// ordinary z-buffered rasterisation.
+struct Framebuffer {
+  int width = 0;
+  int height = 0;
+  video::RgbImage color;
+  std::vector<float> depth;
+  std::vector<int32_t> ids;
+
+  Framebuffer(int w, int h);
+
+  /// Resets color to black, depth to +inf, ids to kNoEntity.
+  void Clear();
+
+  size_t Index(int x, int y) const { return static_cast<size_t>(y) * width + x; }
+};
+
+/// A world-space vertex with texture coordinates.
+struct RasterVertex {
+  Vec3 position;
+  double u = 0.0;
+  double v = 0.0;
+};
+
+/// Per-fragment shading callback; receives perspective-correct (u, v).
+using FragmentShader = std::function<video::Rgb(double u, double v)>;
+
+/// Z-buffered triangle rasteriser with near-plane clipping and
+/// perspective-correct attribute interpolation.
+class Rasterizer {
+ public:
+  Rasterizer(Framebuffer& framebuffer, const Camera& camera)
+      : fb_(framebuffer), camera_(camera) {}
+
+  /// Rasterises one world-space triangle.
+  void DrawTriangle(const RasterVertex& a, const RasterVertex& b,
+                    const RasterVertex& c, const FragmentShader& shader, int32_t id);
+
+  /// Rasterises a quad (split into two triangles). Vertices in ring order.
+  void DrawQuad(const RasterVertex v[4], const FragmentShader& shader, int32_t id);
+
+  /// Draws an axis-aligned cuboid [min, max] with flat per-face shading.
+  /// `face_color(face_normal, u, v)` is invoked per fragment.
+  void DrawCuboid(const Vec3& min_corner, const Vec3& max_corner,
+                  const std::function<video::Rgb(const Vec3& normal, double u,
+                                                 double v)>& face_color,
+                  int32_t id);
+
+ private:
+  struct ClippedVertex {
+    Vec3 cam;  // Camera-space position.
+    double u, v;
+  };
+
+  void DrawClipped(const ClippedVertex& a, const ClippedVertex& b,
+                   const ClippedVertex& c, const FragmentShader& shader, int32_t id);
+
+  Framebuffer& fb_;
+  const Camera& camera_;
+};
+
+}  // namespace visualroad::sim
+
+#endif  // VISUALROAD_SIMULATION_RENDER_RASTERIZER_H_

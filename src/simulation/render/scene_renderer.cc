@@ -1,0 +1,370 @@
+#include "simulation/render/scene_renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/glyphs.h"
+#include "common/random.h"
+
+namespace visualroad::sim {
+
+namespace {
+
+using video::Rgb;
+
+uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+}
+
+Rgb Scale(const Rgb& c, double f) {
+  return {ClampByte(c.r * f), ClampByte(c.g * f), ClampByte(c.b * f)};
+}
+
+Rgb Lerp(const Rgb& a, const Rgb& b, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  return {ClampByte(a.r + (b.r - a.r) * t), ClampByte(a.g + (b.g - a.g) * t),
+          ClampByte(a.b + (b.b - a.b) * t)};
+}
+
+/// Hash-based lattice value noise in [0, 1], bilinear between lattice points.
+double ValueNoise(double x, double y, uint64_t seed) {
+  auto lattice = [seed](int64_t ix, int64_t iy) -> double {
+    uint64_t h = seed;
+    h ^= static_cast<uint64_t>(ix) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<uint64_t>(iy) * 0xC2B2AE3D27D4EB4FULL;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 32;
+    return static_cast<double>(h & 0xFFFFFF) / static_cast<double>(0xFFFFFF);
+  };
+  int64_t ix = static_cast<int64_t>(std::floor(x));
+  int64_t iy = static_cast<int64_t>(std::floor(y));
+  double fx = x - ix, fy = y - iy;
+  double n00 = lattice(ix, iy), n10 = lattice(ix + 1, iy);
+  double n01 = lattice(ix, iy + 1), n11 = lattice(ix + 1, iy + 1);
+  return (n00 * (1 - fx) + n10 * fx) * (1 - fy) + (n01 * (1 - fx) + n11 * fx) * fy;
+}
+
+/// Two-octave fractal noise in [0, 1].
+double FractalNoise(double x, double y, uint64_t seed) {
+  return 0.65 * ValueNoise(x, y, seed) + 0.35 * ValueNoise(x * 2.7, y * 2.7, seed ^ 7);
+}
+
+/// Global light level and tint from sun altitude and cloud cover.
+struct Lighting {
+  double brightness;
+  Rgb tint;     // Applied multiplicatively (255 = neutral).
+  Vec3 sun_dir;
+  double diffuse;  // Directional light share, reduced by clouds.
+};
+
+Lighting ComputeLighting(const Weather& weather) {
+  Lighting light;
+  light.sun_dir = SunDirection(weather);
+  double altitude = std::max(0.0, weather.sun_altitude_deg);
+  light.brightness = 0.50 + 0.50 * std::min(1.0, altitude / 40.0);
+  light.brightness *= 1.0 - 0.25 * weather.cloud_cover;
+  double sunset = std::clamp(1.0 - altitude / 25.0, 0.0, 1.0);
+  light.tint = Lerp({255, 255, 255}, {255, 196, 150}, sunset);
+  light.diffuse = (1.0 - 0.7 * weather.cloud_cover);
+  return light;
+}
+
+Rgb ApplyLight(const Rgb& base, const Lighting& light, double lambert) {
+  double shade = light.brightness * (0.45 + 0.55 * lambert * light.diffuse + 0.55 * (1.0 - light.diffuse) * 0.5);
+  return {ClampByte(base.r * shade * light.tint.r / 255.0),
+          ClampByte(base.g * shade * light.tint.g / 255.0),
+          ClampByte(base.b * shade * light.tint.b / 255.0)};
+}
+
+/// Sky color for a view direction.
+Rgb SkyColor(const Vec3& dir, const Weather& weather, const Lighting& light,
+             uint64_t seed) {
+  double elevation = std::clamp(dir.z, -0.1, 1.0);
+  double sunset = std::clamp(1.0 - weather.sun_altitude_deg / 25.0, 0.0, 1.0);
+  Rgb zenith = Lerp({92, 140, 210}, {120, 90, 130}, sunset);
+  Rgb horizon = Lerp({190, 210, 230}, {245, 160, 90}, sunset);
+  Rgb sky = Lerp(horizon, zenith, std::pow(std::max(0.0, elevation), 0.6));
+
+  // Procedural clouds: noise over a cylindrical parameterisation.
+  double az = std::atan2(dir.y, dir.x);
+  double cloud_noise =
+      FractalNoise(az * 3.0 + 10.0, elevation * 8.0 + 3.0, seed ^ 0xC10D);
+  double threshold = 1.0 - weather.cloud_cover;
+  double cloudiness = std::clamp((cloud_noise - threshold) * 4.0, 0.0, 1.0);
+  Rgb cloud = Lerp({230, 230, 235}, {140, 140, 150}, weather.precipitation);
+  sky = Lerp(sky, cloud, cloudiness * 0.9);
+
+  // Sun glow.
+  double sun_dot = std::max(0.0, dir.Dot(light.sun_dir));
+  double glow = std::pow(sun_dot, 256.0) + 0.3 * std::pow(sun_dot, 8.0);
+  glow *= (1.0 - 0.8 * weather.cloud_cover);
+  Rgb sun_color = Lerp({255, 250, 230}, {255, 170, 110}, sunset);
+  sky = Lerp(sky, sun_color, std::min(1.0, glow));
+  return Scale(sky, 0.75 + 0.25 * light.brightness);
+}
+
+/// Ground color at a world point.
+Rgb GroundColor(const Tile& tile, const Vec2& p, const Weather& weather,
+                const Lighting& light, uint64_t seed) {
+  Rgb base;
+  switch (tile.roads().Classify(p)) {
+    case SurfaceKind::kRoad:
+    case SurfaceKind::kIntersection:
+      base = {58, 58, 62};
+      // Wet roads darken and pick up a blue sheen.
+      base = Lerp(base, {30, 36, 52}, weather.precipitation * 0.8);
+      break;
+    case SurfaceKind::kLaneMarking:
+      base = {205, 203, 188};
+      break;
+    case SurfaceKind::kSidewalk:
+      base = {138, 134, 126};
+      break;
+    case SurfaceKind::kGrass:
+      base = {64, 98, 52};
+      break;
+  }
+  double texture = 0.88 + 0.24 * FractalNoise(p.x * 0.8, p.y * 0.8, seed ^ 0x601D);
+  base = Scale(base, texture);
+  double lambert = std::max(0.0, light.sun_dir.z);
+  return ApplyLight(base, light, lambert);
+}
+
+/// Draws the license plate as a textured quad on the vehicle's front face.
+void DrawPlate(Rasterizer& raster, const Vehicle& vehicle, const Lighting& light,
+               int32_t id) {
+  // Plate centred on the front face at the mount height (see entity.h for
+  // the deliberately resolution-scaled dimensions).
+  Vec2 fwd2 = vehicle.Forward();
+  Vec3 forward{fwd2.x, fwd2.y, 0.0};
+  Vec3 lateral{-fwd2.y, fwd2.x, 0.0};
+  Vec3 centre{vehicle.position.x, vehicle.position.y, kPlateMountHeight};
+  Vec3 face_centre = centre + forward * (vehicle.length / 2.0 + 0.02);
+  Vec3 half_w = lateral * (kPlateWidth / 2.0);
+  Vec3 half_h{0.0, 0.0, kPlateHeight / 2.0};
+
+  RasterVertex quad[4];
+  quad[0] = {face_centre - half_w - half_h, 0.0, 1.0};
+  quad[1] = {face_centre + half_w - half_h, 1.0, 1.0};
+  quad[2] = {face_centre + half_w + half_h, 1.0, 0.0};
+  quad[3] = {face_centre - half_w + half_h, 0.0, 0.0};
+
+  const std::string plate = vehicle.plate;
+  auto shader = [&plate, &light](double u, double v) -> Rgb {
+    // 6 glyph cells of 6 columns (5 px + 1 space) in a 38x9 grid with a
+    // 1-px border.
+    const int grid_w = 38, grid_h = 9;
+    int gx = static_cast<int>(u * grid_w);
+    int gy = static_cast<int>(v * grid_h);
+    bool dark = false;
+    if (gx >= 1 && gx < grid_w - 1 && gy >= 1 && gy < grid_h - 1) {
+      int cell = (gx - 1) / 6;
+      int col = (gx - 1) % 6;
+      if (cell < 6 && col < kGlyphWidth) {
+        dark = GlyphPixel(plate[cell], col, gy - 1);
+      }
+    }
+    Rgb base = dark ? Rgb{20, 20, 28} : Rgb{235, 235, 240};
+    return ApplyLight(base, light, 0.8);
+  };
+  raster.DrawQuad(quad, shader, id);
+}
+
+void DrawVehicle(Rasterizer& raster, const Vehicle& vehicle, const Lighting& light) {
+  int32_t id = kVehicleIdBase + vehicle.id;
+  // Axis-aligned body: vehicles travel along lattice axes, so their boxes
+  // stay axis-aligned.
+  double hl = vehicle.length / 2.0, hw = vehicle.width / 2.0;
+  Vec2 p = vehicle.position;
+  Vec3 body_lo, body_hi;
+  if (vehicle.axis == Axis::kX) {
+    body_lo = {p.x - hl, p.y - hw, 0.18};
+    body_hi = {p.x + hl, p.y + hw, 0.95};
+  } else {
+    body_lo = {p.x - hw, p.y - hl, 0.18};
+    body_hi = {p.x + hw, p.y + hl, 0.95};
+  }
+  Rgb color = vehicle.body_color;
+  auto body_shader = [color, &light](const Vec3& normal, double, double) {
+    double lambert = std::max(0.0, normal.Dot(light.sun_dir));
+    return ApplyLight(color, light, lambert);
+  };
+  raster.DrawCuboid(body_lo, body_hi, body_shader, id);
+
+  // Cabin: a shorter, darker, glassier box over the middle.
+  Vec3 cabin_lo = body_lo, cabin_hi = body_hi;
+  double shrink = vehicle.length * 0.22;
+  if (vehicle.axis == Axis::kX) {
+    cabin_lo.x += shrink;
+    cabin_hi.x -= shrink;
+  } else {
+    cabin_lo.y += shrink;
+    cabin_hi.y -= shrink;
+  }
+  cabin_lo.z = 0.95;
+  cabin_hi.z = vehicle.height;
+  Rgb glass = Lerp(color, {40, 60, 80}, 0.7);
+  auto cabin_shader = [glass, &light](const Vec3& normal, double, double) {
+    double lambert = std::max(0.0, normal.Dot(light.sun_dir));
+    return ApplyLight(glass, light, lambert);
+  };
+  raster.DrawCuboid(cabin_lo, cabin_hi, cabin_shader, id);
+
+  DrawPlate(raster, vehicle, light, id);
+}
+
+void DrawPedestrian(Rasterizer& raster, const Pedestrian& pedestrian,
+                    const Lighting& light) {
+  int32_t id = kPedestrianIdBase + pedestrian.id;
+  Vec2 p = pedestrian.position;
+  double hw = pedestrian.width / 2.0;
+  double torso_top = pedestrian.height * 0.82;
+  Rgb clothing = pedestrian.clothing_color;
+  auto torso_shader = [clothing, &light](const Vec3& normal, double, double) {
+    double lambert = std::max(0.0, normal.Dot(light.sun_dir));
+    return ApplyLight(clothing, light, lambert);
+  };
+  raster.DrawCuboid({p.x - hw, p.y - hw * 0.6, 0.0}, {p.x + hw, p.y + hw * 0.6, torso_top},
+                    torso_shader, id);
+  Rgb skin{200, 165, 140};
+  auto head_shader = [skin, &light](const Vec3& normal, double, double) {
+    double lambert = std::max(0.0, normal.Dot(light.sun_dir));
+    return ApplyLight(skin, light, lambert);
+  };
+  double hr = hw * 0.5;
+  raster.DrawCuboid({p.x - hr, p.y - hr, torso_top},
+                    {p.x + hr, p.y + hr, pedestrian.height}, head_shader, id);
+}
+
+void DrawBuilding(Rasterizer& raster, const Building& building, int index,
+                  const Lighting& light, uint64_t seed) {
+  int32_t id = kBuildingIdBase + index;
+  Rgb facade = building.facade_color;
+  double spacing = building.window_spacing;
+  Vec2 size = building.max_corner - building.min_corner;
+  double height = building.height;
+  auto shader = [facade, &light, spacing, size, height, seed](const Vec3& normal,
+                                                              double u, double v) {
+    double lambert = std::max(0.0, normal.Dot(light.sun_dir));
+    // Procedural window grid on vertical faces.
+    if (std::abs(normal.z) < 0.5) {
+      double face_w = std::abs(normal.x) > 0.5 ? size.y : size.x;
+      double wx = u * face_w, wz = (1.0 - v) * height;
+      double mx = std::fmod(wx, spacing), mz = std::fmod(wz, spacing);
+      bool window = mx > spacing * 0.3 && mx < spacing * 0.8 && mz > spacing * 0.35 &&
+                    mz < spacing * 0.85 && wz > 1.0;
+      if (window) {
+        // Some windows are lit, keyed on the window's lattice cell.
+        double lit = ValueNoise(std::floor(wx / spacing) * 13.1,
+                                std::floor(wz / spacing) * 7.7, seed ^ 0x111);
+        Rgb glass = lit > 0.82 ? Rgb{240, 220, 140} : Rgb{70, 90, 110};
+        return ApplyLight(glass, light, lambert * 0.6 + 0.3);
+      }
+    }
+    return ApplyLight(facade, light, lambert);
+  };
+  raster.DrawCuboid({building.min_corner.x, building.min_corner.y, 0.0},
+                    {building.max_corner.x, building.max_corner.y, building.height},
+                    shader, id);
+}
+
+}  // namespace
+
+Vec3 SunDirection(const Weather& weather) {
+  double alt = DegToRad(weather.sun_altitude_deg);
+  double az = DegToRad(weather.sun_azimuth_deg);
+  return Vec3{std::cos(alt) * std::cos(az), std::cos(alt) * std::sin(az),
+              std::sin(alt)}
+      .Normalized();
+}
+
+Framebuffer RenderScene(const Tile& tile, const Camera& camera, int frame_index,
+                        uint64_t seed, const RenderOptions& options) {
+  const CameraIntrinsics& intr = camera.intrinsics();
+  Framebuffer fb(intr.width, intr.height);
+  const Weather& weather = tile.weather();
+  Lighting light = ComputeLighting(weather);
+
+  // Pass 1: sky and ground, per pixel (ray cast against the z=0 plane).
+  const Vec3& origin = camera.pose().position;
+  for (int y = 0; y < fb.height; ++y) {
+    for (int x = 0; x < fb.width; ++x) {
+      Vec3 dir = camera.PixelRay(x + 0.5, y + 0.5);
+      size_t idx = fb.Index(x, y);
+      Rgb rgb;
+      if (dir.z < -1e-5) {
+        double t = -origin.z / dir.z;
+        Vec3 hit = origin + dir * t;
+        double depth = static_cast<float>((hit - origin).Dot(camera.forward()));
+        rgb = GroundColor(tile, {hit.x, hit.y}, weather, light, seed);
+        fb.depth[idx] = static_cast<float>(depth);
+      } else {
+        rgb = SkyColor(dir, weather, light, seed);
+        // Sky stays at infinite depth.
+      }
+      uint8_t* pixel = fb.color.Pixel(x, y);
+      pixel[0] = rgb.r;
+      pixel[1] = rgb.g;
+      pixel[2] = rgb.b;
+    }
+  }
+
+  // Pass 2: geometry.
+  Rasterizer raster(fb, camera);
+  for (size_t i = 0; i < tile.buildings().size(); ++i) {
+    DrawBuilding(raster, tile.buildings()[i], static_cast<int>(i), light, seed);
+  }
+  for (const Vehicle& vehicle : tile.vehicles()) {
+    DrawVehicle(raster, vehicle, light);
+  }
+  for (const Pedestrian& pedestrian : tile.pedestrians()) {
+    DrawPedestrian(raster, pedestrian, light);
+  }
+
+  if (!options.weather_effects) return fb;
+
+  // Pass 3: fog by depth.
+  if (weather.fog_density > 0.0) {
+    Rgb fog_color = Lerp({200, 205, 215}, {150, 150, 160}, weather.precipitation);
+    fog_color = Scale(fog_color, 0.6 + 0.4 * light.brightness);
+    for (int y = 0; y < fb.height; ++y) {
+      for (int x = 0; x < fb.width; ++x) {
+        float depth = fb.depth[fb.Index(x, y)];
+        if (!std::isfinite(depth)) continue;
+        double factor = 1.0 - std::exp(-weather.fog_density * depth);
+        uint8_t* pixel = fb.color.Pixel(x, y);
+        Rgb blended = Lerp({pixel[0], pixel[1], pixel[2]}, fog_color, factor);
+        pixel[0] = blended.r;
+        pixel[1] = blended.g;
+        pixel[2] = blended.b;
+      }
+    }
+  }
+
+  // Pass 4: rain streaks, re-randomised per frame.
+  if (weather.precipitation > 0.02) {
+    Pcg32 rain = SubStream(seed ^ 0xBAD5EED, "rain", static_cast<uint64_t>(frame_index));
+    int streaks = static_cast<int>(weather.precipitation * fb.width * fb.height / 220.0);
+    int length = std::max(3, fb.height / 24);
+    for (int s = 0; s < streaks; ++s) {
+      int sx = static_cast<int>(rain.NextBounded(static_cast<uint32_t>(fb.width)));
+      int sy = static_cast<int>(rain.NextBounded(static_cast<uint32_t>(fb.height)));
+      int slant = static_cast<int>(rain.NextBounded(3)) - 1;
+      for (int k = 0; k < length; ++k) {
+        int px = sx + (k * slant) / length;
+        int py = sy + k;
+        if (px < 0 || px >= fb.width || py < 0 || py >= fb.height) break;
+        uint8_t* pixel = fb.color.Pixel(px, py);
+        Rgb blended = Lerp({pixel[0], pixel[1], pixel[2]}, {220, 225, 235}, 0.35);
+        pixel[0] = blended.r;
+        pixel[1] = blended.g;
+        pixel[2] = blended.b;
+      }
+    }
+  }
+
+  return fb;
+}
+
+}  // namespace visualroad::sim

@@ -1,0 +1,50 @@
+#ifndef VISUALROAD_SIMULATION_RENDER_SCENE_RENDERER_H_
+#define VISUALROAD_SIMULATION_RENDER_SCENE_RENDERER_H_
+
+#include <cstdint>
+
+#include "simulation/render/rasterizer.h"
+#include "simulation/tile.h"
+
+namespace visualroad::sim {
+
+/// Entity-id buffer encoding. Ids below 1000 are reserved.
+inline constexpr int32_t kVehicleIdBase = 1000;
+inline constexpr int32_t kPedestrianIdBase = 2000;
+inline constexpr int32_t kBuildingIdBase = 3000;
+
+/// True when `id` denotes a vehicle (resp. pedestrian).
+inline bool IsVehicleId(int32_t id) {
+  return id >= kVehicleIdBase && id < kPedestrianIdBase;
+}
+inline bool IsPedestrianId(int32_t id) {
+  return id >= kPedestrianIdBase && id < kBuildingIdBase;
+}
+
+/// Unit vector toward the sun for a weather configuration.
+Vec3 SunDirection(const Weather& weather);
+
+/// Rendering switches. Weather effects can be disabled for tests that need
+/// pixel-deterministic geometry without precipitation overlays.
+struct RenderOptions {
+  bool weather_effects = true;
+};
+
+/// Renders the tile's current state as seen by `camera`.
+///
+/// This is the CARLA/Unreal substitute: a z-buffered software rasteriser
+/// that shades sky (sun position, procedural clouds), ground (roads, lane
+/// markings, sidewalks, grass), buildings (procedural window facades),
+/// vehicles (with readable license plates), and pedestrians, then applies
+/// weather overlays (fog by depth, rain streaks, sunset exposure). The
+/// returned framebuffer carries a per-pixel entity-id channel from which
+/// exact, occlusion-aware ground truth is extracted.
+///
+/// `frame_index` seeds per-frame stochastic effects (rain) so they decorrelate
+/// across frames; `seed` pins the whole stream deterministically.
+Framebuffer RenderScene(const Tile& tile, const Camera& camera, int frame_index,
+                        uint64_t seed, const RenderOptions& options = {});
+
+}  // namespace visualroad::sim
+
+#endif  // VISUALROAD_SIMULATION_RENDER_SCENE_RENDERER_H_

@@ -1,0 +1,77 @@
+#include "simulation/road_network.h"
+
+#include <cmath>
+#include <limits>
+
+namespace visualroad::sim {
+
+RoadNetwork::RoadNetwork(Town town) : town_(town) {
+  tile_size_ = 240.0;
+  road_half_width_ = 5.0;
+  sidewalk_outer_ = 8.0;
+  lane_offset_ = 2.5;
+  if (town == Town::kTown01) {
+    road_lines_ = {40.0, 120.0, 200.0};  // Dense downtown lattice.
+  } else {
+    road_lines_ = {60.0, 180.0};  // Sparser suburban lattice.
+  }
+}
+
+namespace {
+/// Distance from `v` to the nearest entry of `lines`.
+double NearestDistance(const std::vector<double>& lines, double v, double* line) {
+  double best = std::numeric_limits<double>::infinity();
+  for (double l : lines) {
+    double d = std::abs(v - l);
+    if (d < best) {
+      best = d;
+      if (line != nullptr) *line = l;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+SurfaceKind RoadNetwork::Classify(const Vec2& p) const {
+  double dx = NearestDistance(road_lines_, p.x, nullptr);
+  double dy = NearestDistance(road_lines_, p.y, nullptr);
+  bool on_x_road = dx <= road_half_width_;  // A road running along the y axis.
+  bool on_y_road = dy <= road_half_width_;  // A road running along the x axis.
+
+  if (on_x_road && on_y_road) return SurfaceKind::kIntersection;
+  if (on_x_road || on_y_road) {
+    // Dashed centre-line markings: 2m dashes with 2m gaps along the road.
+    double along = on_x_road ? p.y : p.x;
+    double across = on_x_road ? dx : dy;
+    if (across < 0.15 && std::fmod(std::abs(along), 4.0) < 2.0) {
+      return SurfaceKind::kLaneMarking;
+    }
+    return SurfaceKind::kRoad;
+  }
+  if (dx <= sidewalk_outer_ || dy <= sidewalk_outer_) return SurfaceKind::kSidewalk;
+  return SurfaceKind::kGrass;
+}
+
+bool RoadNetwork::OnRoad(const Vec2& p) const {
+  SurfaceKind kind = Classify(p);
+  return kind == SurfaceKind::kRoad || kind == SurfaceKind::kLaneMarking ||
+         kind == SurfaceKind::kIntersection;
+}
+
+bool RoadNetwork::InIntersection(const Vec2& p) const {
+  return Classify(p) == SurfaceKind::kIntersection;
+}
+
+double RoadNetwork::NearestRoadLine(double v) const {
+  double line = road_lines_.front();
+  NearestDistance(road_lines_, v, &line);
+  return line;
+}
+
+double RoadNetwork::Wrap(double v) const {
+  v = std::fmod(v, tile_size_);
+  if (v < 0) v += tile_size_;
+  return v;
+}
+
+}  // namespace visualroad::sim

@@ -1,0 +1,73 @@
+#ifndef VISUALROAD_SIMULATION_ROAD_NETWORK_H_
+#define VISUALROAD_SIMULATION_ROAD_NETWORK_H_
+
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace visualroad::sim {
+
+/// Surface classification of a ground-plane point within a tile.
+enum class SurfaceKind {
+  kGrass = 0,
+  kRoad,
+  kLaneMarking,
+  kSidewalk,
+  kIntersection,
+};
+
+/// Town layouts, mirroring the paper's two CARLA maps (Section 5): TOWN01 is
+/// a dense downtown lattice, TOWN02 a sparser suburban one.
+enum class Town {
+  kTown01 = 0,
+  kTown02 = 1,
+};
+
+/// A rectilinear road lattice on a square tile. Roads run the full tile in
+/// both axes at fixed centrelines; each road has two lanes (one per
+/// direction) and sidewalks on both sides.
+class RoadNetwork {
+ public:
+  explicit RoadNetwork(Town town);
+
+  Town town() const { return town_; }
+  /// Tile edge length in metres.
+  double tile_size() const { return tile_size_; }
+  /// Road half-width in metres (lane edge from the centreline).
+  double road_half_width() const { return road_half_width_; }
+  /// Sidewalk outer edge distance from the road centreline.
+  double sidewalk_outer() const { return sidewalk_outer_; }
+  /// Lane-centre offset from the road centreline.
+  double lane_offset() const { return lane_offset_; }
+  /// Road centreline coordinates (shared by the x and y axes).
+  const std::vector<double>& road_lines() const { return road_lines_; }
+
+  /// Classifies the surface at a ground point.
+  SurfaceKind Classify(const Vec2& p) const;
+
+  /// True when `p` lies on any road (including intersections).
+  bool OnRoad(const Vec2& p) const;
+
+  /// True when `p` lies within an intersection box.
+  bool InIntersection(const Vec2& p) const;
+
+  /// Nearest road centreline coordinate to `v` (used to snap spawns).
+  double NearestRoadLine(double v) const;
+
+  /// Wraps a coordinate into [0, tile_size) toroidally. Entities that drive
+  /// off one tile edge re-enter on the opposite edge, which keeps densities
+  /// stationary over arbitrarily long simulations.
+  double Wrap(double v) const;
+
+ private:
+  Town town_;
+  double tile_size_;
+  double road_half_width_;
+  double sidewalk_outer_;
+  double lane_offset_;
+  std::vector<double> road_lines_;
+};
+
+}  // namespace visualroad::sim
+
+#endif  // VISUALROAD_SIMULATION_ROAD_NETWORK_H_

@@ -1,0 +1,207 @@
+#include "simulation/tile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace visualroad::sim {
+
+TileArchetype TilePoolEntry(int id) {
+  TileArchetype archetype;
+  archetype.id = id;
+  archetype.town = (id / (kWeatherCount * 3)) % 2 == 0 ? Town::kTown01 : Town::kTown02;
+  archetype.weather_id = (id / 3) % kWeatherCount;
+  archetype.density = static_cast<Density>(id % 3);
+  return archetype;
+}
+
+int VehicleCount(Density density) {
+  // Scaled from the paper's per-tile populations (a rush-hour tile holds 120
+  // vehicles over several km^2) to this simulator's 240m tile.
+  switch (density) {
+    case Density::kLow:
+      return 6;
+    case Density::kMedium:
+      return 14;
+    case Density::kRushHour:
+      return 28;
+  }
+  return 6;
+}
+
+int PedestrianCount(Density density) {
+  switch (density) {
+    case Density::kLow:
+      return 10;
+    case Density::kMedium:
+      return 28;
+    case Density::kRushHour:
+      return 64;
+  }
+  return 10;
+}
+
+Tile::Tile(const TileArchetype& archetype, uint64_t instance_seed)
+    : archetype_(archetype),
+      roads_(archetype.town),
+      weather_(WeatherPreset(archetype.weather_id)),
+      rng_(SubStream(instance_seed, "tile", static_cast<uint64_t>(archetype.id))) {
+  SpawnBuildings();
+  SpawnVehicles(VehicleCount(archetype.density));
+  SpawnPedestrians(PedestrianCount(archetype.density));
+}
+
+void Tile::SpawnBuildings() {
+  // City blocks are the open cells between sidewalk outer edges. Enumerate
+  // cell boundaries from the road lines (plus the tile borders).
+  const std::vector<double>& lines = roads_.road_lines();
+  std::vector<double> edges;
+  edges.push_back(0.0);
+  for (double line : lines) {
+    edges.push_back(line - roads_.sidewalk_outer());
+    edges.push_back(line + roads_.sidewalk_outer());
+  }
+  edges.push_back(roads_.tile_size());
+
+  bool downtown = archetype_.town == Town::kTown01;
+  for (size_t iy = 0; iy + 1 < edges.size(); iy += 2) {
+    for (size_t ix = 0; ix + 1 < edges.size(); ix += 2) {
+      double x0 = edges[ix], x1 = edges[ix + 1];
+      double y0 = edges[iy], y1 = edges[iy + 1];
+      if (x1 - x0 < 14.0 || y1 - y0 < 14.0) continue;
+      // One to three buildings per block, placed with margins.
+      int count = 1 + static_cast<int>(rng_.NextBounded(3));
+      for (int b = 0; b < count; ++b) {
+        Building building;
+        double margin = 3.0;
+        double w = rng_.NextDouble(10.0, std::max(12.0, (x1 - x0) * 0.5));
+        double d = rng_.NextDouble(10.0, std::max(12.0, (y1 - y0) * 0.5));
+        w = std::min(w, x1 - x0 - 2 * margin);
+        d = std::min(d, y1 - y0 - 2 * margin);
+        double bx = rng_.NextDouble(x0 + margin, std::max(x0 + margin + 0.1, x1 - margin - w));
+        double by = rng_.NextDouble(y0 + margin, std::max(y0 + margin + 0.1, y1 - margin - d));
+        building.min_corner = {bx, by};
+        building.max_corner = {bx + w, by + d};
+        building.height = downtown ? rng_.NextDouble(14.0, 42.0)
+                                   : rng_.NextDouble(5.0, 14.0);
+        uint8_t base = static_cast<uint8_t>(rng_.NextInt(90, 190));
+        building.facade_color = {
+            static_cast<uint8_t>(std::clamp<int>(base + rng_.NextInt(-20, 30), 0, 255)),
+            static_cast<uint8_t>(std::clamp<int>(base + rng_.NextInt(-25, 15), 0, 255)),
+            static_cast<uint8_t>(std::clamp<int>(base + rng_.NextInt(-30, 10), 0, 255))};
+        building.window_spacing = rng_.NextDouble(2.5, 4.0);
+        buildings_.push_back(building);
+      }
+    }
+  }
+}
+
+void Tile::SpawnVehicles(int count) {
+  static const video::Rgb kPalette[] = {
+      {200, 30, 30},  {30, 60, 180},  {230, 230, 230}, {25, 25, 28},
+      {120, 125, 70}, {190, 150, 40}, {90, 90, 100},   {160, 40, 120},
+  };
+  for (int i = 0; i < count; ++i) {
+    Vehicle vehicle;
+    vehicle.id = i;
+    vehicle.plate = RandomPlate(rng_);
+    vehicle.body_color = kPalette[rng_.NextBounded(8)];
+    vehicle.axis = rng_.NextBool(0.5) ? Axis::kX : Axis::kY;
+    vehicle.direction = rng_.NextBool(0.5) ? 1 : -1;
+    vehicle.speed = rng_.NextDouble(7.0, 14.0);
+    // Lane-centre placement: the right-hand lane for the travel direction.
+    double line = roads_.road_lines()[rng_.NextBounded(
+        static_cast<uint32_t>(roads_.road_lines().size()))];
+    double along = rng_.NextDouble(0.0, roads_.tile_size());
+    double lane = roads_.lane_offset() * vehicle.direction;
+    if (vehicle.axis == Axis::kX) {
+      vehicle.position = {along, line - lane};
+    } else {
+      vehicle.position = {line + lane, along};
+    }
+    vehicles_.push_back(std::move(vehicle));
+  }
+}
+
+void Tile::SpawnPedestrians(int count) {
+  for (int i = 0; i < count; ++i) {
+    Pedestrian pedestrian;
+    pedestrian.id = i;
+    pedestrian.clothing_color = {static_cast<uint8_t>(rng_.NextInt(40, 220)),
+                                 static_cast<uint8_t>(rng_.NextInt(40, 220)),
+                                 static_cast<uint8_t>(rng_.NextInt(40, 220))};
+    pedestrian.height = rng_.NextDouble(1.55, 1.92);
+    pedestrian.axis = rng_.NextBool(0.5) ? Axis::kX : Axis::kY;
+    pedestrian.direction = rng_.NextBool(0.5) ? 1 : -1;
+    pedestrian.speed = rng_.NextDouble(1.0, 1.8);
+    double line = roads_.road_lines()[rng_.NextBounded(
+        static_cast<uint32_t>(roads_.road_lines().size()))];
+    // Sidewalk centre: between the road edge and the sidewalk outer edge.
+    double offset = (roads_.road_half_width() + roads_.sidewalk_outer()) / 2.0;
+    offset *= rng_.NextBool(0.5) ? 1.0 : -1.0;
+    double along = rng_.NextDouble(0.0, roads_.tile_size());
+    if (pedestrian.axis == Axis::kX) {
+      pedestrian.position = {along, line + offset};
+    } else {
+      pedestrian.position = {line + offset, along};
+    }
+    pedestrians_.push_back(std::move(pedestrian));
+  }
+}
+
+void Tile::Step(double dt) {
+  time_ += dt;
+  for (Vehicle& vehicle : vehicles_) {
+    Vec2 forward = vehicle.Forward();
+    Vec2 next = vehicle.position + forward * (vehicle.speed * dt);
+    next.x = roads_.Wrap(next.x);
+    next.y = roads_.Wrap(next.y);
+
+    // Intersection handling: when the vehicle centre crosses near a crossing
+    // road's centreline, it may turn onto that road.
+    double along = vehicle.axis == Axis::kX ? next.x : next.y;
+    double previous = vehicle.axis == Axis::kX ? vehicle.position.x : vehicle.position.y;
+    for (double line : roads_.road_lines()) {
+      bool crossed = (previous < line && along >= line && vehicle.direction > 0) ||
+                     (previous > line && along <= line && vehicle.direction < 0);
+      if (!crossed) continue;
+      if (rng_.NextBool(0.4)) {
+        // Turn onto the crossing road: switch axis, pick a direction, and
+        // snap onto that road's right-hand lane. The intersection centre is
+        // (line, current_road) for an x-travelling vehicle and
+        // (current_road, line) for a y-travelling one.
+        Axis new_axis = vehicle.axis == Axis::kX ? Axis::kY : Axis::kX;
+        int new_direction = rng_.NextBool(0.5) ? 1 : -1;
+        double lane = roads_.lane_offset() * new_direction;
+        double current_road = roads_.NearestRoadLine(
+            vehicle.axis == Axis::kX ? vehicle.position.y : vehicle.position.x);
+        if (new_axis == Axis::kX) {
+          // Was travelling along y and crossed the x-running road at
+          // y = line; start at the intersection (current_road, line).
+          next = {roads_.Wrap(current_road + new_direction * 0.5), line - lane};
+        } else {
+          // Was travelling along x and crossed the y-running road at
+          // x = line; start at the intersection (line, current_road).
+          next = {line + lane, roads_.Wrap(current_road + new_direction * 0.5)};
+        }
+        vehicle.axis = new_axis;
+        vehicle.direction = new_direction;
+      }
+      break;
+    }
+    vehicle.position = next;
+  }
+
+  for (Pedestrian& pedestrian : pedestrians_) {
+    Vec2 forward = pedestrian.axis == Axis::kX
+                       ? Vec2{static_cast<double>(pedestrian.direction), 0.0}
+                       : Vec2{0.0, static_cast<double>(pedestrian.direction)};
+    Vec2 next = pedestrian.position + forward * (pedestrian.speed * dt);
+    next.x = roads_.Wrap(next.x);
+    next.y = roads_.Wrap(next.y);
+    pedestrian.position = next;
+    // Occasionally reverse direction (window shopping).
+    if (rng_.NextBool(0.002)) pedestrian.direction = -pedestrian.direction;
+  }
+}
+
+}  // namespace visualroad::sim

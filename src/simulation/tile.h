@@ -1,0 +1,82 @@
+#ifndef VISUALROAD_SIMULATION_TILE_H_
+#define VISUALROAD_SIMULATION_TILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "simulation/entity.h"
+#include "simulation/road_network.h"
+#include "simulation/weather.h"
+
+namespace visualroad::sim {
+
+/// Density levels for a tile's vehicle/pedestrian population (Section 5:
+/// three densities; "rush hour" is the heaviest).
+enum class Density {
+  kLow = 0,
+  kMedium = 1,
+  kRushHour = 2,
+};
+
+/// One archetype of the tile pool. Visual Road 1.0's pool contains 72 tiles:
+/// 2 towns x 12 weather configurations x 3 densities (Section 5).
+struct TileArchetype {
+  int id = 0;
+  Town town = Town::kTown01;
+  int weather_id = 0;
+  Density density = Density::kLow;
+};
+
+/// Number of archetypes in the pool (2 * 12 * 3 = 72).
+inline constexpr int kTilePoolSize = 72;
+
+/// Returns archetype `id` in [0, kTilePoolSize).
+TileArchetype TilePoolEntry(int id);
+
+/// Vehicle/pedestrian counts for a density level.
+int VehicleCount(Density density);
+int PedestrianCount(Density density);
+
+/// A live tile: static geometry (roads, buildings) plus a dynamic population
+/// of vehicles and pedestrians advanced by Step(). All generation is driven
+/// by a named substream of the dataset seed, so identical seeds reproduce
+/// identical tiles and trajectories.
+class Tile {
+ public:
+  /// Builds a tile from an archetype. `instance_seed` distinguishes repeated
+  /// draws of the same archetype within one city.
+  Tile(const TileArchetype& archetype, uint64_t instance_seed);
+
+  const TileArchetype& archetype() const { return archetype_; }
+  const RoadNetwork& roads() const { return roads_; }
+  const Weather& weather() const { return weather_; }
+  const std::vector<Building>& buildings() const { return buildings_; }
+  const std::vector<Vehicle>& vehicles() const { return vehicles_; }
+  const std::vector<Pedestrian>& pedestrians() const { return pedestrians_; }
+
+  /// Advances the simulation by `dt` seconds: vehicles follow lanes and turn
+  /// at intersections, pedestrians walk sidewalks; both wrap toroidally.
+  void Step(double dt);
+
+  /// Current simulation time in seconds.
+  double time() const { return time_; }
+
+ private:
+  void SpawnBuildings();
+  void SpawnVehicles(int count);
+  void SpawnPedestrians(int count);
+
+  TileArchetype archetype_;
+  RoadNetwork roads_;
+  Weather weather_;
+  Pcg32 rng_;
+  std::vector<Building> buildings_;
+  std::vector<Vehicle> vehicles_;
+  std::vector<Pedestrian> pedestrians_;
+  double time_ = 0.0;
+};
+
+}  // namespace visualroad::sim
+
+#endif  // VISUALROAD_SIMULATION_TILE_H_

@@ -1,0 +1,36 @@
+#include "simulation/weather.h"
+
+#include <array>
+#include <cassert>
+
+namespace visualroad::sim {
+
+namespace {
+
+const std::array<Weather, kWeatherCount>& Presets() {
+  static const std::array<Weather, kWeatherCount>* presets =
+      new std::array<Weather, kWeatherCount>{{
+          {0, "ClearNoon", 0.05, 0.0, 75.0, 150.0, 0.0008},
+          {1, "CloudyNoon", 0.60, 0.0, 70.0, 140.0, 0.0012},
+          {2, "WetNoon", 0.35, 0.15, 68.0, 145.0, 0.0015},
+          {3, "WetCloudyNoon", 0.70, 0.25, 66.0, 135.0, 0.0018},
+          {4, "MidRainyNoon", 0.80, 0.55, 60.0, 130.0, 0.0026},
+          {5, "HardRainNoon", 0.95, 0.90, 55.0, 125.0, 0.0038},
+          {6, "SoftRainNoon", 0.75, 0.35, 62.0, 138.0, 0.0022},
+          {7, "ClearSunset", 0.10, 0.0, 12.0, 255.0, 0.0012},
+          {8, "CloudySunset", 0.65, 0.0, 10.0, 250.0, 0.0016},
+          {9, "WetSunset", 0.40, 0.20, 9.0, 248.0, 0.0020},
+          {10, "MidRainSunset", 0.85, 0.60, 8.0, 245.0, 0.0030},
+          {11, "HardRainSunset", 0.95, 0.92, 6.0, 240.0, 0.0042},
+      }};
+  return *presets;
+}
+
+}  // namespace
+
+const Weather& WeatherPreset(int id) {
+  assert(id >= 0 && id < kWeatherCount);
+  return Presets()[id];
+}
+
+}  // namespace visualroad::sim

@@ -1,0 +1,35 @@
+#ifndef VISUALROAD_SIMULATION_WEATHER_H_
+#define VISUALROAD_SIMULATION_WEATHER_H_
+
+#include <string>
+
+namespace visualroad::sim {
+
+/// An environmental configuration for one tile. Visual Road 1.0 pairs every
+/// tile with one of twelve weather configurations (Section 5); these mirror
+/// CARLA's preset list (clear/cloudy/wet/rain x noon/sunset, plus heavy
+/// variants).
+struct Weather {
+  int id = 0;
+  std::string name;
+  /// Fraction of the sky covered by clouds, [0, 1].
+  double cloud_cover = 0.0;
+  /// Rain intensity, [0, 1]; drives streak count and road darkening.
+  double precipitation = 0.0;
+  /// Sun altitude above the horizon in degrees; low values = sunset light.
+  double sun_altitude_deg = 60.0;
+  /// Sun azimuth in degrees (0 = east of the tile).
+  double sun_azimuth_deg = 140.0;
+  /// Exponential fog density per metre (also models haze).
+  double fog_density = 0.0015;
+};
+
+/// Number of weather presets in this version of the benchmark.
+inline constexpr int kWeatherCount = 12;
+
+/// Returns preset `id` in [0, kWeatherCount).
+const Weather& WeatherPreset(int id);
+
+}  // namespace visualroad::sim
+
+#endif  // VISUALROAD_SIMULATION_WEATHER_H_

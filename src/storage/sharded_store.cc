@@ -1,0 +1,227 @@
+#include "storage/sharded_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/serialize.h"
+
+namespace visualroad::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status WriteFileBytes(const std::string& path, const uint8_t* data, size_t size) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file.write(reinterpret_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 &&
+      !file.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return Status::IoError("read failed: " + path);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+StatusOr<ShardedStore> ShardedStore::Open(const StoreOptions& options) {
+  if (options.root.empty()) return Status::InvalidArgument("store root is empty");
+  if (options.num_nodes < 1) return Status::InvalidArgument("need at least 1 node");
+  if (options.block_size < 16) return Status::InvalidArgument("block size too small");
+  StoreOptions normalized = options;
+  normalized.replication = std::clamp(options.replication, 1, options.num_nodes);
+
+  ShardedStore store(normalized);
+  std::error_code ec;
+  fs::create_directories(normalized.root, ec);
+  for (int n = 0; n < normalized.num_nodes; ++n) {
+    fs::create_directories(store.NodeDir(n), ec);
+    if (ec) return Status::IoError("cannot create datanode dir: " + store.NodeDir(n));
+  }
+  if (fs::exists(store.ManifestPath())) {
+    VR_RETURN_IF_ERROR(store.LoadManifest());
+  }
+  return store;
+}
+
+std::string ShardedStore::NodeDir(int node) const {
+  return options_.root + "/node" + std::to_string(node);
+}
+
+std::string ShardedStore::BlockPath(int node, uint64_t block_id) const {
+  return NodeDir(node) + "/blk_" + std::to_string(block_id);
+}
+
+std::string ShardedStore::ManifestPath() const {
+  return options_.root + "/manifest.vrsm";
+}
+
+Status ShardedStore::Put(const std::string& name,
+                         const std::vector<uint8_t>& bytes) {
+  if (name.empty()) return Status::InvalidArgument("empty file name");
+  int available = options_.num_nodes - static_cast<int>(disabled_nodes_.size());
+  if (available < 1) return Status::ResourceExhausted("no datanodes available");
+  int replication = std::min(options_.replication, available);
+
+  VR_RETURN_IF_ERROR(Delete(name));  // Overwrite semantics; ok if absent.
+
+  FileEntry entry;
+  entry.size = static_cast<int64_t>(bytes.size());
+  size_t offset = 0;
+  do {
+    size_t take = std::min(static_cast<size_t>(options_.block_size),
+                           bytes.size() - offset);
+    BlockPlacement block;
+    block.block_id = next_block_id_++;
+    block.size = static_cast<int64_t>(take);
+    // Round-robin placement over healthy nodes.
+    while (static_cast<int>(block.replicas.size()) < replication) {
+      int node = next_node_;
+      next_node_ = (next_node_ + 1) % options_.num_nodes;
+      if (disabled_nodes_.count(node)) continue;
+      if (std::find(block.replicas.begin(), block.replicas.end(), node) !=
+          block.replicas.end()) {
+        continue;
+      }
+      block.replicas.push_back(node);
+    }
+    for (int node : block.replicas) {
+      VR_RETURN_IF_ERROR(WriteFileBytes(BlockPath(node, block.block_id),
+                                        bytes.data() + offset, take));
+    }
+    offset += take;
+    entry.blocks.push_back(std::move(block));
+  } while (offset < bytes.size());
+
+  files_[name] = std::move(entry);
+  return SaveManifest();
+}
+
+StatusOr<std::vector<uint8_t>> ShardedStore::Get(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  std::vector<uint8_t> bytes;
+  bytes.reserve(static_cast<size_t>(it->second.size));
+  for (const BlockPlacement& block : it->second.blocks) {
+    bool read_ok = false;
+    for (int node : block.replicas) {
+      if (disabled_nodes_.count(node)) continue;
+      auto chunk = ReadFileBytes(BlockPath(node, block.block_id));
+      if (chunk.ok() && static_cast<int64_t>(chunk->size()) == block.size) {
+        bytes.insert(bytes.end(), chunk->begin(), chunk->end());
+        read_ok = true;
+        break;
+      }
+    }
+    if (!read_ok) {
+      return Status::DataLoss("all replicas unavailable for a block of " + name);
+    }
+  }
+  return bytes;
+}
+
+Status ShardedStore::Delete(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::Ok();
+  for (const BlockPlacement& block : it->second.blocks) {
+    for (int node : block.replicas) {
+      std::error_code ec;
+      fs::remove(BlockPath(node, block.block_id), ec);
+    }
+  }
+  files_.erase(it);
+  return SaveManifest();
+}
+
+std::vector<std::string> ShardedStore::List() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, entry] : files_) names.push_back(name);
+  return names;  // std::map iteration is already sorted.
+}
+
+StatusOr<ShardedStore::FileInfo> ShardedStore::Stat(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  return FileInfo{it->second.size, static_cast<int>(it->second.blocks.size())};
+}
+
+Status ShardedStore::DisableNode(int node) {
+  if (node < 0 || node >= options_.num_nodes) {
+    return Status::OutOfRange("no such node");
+  }
+  disabled_nodes_.insert(node);
+  return Status::Ok();
+}
+
+Status ShardedStore::EnableNode(int node) {
+  if (node < 0 || node >= options_.num_nodes) {
+    return Status::OutOfRange("no such node");
+  }
+  disabled_nodes_.erase(node);
+  return Status::Ok();
+}
+
+Status ShardedStore::SaveManifest() const {
+  ByteWriter writer;
+  writer.U32(0x5652534D);  // "VRSM".
+  writer.U64(next_block_id_);
+  writer.U32(static_cast<uint32_t>(files_.size()));
+  for (const auto& [name, entry] : files_) {
+    writer.Str(name);
+    writer.U64(static_cast<uint64_t>(entry.size));
+    writer.U32(static_cast<uint32_t>(entry.blocks.size()));
+    for (const BlockPlacement& block : entry.blocks) {
+      writer.U64(block.block_id);
+      writer.U64(static_cast<uint64_t>(block.size));
+      writer.U32(static_cast<uint32_t>(block.replicas.size()));
+      for (int node : block.replicas) writer.U32(static_cast<uint32_t>(node));
+    }
+  }
+  const std::vector<uint8_t>& bytes = writer.bytes();
+  return WriteFileBytes(ManifestPath(), bytes.data(), bytes.size());
+}
+
+Status ShardedStore::LoadManifest() {
+  VR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(ManifestPath()));
+  ByteCursor cursor(bytes);
+  if (cursor.U32() != 0x5652534D) {
+    return Status::DataLoss("bad manifest magic");
+  }
+  next_block_id_ = cursor.U64();
+  uint32_t file_count = cursor.U32();
+  files_.clear();
+  for (uint32_t f = 0; f < file_count; ++f) {
+    std::string name = cursor.Str();
+    FileEntry entry;
+    entry.size = static_cast<int64_t>(cursor.U64());
+    uint32_t block_count = cursor.U32();
+    for (uint32_t b = 0; b < block_count; ++b) {
+      BlockPlacement block;
+      block.block_id = cursor.U64();
+      block.size = static_cast<int64_t>(cursor.U64());
+      uint32_t replica_count = cursor.U32();
+      for (uint32_t r = 0; r < replica_count; ++r) {
+        block.replicas.push_back(static_cast<int>(cursor.U32()));
+      }
+      entry.blocks.push_back(std::move(block));
+    }
+    if (!cursor.ok()) return Status::DataLoss("truncated manifest");
+    files_[name] = std::move(entry);
+  }
+  return Status::Ok();
+}
+
+}  // namespace visualroad::storage

@@ -1,0 +1,95 @@
+#ifndef VISUALROAD_STORAGE_SHARDED_STORE_H_
+#define VISUALROAD_STORAGE_SHARDED_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace visualroad::storage {
+
+/// Configuration for a sharded store.
+struct StoreOptions {
+  /// Root directory; one subdirectory per simulated datanode plus a
+  /// namenode manifest live underneath.
+  std::string root;
+  /// Number of simulated datanodes.
+  int num_nodes = 4;
+  /// Replication factor per block (clamped to num_nodes).
+  int replication = 2;
+  /// Block size in bytes.
+  int64_t block_size = int64_t{1} << 20;
+};
+
+/// The HDFS stand-in used by the VCD's distributed offline mode (Section
+/// 3.2: inputs live "on the local file system ... or a distributed file
+/// system (we currently support HDFS)"). Files are split into fixed-size
+/// blocks, each block is replicated across `replication` simulated
+/// datanodes (directories), and a namenode-style manifest maps file names
+/// to block/replica placements. Reads reassemble blocks and fail over to a
+/// replica when a datanode is down.
+class ShardedStore {
+ public:
+  /// Opens (or creates) a store at options.root, loading the manifest when
+  /// one exists.
+  static StatusOr<ShardedStore> Open(const StoreOptions& options);
+
+  /// Stores a file, splitting it into replicated blocks. Overwrites.
+  Status Put(const std::string& name, const std::vector<uint8_t>& bytes);
+
+  /// Reads a file back, failing over across replicas as needed.
+  StatusOr<std::vector<uint8_t>> Get(const std::string& name) const;
+
+  /// Removes a file and its blocks.
+  Status Delete(const std::string& name);
+
+  /// All stored file names, sorted.
+  std::vector<std::string> List() const;
+
+  /// File metadata.
+  struct FileInfo {
+    int64_t size = 0;
+    int block_count = 0;
+  };
+  StatusOr<FileInfo> Stat(const std::string& name) const;
+
+  /// Failure injection: marks a datanode unreachable (reads fail over to
+  /// replicas; Put stops placing blocks there).
+  Status DisableNode(int node);
+  /// Brings a datanode back.
+  Status EnableNode(int node);
+
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  struct BlockPlacement {
+    uint64_t block_id = 0;
+    int64_t size = 0;
+    std::vector<int> replicas;
+  };
+  struct FileEntry {
+    int64_t size = 0;
+    std::vector<BlockPlacement> blocks;
+  };
+
+  explicit ShardedStore(StoreOptions options) : options_(std::move(options)) {}
+
+  std::string NodeDir(int node) const;
+  std::string BlockPath(int node, uint64_t block_id) const;
+  std::string ManifestPath() const;
+  Status SaveManifest() const;
+  Status LoadManifest();
+
+  StoreOptions options_;
+  std::map<std::string, FileEntry> files_;
+  std::set<int> disabled_nodes_;
+  uint64_t next_block_id_ = 1;
+  int next_node_ = 0;  // Round-robin placement cursor.
+};
+
+}  // namespace visualroad::storage
+
+#endif  // VISUALROAD_STORAGE_SHARDED_STORE_H_

@@ -1,0 +1,169 @@
+// CascadeEngine: the NoScope-like comparison system.
+//
+// Architecture (see DESIGN.md): a highly specialised engine supporting only
+// the two operations its design targets — temporal selection (Q1) and CNN
+// object detection (Q2(c)). Its Q2(c) path is a model cascade: a cheap
+// frame-difference detector skips inference on frames nearly identical to
+// the last processed one, a small CNN handles most of the rest, and the full
+// reference network runs only on frames whose cheap-model confidence is
+// ambiguous. That is why it dominates Figure 5/6 on Q2(c) while supporting
+// nothing else.
+//
+// Lines between "vr:<query>:begin/end" markers are counted by the Figure 7
+// lines-of-code bench.
+
+#include <algorithm>
+#include <cmath>
+
+#include "systems/vdbms.h"
+#include "video/image_ops.h"
+#include "video/metrics.h"
+#include "vision/overlay.h"
+
+namespace visualroad::systems {
+
+namespace {
+
+using queries::QueryId;
+using queries::QueryInstance;
+using video::Frame;
+using video::Video;
+
+class CascadeEngine : public Vdbms {
+ public:
+  explicit CascadeEngine(const EngineOptions& options) : options_(options) {
+    vision::DetectorOptions cheap = options.detector;
+    cheap.input_size = 48;  // The cascade's small model.
+    cheap_detector_ = std::make_unique<vision::MiniYolo>(cheap);
+    vision::DetectorOptions full = options.detector;
+    full.input_size = 96;
+    full_detector_ = std::make_unique<vision::MiniYolo>(full);
+  }
+
+  const char* name() const override { return "CascadeEngine"; }
+
+  bool Supports(QueryId id) const override {
+    return id == QueryId::kQ1 || id == QueryId::kQ2c;
+  }
+
+  EngineStats stats() const override { return stats_; }
+
+  StatusOr<QueryOutput> Execute(const QueryInstance& instance,
+                                const sim::Dataset& dataset, OutputMode mode,
+                                const std::string& output_dir) override;
+
+ private:
+  EngineOptions options_;
+  std::unique_ptr<vision::MiniYolo> cheap_detector_;
+  std::unique_ptr<vision::MiniYolo> full_detector_;
+  EngineStats stats_;
+};
+
+StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
+                                             const sim::Dataset& dataset,
+                                             OutputMode mode,
+                                             const std::string& output_dir) {
+  QueryOutput output;
+  switch (instance.id) {
+    case QueryId::kQ1: {
+      // vr:Q1:begin
+      VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
+                          detail::InputAsset(instance, dataset));
+      const video::codec::EncodedVideo& encoded = asset->container.video;
+      int first = std::clamp(static_cast<int>(instance.q1_t1 * encoded.fps), 0,
+                             encoded.FrameCount() - 1);
+      int last = std::clamp(static_cast<int>(std::ceil(instance.q1_t2 * encoded.fps)),
+                            first + 1, encoded.FrameCount());
+      VR_ASSIGN_OR_RETURN(Video range,
+                          video::codec::DecodeRange(encoded, first, last - first));
+      stats_.frames_decoded += range.FrameCount();
+      Video cropped;
+      cropped.fps = range.fps;
+      for (const Frame& frame : range.frames) {
+        VR_ASSIGN_OR_RETURN(Frame c, video::Crop(frame, instance.q1_rect));
+        cropped.frames.push_back(std::move(c));
+      }
+      VR_RETURN_IF_ERROR(detail::FinishVideoResult(cropped, instance, options_, mode,
+                                                   output_dir, name(), output,
+                                                   &stats_.frames_encoded));
+      // vr:Q1:end
+      return output;
+    }
+    case QueryId::kQ2c: {
+      // vr:Q2(c):begin
+      VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
+                          detail::InputAsset(instance, dataset));
+      VR_ASSIGN_OR_RETURN(Video input, video::codec::Decode(asset->container.video));
+      stats_.frames_decoded += input.FrameCount();
+
+      Video boxes;
+      boxes.fps = input.fps;
+      std::vector<vision::Detection> last_detections;
+      const Frame* last_processed = nullptr;
+      static const sim::FrameGroundTruth kEmpty;
+
+      for (int f = 0; f < input.FrameCount(); ++f) {
+        const Frame& frame = input.frames[static_cast<size_t>(f)];
+        const sim::FrameGroundTruth& gt =
+            static_cast<size_t>(f) < asset->ground_truth.size()
+                ? asset->ground_truth[static_cast<size_t>(f)]
+                : kEmpty;
+
+        // Stage 1: difference detector. A frame close to the last processed
+        // one reuses its detections outright.
+        bool reuse = false;
+        if (last_processed != nullptr) {
+          StatusOr<double> mse = video::LumaMse(frame, *last_processed);
+          reuse = mse.ok() && *mse < 2.0;
+        }
+        std::vector<vision::Detection> detections;
+        if (reuse) {
+          detections = last_detections;
+          ++stats_.cnn_frames_skipped;
+        } else {
+          // Stage 2: the cheap model.
+          detections = cheap_detector_->Detect(frame, gt, f);
+          ++stats_.cnn_frames_cheap;
+          // Stage 3: ambiguous confidence escalates to the full model.
+          bool ambiguous = false;
+          for (const vision::Detection& d : detections) {
+            if (d.score > 0.35 && d.score < 0.75) ambiguous = true;
+          }
+          if (ambiguous) {
+            detections = full_detector_->Detect(frame, gt, f);
+            ++stats_.cnn_frames_full;
+          }
+          last_processed = &frame;
+          last_detections = detections;
+        }
+
+        detections.erase(
+            std::remove_if(detections.begin(), detections.end(),
+                           [&](const vision::Detection& d) {
+                             return d.object_class != instance.object_class;
+                           }),
+            detections.end());
+        boxes.frames.push_back(vision::RenderDetectionFrame(
+            input.Width(), input.Height(), detections));
+        output.detections.push_back(std::move(detections));
+      }
+      VR_RETURN_IF_ERROR(detail::FinishVideoResult(boxes, instance, options_, mode,
+                                                   output_dir, name(), output,
+                                                   &stats_.frames_encoded));
+      // vr:Q2(c):end
+      return output;
+    }
+    default:
+      return Status::Unimplemented(
+          std::string("CascadeEngine does not support ") +
+          queries::QueryName(instance.id));
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Vdbms> MakeCascadeEngine(const EngineOptions& options) {
+  return std::make_unique<CascadeEngine>(options);
+}
+
+}  // namespace visualroad::systems

@@ -1,0 +1,73 @@
+#include "systems/vdbms.h"
+
+#include <filesystem>
+
+namespace visualroad::systems::detail {
+
+StatusOr<const sim::VideoAsset*> InputAsset(const queries::QueryInstance& instance,
+                                            const sim::Dataset& dataset) {
+  std::vector<const sim::VideoAsset*> traffic = dataset.TrafficAssets();
+  if (instance.video_index < 0 ||
+      static_cast<size_t>(instance.video_index) >= traffic.size()) {
+    return Status::OutOfRange("query instance addresses a missing input video");
+  }
+  return traffic[static_cast<size_t>(instance.video_index)];
+}
+
+Status FinishVideoResult(const video::Video& result,
+                         const queries::QueryInstance& instance,
+                         const EngineOptions& options, OutputMode mode,
+                         const std::string& output_dir, const char* engine_name,
+                         QueryOutput& output, int64_t* frames_encoded) {
+  if (mode == OutputMode::kStreaming) {
+    // Streaming mode sends results "to the null device" (Section 6.4): the
+    // output is still encoded — that work is part of the query — but the
+    // bitstream is discarded instead of persisted.
+    if (!result.frames.empty()) {
+      video::codec::EncoderConfig config;
+      config.profile = options.output_profile;
+      config.qp = options.output_qp;
+      VR_ASSIGN_OR_RETURN(video::codec::EncodedVideo discarded,
+                          video::codec::Encode(result, config));
+      if (frames_encoded != nullptr) *frames_encoded += result.FrameCount();
+      (void)discarded;
+    }
+    output.produced = false;
+    return Status::Ok();
+  }
+  if (result.frames.empty()) {
+    // An empty result (e.g. a Q8 query for an unseen plate) still counts as
+    // produced; there is simply nothing to persist.
+    output.produced = true;
+    return Status::Ok();
+  }
+  video::codec::EncoderConfig config;
+  config.profile = options.output_profile;
+  config.qp = options.output_qp;
+  VR_ASSIGN_OR_RETURN(output.video, video::codec::Encode(result, config));
+  if (frames_encoded != nullptr) *frames_encoded += result.FrameCount();
+  output.produced = true;
+
+  if (!output_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(output_dir, ec);
+    std::string path = output_dir + "/" + engine_name + "_" +
+                       queries::QueryName(instance.id) + "_" +
+                       std::to_string(instance.video_index) + ".vrmp";
+    // Sanitise the parenthesised query names for the filesystem.
+    for (char& c : path) {
+      if (c == '(' || c == ')') c = '_';
+    }
+    video::container::Container container;
+    container.video = output.video;
+    VR_RETURN_IF_ERROR(video::container::WriteContainerFile(container, path));
+    output.written_path = path;
+  }
+  return Status::Ok();
+}
+
+int64_t FrameBytes(int width, int height) {
+  return static_cast<int64_t>(width) * height * 3 / 2;
+}
+
+}  // namespace visualroad::systems::detail

@@ -1,0 +1,128 @@
+#ifndef VISUALROAD_SYSTEMS_VDBMS_H_
+#define VISUALROAD_SYSTEMS_VDBMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "queries/reference.h"
+
+namespace visualroad::systems {
+
+/// Benchmark execution modes (Section 3.2). Offline gives the engine random
+/// access to whole files; online exposes a throttled forward-only iterator.
+enum class ExecutionMode {
+  kOffline = 0,
+  kOnline = 1,
+};
+
+/// Result handling modes (Section 3.2). Write mode persists each result so
+/// the VCD can validate it (persist time included in the measured runtime);
+/// streaming mode discards results.
+enum class OutputMode {
+  kWrite = 0,
+  kStreaming = 1,
+};
+
+/// Engine configuration shared by all three systems.
+struct EngineOptions {
+  /// Materialisation budget for the batch engine; exceeding it triggers
+  /// chunked re-decoding (the "memory thrashing" regime of Section 6.2).
+  int64_t memory_budget_bytes = int64_t{192} << 20;
+  /// Hard ceiling: a single materialised output larger than this fails with
+  /// ResourceExhausted (the batch engine's Q4 behaviour in the paper).
+  int64_t memory_fail_bytes = int64_t{768} << 20;
+  /// Worker threads for batch-parallel stages.
+  int threads = 4;
+  /// QP for encoding query outputs (low = near-lossless, so frame validation
+  /// has headroom over the 40 dB threshold).
+  int output_qp = 12;
+  video::codec::Profile output_profile = video::codec::Profile::kH264Like;
+  /// Reference detector settings; engines override input_size per their
+  /// architecture.
+  vision::DetectorOptions detector;
+  /// Decoded-content cache capacity (videos) for the pipeline engine.
+  int decoded_cache_capacity = 8;
+  double plate_match_threshold = 0.80;
+};
+
+/// The outcome of one query instance.
+struct QueryOutput {
+  /// True when a result artefact was produced (write mode).
+  bool produced = false;
+  /// Encoded result video (write mode, video-producing queries).
+  video::codec::EncodedVideo video;
+  /// Per-frame detections (Q2(c)/Q6(a)/Q7), for semantic validation.
+  std::vector<std::vector<vision::Detection>> detections;
+  /// Path of the container written in write mode (empty otherwise).
+  std::string written_path;
+};
+
+/// Execution counters exposed for tests and ablation benches.
+struct EngineStats {
+  int64_t frames_decoded = 0;
+  int64_t frames_encoded = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t chunked_redecodes = 0;
+  int64_t cnn_frames_full = 0;
+  int64_t cnn_frames_cheap = 0;
+  int64_t cnn_frames_skipped = 0;
+};
+
+/// The architecture-agnostic interface every benchmarked VDBMS implements
+/// (the paper expresses each query in a system-agnostic way; this interface
+/// is this repository's equivalent contract).
+class Vdbms {
+ public:
+  virtual ~Vdbms() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Whether this system can express the query at all (NoScope-like engines
+  /// support only a narrow slice; see Figure 5).
+  virtual bool Supports(queries::QueryId id) const = 0;
+
+  /// Executes one query instance against the dataset. In write mode the
+  /// result is encoded and persisted under `output_dir`.
+  virtual StatusOr<QueryOutput> Execute(const queries::QueryInstance& instance,
+                                        const sim::Dataset& dataset, OutputMode mode,
+                                        const std::string& output_dir) = 0;
+
+  /// Drops caches and transient state; the VCD may call this between
+  /// batches ("a VDBMS may optionally quiesce or restart upon completing a
+  /// batch", Section 3.2).
+  virtual void Quiesce() {}
+
+  virtual EngineStats stats() const { return {}; }
+};
+
+/// Factory functions for the three comparison engines (see DESIGN.md for the
+/// architectural correspondence to Scanner, LightDB, and NoScope).
+std::unique_ptr<Vdbms> MakeBatchEngine(const EngineOptions& options);
+std::unique_ptr<Vdbms> MakePipelineEngine(const EngineOptions& options);
+std::unique_ptr<Vdbms> MakeCascadeEngine(const EngineOptions& options);
+
+/// Shared helpers for engine implementations.
+namespace detail {
+
+/// The traffic asset a query instance addresses, or an error.
+StatusOr<const sim::VideoAsset*> InputAsset(const queries::QueryInstance& instance,
+                                            const sim::Dataset& dataset);
+
+/// Encodes `result` and, in write mode, persists it as a container under
+/// `output_dir` with a name derived from `instance`. Fills `output`.
+Status FinishVideoResult(const video::Video& result,
+                         const queries::QueryInstance& instance,
+                         const EngineOptions& options, OutputMode mode,
+                         const std::string& output_dir, const char* engine_name,
+                         QueryOutput& output, int64_t* frames_encoded);
+
+/// Decoded size of one frame in bytes (YUV420).
+int64_t FrameBytes(int width, int height);
+
+}  // namespace detail
+
+}  // namespace visualroad::systems
+
+#endif  // VISUALROAD_SYSTEMS_VDBMS_H_

@@ -1,0 +1,48 @@
+#include "systems/video_source.h"
+
+#include <thread>
+
+namespace visualroad::systems {
+
+VideoSource::VideoSource(const video::codec::EncodedVideo* stream, bool offline,
+                         double rate_multiplier)
+    : stream_(stream),
+      offline_(offline),
+      rate_multiplier_(rate_multiplier),
+      start_(std::chrono::steady_clock::now()) {}
+
+VideoSource VideoSource::Offline(const video::codec::EncodedVideo* stream) {
+  return VideoSource(stream, /*offline=*/true, 0.0);
+}
+
+VideoSource VideoSource::Online(const video::codec::EncodedVideo* stream,
+                                double rate_multiplier) {
+  return VideoSource(stream, /*offline=*/false,
+                     rate_multiplier > 0 ? rate_multiplier : 1.0);
+}
+
+StatusOr<const video::codec::EncodedFrame*> VideoSource::Next() {
+  if (AtEnd()) return Status::OutOfRange("video source exhausted");
+  if (!offline_) {
+    // Throttle: frame i becomes available at start + i / (fps * multiplier).
+    double seconds = position_ / (stream_->fps * rate_multiplier_);
+    auto available_at =
+        start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(seconds));
+    std::this_thread::sleep_until(available_at);
+  }
+  return &stream_->frames[static_cast<size_t>(position_++)];
+}
+
+Status VideoSource::Seek(int frame_index) {
+  if (!offline_) {
+    return Status::FailedPrecondition("online sources are forward-only");
+  }
+  if (frame_index < 0 || frame_index > stream_->FrameCount()) {
+    return Status::OutOfRange("seek outside the stream");
+  }
+  position_ = frame_index;
+  return Status::Ok();
+}
+
+}  // namespace visualroad::systems

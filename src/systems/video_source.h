@@ -1,0 +1,50 @@
+#ifndef VISUALROAD_SYSTEMS_VIDEO_SOURCE_H_
+#define VISUALROAD_SYSTEMS_VIDEO_SOURCE_H_
+
+#include <chrono>
+
+#include "common/status.h"
+#include "video/codec/codec.h"
+
+namespace visualroad::systems {
+
+/// How the VCD exposes an input video to a VDBMS (Section 3.2).
+///
+/// Offline sources wrap a file with random access (`SeekSupported()` true);
+/// online sources are forward-only iterators throttled to the camera's
+/// capture rate — reads ahead of real time block, exactly as a named pipe or
+/// RTP feed would. `rate_multiplier` scales simulated real time (1.0 = the
+/// camera's own rate; larger = faster-than-real-time for tests).
+class VideoSource {
+ public:
+  static VideoSource Offline(const video::codec::EncodedVideo* stream);
+  static VideoSource Online(const video::codec::EncodedVideo* stream,
+                            double rate_multiplier = 1.0);
+
+  /// Next encoded frame in capture order; blocks in online mode until the
+  /// frame's capture timestamp has elapsed. OutOfRange past the end.
+  StatusOr<const video::codec::EncodedFrame*> Next();
+
+  bool AtEnd() const { return position_ >= stream_->FrameCount(); }
+  bool SeekSupported() const { return offline_; }
+
+  /// Random access (offline only): repositions the iterator.
+  Status Seek(int frame_index);
+
+  const video::codec::EncodedVideo& stream() const { return *stream_; }
+  int position() const { return position_; }
+
+ private:
+  VideoSource(const video::codec::EncodedVideo* stream, bool offline,
+              double rate_multiplier);
+
+  const video::codec::EncodedVideo* stream_;
+  bool offline_;
+  double rate_multiplier_;
+  int position_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace visualroad::systems
+
+#endif  // VISUALROAD_SYSTEMS_VIDEO_SOURCE_H_

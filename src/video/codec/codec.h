@@ -1,0 +1,116 @@
+#ifndef VISUALROAD_VIDEO_CODEC_CODEC_H_
+#define VISUALROAD_VIDEO_CODEC_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "video/frame.h"
+
+namespace visualroad::video::codec {
+
+/// Coding profiles. Visual Road 1.0 supports H264 and HEVC (Section 5); VRC
+/// mirrors that with two genuinely different coding toolsets:
+///  - kH264Like: 16x16 prediction blocks, 3 intra modes, +/-8 motion search.
+///  - kHevcLike: 32x32 prediction blocks, planar intra mode, +/-12 search
+///    (better compression, slower encode — the same trade real HEVC makes).
+enum class Profile : uint8_t {
+  kH264Like = 0,
+  kHevcLike = 1,
+};
+
+/// Returns "h264" or "hevc".
+const char* ProfileName(Profile profile);
+
+/// Prediction (macro)block edge length for `profile`.
+int ProfileBlockSize(Profile profile);
+
+/// Default motion search radius for `profile`.
+int ProfileSearchRadius(Profile profile);
+
+/// Encoder settings.
+struct EncoderConfig {
+  Profile profile = Profile::kH264Like;
+  /// Frames per GOP; every gop_length-th frame is an I-frame.
+  int gop_length = 15;
+  /// Constant quantisation parameter [0, 51] used when target_bitrate_bps==0.
+  int qp = 28;
+  /// When non-zero, a closed-loop rate controller adjusts QP per frame to hit
+  /// this many bits per second of video.
+  int64_t target_bitrate_bps = 0;
+  /// Integer-pel motion search radius; 0 selects the profile default.
+  int search_radius = 0;
+};
+
+/// One encoded frame: an independently entropy-coded arithmetic payload.
+struct EncodedFrame {
+  bool keyframe = false;
+  uint8_t qp = 28;
+  std::vector<uint8_t> data;
+};
+
+/// A full encoded video (VRC elementary stream).
+struct EncodedVideo {
+  Profile profile = Profile::kH264Like;
+  int width = 0;
+  int height = 0;
+  double fps = 30.0;
+  std::vector<EncodedFrame> frames;
+
+  int FrameCount() const { return static_cast<int>(frames.size()); }
+  /// Total payload bytes across all frames.
+  int64_t TotalBytes() const;
+  /// Average bits per second given `fps`.
+  double BitrateBps() const;
+};
+
+/// Streaming encoder: feed frames in display order.
+class Encoder {
+ public:
+  /// Validates the configuration; returns an error for bad dimensions/QP.
+  static StatusOr<Encoder> Create(int width, int height, const EncoderConfig& config);
+
+  Encoder(Encoder&&) noexcept;
+  Encoder& operator=(Encoder&&) noexcept;
+  ~Encoder();
+
+  /// Encodes the next frame. Frames must match the configured dimensions.
+  StatusOr<EncodedFrame> EncodeFrame(const Frame& frame);
+
+  const EncoderConfig& config() const { return config_; }
+
+ private:
+  struct State;
+  explicit Encoder(std::unique_ptr<State> state);
+
+  EncoderConfig config_;
+  std::unique_ptr<State> state_;
+};
+
+/// Streaming decoder: feed encoded frames in coding order.
+class Decoder {
+ public:
+  Decoder(int width, int height, Profile profile);
+
+  /// Decodes the next frame. The first frame must be a keyframe.
+  StatusOr<Frame> DecodeFrame(const EncodedFrame& encoded);
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Encodes an entire video.
+StatusOr<EncodedVideo> Encode(const Video& video, const EncoderConfig& config);
+
+/// Decodes an entire encoded video.
+StatusOr<Video> Decode(const EncodedVideo& encoded);
+
+/// Decodes only frames [first, first+count) — requires decoding from the
+/// preceding keyframe, which is what offline (random access) engines do.
+StatusOr<Video> DecodeRange(const EncodedVideo& encoded, int first, int count);
+
+}  // namespace visualroad::video::codec
+
+#endif  // VISUALROAD_VIDEO_CODEC_CODEC_H_

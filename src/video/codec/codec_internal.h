@@ -1,0 +1,67 @@
+#ifndef VISUALROAD_VIDEO_CODEC_CODEC_INTERNAL_H_
+#define VISUALROAD_VIDEO_CODEC_CODEC_INTERNAL_H_
+
+// Implementation details shared by encoder.cc and decoder.cc. Not part of the
+// public API.
+
+#include <algorithm>
+
+#include "video/codec/entropy.h"
+#include "video/codec/motion.h"
+#include "video/frame.h"
+
+namespace visualroad::video::codec::internal {
+
+/// Per-frame adaptive contexts; reset at every frame so each frame's payload
+/// is independently decodable given its reference.
+struct FrameContexts {
+  BitModel skip;
+  BitModel intra_flag;
+  BitModel intra_mode[2];
+  BitModel mv_mag[2][10];
+  ResidualContexts residual[2];  // [0]=luma, [1]=chroma.
+};
+
+/// Pads `v` up to a multiple of `multiple`.
+inline int PadTo(int v, int multiple) {
+  return ((v + multiple - 1) / multiple) * multiple;
+}
+
+/// Copies a frame plane into a padded Plane, replicating edges.
+inline Plane PadPlane(const std::vector<uint8_t>& src, int w, int h, int multiple) {
+  Plane plane(PadTo(w, multiple), PadTo(h, multiple));
+  for (int y = 0; y < plane.height; ++y) {
+    int sy = std::min(y, h - 1);
+    for (int x = 0; x < plane.width; ++x) {
+      int sx = std::min(x, w - 1);
+      plane.Set(x, y, src[static_cast<size_t>(sy) * w + sx]);
+    }
+  }
+  return plane;
+}
+
+/// Copies the top-left w x h window of a padded Plane into a frame plane.
+inline void UnpadPlane(const Plane& plane, int w, int h, std::vector<uint8_t>& dst) {
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      dst[static_cast<size_t>(y) * w + x] = plane.At(x, y);
+    }
+  }
+}
+
+/// Reconstruction planes for one frame (padded).
+struct ReconPlanes {
+  Plane y;
+  Plane u;
+  Plane v;
+};
+
+/// Reconstructs one 8x8 block from its prediction and quantised levels into
+/// `recon` at (bx, by): dequantise, inverse-transform, add, clamp. Shared by
+/// the encoder's reference loop and the decoder so both stay bit-exact.
+void ReconstructBlock(const uint8_t* prediction, const int16_t* levels, int qp,
+                      Plane& recon, int bx, int by);
+
+}  // namespace visualroad::video::codec::internal
+
+#endif  // VISUALROAD_VIDEO_CODEC_CODEC_INTERNAL_H_

@@ -1,0 +1,28 @@
+#ifndef VISUALROAD_VIDEO_CODEC_DCT_H_
+#define VISUALROAD_VIDEO_CODEC_DCT_H_
+
+#include <cstdint>
+
+namespace visualroad::video::codec {
+
+/// Transform block edge length. VRC uses an 8x8 transform in both profiles
+/// (prediction block sizes differ instead).
+inline constexpr int kTransformSize = 8;
+inline constexpr int kTransformArea = kTransformSize * kTransformSize;
+
+/// Forward 8x8 DCT-II of a residual block (values in roughly [-255, 255]).
+/// `input` and `output` are row-major 64-element arrays. Deterministic: the
+/// encoder and decoder share this exact implementation, so encoder-side
+/// reconstruction is bit-exact with the decoder.
+void ForwardDct8x8(const int16_t* input, double* output);
+
+/// Inverse 8x8 DCT-III. Rounds to the nearest integer.
+void InverseDct8x8(const double* input, int16_t* output);
+
+/// Zig-zag scan order for an 8x8 block (index = scan position, value = raster
+/// offset), identical to the JPEG/H.264 ordering.
+extern const int kZigZag8x8[kTransformArea];
+
+}  // namespace visualroad::video::codec
+
+#endif  // VISUALROAD_VIDEO_CODEC_DCT_H_

@@ -1,0 +1,214 @@
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "video/codec/codec.h"
+#include "video/codec/codec_internal.h"
+#include "video/codec/dct.h"
+#include "video/codec/intra.h"
+#include "video/codec/quant.h"
+
+namespace visualroad::video::codec {
+
+namespace internal {
+
+void ReconstructBlock(const uint8_t* prediction, const int16_t* levels, int qp,
+                      Plane& recon, int bx, int by) {
+  double coefficients[kTransformArea];
+  DequantizeBlock(levels, qp, coefficients);
+  int16_t residual[kTransformArea];
+  InverseDct8x8(coefficients, residual);
+  for (int y = 0; y < kTransformSize; ++y) {
+    for (int x = 0; x < kTransformSize; ++x) {
+      int value = prediction[y * kTransformSize + x] + residual[y * kTransformSize + x];
+      recon.Set(bx + x, by + y, static_cast<uint8_t>(std::clamp(value, 0, 255)));
+    }
+  }
+}
+
+}  // namespace internal
+
+using internal::FrameContexts;
+using internal::PadTo;
+using internal::ReconPlanes;
+using internal::ReconstructBlock;
+
+namespace {
+
+/// Decodes a motion-vector component difference (matches EncodeMvComponent).
+int DecodeMvComponent(ArithmeticDecoder& dec, BitModel* models) {
+  uint32_t magnitude = DecodeUnaryEg(dec, models, 10);
+  if (magnitude == 0) return 0;
+  int sign = dec.DecodeBypass();
+  return sign ? -static_cast<int>(magnitude) : static_cast<int>(magnitude);
+}
+
+/// Decodes one intra-coded 8x8 block and reconstructs it.
+void DecodeIntraBlock(ArithmeticDecoder& dec, FrameContexts& ctx, Plane& recon,
+                      int bx, int by, int qp, bool is_luma) {
+  IntraMode mode = IntraMode::kDc;
+  if (is_luma) {
+    int bit0 = dec.DecodeBit(ctx.intra_mode[0]);
+    int bit1 = dec.DecodeBit(ctx.intra_mode[1]);
+    mode = static_cast<IntraMode>(bit0 | (bit1 << 1));
+  }
+  uint8_t prediction[kTransformArea];
+  IntraPredict(recon, bx, by, kTransformSize, mode, prediction);
+  int16_t levels[kTransformArea];
+  DecodeResidualBlock(dec, ctx.residual[is_luma ? 0 : 1], levels);
+  ReconstructBlock(prediction, levels, qp, recon, bx, by);
+}
+
+}  // namespace
+
+struct Decoder::State {
+  int width = 0;
+  int height = 0;
+  int block_size = 16;
+  bool has_reference = false;
+  ReconPlanes reference;
+};
+
+Decoder::Decoder(int width, int height, Profile profile)
+    : state_(std::make_shared<State>()) {
+  state_->width = width;
+  state_->height = height;
+  state_->block_size = ProfileBlockSize(profile);
+}
+
+StatusOr<Frame> Decoder::DecodeFrame(const EncodedFrame& encoded) {
+  State& s = *state_;
+  if (s.width <= 0 || s.height <= 0) {
+    return Status::FailedPrecondition("decoder has invalid dimensions");
+  }
+  if (!encoded.keyframe && !s.has_reference) {
+    return Status::FailedPrecondition("P-frame received before any keyframe");
+  }
+  int qp = encoded.qp;
+  int mb = s.block_size;
+  int cmb = mb / 2;
+  int cw = (s.width + 1) / 2, ch = (s.height + 1) / 2;
+
+  ReconPlanes recon;
+  recon.y = Plane(PadTo(s.width, mb), PadTo(s.height, mb));
+  recon.u = Plane(PadTo(cw, cmb), PadTo(ch, cmb));
+  recon.v = Plane(PadTo(cw, cmb), PadTo(ch, cmb));
+
+  FrameContexts ctx;
+  ArithmeticDecoder dec(encoded.data);
+
+  int mbs_x = recon.y.width / mb;
+  int mbs_y = recon.y.height / mb;
+  int sub = mb / kTransformSize;
+  int csub = cmb / kTransformSize;
+
+  for (int mby = 0; mby < mbs_y; ++mby) {
+    MotionVector left_mv;
+    for (int mbx = 0; mbx < mbs_x; ++mbx) {
+      int bx = mbx * mb, by = mby * mb;
+      int cbx = mbx * cmb, cby = mby * cmb;
+
+      bool intra_mb = encoded.keyframe;
+      if (!encoded.keyframe) {
+        if (dec.DecodeBit(ctx.skip) == 1) {
+          for (int y = 0; y < mb; ++y) {
+            std::memcpy(recon.y.Row(by + y) + bx, s.reference.y.Row(by + y) + bx, mb);
+          }
+          for (int y = 0; y < cmb; ++y) {
+            std::memcpy(recon.u.Row(cby + y) + cbx, s.reference.u.Row(cby + y) + cbx,
+                        cmb);
+            std::memcpy(recon.v.Row(cby + y) + cbx, s.reference.v.Row(cby + y) + cbx,
+                        cmb);
+          }
+          left_mv = MotionVector{};
+          continue;
+        }
+        intra_mb = dec.DecodeBit(ctx.intra_flag) == 1;
+      }
+
+      if (intra_mb) {
+        for (int sy = 0; sy < sub; ++sy) {
+          for (int sx = 0; sx < sub; ++sx) {
+            DecodeIntraBlock(dec, ctx, recon.y, bx + sx * kTransformSize,
+                             by + sy * kTransformSize, qp, /*is_luma=*/true);
+          }
+        }
+        for (int sy = 0; sy < csub; ++sy) {
+          for (int sx = 0; sx < csub; ++sx) {
+            int tx = cbx + sx * kTransformSize, ty = cby + sy * kTransformSize;
+            DecodeIntraBlock(dec, ctx, recon.u, tx, ty, qp, /*is_luma=*/false);
+            DecodeIntraBlock(dec, ctx, recon.v, tx, ty, qp, /*is_luma=*/false);
+          }
+        }
+        left_mv = MotionVector{};
+        continue;
+      }
+
+      // Inter macroblock.
+      MotionVector mv;
+      mv.dx = left_mv.dx + DecodeMvComponent(dec, ctx.mv_mag[0]);
+      mv.dy = left_mv.dy + DecodeMvComponent(dec, ctx.mv_mag[1]);
+      for (int sy = 0; sy < sub; ++sy) {
+        for (int sx = 0; sx < sub; ++sx) {
+          int tx = bx + sx * kTransformSize, ty = by + sy * kTransformSize;
+          uint8_t prediction[kTransformArea];
+          MotionCompensate(s.reference.y, tx, ty, kTransformSize, mv.dx, mv.dy,
+                           prediction);
+          int16_t levels[kTransformArea];
+          DecodeResidualBlock(dec, ctx.residual[0], levels);
+          ReconstructBlock(prediction, levels, qp, recon.y, tx, ty);
+        }
+      }
+      int cdx = mv.dx / 2, cdy = mv.dy / 2;
+      for (int plane = 0; plane < 2; ++plane) {
+        Plane& crecon = plane == 0 ? recon.u : recon.v;
+        const Plane& cref = plane == 0 ? s.reference.u : s.reference.v;
+        for (int sy = 0; sy < csub; ++sy) {
+          for (int sx = 0; sx < csub; ++sx) {
+            int tx = cbx + sx * kTransformSize, ty = cby + sy * kTransformSize;
+            uint8_t prediction[kTransformArea];
+            MotionCompensate(cref, tx, ty, kTransformSize, cdx, cdy, prediction);
+            int16_t levels[kTransformArea];
+            DecodeResidualBlock(dec, ctx.residual[1], levels);
+            ReconstructBlock(prediction, levels, qp, crecon, tx, ty);
+          }
+        }
+      }
+      left_mv = mv;
+    }
+  }
+
+  Frame frame(s.width, s.height);
+  internal::UnpadPlane(recon.y, s.width, s.height, frame.y_plane());
+  internal::UnpadPlane(recon.u, cw, ch, frame.u_plane());
+  internal::UnpadPlane(recon.v, cw, ch, frame.v_plane());
+
+  s.reference = std::move(recon);
+  s.has_reference = true;
+  return frame;
+}
+
+StatusOr<Video> Decode(const EncodedVideo& encoded) {
+  return DecodeRange(encoded, 0, encoded.FrameCount());
+}
+
+StatusOr<Video> DecodeRange(const EncodedVideo& encoded, int first, int count) {
+  if (first < 0 || count < 0 || first + count > encoded.FrameCount()) {
+    return Status::OutOfRange("decode range outside the encoded video");
+  }
+  // Random access requires starting from the keyframe at or before `first`.
+  int start = first;
+  while (start > 0 && !encoded.frames[start].keyframe) --start;
+
+  Decoder decoder(encoded.width, encoded.height, encoded.profile);
+  Video out;
+  out.fps = encoded.fps;
+  out.frames.reserve(count);
+  for (int i = start; i < first + count; ++i) {
+    VR_ASSIGN_OR_RETURN(Frame frame, decoder.DecodeFrame(encoded.frames[i]));
+    if (i >= first) out.frames.push_back(std::move(frame));
+  }
+  return out;
+}
+
+}  // namespace visualroad::video::codec

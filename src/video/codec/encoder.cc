@@ -1,0 +1,352 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "video/codec/codec.h"
+#include "video/codec/codec_internal.h"
+#include "video/codec/dct.h"
+#include "video/codec/intra.h"
+#include "video/codec/quant.h"
+#include "video/codec/rate_control.h"
+
+namespace visualroad::video::codec {
+
+using internal::FrameContexts;
+using internal::PadPlane;
+using internal::ReconPlanes;
+using internal::ReconstructBlock;
+
+const char* ProfileName(Profile profile) {
+  return profile == Profile::kH264Like ? "h264" : "hevc";
+}
+
+int ProfileBlockSize(Profile profile) {
+  return profile == Profile::kH264Like ? 16 : 32;
+}
+
+int ProfileSearchRadius(Profile profile) {
+  return profile == Profile::kH264Like ? 8 : 12;
+}
+
+int64_t EncodedVideo::TotalBytes() const {
+  int64_t total = 0;
+  for (const EncodedFrame& f : frames) total += static_cast<int64_t>(f.data.size());
+  return total;
+}
+
+double EncodedVideo::BitrateBps() const {
+  if (frames.empty() || fps <= 0) return 0.0;
+  double seconds = static_cast<double>(frames.size()) / fps;
+  return static_cast<double>(TotalBytes()) * 8.0 / seconds;
+}
+
+namespace {
+
+/// Computes the residual between the source block at (bx, by) and a
+/// prediction buffer, transform-codes it, and returns quantised levels.
+void TransformQuantBlock(const Plane& source, int bx, int by,
+                         const uint8_t* prediction, int qp, int16_t* levels) {
+  int16_t residual[kTransformArea];
+  for (int y = 0; y < kTransformSize; ++y) {
+    for (int x = 0; x < kTransformSize; ++x) {
+      residual[y * kTransformSize + x] = static_cast<int16_t>(
+          static_cast<int>(source.At(bx + x, by + y)) -
+          prediction[y * kTransformSize + x]);
+    }
+  }
+  double coefficients[kTransformArea];
+  ForwardDct8x8(residual, coefficients);
+  QuantizeBlock(coefficients, qp, levels);
+}
+
+bool AllZero(const int16_t* levels, int count) {
+  for (int i = 0; i < count; ++i) {
+    if (levels[i] != 0) return false;
+  }
+  return true;
+}
+
+/// Encodes a motion-vector component difference: adaptive magnitude with a
+/// bypass sign bit.
+void EncodeMvComponent(ArithmeticEncoder& enc, BitModel* models, int value) {
+  EncodeUnaryEg(enc, models, 10, static_cast<uint32_t>(std::abs(value)));
+  if (value != 0) enc.EncodeBypass(value < 0 ? 1 : 0);
+}
+
+/// Encodes one intra-coded 8x8 block (mode + residual) and reconstructs it.
+void EncodeIntraBlock(ArithmeticEncoder& enc, FrameContexts& ctx, const Plane& source,
+                      Plane& recon, int bx, int by, int qp, bool allow_planar,
+                      bool is_luma) {
+  uint8_t prediction[kTransformArea];
+  IntraMode mode = IntraMode::kDc;
+  if (is_luma) {
+    mode = ChooseIntraMode(source, recon, bx, by, kTransformSize, allow_planar);
+    int mode_bits = static_cast<int>(mode);
+    enc.EncodeBit(ctx.intra_mode[0], mode_bits & 1);
+    enc.EncodeBit(ctx.intra_mode[1], (mode_bits >> 1) & 1);
+  }
+  IntraPredict(recon, bx, by, kTransformSize, mode, prediction);
+  int16_t levels[kTransformArea];
+  TransformQuantBlock(source, bx, by, prediction, qp, levels);
+  EncodeResidualBlock(enc, ctx.residual[is_luma ? 0 : 1], levels);
+  ReconstructBlock(prediction, levels, qp, recon, bx, by);
+}
+
+}  // namespace
+
+struct Encoder::State {
+  int width = 0;
+  int height = 0;
+  int block_size = 16;
+  int search_radius = 8;
+  bool allow_planar = false;
+  int frame_index = 0;
+  RateController rate_control{0, 30.0, 28};
+  ReconPlanes reference;  // Previous reconstructed frame (padded).
+};
+
+Encoder::Encoder(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+Encoder::Encoder(Encoder&&) noexcept = default;
+Encoder& Encoder::operator=(Encoder&&) noexcept = default;
+Encoder::~Encoder() = default;
+
+StatusOr<Encoder> Encoder::Create(int width, int height, const EncoderConfig& config) {
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("encoder dimensions must be positive");
+  }
+  if (config.qp < kMinQp || config.qp > kMaxQp) {
+    return Status::InvalidArgument("QP out of range");
+  }
+  if (config.gop_length < 1) {
+    return Status::InvalidArgument("GOP length must be at least 1");
+  }
+  auto state = std::make_unique<State>();
+  state->width = width;
+  state->height = height;
+  state->block_size = ProfileBlockSize(config.profile);
+  state->search_radius = config.search_radius > 0 ? config.search_radius
+                                                  : ProfileSearchRadius(config.profile);
+  state->allow_planar = config.profile == Profile::kHevcLike;
+  state->rate_control = RateController(config.target_bitrate_bps, 30.0, config.qp);
+  Encoder encoder(std::move(state));
+  encoder.config_ = config;
+  return encoder;
+}
+
+StatusOr<EncodedFrame> Encoder::EncodeFrame(const Frame& frame) {
+  State& s = *state_;
+  if (frame.width() != s.width || frame.height() != s.height) {
+    return Status::InvalidArgument("frame dimensions do not match encoder");
+  }
+
+  bool keyframe = s.frame_index % config_.gop_length == 0;
+  int qp = s.rate_control.PickQp(keyframe);
+
+  int mb = s.block_size;
+  int cmb = mb / 2;
+  Plane src_y = PadPlane(frame.y_plane(), frame.width(), frame.height(), mb);
+  Plane src_u =
+      PadPlane(frame.u_plane(), frame.chroma_width(), frame.chroma_height(), cmb);
+  Plane src_v =
+      PadPlane(frame.v_plane(), frame.chroma_width(), frame.chroma_height(), cmb);
+
+  ReconPlanes recon;
+  recon.y = Plane(src_y.width, src_y.height);
+  recon.u = Plane(src_u.width, src_u.height);
+  recon.v = Plane(src_v.width, src_v.height);
+
+  FrameContexts ctx;
+  ArithmeticEncoder enc;
+
+  int mbs_x = src_y.width / mb;
+  int mbs_y = src_y.height / mb;
+  int sub = mb / kTransformSize;    // Luma 8x8 sub-blocks per MB edge.
+  int csub = cmb / kTransformSize;  // Chroma 8x8 sub-blocks per MB edge.
+
+  for (int mby = 0; mby < mbs_y; ++mby) {
+    MotionVector left_mv;  // Predictor: the previous MB's vector in this row.
+    for (int mbx = 0; mbx < mbs_x; ++mbx) {
+      int bx = mbx * mb, by = mby * mb;
+      int cbx = mbx * cmb, cby = mby * cmb;
+
+      if (keyframe) {
+        for (int sy = 0; sy < sub; ++sy) {
+          for (int sx = 0; sx < sub; ++sx) {
+            EncodeIntraBlock(enc, ctx, src_y, recon.y, bx + sx * kTransformSize,
+                             by + sy * kTransformSize, qp, s.allow_planar,
+                             /*is_luma=*/true);
+          }
+        }
+        for (int sy = 0; sy < csub; ++sy) {
+          for (int sx = 0; sx < csub; ++sx) {
+            int tx = cbx + sx * kTransformSize, ty = cby + sy * kTransformSize;
+            EncodeIntraBlock(enc, ctx, src_u, recon.u, tx, ty, qp, s.allow_planar,
+                             /*is_luma=*/false);
+            EncodeIntraBlock(enc, ctx, src_v, recon.v, tx, ty, qp, s.allow_planar,
+                             /*is_luma=*/false);
+          }
+        }
+        continue;
+      }
+
+      // --- P-frame macroblock ---
+      MotionVector mv =
+          DiamondSearch(src_y, s.reference.y, bx, by, mb, s.search_radius, left_mv);
+
+      // Trial-code the inter residuals so the skip decision is exact.
+      std::vector<int16_t> luma_levels(static_cast<size_t>(sub) * sub * kTransformArea);
+      std::vector<uint8_t> luma_pred(static_cast<size_t>(sub) * sub * kTransformArea);
+      bool all_zero = mv.dx == 0 && mv.dy == 0;
+      for (int sy = 0; sy < sub; ++sy) {
+        for (int sx = 0; sx < sub; ++sx) {
+          int tx = bx + sx * kTransformSize, ty = by + sy * kTransformSize;
+          size_t off = (static_cast<size_t>(sy) * sub + sx) * kTransformArea;
+          MotionCompensate(s.reference.y, tx, ty, kTransformSize, mv.dx, mv.dy,
+                           &luma_pred[off]);
+          TransformQuantBlock(src_y, tx, ty, &luma_pred[off], qp, &luma_levels[off]);
+          if (!AllZero(&luma_levels[off], kTransformArea)) all_zero = false;
+        }
+      }
+      int cdx = mv.dx / 2, cdy = mv.dy / 2;
+      std::vector<int16_t> chroma_levels(2 * static_cast<size_t>(csub) * csub *
+                                         kTransformArea);
+      std::vector<uint8_t> chroma_pred(chroma_levels.size());
+      for (int plane = 0; plane < 2; ++plane) {
+        const Plane& csrc = plane == 0 ? src_u : src_v;
+        const Plane& cref = plane == 0 ? s.reference.u : s.reference.v;
+        for (int sy = 0; sy < csub; ++sy) {
+          for (int sx = 0; sx < csub; ++sx) {
+            int tx = cbx + sx * kTransformSize, ty = cby + sy * kTransformSize;
+            size_t off = ((static_cast<size_t>(plane) * csub + sy) * csub + sx) *
+                         kTransformArea;
+            MotionCompensate(cref, tx, ty, kTransformSize, cdx, cdy, &chroma_pred[off]);
+            TransformQuantBlock(csrc, tx, ty, &chroma_pred[off], qp,
+                                &chroma_levels[off]);
+            if (!AllZero(&chroma_levels[off], kTransformArea)) all_zero = false;
+          }
+        }
+      }
+
+      if (all_zero) {
+        // Skip: zero vector, zero residual; reconstruction copies the
+        // reference block.
+        enc.EncodeBit(ctx.skip, 1);
+        for (int y = 0; y < mb; ++y) {
+          std::memcpy(recon.y.Row(by + y) + bx, s.reference.y.Row(by + y) + bx, mb);
+        }
+        for (int y = 0; y < cmb; ++y) {
+          std::memcpy(recon.u.Row(cby + y) + cbx, s.reference.u.Row(cby + y) + cbx,
+                      cmb);
+          std::memcpy(recon.v.Row(cby + y) + cbx, s.reference.v.Row(cby + y) + cbx,
+                      cmb);
+        }
+        left_mv = MotionVector{};
+        continue;
+      }
+
+      enc.EncodeBit(ctx.skip, 0);
+
+      // Estimate whether intra would beat inter for this macroblock (e.g. at
+      // a scene change or an occlusion boundary).
+      int64_t intra_sad = 0;
+      for (int sy = 0; sy < sub; ++sy) {
+        for (int sx = 0; sx < sub; ++sx) {
+          int tx = bx + sx * kTransformSize, ty = by + sy * kTransformSize;
+          IntraMode mode =
+              ChooseIntraMode(src_y, recon.y, tx, ty, kTransformSize, s.allow_planar);
+          uint8_t prediction[kTransformArea];
+          IntraPredict(recon.y, tx, ty, kTransformSize, mode, prediction);
+          for (int y = 0; y < kTransformSize; ++y) {
+            for (int x = 0; x < kTransformSize; ++x) {
+              intra_sad += std::abs(static_cast<int>(src_y.At(tx + x, ty + y)) -
+                                    prediction[y * kTransformSize + x]);
+            }
+          }
+        }
+      }
+      bool use_intra = intra_sad * 5 < mv.sad * 4;  // 20% margin favours inter.
+      enc.EncodeBit(ctx.intra_flag, use_intra ? 1 : 0);
+
+      if (use_intra) {
+        for (int sy = 0; sy < sub; ++sy) {
+          for (int sx = 0; sx < sub; ++sx) {
+            EncodeIntraBlock(enc, ctx, src_y, recon.y, bx + sx * kTransformSize,
+                             by + sy * kTransformSize, qp, s.allow_planar,
+                             /*is_luma=*/true);
+          }
+        }
+        for (int sy = 0; sy < csub; ++sy) {
+          for (int sx = 0; sx < csub; ++sx) {
+            int tx = cbx + sx * kTransformSize, ty = cby + sy * kTransformSize;
+            EncodeIntraBlock(enc, ctx, src_u, recon.u, tx, ty, qp, s.allow_planar,
+                             /*is_luma=*/false);
+            EncodeIntraBlock(enc, ctx, src_v, recon.v, tx, ty, qp, s.allow_planar,
+                             /*is_luma=*/false);
+          }
+        }
+        left_mv = MotionVector{};
+        continue;
+      }
+
+      // Inter: motion vector difference against the left predictor.
+      EncodeMvComponent(enc, ctx.mv_mag[0], mv.dx - left_mv.dx);
+      EncodeMvComponent(enc, ctx.mv_mag[1], mv.dy - left_mv.dy);
+      for (int sy = 0; sy < sub; ++sy) {
+        for (int sx = 0; sx < sub; ++sx) {
+          int tx = bx + sx * kTransformSize, ty = by + sy * kTransformSize;
+          size_t off = (static_cast<size_t>(sy) * sub + sx) * kTransformArea;
+          EncodeResidualBlock(enc, ctx.residual[0], &luma_levels[off]);
+          ReconstructBlock(&luma_pred[off], &luma_levels[off], qp, recon.y, tx, ty);
+        }
+      }
+      for (int plane = 0; plane < 2; ++plane) {
+        Plane& crecon = plane == 0 ? recon.u : recon.v;
+        for (int sy = 0; sy < csub; ++sy) {
+          for (int sx = 0; sx < csub; ++sx) {
+            int tx = cbx + sx * kTransformSize, ty = cby + sy * kTransformSize;
+            size_t off = ((static_cast<size_t>(plane) * csub + sy) * csub + sx) *
+                         kTransformArea;
+            EncodeResidualBlock(enc, ctx.residual[1], &chroma_levels[off]);
+            ReconstructBlock(&chroma_pred[off], &chroma_levels[off], qp, crecon, tx,
+                             ty);
+          }
+        }
+      }
+      left_mv = mv;
+    }
+  }
+
+  EncodedFrame out;
+  out.keyframe = keyframe;
+  out.qp = static_cast<uint8_t>(qp);
+  out.data = enc.Finish();
+
+  s.rate_control.Update(keyframe, static_cast<int64_t>(out.data.size()));
+  s.reference = std::move(recon);
+  ++s.frame_index;
+  return out;
+}
+
+StatusOr<EncodedVideo> Encode(const Video& video, const EncoderConfig& config) {
+  if (video.frames.empty()) {
+    return Status::InvalidArgument("cannot encode an empty video");
+  }
+  VR_ASSIGN_OR_RETURN(Encoder encoder,
+                      Encoder::Create(video.Width(), video.Height(), config));
+  EncodedVideo out;
+  out.profile = config.profile;
+  out.width = video.Width();
+  out.height = video.Height();
+  out.fps = video.fps;
+  out.frames.reserve(video.frames.size());
+  for (const Frame& frame : video.frames) {
+    VR_ASSIGN_OR_RETURN(EncodedFrame encoded, encoder.EncodeFrame(frame));
+    out.frames.push_back(std::move(encoded));
+  }
+  return out;
+}
+
+}  // namespace visualroad::video::codec

@@ -1,0 +1,201 @@
+#include "video/codec/entropy.h"
+
+#include <cstdlib>
+
+#include "video/codec/dct.h"
+
+namespace visualroad::video::codec {
+
+namespace {
+
+constexpr uint32_t kTopValue = 1u << 24;
+
+/// Buckets a zig-zag scan position into one of four frequency bands.
+int PositionBucket(int pos) {
+  if (pos == 0) return 0;
+  if (pos <= 5) return 1;
+  if (pos <= 20) return 2;
+  return 3;
+}
+
+}  // namespace
+
+void ArithmeticEncoder::ShiftLow() {
+  if (low_ < 0xFF000000ULL || low_ > 0xFFFFFFFFULL) {
+    uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+    // First iteration emits the cached byte (initialised so the very first
+    // flush writes a leading zero the decoder skips).
+    while (cache_size_ != 0) {
+      bytes_.push_back(static_cast<uint8_t>(cache_ + carry));
+      cache_ = 0xFF;
+      --cache_size_;
+    }
+    cache_ = static_cast<uint8_t>(low_ >> 24);
+    cache_size_ = 0;
+  }
+  ++cache_size_;
+  low_ = (low_ << 8) & 0xFFFFFFFFULL;
+}
+
+void ArithmeticEncoder::EncodeBit(BitModel& model, int bit) {
+  uint32_t bound = static_cast<uint32_t>(
+      (static_cast<uint64_t>(range_) * model.prob_zero) >> 16);
+  if (bit == 0) {
+    range_ = bound;
+  } else {
+    low_ += bound;
+    range_ -= bound;
+  }
+  model.Update(bit);
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    ShiftLow();
+  }
+}
+
+void ArithmeticEncoder::EncodeBypass(int bit) {
+  range_ >>= 1;
+  if (bit != 0) low_ += range_;
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    ShiftLow();
+  }
+}
+
+void ArithmeticEncoder::EncodeBypassBits(uint32_t bits, int count) {
+  for (int i = count - 1; i >= 0; --i) EncodeBypass((bits >> i) & 1);
+}
+
+std::vector<uint8_t> ArithmeticEncoder::Finish() {
+  for (int i = 0; i < 5; ++i) ShiftLow();
+  return std::move(bytes_);
+}
+
+ArithmeticDecoder::ArithmeticDecoder(const uint8_t* data, size_t size)
+    : data_(data), size_(size) {
+  // Skip the leading flush byte, then prime 4 code bytes.
+  NextByte();
+  for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | NextByte();
+}
+
+uint8_t ArithmeticDecoder::NextByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+int ArithmeticDecoder::DecodeBit(BitModel& model) {
+  uint32_t bound = static_cast<uint32_t>(
+      (static_cast<uint64_t>(range_) * model.prob_zero) >> 16);
+  int bit;
+  if (code_ < bound) {
+    range_ = bound;
+    bit = 0;
+  } else {
+    code_ -= bound;
+    range_ -= bound;
+    bit = 1;
+  }
+  model.Update(bit);
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    code_ = (code_ << 8) | NextByte();
+  }
+  return bit;
+}
+
+int ArithmeticDecoder::DecodeBypass() {
+  range_ >>= 1;
+  int bit = 0;
+  if (code_ >= range_) {
+    code_ -= range_;
+    bit = 1;
+  }
+  while (range_ < kTopValue) {
+    range_ <<= 8;
+    code_ = (code_ << 8) | NextByte();
+  }
+  return bit;
+}
+
+uint32_t ArithmeticDecoder::DecodeBypassBits(int count) {
+  uint32_t value = 0;
+  for (int i = 0; i < count; ++i) value = (value << 1) | DecodeBypass();
+  return value;
+}
+
+void EncodeUnaryEg(ArithmeticEncoder& enc, BitModel* models, int unary_limit,
+                   uint32_t value) {
+  int prefix = 0;
+  while (prefix < unary_limit && value > static_cast<uint32_t>(prefix)) {
+    enc.EncodeBit(models[prefix], 1);
+    ++prefix;
+  }
+  if (prefix < unary_limit) {
+    enc.EncodeBit(models[prefix], 0);
+    return;
+  }
+  // Remainder coded as bypass exp-Golomb (order 0).
+  uint32_t remainder = value - unary_limit;
+  uint64_t mapped = static_cast<uint64_t>(remainder) + 1;
+  int bits = 0;
+  while ((mapped >> bits) > 1) ++bits;
+  for (int i = 0; i < bits; ++i) enc.EncodeBypass(0);
+  enc.EncodeBypass(1);
+  enc.EncodeBypassBits(static_cast<uint32_t>(mapped & ((1ULL << bits) - 1)), bits);
+}
+
+void EncodeResidualBlock(ArithmeticEncoder& enc, ResidualContexts& ctx,
+                         const int16_t* levels) {
+  int last_significant = -1;
+  for (int pos = 0; pos < kTransformArea; ++pos) {
+    if (levels[kZigZag8x8[pos]] != 0) last_significant = pos;
+  }
+  if (last_significant < 0) {
+    enc.EncodeBit(ctx.cbf, 0);
+    return;
+  }
+  enc.EncodeBit(ctx.cbf, 1);
+  for (int pos = 0; pos <= last_significant; ++pos) {
+    int16_t level = levels[kZigZag8x8[pos]];
+    int bucket = PositionBucket(pos);
+    if (level == 0) {
+      enc.EncodeBit(ctx.significant[bucket], 0);
+      continue;
+    }
+    enc.EncodeBit(ctx.significant[bucket], 1);
+    enc.EncodeBypass(level < 0 ? 1 : 0);
+    EncodeUnaryEg(enc, ctx.level, 12, static_cast<uint32_t>(std::abs(level) - 1));
+    if (pos < kTransformArea - 1) {
+      enc.EncodeBit(ctx.last[bucket], pos == last_significant ? 1 : 0);
+    }
+  }
+}
+
+bool DecodeResidualBlock(ArithmeticDecoder& dec, ResidualContexts& ctx,
+                         int16_t* levels) {
+  for (int i = 0; i < kTransformArea; ++i) levels[i] = 0;
+  if (dec.DecodeBit(ctx.cbf) == 0) return false;
+  for (int pos = 0; pos < kTransformArea; ++pos) {
+    int bucket = PositionBucket(pos);
+    if (dec.DecodeBit(ctx.significant[bucket]) == 0) continue;
+    int sign = dec.DecodeBypass();
+    uint32_t magnitude = DecodeUnaryEg(dec, ctx.level, 12) + 1;
+    int16_t level = static_cast<int16_t>(sign ? -static_cast<int32_t>(magnitude)
+                                              : static_cast<int32_t>(magnitude));
+    levels[kZigZag8x8[pos]] = level;
+    if (pos < kTransformArea - 1 && dec.DecodeBit(ctx.last[bucket]) == 1) break;
+  }
+  return true;
+}
+
+uint32_t DecodeUnaryEg(ArithmeticDecoder& dec, BitModel* models, int unary_limit) {
+  int prefix = 0;
+  while (prefix < unary_limit && dec.DecodeBit(models[prefix]) == 1) ++prefix;
+  if (prefix < unary_limit) return static_cast<uint32_t>(prefix);
+  int bits = 0;
+  while (dec.DecodeBypass() == 0) {
+    if (++bits > 32) break;  // Corrupt stream guard.
+  }
+  uint32_t suffix = dec.DecodeBypassBits(bits);
+  uint32_t mapped = (1u << bits) | suffix;
+  return static_cast<uint32_t>(unary_limit) + (mapped - 1);
+}
+
+}  // namespace visualroad::video::codec

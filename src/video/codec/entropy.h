@@ -1,0 +1,109 @@
+#ifndef VISUALROAD_VIDEO_CODEC_ENTROPY_H_
+#define VISUALROAD_VIDEO_CODEC_ENTROPY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace visualroad::video::codec {
+
+/// Adaptive probability model for one binary decision context. Probability of
+/// the bit being zero, in 1/65536 units; adapts with an exponential moving
+/// average on each coded bit (CABAC-style context modelling).
+struct BitModel {
+  uint16_t prob_zero = 1 << 15;
+
+  void Update(int bit) {
+    // Shift-based adaptation, rate 1/32.
+    if (bit == 0) {
+      prob_zero = static_cast<uint16_t>(prob_zero + ((65536 - prob_zero) >> 5));
+    } else {
+      prob_zero = static_cast<uint16_t>(prob_zero - (prob_zero >> 5));
+    }
+    // Keep the model away from certainty so the coder stays renormalisable.
+    if (prob_zero < 64) prob_zero = 64;
+    if (prob_zero > 65536 - 64) prob_zero = 65536 - 64;
+  }
+};
+
+/// Binary range encoder (carry-less, LZMA-style renormalisation). Together
+/// with BitModel this forms VRC's adaptive arithmetic entropy coder.
+class ArithmeticEncoder {
+ public:
+  /// Encodes one bit under an adaptive context model.
+  void EncodeBit(BitModel& model, int bit);
+  /// Encodes one equiprobable ("bypass") bit.
+  void EncodeBypass(int bit);
+  /// Encodes `count` bypass bits, MSB first.
+  void EncodeBypassBits(uint32_t bits, int count);
+  /// Flushes the coder state and returns the byte stream.
+  std::vector<uint8_t> Finish();
+
+  size_t ByteCount() const { return bytes_.size(); }
+
+ private:
+  void ShiftLow();
+
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint8_t cache_ = 0;
+  int64_t cache_size_ = 1;
+  std::vector<uint8_t> bytes_;
+};
+
+/// Binary range decoder matching ArithmeticEncoder.
+class ArithmeticDecoder {
+ public:
+  ArithmeticDecoder(const uint8_t* data, size_t size);
+  explicit ArithmeticDecoder(const std::vector<uint8_t>& data)
+      : ArithmeticDecoder(data.data(), data.size()) {}
+
+  int DecodeBit(BitModel& model);
+  int DecodeBypass();
+  uint32_t DecodeBypassBits(int count);
+
+ private:
+  uint8_t NextByte();
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+};
+
+/// Encodes a non-negative integer with an adaptive-unary prefix (up to
+/// `unary_limit` context-coded continuation bits) followed by a bypass
+/// exponential-Golomb suffix for the remainder. `models` must hold at least
+/// `unary_limit` contexts.
+void EncodeUnaryEg(ArithmeticEncoder& enc, BitModel* models, int unary_limit,
+                   uint32_t value);
+
+/// Decodes a value written by EncodeUnaryEg.
+uint32_t DecodeUnaryEg(ArithmeticDecoder& dec, BitModel* models, int unary_limit);
+
+/// Context set for coding one 8x8 residual block: a coded-block flag,
+/// position-bucketed significance and last-coefficient flags, and adaptive
+/// level-magnitude models. One instance per plane type (luma/chroma).
+struct ResidualContexts {
+  BitModel cbf;
+  BitModel significant[4];
+  BitModel last[4];
+  BitModel level[12];
+};
+
+/// Entropy-codes an 8x8 block of quantised levels (raster order; the zig-zag
+/// scan is applied internally): CBF, then per-coefficient significance, sign
+/// (bypass), magnitude (adaptive unary + exp-Golomb escape), and a
+/// last-significant flag.
+void EncodeResidualBlock(ArithmeticEncoder& enc, ResidualContexts& ctx,
+                         const int16_t* levels);
+
+/// Decodes a block written by EncodeResidualBlock into raster order. Returns
+/// true when the block had any non-zero coefficient.
+bool DecodeResidualBlock(ArithmeticDecoder& dec, ResidualContexts& ctx,
+                         int16_t* levels);
+
+}  // namespace visualroad::video::codec
+
+#endif  // VISUALROAD_VIDEO_CODEC_ENTROPY_H_

@@ -1,0 +1,94 @@
+#include "video/codec/intra.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace visualroad::video::codec {
+
+void IntraPredict(const Plane& recon, int bx, int by, int size, IntraMode mode,
+                  uint8_t* out) {
+  bool has_top = by > 0;
+  bool has_left = bx > 0;
+
+  auto top = [&](int x) -> int {
+    return recon.At(std::min(bx + x, recon.width - 1), by - 1);
+  };
+  auto left = [&](int y) -> int {
+    return recon.At(bx - 1, std::min(by + y, recon.height - 1));
+  };
+
+  switch (mode) {
+    case IntraMode::kDc: {
+      int sum = 0, count = 0;
+      if (has_top) {
+        for (int x = 0; x < size; ++x) sum += top(x);
+        count += size;
+      }
+      if (has_left) {
+        for (int y = 0; y < size; ++y) sum += left(y);
+        count += size;
+      }
+      uint8_t dc = count > 0 ? static_cast<uint8_t>((sum + count / 2) / count) : 128;
+      std::fill(out, out + size * size, dc);
+      break;
+    }
+    case IntraMode::kHorizontal: {
+      for (int y = 0; y < size; ++y) {
+        uint8_t v = has_left ? static_cast<uint8_t>(left(y)) : 128;
+        std::fill(out + y * size, out + (y + 1) * size, v);
+      }
+      break;
+    }
+    case IntraMode::kVertical: {
+      for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+          out[y * size + x] = has_top ? static_cast<uint8_t>(top(x)) : 128;
+        }
+      }
+      break;
+    }
+    case IntraMode::kPlanar: {
+      // Bilinear blend of the top row and left column, HEVC-style.
+      int top_right = has_top ? top(size - 1) : 128;
+      int bottom_left = has_left ? left(size - 1) : 128;
+      for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+          int t = has_top ? top(x) : 128;
+          int l = has_left ? left(y) : 128;
+          int horizontal = (size - 1 - x) * l + (x + 1) * top_right;
+          int vertical = (size - 1 - y) * t + (y + 1) * bottom_left;
+          out[y * size + x] =
+              static_cast<uint8_t>((horizontal + vertical + size) / (2 * size));
+        }
+      }
+      break;
+    }
+  }
+}
+
+IntraMode ChooseIntraMode(const Plane& source, const Plane& recon, int bx, int by,
+                          int size, bool allow_planar) {
+  IntraMode modes[] = {IntraMode::kDc, IntraMode::kHorizontal, IntraMode::kVertical,
+                       IntraMode::kPlanar};
+  int mode_count = allow_planar ? 4 : 3;
+  IntraMode best = IntraMode::kDc;
+  int64_t best_sad = INT64_MAX;
+  std::vector<uint8_t> prediction(static_cast<size_t>(size) * size);
+  for (int m = 0; m < mode_count; ++m) {
+    IntraPredict(recon, bx, by, size, modes[m], prediction.data());
+    int64_t sad = 0;
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        sad += std::abs(static_cast<int>(source.At(bx + x, by + y)) -
+                        prediction[y * size + x]);
+      }
+    }
+    if (sad < best_sad) {
+      best_sad = sad;
+      best = modes[m];
+    }
+  }
+  return best;
+}
+
+}  // namespace visualroad::video::codec

@@ -1,0 +1,34 @@
+#ifndef VISUALROAD_VIDEO_CODEC_INTRA_H_
+#define VISUALROAD_VIDEO_CODEC_INTRA_H_
+
+#include <cstdint>
+
+#include "video/codec/motion.h"
+
+namespace visualroad::video::codec {
+
+/// Intra prediction modes for an 8x8 transform block. kPlanar is only used by
+/// the HEVC-like profile (its presence is one of the two profiles' genuine
+/// coding-efficiency differences).
+enum class IntraMode : uint8_t {
+  kDc = 0,
+  kHorizontal = 1,
+  kVertical = 2,
+  kPlanar = 3,
+};
+
+/// Builds the `size` x `size` intra prediction for the block at (bx, by) from
+/// the already-reconstructed samples of `recon` above and to the left.
+/// Unavailable neighbours default to 128, as in H.264.
+void IntraPredict(const Plane& recon, int bx, int by, int size, IntraMode mode,
+                  uint8_t* out);
+
+/// Evaluates the allowed modes against the source block and returns the mode
+/// with the lowest SAD. `allow_planar` enables the HEVC-like profile's
+/// fourth mode.
+IntraMode ChooseIntraMode(const Plane& source, const Plane& recon, int bx, int by,
+                          int size, bool allow_planar);
+
+}  // namespace visualroad::video::codec
+
+#endif  // VISUALROAD_VIDEO_CODEC_INTRA_H_

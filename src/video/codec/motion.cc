@@ -1,0 +1,90 @@
+#include "video/codec/motion.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace visualroad::video::codec {
+
+namespace {
+int ClampCoord(int v, int limit) { return std::clamp(v, 0, limit - 1); }
+}  // namespace
+
+int64_t BlockSad(const Plane& cur, const Plane& ref, int bx, int by, int size, int dx,
+                 int dy) {
+  int64_t sad = 0;
+  bool inside = bx + dx >= 0 && by + dy >= 0 && bx + dx + size <= ref.width &&
+                by + dy + size <= ref.height;
+  if (inside) {
+    for (int y = 0; y < size; ++y) {
+      const uint8_t* crow = cur.Row(by + y) + bx;
+      const uint8_t* rrow = ref.Row(by + dy + y) + bx + dx;
+      for (int x = 0; x < size; ++x) {
+        sad += std::abs(static_cast<int>(crow[x]) - rrow[x]);
+      }
+    }
+    return sad;
+  }
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      int rx = ClampCoord(bx + dx + x, ref.width);
+      int ry = ClampCoord(by + dy + y, ref.height);
+      sad += std::abs(static_cast<int>(cur.At(bx + x, by + y)) - ref.At(rx, ry));
+    }
+  }
+  return sad;
+}
+
+MotionVector DiamondSearch(const Plane& cur, const Plane& ref, int bx, int by,
+                           int size, int search_radius, MotionVector predictor) {
+  auto evaluate = [&](int dx, int dy) -> int64_t {
+    return BlockSad(cur, ref, bx, by, size, dx, dy);
+  };
+
+  MotionVector best{0, 0, evaluate(0, 0)};
+  if (predictor.dx != 0 || predictor.dy != 0) {
+    int64_t sad = evaluate(predictor.dx, predictor.dy);
+    if (sad < best.sad) best = {predictor.dx, predictor.dy, sad};
+  }
+
+  // Large diamond pattern, repeated until the centre wins or the radius is
+  // exhausted; then one small-diamond refinement.
+  static const int kLarge[8][2] = {{0, -2}, {1, -1}, {2, 0},  {1, 1},
+                                   {0, 2},  {-1, 1}, {-2, 0}, {-1, -1}};
+  static const int kSmall[4][2] = {{0, -1}, {1, 0}, {0, 1}, {-1, 0}};
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (const auto& offset : kLarge) {
+      int dx = best.dx + offset[0];
+      int dy = best.dy + offset[1];
+      if (std::abs(dx) > search_radius || std::abs(dy) > search_radius) continue;
+      int64_t sad = evaluate(dx, dy);
+      if (sad < best.sad) {
+        best = {dx, dy, sad};
+        improved = true;
+      }
+    }
+  }
+  for (const auto& offset : kSmall) {
+    int dx = best.dx + offset[0];
+    int dy = best.dy + offset[1];
+    if (std::abs(dx) > search_radius || std::abs(dy) > search_radius) continue;
+    int64_t sad = evaluate(dx, dy);
+    if (sad < best.sad) best = {dx, dy, sad};
+  }
+  return best;
+}
+
+void MotionCompensate(const Plane& ref, int bx, int by, int size, int dx, int dy,
+                      uint8_t* out) {
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      int rx = ClampCoord(bx + dx + x, ref.width);
+      int ry = ClampCoord(by + dy + y, ref.height);
+      out[y * size + x] = ref.At(rx, ry);
+    }
+  }
+}
+
+}  // namespace visualroad::video::codec

@@ -1,0 +1,52 @@
+#ifndef VISUALROAD_VIDEO_CODEC_MOTION_H_
+#define VISUALROAD_VIDEO_CODEC_MOTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace visualroad::video::codec {
+
+/// A padded 8-bit sample plane used inside the codec. Dimensions are padded
+/// up to the profile's prediction-block multiple.
+struct Plane {
+  int width = 0;
+  int height = 0;
+  std::vector<uint8_t> samples;
+
+  Plane() = default;
+  Plane(int w, int h) : width(w), height(h), samples(static_cast<size_t>(w) * h, 0) {}
+
+  uint8_t At(int x, int y) const { return samples[static_cast<size_t>(y) * width + x]; }
+  void Set(int x, int y, uint8_t v) { samples[static_cast<size_t>(y) * width + x] = v; }
+  const uint8_t* Row(int y) const { return &samples[static_cast<size_t>(y) * width]; }
+  uint8_t* Row(int y) { return &samples[static_cast<size_t>(y) * width]; }
+};
+
+/// Integer-pel motion vector with its matching cost.
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  int64_t sad = 0;
+};
+
+/// Sum of absolute differences between the `size` x `size` block of `cur` at
+/// (bx, by) and the block of `ref` displaced by (dx, dy). Out-of-bounds
+/// reference samples are edge-clamped.
+int64_t BlockSad(const Plane& cur, const Plane& ref, int bx, int by, int size, int dx,
+                 int dy);
+
+/// Diamond-search motion estimation: evaluates the zero vector and the
+/// supplied predictor, then refines with a large-diamond / small-diamond
+/// pattern out to `search_radius`. Returns the best integer-pel vector.
+MotionVector DiamondSearch(const Plane& cur, const Plane& ref, int bx, int by,
+                           int size, int search_radius, MotionVector predictor);
+
+/// Copies the motion-compensated `size` x `size` prediction block from `ref`
+/// at (bx+dx, by+dy) into `out` (row-major, size*size). Edge-clamped.
+void MotionCompensate(const Plane& ref, int bx, int by, int size, int dx, int dy,
+                      uint8_t* out);
+
+}  // namespace visualroad::video::codec
+
+#endif  // VISUALROAD_VIDEO_CODEC_MOTION_H_

@@ -1,0 +1,36 @@
+#include "video/codec/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace visualroad::video::codec {
+
+double QpToStep(int qp) {
+  qp = std::clamp(qp, kMinQp, kMaxQp);
+  // Matches the H.264 convention: step(QP) ~= 0.625 * 2^(QP/6).
+  return 0.625 * std::pow(2.0, qp / 6.0);
+}
+
+void QuantizeBlock(const double* coefficients, int qp, int16_t* levels) {
+  double step = QpToStep(qp);
+  // Dead-zone fraction: values within 1/3 step of zero quantise to zero.
+  const double dead_zone = 1.0 / 3.0;
+  for (int i = 0; i < kTransformArea; ++i) {
+    double scaled = coefficients[i] / step;
+    double magnitude = std::abs(scaled);
+    int level = magnitude < dead_zone
+                    ? 0
+                    : static_cast<int>(magnitude + (1.0 - dead_zone) * 0.5);
+    level = std::min(level, 32767);
+    levels[i] = static_cast<int16_t>(scaled < 0 ? -level : level);
+  }
+}
+
+void DequantizeBlock(const int16_t* levels, int qp, double* coefficients) {
+  double step = QpToStep(qp);
+  for (int i = 0; i < kTransformArea; ++i) {
+    coefficients[i] = levels[i] * step;
+  }
+}
+
+}  // namespace visualroad::video::codec

@@ -1,0 +1,27 @@
+#ifndef VISUALROAD_VIDEO_CODEC_QUANT_H_
+#define VISUALROAD_VIDEO_CODEC_QUANT_H_
+
+#include <cstdint>
+
+#include "video/codec/dct.h"
+
+namespace visualroad::video::codec {
+
+/// Quantisation parameter range, H.264-style: step doubles every 6 QP.
+inline constexpr int kMinQp = 0;
+inline constexpr int kMaxQp = 51;
+
+/// Quantisation step size for `qp`.
+double QpToStep(int qp);
+
+/// Quantises a transform-coefficient block in place: level = round(coef/step)
+/// with a small dead zone that biases tiny coefficients to zero (as real
+/// encoders do). Writes 16-bit levels.
+void QuantizeBlock(const double* coefficients, int qp, int16_t* levels);
+
+/// Reconstructs coefficients from levels: coef = level * step.
+void DequantizeBlock(const int16_t* levels, int qp, double* coefficients);
+
+}  // namespace visualroad::video::codec
+
+#endif  // VISUALROAD_VIDEO_CODEC_QUANT_H_

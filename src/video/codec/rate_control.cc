@@ -1,0 +1,37 @@
+#include "video/codec/rate_control.h"
+
+#include <algorithm>
+
+#include "video/codec/quant.h"
+
+namespace visualroad::video::codec {
+
+RateController::RateController(int64_t target_bps, double fps, int base_qp)
+    : target_bps_(target_bps),
+      bits_per_frame_(fps > 0 ? static_cast<double>(target_bps) / fps : 0.0),
+      qp_(std::clamp(base_qp, kMinQp, kMaxQp)) {}
+
+int RateController::PickQp(bool keyframe) const {
+  int qp = qp_;
+  if (keyframe && !constant_qp()) qp -= 3;  // Spend more bits on anchors.
+  return std::clamp(qp, kMinQp, kMaxQp);
+}
+
+void RateController::Update(bool keyframe, int64_t bytes) {
+  if (constant_qp()) return;
+  double bits = static_cast<double>(bytes) * 8.0;
+  // Keyframes are budgeted at 3x an average frame.
+  double budget = bits_per_frame_ * (keyframe ? 3.0 : 1.0);
+  debt_bits_ += bits - budget;
+  // Proportional control: one QP step changes the rate by roughly 12%
+  // (2^(1/6) per step), so react when the debt exceeds half a frame budget.
+  if (debt_bits_ > bits_per_frame_ * 0.5) {
+    qp_ = std::min(qp_ + 1, kMaxQp);
+    debt_bits_ *= 0.5;
+  } else if (debt_bits_ < -bits_per_frame_ * 0.5) {
+    qp_ = std::max(qp_ - 1, kMinQp);
+    debt_bits_ *= 0.5;
+  }
+}
+
+}  // namespace visualroad::video::codec

@@ -1,0 +1,34 @@
+#ifndef VISUALROAD_VIDEO_CODEC_RATE_CONTROL_H_
+#define VISUALROAD_VIDEO_CODEC_RATE_CONTROL_H_
+
+#include <cstdint>
+
+namespace visualroad::video::codec {
+
+/// Closed-loop per-frame rate controller. Targets a constant bitrate by
+/// nudging QP after each frame based on the running bit debt; keyframes get a
+/// small QP bonus since they seed the rest of the GOP.
+class RateController {
+ public:
+  /// `target_bps` of 0 means constant-QP mode with `base_qp`.
+  RateController(int64_t target_bps, double fps, int base_qp);
+
+  /// QP to use for the next frame.
+  int PickQp(bool keyframe) const;
+
+  /// Reports the actual size of the frame just encoded.
+  void Update(bool keyframe, int64_t bytes);
+
+  bool constant_qp() const { return target_bps_ == 0; }
+  int current_qp() const { return qp_; }
+
+ private:
+  int64_t target_bps_;
+  double bits_per_frame_;
+  int qp_;
+  double debt_bits_ = 0.0;  // Positive when over budget.
+};
+
+}  // namespace visualroad::video::codec
+
+#endif  // VISUALROAD_VIDEO_CODEC_RATE_CONTROL_H_

@@ -1,0 +1,73 @@
+#include "video/color.h"
+
+#include <algorithm>
+
+namespace visualroad::video {
+
+namespace {
+uint8_t ClampByte(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+}
+}  // namespace
+
+Yuv RgbToYuv(const Rgb& rgb) {
+  double r = rgb.r, g = rgb.g, b = rgb.b;
+  return {ClampByte(0.299 * r + 0.587 * g + 0.114 * b),
+          ClampByte(-0.168736 * r - 0.331264 * g + 0.5 * b + 128.0),
+          ClampByte(0.5 * r - 0.418688 * g - 0.081312 * b + 128.0)};
+}
+
+Rgb YuvToRgb(const Yuv& yuv) {
+  double y = yuv.y, u = yuv.u - 128.0, v = yuv.v - 128.0;
+  return {ClampByte(y + 1.402 * v), ClampByte(y - 0.344136 * u - 0.714136 * v),
+          ClampByte(y + 1.772 * u)};
+}
+
+Frame RgbToFrame(const RgbImage& image) {
+  Frame frame(image.width, image.height);
+  for (int y = 0; y < image.height; ++y) {
+    for (int x = 0; x < image.width; ++x) {
+      const uint8_t* p = image.Pixel(x, y);
+      Yuv yuv = RgbToYuv({p[0], p[1], p[2]});
+      frame.SetY(x, y, yuv.y);
+    }
+  }
+  // Average each 2x2 block for the chroma planes.
+  int cw = frame.chroma_width(), ch = frame.chroma_height();
+  for (int cy = 0; cy < ch; ++cy) {
+    for (int cx = 0; cx < cw; ++cx) {
+      int u_sum = 0, v_sum = 0, count = 0;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          int x = cx * 2 + dx, y = cy * 2 + dy;
+          if (x >= image.width || y >= image.height) continue;
+          const uint8_t* p = image.Pixel(x, y);
+          Yuv yuv = RgbToYuv({p[0], p[1], p[2]});
+          u_sum += yuv.u;
+          v_sum += yuv.v;
+          ++count;
+        }
+      }
+      size_t idx = static_cast<size_t>(cy) * cw + cx;
+      frame.u_plane()[idx] = static_cast<uint8_t>(u_sum / count);
+      frame.v_plane()[idx] = static_cast<uint8_t>(v_sum / count);
+    }
+  }
+  return frame;
+}
+
+RgbImage FrameToRgb(const Frame& frame) {
+  RgbImage image(frame.width(), frame.height());
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      Rgb rgb = YuvToRgb({frame.Y(x, y), frame.U(x, y), frame.V(x, y)});
+      uint8_t* p = image.Pixel(x, y);
+      p[0] = rgb.r;
+      p[1] = rgb.g;
+      p[2] = rgb.b;
+    }
+  }
+  return image;
+}
+
+}  // namespace visualroad::video

@@ -1,0 +1,58 @@
+#ifndef VISUALROAD_VIDEO_COLOR_H_
+#define VISUALROAD_VIDEO_COLOR_H_
+
+#include <cstdint>
+
+#include "video/frame.h"
+
+namespace visualroad::video {
+
+/// A YUV triple, the native pixel type of the benchmark's convenience
+/// operators (PMap and friends operate on these).
+struct Yuv {
+  uint8_t y = 0;
+  uint8_t u = 128;
+  uint8_t v = 128;
+  bool operator==(const Yuv&) const = default;
+};
+
+/// An RGB triple.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+  bool operator==(const Rgb&) const = default;
+};
+
+/// BT.601 full-range RGB -> YUV conversion.
+Yuv RgbToYuv(const Rgb& rgb);
+
+/// BT.601 full-range YUV -> RGB conversion.
+Rgb YuvToRgb(const Yuv& yuv);
+
+/// Converts an interleaved RGB image to a planar YUV420 frame, averaging the
+/// 2x2 chroma neighbourhoods.
+Frame RgbToFrame(const RgbImage& image);
+
+/// Converts a YUV420 frame back to interleaved RGB (chroma replicated).
+RgbImage FrameToRgb(const Frame& frame);
+
+/// The black sentinel color omega used by the benchmark's masking and
+/// coalesce operators (Section 4.1).
+inline constexpr Yuv kOmega{0, 128, 128};
+
+/// True when the pixel equals the omega sentinel.
+inline bool IsOmega(const Yuv& p) { return p == kOmega; }
+
+/// True when the pixel is within `tolerance` of the omega sentinel on every
+/// channel. Consumers of *encoded* omega-sentinel videos (e.g. the VCD's
+/// Q6(a) box video) must use this form: near-lossless codec noise perturbs
+/// exact sentinel values by a few code levels.
+inline bool IsNearOmega(const Yuv& p, int tolerance = 8) {
+  return p.y <= tolerance && p.u >= 128 - tolerance && p.u <= 128 + tolerance &&
+         p.v >= 128 - tolerance && p.v <= 128 + tolerance;
+}
+
+}  // namespace visualroad::video
+
+#endif  // VISUALROAD_VIDEO_COLOR_H_

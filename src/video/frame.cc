@@ -1,0 +1,43 @@
+#include "video/frame.h"
+
+namespace visualroad::video {
+
+Frame::Frame(int width, int height)
+    : width_(width),
+      height_(height),
+      y_(static_cast<size_t>(width) * height, 0),
+      u_(static_cast<size_t>((width + 1) / 2) * ((height + 1) / 2), 128),
+      v_(static_cast<size_t>((width + 1) / 2) * ((height + 1) / 2), 128) {}
+
+void Frame::Fill(uint8_t yv, uint8_t uv, uint8_t vv) {
+  std::fill(y_.begin(), y_.end(), yv);
+  std::fill(u_.begin(), u_.end(), uv);
+  std::fill(v_.begin(), v_.end(), vv);
+}
+
+bool Frame::SameContentAs(const Frame& other) const {
+  return width_ == other.width_ && height_ == other.height_ && y_ == other.y_ &&
+         u_ == other.u_ && v_ == other.v_;
+}
+
+namespace {
+uint64_t HashBytes(uint64_t hash, const std::vector<uint8_t>& bytes) {
+  for (uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+}  // namespace
+
+uint64_t Frame::ContentHash() const {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  hash ^= static_cast<uint64_t>(width_) << 32 | static_cast<uint32_t>(height_);
+  hash *= 0x100000001b3ULL;
+  hash = HashBytes(hash, y_);
+  hash = HashBytes(hash, u_);
+  hash = HashBytes(hash, v_);
+  return hash;
+}
+
+}  // namespace visualroad::video

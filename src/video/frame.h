@@ -1,0 +1,106 @@
+#ifndef VISUALROAD_VIDEO_FRAME_H_
+#define VISUALROAD_VIDEO_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace visualroad::video {
+
+/// A single decoded video frame in planar YUV 4:2:0 (BT.601 range 0-255).
+/// The luma plane is width x height; the chroma planes are subsampled 2x in
+/// each dimension with ceiling division so odd sizes are representable.
+class Frame {
+ public:
+  Frame() = default;
+  /// Creates a frame filled with black (Y=0, U=V=128).
+  Frame(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int chroma_width() const { return (width_ + 1) / 2; }
+  int chroma_height() const { return (height_ + 1) / 2; }
+  bool Empty() const { return width_ == 0 || height_ == 0; }
+
+  const std::vector<uint8_t>& y_plane() const { return y_; }
+  const std::vector<uint8_t>& u_plane() const { return u_; }
+  const std::vector<uint8_t>& v_plane() const { return v_; }
+  std::vector<uint8_t>& y_plane() { return y_; }
+  std::vector<uint8_t>& u_plane() { return u_; }
+  std::vector<uint8_t>& v_plane() { return v_; }
+
+  uint8_t Y(int x, int y) const { return y_[static_cast<size_t>(y) * width_ + x]; }
+  uint8_t U(int x, int y) const {
+    return u_[static_cast<size_t>(y / 2) * chroma_width() + x / 2];
+  }
+  uint8_t V(int x, int y) const {
+    return v_[static_cast<size_t>(y / 2) * chroma_width() + x / 2];
+  }
+
+  void SetY(int x, int y, uint8_t value) {
+    y_[static_cast<size_t>(y) * width_ + x] = value;
+  }
+  void SetChroma(int x, int y, uint8_t u, uint8_t v) {
+    size_t idx = static_cast<size_t>(y / 2) * chroma_width() + x / 2;
+    u_[idx] = u;
+    v_[idx] = v;
+  }
+
+  /// Sets the full-resolution pixel (x, y) to the given YUV triple. Chroma is
+  /// stored at the co-sited subsampled position.
+  void SetPixel(int x, int y, uint8_t yv, uint8_t uv, uint8_t vv) {
+    SetY(x, y, yv);
+    SetChroma(x, y, uv, vv);
+  }
+
+  /// Fills the frame with a constant YUV color.
+  void Fill(uint8_t yv, uint8_t uv, uint8_t vv);
+
+  /// True if every sample matches `other` exactly.
+  bool SameContentAs(const Frame& other) const;
+
+  /// 64-bit content hash (FNV-1a over all three planes); used by engines that
+  /// cache decoded content.
+  uint64_t ContentHash() const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> y_;
+  std::vector<uint8_t> u_;
+  std::vector<uint8_t> v_;
+};
+
+/// A decoded video: an ordered frame sequence at a constant frame rate.
+struct Video {
+  std::vector<Frame> frames;
+  double fps = 30.0;
+
+  int FrameCount() const { return static_cast<int>(frames.size()); }
+  int Width() const { return frames.empty() ? 0 : frames.front().width(); }
+  int Height() const { return frames.empty() ? 0 : frames.front().height(); }
+  double DurationSeconds() const {
+    return fps > 0 ? static_cast<double>(frames.size()) / fps : 0.0;
+  }
+};
+
+/// An RGB24 interleaved image used at simulation/render boundaries.
+struct RgbImage {
+  int width = 0;
+  int height = 0;
+  std::vector<uint8_t> data;  // 3 bytes per pixel, row-major.
+
+  RgbImage() = default;
+  RgbImage(int w, int h) : width(w), height(h), data(static_cast<size_t>(w) * h * 3, 0) {}
+
+  uint8_t* Pixel(int x, int y) { return &data[(static_cast<size_t>(y) * width + x) * 3]; }
+  const uint8_t* Pixel(int x, int y) const {
+    return &data[(static_cast<size_t>(y) * width + x) * 3];
+  }
+};
+
+}  // namespace visualroad::video
+
+#endif  // VISUALROAD_VIDEO_FRAME_H_

@@ -1,0 +1,107 @@
+#include "video/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace visualroad::video {
+
+namespace {
+double PlaneSse(const std::vector<uint8_t>& a, const std::vector<uint8_t>& b) {
+  double sse = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    sse += d * d;
+  }
+  return sse;
+}
+}  // namespace
+
+StatusOr<double> LumaMse(const Frame& a, const Frame& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    return Status::InvalidArgument("MSE inputs must share a resolution");
+  }
+  if (a.y_plane().empty()) return Status::InvalidArgument("MSE of empty frames");
+  return PlaneSse(a.y_plane(), b.y_plane()) / static_cast<double>(a.y_plane().size());
+}
+
+StatusOr<double> Psnr(const Frame& a, const Frame& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    return Status::InvalidArgument("PSNR inputs must share a resolution");
+  }
+  size_t samples = a.y_plane().size() + a.u_plane().size() + a.v_plane().size();
+  if (samples == 0) return Status::InvalidArgument("PSNR of empty frames");
+  double sse = PlaneSse(a.y_plane(), b.y_plane()) + PlaneSse(a.u_plane(), b.u_plane()) +
+               PlaneSse(a.v_plane(), b.v_plane());
+  if (sse == 0.0) return std::numeric_limits<double>::infinity();
+  double mse = sse / static_cast<double>(samples);
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+StatusOr<double> Ssim(const Frame& a, const Frame& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    return Status::InvalidArgument("SSIM inputs must share a resolution");
+  }
+  if (a.width() < 8 || a.height() < 8) {
+    return Status::InvalidArgument("SSIM needs frames of at least 8x8");
+  }
+  // Standard constants for 8-bit dynamic range.
+  const double c1 = (0.01 * 255.0) * (0.01 * 255.0);
+  const double c2 = (0.03 * 255.0) * (0.03 * 255.0);
+  const int window = 8;
+
+  double total = 0.0;
+  int windows = 0;
+  for (int y0 = 0; y0 + window <= a.height(); y0 += window) {
+    for (int x0 = 0; x0 + window <= a.width(); x0 += window) {
+      double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+      for (int y = y0; y < y0 + window; ++y) {
+        for (int x = x0; x < x0 + window; ++x) {
+          double va = a.Y(x, y), vb = b.Y(x, y);
+          sum_a += va;
+          sum_b += vb;
+          sum_aa += va * va;
+          sum_bb += vb * vb;
+          sum_ab += va * vb;
+        }
+      }
+      const double n = window * window;
+      double mu_a = sum_a / n, mu_b = sum_b / n;
+      double var_a = sum_aa / n - mu_a * mu_a;
+      double var_b = sum_bb / n - mu_b * mu_b;
+      double cov = sum_ab / n - mu_a * mu_b;
+      double score = ((2 * mu_a * mu_b + c1) * (2 * cov + c2)) /
+                     ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+      total += score;
+      ++windows;
+    }
+  }
+  return total / windows;
+}
+
+StatusOr<double> MeanSsim(const Video& a, const Video& b) {
+  if (a.frames.size() != b.frames.size()) {
+    return Status::InvalidArgument("SSIM videos must have equal frame counts");
+  }
+  if (a.frames.empty()) return Status::InvalidArgument("SSIM of empty videos");
+  double sum = 0.0;
+  for (size_t i = 0; i < a.frames.size(); ++i) {
+    VR_ASSIGN_OR_RETURN(double ssim, Ssim(a.frames[i], b.frames[i]));
+    sum += ssim;
+  }
+  return sum / static_cast<double>(a.frames.size());
+}
+
+StatusOr<double> MeanPsnr(const Video& a, const Video& b, double cap_db) {
+  if (a.frames.size() != b.frames.size()) {
+    return Status::InvalidArgument("PSNR videos must have equal frame counts");
+  }
+  if (a.frames.empty()) return Status::InvalidArgument("PSNR of empty videos");
+  double sum = 0.0;
+  for (size_t i = 0; i < a.frames.size(); ++i) {
+    VR_ASSIGN_OR_RETURN(double psnr, Psnr(a.frames[i], b.frames[i]));
+    sum += std::min(psnr, cap_db);
+  }
+  return sum / static_cast<double>(a.frames.size());
+}
+
+}  // namespace visualroad::video

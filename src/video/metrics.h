@@ -1,0 +1,51 @@
+#ifndef VISUALROAD_VIDEO_METRICS_H_
+#define VISUALROAD_VIDEO_METRICS_H_
+
+#include "common/status.h"
+#include "video/frame.h"
+
+namespace visualroad::video {
+
+/// Mean squared error over the luma plane of two equal-size frames.
+StatusOr<double> LumaMse(const Frame& a, const Frame& b);
+
+/// Peak signal-to-noise ratio in dB over all three planes. Identical frames
+/// return +infinity. This is the frame-validation metric of Section 3.2;
+/// values >= 40 dB are treated as near-lossless by the VCD.
+StatusOr<double> Psnr(const Frame& a, const Frame& b);
+
+/// Mean PSNR across two videos (frame count and resolutions must match).
+/// Frames that match exactly contribute `cap_db` (default 99 dB) so means
+/// remain finite.
+StatusOr<double> MeanPsnr(const Video& a, const Video& b, double cap_db = 99.0);
+
+/// Structural similarity (SSIM) over the luma plane, computed on 8x8
+/// windows with the standard stabilising constants; returns the mean window
+/// score in [-1, 1] (1 = identical). The paper fixes PSNR as version 1.0's
+/// validation metric and names alternative metrics as future work
+/// (Section 3.2); SSIM is provided as that extension and selectable through
+/// the validation-metric option.
+StatusOr<double> Ssim(const Frame& a, const Frame& b);
+
+/// Mean SSIM across two videos (frame counts must match).
+StatusOr<double> MeanSsim(const Video& a, const Video& b);
+
+/// Validation metrics selectable by the VCD (PSNR is the paper's v1.0
+/// metric; SSIM is the extension).
+enum class ValidationMetric {
+  kPsnr = 0,
+  kSsim = 1,
+};
+
+/// The VCD's near-lossless frame validation threshold (Section 3.2).
+inline constexpr double kValidationPsnrDb = 40.0;
+
+/// Near-lossless SSIM threshold used when the SSIM metric is selected.
+inline constexpr double kValidationSsim = 0.98;
+
+/// The looser stitching threshold used by Q9 (Section 4.2.2).
+inline constexpr double kStitchingPsnrDb = 30.0;
+
+}  // namespace visualroad::video
+
+#endif  // VISUALROAD_VIDEO_METRICS_H_

@@ -1,0 +1,192 @@
+#include "video/rtp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace visualroad::video::rtp {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 12;
+constexpr uint8_t kVersionBits = 2 << 6;  // RTP version 2, no padding/ext/CSRC.
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+}  // namespace
+
+std::vector<uint8_t> Packet::Serialize() const {
+  std::vector<uint8_t> wire;
+  wire.reserve(kHeaderBytes + payload.size());
+  wire.push_back(kVersionBits);
+  wire.push_back(static_cast<uint8_t>((marker ? 0x80 : 0) | (payload_type & 0x7F)));
+  PutU16(wire, sequence_number);
+  PutU32(wire, timestamp);
+  PutU32(wire, ssrc);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return wire;
+}
+
+StatusOr<Packet> Packet::Parse(const std::vector<uint8_t>& wire) {
+  if (wire.size() < kHeaderBytes) {
+    return Status::DataLoss("RTP packet shorter than its header");
+  }
+  if ((wire[0] >> 6) != 2) {
+    return Status::InvalidArgument("unsupported RTP version");
+  }
+  Packet packet;
+  packet.marker = (wire[1] & 0x80) != 0;
+  packet.payload_type = wire[1] & 0x7F;
+  packet.sequence_number = static_cast<uint16_t>((wire[2] << 8) | wire[3]);
+  packet.timestamp = (static_cast<uint32_t>(wire[4]) << 24) |
+                     (static_cast<uint32_t>(wire[5]) << 16) |
+                     (static_cast<uint32_t>(wire[6]) << 8) | wire[7];
+  packet.ssrc = (static_cast<uint32_t>(wire[8]) << 24) |
+                (static_cast<uint32_t>(wire[9]) << 16) |
+                (static_cast<uint32_t>(wire[10]) << 8) | wire[11];
+  packet.payload.assign(wire.begin() + kHeaderBytes, wire.end());
+  return packet;
+}
+
+Packetizer::Packetizer(uint32_t ssrc, int mtu, uint16_t first_sequence)
+    : ssrc_(ssrc), mtu_(std::max(16, mtu)), sequence_(first_sequence) {}
+
+std::vector<Packet> Packetizer::PacketizeFrame(const codec::EncodedFrame& frame,
+                                               int frame_index, double fps) {
+  // RTP video timestamps run on a 90 kHz clock.
+  uint32_t timestamp = static_cast<uint32_t>(
+      std::llround(frame_index * 90000.0 / (fps > 0 ? fps : 30.0)));
+
+  std::vector<Packet> packets;
+  size_t offset = 0;
+  size_t chunk = static_cast<size_t>(mtu_) - 2;  // Payload header takes 2 bytes.
+  bool first = true;
+  do {
+    size_t take = std::min(chunk, frame.data.size() - offset);
+    Packet packet;
+    packet.sequence_number = sequence_++;
+    packet.timestamp = timestamp;
+    packet.ssrc = ssrc_;
+    // Payload header: flags byte + QP.
+    uint8_t flags = 0;
+    if (frame.keyframe) flags |= 0x01;
+    if (first) flags |= 0x02;
+    packet.payload.push_back(flags);
+    packet.payload.push_back(frame.qp);
+    packet.payload.insert(packet.payload.end(), frame.data.begin() + offset,
+                          frame.data.begin() + offset + take);
+    offset += take;
+    packet.marker = offset >= frame.data.size();
+    packets.push_back(std::move(packet));
+    first = false;
+  } while (offset < frame.data.size());
+  return packets;
+}
+
+std::vector<Packet> Packetizer::PacketizeVideo(const codec::EncodedVideo& video) {
+  std::vector<Packet> packets;
+  for (int f = 0; f < video.FrameCount(); ++f) {
+    std::vector<Packet> frame_packets =
+        PacketizeFrame(video.frames[static_cast<size_t>(f)], f, video.fps);
+    for (Packet& packet : frame_packets) packets.push_back(std::move(packet));
+  }
+  return packets;
+}
+
+void Depacketizer::Feed(const Packet& packet) {
+  ++stats_.packets_received;
+
+  // Loss detection by sequence gap (16-bit wraparound handled).
+  if (has_last_sequence_) {
+    uint16_t expected = static_cast<uint16_t>(last_sequence_ + 1);
+    if (packet.sequence_number != expected) {
+      uint16_t gap = static_cast<uint16_t>(packet.sequence_number - expected);
+      stats_.packets_lost += gap;
+      assembly_broken_ = assembling_ || gap > 0;
+    }
+  }
+  last_sequence_ = packet.sequence_number;
+  has_last_sequence_ = true;
+
+  if (packet.payload.size() < 2) {
+    assembly_broken_ = true;
+    return;
+  }
+  uint8_t flags = packet.payload[0];
+  bool keyframe = (flags & 0x01) != 0;
+  bool first_fragment = (flags & 0x02) != 0;
+
+  if (first_fragment) {
+    // Starting a new frame; a frame still mid-assembly was truncated.
+    if (assembling_) ++stats_.frames_dropped;
+    assembly_.clear();
+    assembling_ = true;
+    assembly_broken_ = false;
+    assembly_keyframe_ = keyframe;
+    assembly_qp_ = packet.payload[1];
+  } else if (!assembling_) {
+    // Mid-frame fragment without a start: its head was lost.
+    assembly_broken_ = true;
+    return;
+  }
+
+  assembly_.insert(assembly_.end(), packet.payload.begin() + 2,
+                   packet.payload.end());
+
+  if (packet.marker) {
+    if (assembly_broken_) {
+      ++stats_.frames_dropped;
+    } else {
+      codec::EncodedFrame frame;
+      frame.keyframe = assembly_keyframe_;
+      frame.qp = assembly_qp_;
+      frame.data = assembly_;
+      frames_.push_back(std::move(frame));
+      ++stats_.frames_completed;
+    }
+    assembly_.clear();
+    assembling_ = false;
+    assembly_broken_ = false;
+  }
+}
+
+StatusOr<codec::EncodedFrame> Depacketizer::TakeFrame() {
+  if (frames_.empty()) return Status::FailedPrecondition("no complete frame ready");
+  codec::EncodedFrame frame = std::move(frames_.front());
+  frames_.erase(frames_.begin());
+  return frame;
+}
+
+StatusOr<codec::EncodedVideo> Loopback(const codec::EncodedVideo& video, int mtu) {
+  Packetizer packetizer(0x5EED, mtu);
+  Depacketizer depacketizer;
+  codec::EncodedVideo out;
+  out.profile = video.profile;
+  out.width = video.width;
+  out.height = video.height;
+  out.fps = video.fps;
+  for (const Packet& packet : packetizer.PacketizeVideo(video)) {
+    // Exercise the wire format round trip too.
+    VR_ASSIGN_OR_RETURN(Packet parsed, Packet::Parse(packet.Serialize()));
+    depacketizer.Feed(parsed);
+    while (depacketizer.HasFrame()) {
+      VR_ASSIGN_OR_RETURN(codec::EncodedFrame frame, depacketizer.TakeFrame());
+      out.frames.push_back(std::move(frame));
+    }
+  }
+  if (out.FrameCount() != video.FrameCount()) {
+    return Status::DataLoss("loopback lost frames");
+  }
+  return out;
+}
+
+}  // namespace visualroad::video::rtp

@@ -1,0 +1,104 @@
+#ifndef VISUALROAD_VIDEO_RTP_H_
+#define VISUALROAD_VIDEO_RTP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "video/codec/codec.h"
+
+namespace visualroad::video::rtp {
+
+/// An RTP-style packet (RFC 3550 layout subset): 12-byte header + payload.
+/// The VCD's online mode can expose video "using either a named pipe ... or
+/// via the RTP protocol" (Section 3.2); this module implements the RTP path:
+/// frames are fragmented into MTU-sized packets with sequence numbers and
+/// timestamps, and the receiving side reassembles them, detecting loss.
+struct Packet {
+  // Header fields (the subset VRC streaming uses).
+  uint16_t sequence_number = 0;
+  uint32_t timestamp = 0;       // 90 kHz clock, per RTP video convention.
+  uint32_t ssrc = 0;            // Stream identifier.
+  bool marker = false;          // Set on the last packet of a frame.
+  uint8_t payload_type = 96;    // Dynamic payload type for VRC.
+  std::vector<uint8_t> payload;
+
+  /// Serialises to wire format (12-byte header, big-endian, then payload).
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses a wire-format packet.
+  static StatusOr<Packet> Parse(const std::vector<uint8_t>& wire);
+};
+
+/// Per-packet metadata prefix VRC adds inside the payload (1 byte flags +
+/// frame QP), carrying what the elementary stream needs beyond raw bytes.
+struct PayloadHeader {
+  bool keyframe = false;
+  bool first_fragment = false;
+  uint8_t qp = 28;
+};
+
+/// Fragments an encoded video into an RTP packet stream.
+class Packetizer {
+ public:
+  /// `mtu` bounds each packet's payload (plus the 12-byte RTP header).
+  Packetizer(uint32_t ssrc, int mtu = 1200, uint16_t first_sequence = 0);
+
+  /// Packetises one frame; `frame_index` and `fps` produce the timestamp.
+  std::vector<Packet> PacketizeFrame(const codec::EncodedFrame& frame,
+                                     int frame_index, double fps);
+
+  /// Packetises a whole stream.
+  std::vector<Packet> PacketizeVideo(const codec::EncodedVideo& video);
+
+  uint16_t next_sequence() const { return sequence_; }
+
+ private:
+  uint32_t ssrc_;
+  int mtu_;
+  uint16_t sequence_;
+};
+
+/// Statistics from reassembly.
+struct ReceiverStats {
+  int64_t packets_received = 0;
+  int64_t packets_lost = 0;      // Sequence-number gaps.
+  int64_t frames_completed = 0;
+  int64_t frames_dropped = 0;    // Incomplete at the next frame boundary.
+};
+
+/// Reassembles frames from an (ordered, possibly lossy) packet stream.
+class Depacketizer {
+ public:
+  /// Feeds one packet. Returns a completed frame when `packet` finishes one
+  /// (marker bit), otherwise nullopt-like empty StatusOr handled by
+  /// HasFrame/TakeFrame below.
+  void Feed(const Packet& packet);
+
+  /// True when at least one complete frame is ready.
+  bool HasFrame() const { return !frames_.empty(); }
+
+  /// Pops the next completed frame in arrival order.
+  StatusOr<codec::EncodedFrame> TakeFrame();
+
+  const ReceiverStats& stats() const { return stats_; }
+
+ private:
+  std::vector<codec::EncodedFrame> frames_;
+  std::vector<uint8_t> assembly_;
+  bool assembly_keyframe_ = false;
+  uint8_t assembly_qp_ = 28;
+  bool assembling_ = false;
+  bool assembly_broken_ = false;
+  bool has_last_sequence_ = false;
+  uint16_t last_sequence_ = 0;
+  ReceiverStats stats_;
+};
+
+/// Convenience: packetise then reassemble an entire video (the loopback
+/// path used by tests and the online driver when no loss is injected).
+StatusOr<codec::EncodedVideo> Loopback(const codec::EncodedVideo& video, int mtu);
+
+}  // namespace visualroad::video::rtp
+
+#endif  // VISUALROAD_VIDEO_RTP_H_

@@ -1,0 +1,139 @@
+#include "video/webvtt.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace visualroad::video {
+
+namespace {
+
+/// Formats seconds as HH:MM:SS.mmm.
+std::string FormatTimestamp(double seconds) {
+  if (seconds < 0) seconds = 0;
+  int total_ms = static_cast<int>(std::lround(seconds * 1000.0));
+  int ms = total_ms % 1000;
+  int s = (total_ms / 1000) % 60;
+  int m = (total_ms / 60000) % 60;
+  int h = total_ms / 3600000;
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%02d:%02d:%02d.%03d", h, m, s, ms);
+  return buffer;
+}
+
+/// Parses HH:MM:SS.mmm or MM:SS.mmm.
+bool ParseTimestamp(const std::string& token, double& out) {
+  int h = 0, m = 0, s = 0, ms = 0;
+  if (std::sscanf(token.c_str(), "%d:%d:%d.%d", &h, &m, &s, &ms) == 4) {
+    out = h * 3600.0 + m * 60.0 + s + ms / 1000.0;
+    return true;
+  }
+  if (std::sscanf(token.c_str(), "%d:%d.%d", &m, &s, &ms) == 3) {
+    out = m * 60.0 + s + ms / 1000.0;
+    return true;
+  }
+  return false;
+}
+
+/// Parses "name:value%" cue settings (line and position only).
+void ApplyCueSetting(WebVttCue& cue, const std::string& setting) {
+  size_t colon = setting.find(':');
+  if (colon == std::string::npos) return;
+  std::string name = setting.substr(0, colon);
+  std::string value = setting.substr(colon + 1);
+  if (!value.empty() && value.back() == '%') value.pop_back();
+  double percent = 0.0;
+  if (std::sscanf(value.c_str(), "%lf", &percent) != 1) return;
+  if (name == "line") cue.line_percent = percent;
+  if (name == "position") cue.position_percent = percent;
+}
+
+std::string TrimCr(std::string line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+std::vector<const WebVttCue*> WebVttDocument::ActiveAt(double seconds) const {
+  std::vector<const WebVttCue*> active;
+  for (const WebVttCue& cue : cues) {
+    if (cue.start_seconds <= seconds && seconds < cue.end_seconds) {
+      active.push_back(&cue);
+    }
+  }
+  return active;
+}
+
+std::string SerializeWebVtt(const WebVttDocument& document) {
+  std::ostringstream out;
+  out << "WEBVTT\n\n";
+  for (const WebVttCue& cue : document.cues) {
+    out << FormatTimestamp(cue.start_seconds) << " --> "
+        << FormatTimestamp(cue.end_seconds) << " line:" << cue.line_percent
+        << "% position:" << cue.position_percent << "%\n";
+    out << cue.text << "\n\n";
+  }
+  return out.str();
+}
+
+StatusOr<WebVttDocument> ParseWebVtt(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || TrimCr(line).substr(0, 6) != "WEBVTT") {
+    return Status::InvalidArgument("missing WEBVTT header");
+  }
+
+  WebVttDocument document;
+  while (std::getline(in, line)) {
+    line = TrimCr(line);
+    if (line.empty()) continue;
+    if (line.rfind("NOTE", 0) == 0) {
+      // Skip comment block until a blank line.
+      while (std::getline(in, line) && !TrimCr(line).empty()) {
+      }
+      continue;
+    }
+    // Optional cue identifier line (no "-->").
+    if (line.find("-->") == std::string::npos) {
+      if (!std::getline(in, line)) break;
+      line = TrimCr(line);
+    }
+    size_t arrow = line.find("-->");
+    if (arrow == std::string::npos) {
+      return Status::InvalidArgument("expected cue timing line: " + line);
+    }
+
+    WebVttCue cue;
+    std::string start_token = line.substr(0, arrow);
+    // Strip whitespace around tokens.
+    std::istringstream start_stream(start_token);
+    start_stream >> start_token;
+    std::istringstream rest(line.substr(arrow + 3));
+    std::string end_token;
+    rest >> end_token;
+    if (!ParseTimestamp(start_token, cue.start_seconds) ||
+        !ParseTimestamp(end_token, cue.end_seconds)) {
+      return Status::InvalidArgument("malformed cue timestamp: " + line);
+    }
+    if (cue.end_seconds < cue.start_seconds) {
+      return Status::InvalidArgument("cue ends before it starts: " + line);
+    }
+    std::string setting;
+    while (rest >> setting) ApplyCueSetting(cue, setting);
+
+    // Payload: lines until a blank line.
+    std::string payload;
+    while (std::getline(in, line)) {
+      line = TrimCr(line);
+      if (line.empty()) break;
+      if (!payload.empty()) payload += "\n";
+      payload += line;
+    }
+    cue.text = payload;
+    document.cues.push_back(std::move(cue));
+  }
+  return document;
+}
+
+}  // namespace visualroad::video

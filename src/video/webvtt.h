@@ -1,0 +1,42 @@
+#ifndef VISUALROAD_VIDEO_WEBVTT_H_
+#define VISUALROAD_VIDEO_WEBVTT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace visualroad::video {
+
+/// One WebVTT cue. Visual Road's Q6(b) requires VDBMSs to honour only the
+/// `line` and `position` cue settings (Section 4.1.1), both expressed as
+/// percentages of the frame.
+struct WebVttCue {
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  /// Vertical placement, percent of frame height [0, 100].
+  double line_percent = 90.0;
+  /// Horizontal placement, percent of frame width [0, 100].
+  double position_percent = 50.0;
+  std::string text;
+};
+
+/// A parsed WebVTT document.
+struct WebVttDocument {
+  std::vector<WebVttCue> cues;
+
+  /// Returns the cues active at `seconds` (start <= t < end).
+  std::vector<const WebVttCue*> ActiveAt(double seconds) const;
+};
+
+/// Serialises cues into a WebVTT text document ("WEBVTT" header, one cue per
+/// block with line/position settings).
+std::string SerializeWebVtt(const WebVttDocument& document);
+
+/// Parses a WebVTT document. Tolerates comments/NOTE blocks; returns an
+/// error for malformed timestamps or a missing header.
+StatusOr<WebVttDocument> ParseWebVtt(const std::string& text);
+
+}  // namespace visualroad::video
+
+#endif  // VISUALROAD_VIDEO_WEBVTT_H_

@@ -1,0 +1,109 @@
+#include "vision/background.h"
+
+#include <algorithm>
+
+#include "video/image_ops.h"
+
+namespace visualroad::vision {
+
+namespace {
+
+Status Validate(const video::Video& input, int m, double epsilon) {
+  if (input.frames.empty()) return Status::InvalidArgument("empty input video");
+  if (m < 1) return Status::InvalidArgument("window size must be positive");
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must lie in (0, 1)");
+  }
+  return Status::Ok();
+}
+
+/// Builds the mean frame from integer plane accumulators.
+video::Frame MeanFromSums(const std::vector<uint32_t>& y_sum,
+                          const std::vector<uint32_t>& u_sum,
+                          const std::vector<uint32_t>& v_sum, int count, int width,
+                          int height) {
+  video::Frame mean(width, height);
+  for (size_t i = 0; i < y_sum.size(); ++i) {
+    mean.y_plane()[i] = static_cast<uint8_t>(y_sum[i] / count);
+  }
+  for (size_t i = 0; i < u_sum.size(); ++i) {
+    mean.u_plane()[i] = static_cast<uint8_t>(u_sum[i] / count);
+    mean.v_plane()[i] = static_cast<uint8_t>(v_sum[i] / count);
+  }
+  return mean;
+}
+
+}  // namespace
+
+StatusOr<video::Video> MaskBackgroundRunning(const video::Video& input, int m,
+                                             double epsilon) {
+  VR_RETURN_IF_ERROR(Validate(input, m, epsilon));
+  int n = input.FrameCount();
+  int width = input.Width(), height = input.Height();
+
+  std::vector<uint32_t> y_sum(input.frames[0].y_plane().size(), 0);
+  std::vector<uint32_t> u_sum(input.frames[0].u_plane().size(), 0);
+  std::vector<uint32_t> v_sum(input.frames[0].v_plane().size(), 0);
+
+  auto add = [&](const video::Frame& f, int sign) {
+    const auto& y = f.y_plane();
+    for (size_t i = 0; i < y.size(); ++i) {
+      y_sum[i] = static_cast<uint32_t>(static_cast<int64_t>(y_sum[i]) + sign * y[i]);
+    }
+    const auto& u = f.u_plane();
+    const auto& v = f.v_plane();
+    for (size_t i = 0; i < u.size(); ++i) {
+      u_sum[i] = static_cast<uint32_t>(static_cast<int64_t>(u_sum[i]) + sign * u[i]);
+      v_sum[i] = static_cast<uint32_t>(static_cast<int64_t>(v_sum[i]) + sign * v[i]);
+    }
+  };
+
+  // Prime the first window [0, min(m, n)).
+  int window_end = std::min(m, n);
+  for (int k = 0; k < window_end; ++k) add(input.frames[k], +1);
+  int window_start = 0;
+
+  video::Video out;
+  out.fps = input.fps;
+  out.frames.reserve(n);
+  for (int j = 0; j < n; ++j) {
+    // Slide the window so it covers [j, j+m) truncated at n.
+    while (window_start < j) {
+      add(input.frames[window_start], -1);
+      ++window_start;
+    }
+    while (window_end < std::min(j + m, n)) {
+      add(input.frames[window_end], +1);
+      ++window_end;
+    }
+    int count = window_end - window_start;
+    video::Frame background =
+        MeanFromSums(y_sum, u_sum, v_sum, count, width, height);
+    VR_ASSIGN_OR_RETURN(video::Frame masked,
+                        video::MaskAgainstBackground(input.frames[j], background,
+                                                     epsilon));
+    out.frames.push_back(std::move(masked));
+  }
+  return out;
+}
+
+StatusOr<video::Video> MaskBackgroundNaive(const video::Video& input, int m,
+                                           double epsilon) {
+  VR_RETURN_IF_ERROR(Validate(input, m, epsilon));
+  int n = input.FrameCount();
+  video::Video out;
+  out.fps = input.fps;
+  out.frames.reserve(n);
+  for (int j = 0; j < n; ++j) {
+    std::vector<const video::Frame*> window;
+    for (int k = j; k < std::min(j + m, n); ++k) window.push_back(&input.frames[k]);
+    VR_ASSIGN_OR_RETURN(video::Frame background, video::MeanFrame(window));
+    VR_ASSIGN_OR_RETURN(video::Frame masked,
+                        video::MaskAgainstBackground(input.frames[j], background,
+                                                     epsilon));
+    out.frames.push_back(std::move(masked));
+  }
+  return out;
+}
+
+}  // namespace visualroad::vision

@@ -1,0 +1,88 @@
+#include "vision/convnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace visualroad::vision {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               uint64_t seed)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      weights_(static_cast<size_t>(out_channels) * in_channels * kernel * kernel),
+      bias_(out_channels) {
+  Pcg32 rng = SubStream(seed, "conv-weights");
+  double scale = std::sqrt(2.0 / (in_channels * kernel * kernel));
+  for (float& w : weights_) w = static_cast<float>(rng.NextGaussian(0.0, scale));
+  for (float& b : bias_) b = static_cast<float>(rng.NextGaussian(0.0, 0.01));
+}
+
+Tensor Conv2d::Forward(const Tensor& input) const {
+  int pad = kernel_ / 2;
+  int out_h = (input.height() + 2 * pad - kernel_) / stride_ + 1;
+  int out_w = (input.width() + 2 * pad - kernel_) / stride_ + 1;
+  Tensor output(out_channels_, out_h, out_w);
+
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        float acc = bias_[oc];
+        int base_y = oy * stride_ - pad;
+        int base_x = ox * stride_ - pad;
+        for (int ic = 0; ic < in_channels_; ++ic) {
+          const float* in_channel = input.Channel(ic);
+          const float* w = &weights_[((static_cast<size_t>(oc) * in_channels_ + ic) *
+                                      kernel_) *
+                                     kernel_];
+          for (int ky = 0; ky < kernel_; ++ky) {
+            int iy = base_y + ky;
+            if (iy < 0 || iy >= input.height()) continue;
+            const float* row = in_channel + static_cast<size_t>(iy) * input.width();
+            for (int kx = 0; kx < kernel_; ++kx) {
+              int ix = base_x + kx;
+              if (ix < 0 || ix >= input.width()) continue;
+              acc += w[ky * kernel_ + kx] * row[ix];
+            }
+          }
+        }
+        output.At(oc, oy, ox) = acc;
+      }
+    }
+  }
+  return output;
+}
+
+int64_t Conv2d::MacsFor(int height, int width) const {
+  int out_h = height / stride_, out_w = width / stride_;
+  return static_cast<int64_t>(out_channels_) * in_channels_ * kernel_ * kernel_ *
+         out_h * out_w;
+}
+
+Tensor MaxPool2x2(const Tensor& input) {
+  int out_h = input.height() / 2, out_w = input.width() / 2;
+  Tensor output(input.channels(), out_h, out_w);
+  for (int c = 0; c < input.channels(); ++c) {
+    for (int y = 0; y < out_h; ++y) {
+      for (int x = 0; x < out_w; ++x) {
+        float m = input.At(c, y * 2, x * 2);
+        m = std::max(m, input.At(c, y * 2, x * 2 + 1));
+        m = std::max(m, input.At(c, y * 2 + 1, x * 2));
+        m = std::max(m, input.At(c, y * 2 + 1, x * 2 + 1));
+        output.At(c, y, x) = m;
+      }
+    }
+  }
+  return output;
+}
+
+void LeakyRelu(Tensor& tensor) {
+  for (float& v : tensor.data()) {
+    if (v < 0) v *= 0.1f;
+  }
+}
+
+}  // namespace visualroad::vision

@@ -1,0 +1,44 @@
+#ifndef VISUALROAD_VISION_CONVNET_H_
+#define VISUALROAD_VISION_CONVNET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vision/tensor.h"
+
+namespace visualroad::vision {
+
+/// A 3x3 (or 1x1) convolution layer with bias, optional stride, and
+/// zero padding, executed as a straightforward direct convolution.
+class Conv2d {
+ public:
+  /// Initialises He-style random weights from `seed` (deterministic).
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, uint64_t seed);
+
+  Tensor Forward(const Tensor& input) const;
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  /// Multiply-accumulate operations per forward pass of an input of the
+  /// given spatial size — used for FLOP accounting in benches.
+  int64_t MacsFor(int height, int width) const;
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  std::vector<float> weights_;  // [out][in][k][k]
+  std::vector<float> bias_;
+};
+
+/// 2x2 max pooling with stride 2.
+Tensor MaxPool2x2(const Tensor& input);
+
+/// Leaky ReLU (slope 0.1), in place.
+void LeakyRelu(Tensor& tensor);
+
+}  // namespace visualroad::vision
+
+#endif  // VISUALROAD_VISION_CONVNET_H_

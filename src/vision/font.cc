@@ -1,0 +1,37 @@
+#include "vision/font.h"
+
+#include "common/glyphs.h"
+
+namespace visualroad::vision {
+
+int TextWidth(const std::string& text, int scale) {
+  if (text.empty()) return 0;
+  return static_cast<int>(text.size()) * (kGlyphWidth + 1) * scale - scale;
+}
+
+int TextHeight(int scale) { return kGlyphHeight * scale; }
+
+void DrawText(video::Frame& frame, const std::string& text, int x, int y, int scale,
+              const video::Yuv& color) {
+  int cursor = x;
+  for (char c : text) {
+    for (int gy = 0; gy < kGlyphHeight; ++gy) {
+      for (int gx = 0; gx < kGlyphWidth; ++gx) {
+        if (!GlyphPixel(c, gx, gy)) continue;
+        for (int sy = 0; sy < scale; ++sy) {
+          for (int sx = 0; sx < scale; ++sx) {
+            int px = cursor + gx * scale + sx;
+            int py = y + gy * scale + sy;
+            if (px < 0 || px >= frame.width() || py < 0 || py >= frame.height()) {
+              continue;
+            }
+            frame.SetPixel(px, py, color.y, color.u, color.v);
+          }
+        }
+      }
+    }
+    cursor += (kGlyphWidth + 1) * scale;
+  }
+}
+
+}  // namespace visualroad::vision

@@ -1,0 +1,25 @@
+#ifndef VISUALROAD_VISION_FONT_H_
+#define VISUALROAD_VISION_FONT_H_
+
+#include <string>
+
+#include "video/color.h"
+#include "video/frame.h"
+
+namespace visualroad::vision {
+
+/// Pixel width of `text` rendered at `scale` (glyphs are 5x7 with a
+/// one-column gap).
+int TextWidth(const std::string& text, int scale);
+
+/// Pixel height of text rendered at `scale`.
+int TextHeight(int scale);
+
+/// Draws `text` into `frame` with its top-left corner at (x, y) using the
+/// built-in 5x7 font scaled by `scale`. Out-of-frame pixels are clipped.
+void DrawText(video::Frame& frame, const std::string& text, int x, int y, int scale,
+              const video::Yuv& color);
+
+}  // namespace visualroad::vision
+
+#endif  // VISUALROAD_VISION_FONT_H_

@@ -1,0 +1,153 @@
+#include "vision/miniyolo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "video/image_ops.h"
+
+namespace visualroad::vision {
+
+namespace {
+
+/// Converts a frame into the network's 3xNxN input tensor (Y, U, V channels,
+/// bilinearly resampled and normalised to [0, 1]).
+Tensor FrameToInput(const video::Frame& frame, int size) {
+  auto resized = video::BilinearResize(frame, size, size);
+  Tensor input(3, size, size);
+  if (!resized.ok()) return input;
+  const video::Frame& f = *resized;
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      input.At(0, y, x) = f.Y(x, y) / 255.0f;
+      input.At(1, y, x) = f.U(x, y) / 255.0f;
+      input.At(2, y, x) = f.V(x, y) / 255.0f;
+    }
+  }
+  return input;
+}
+
+}  // namespace
+
+video::Yuv ClassColor(sim::ObjectClass object_class) {
+  // Constant class colours (Section 4.1.1, Q2(c)); values chosen to survive
+  // 4:2:0 chroma subsampling distinctly.
+  switch (object_class) {
+    case sim::ObjectClass::kVehicle:
+      return {81, 90, 240};  // Red.
+    case sim::ObjectClass::kPedestrian:
+      return {145, 54, 34};  // Green.
+  }
+  return {128, 128, 128};
+}
+
+MiniYolo::MiniYolo(const DetectorOptions& options)
+    : options_(options),
+      conv1_(3, 8, 3, 1, options.seed ^ 0x01),
+      conv2_(8, 16, 3, 1, options.seed ^ 0x02),
+      conv3_(16, 24, 3, 1, options.seed ^ 0x03),
+      conv4_(24, 32, 3, 1, options.seed ^ 0x04),
+      head_(32, 8, 1, 1, options.seed ^ 0x05) {}
+
+Tensor MiniYolo::Forward(const video::Frame& frame) const {
+  Tensor t = FrameToInput(frame, options_.input_size);
+  t = conv1_.Forward(t);
+  LeakyRelu(t);
+  t = MaxPool2x2(t);
+  t = conv2_.Forward(t);
+  LeakyRelu(t);
+  t = MaxPool2x2(t);
+  t = conv3_.Forward(t);
+  LeakyRelu(t);
+  t = MaxPool2x2(t);
+  t = conv4_.Forward(t);
+  LeakyRelu(t);
+  return head_.Forward(t);  // 8 x 12 x 12 grid activations.
+}
+
+int64_t MiniYolo::MacsPerFrame() const {
+  int s = options_.input_size;
+  return conv1_.MacsFor(s, s) + conv2_.MacsFor(s / 2, s / 2) +
+         conv3_.MacsFor(s / 4, s / 4) + conv4_.MacsFor(s / 8, s / 8) +
+         head_.MacsFor(s / 8, s / 8);
+}
+
+std::vector<Detection> MiniYolo::Detect(const video::Frame& frame,
+                                        const sim::FrameGroundTruth& ground_truth,
+                                        int frame_index) const {
+  // The expensive part: genuine CNN inference on the frame.
+  Tensor grid = Forward(frame);
+
+  std::vector<Detection> detections;
+  int w = frame.width(), h = frame.height();
+
+  for (const sim::GroundTruthBox& gt : ground_truth.boxes) {
+    if (gt.visible_fraction < options_.min_visible_fraction) continue;
+    if (gt.box.Width() < options_.min_box_pixels ||
+        gt.box.Height() < options_.min_box_pixels) continue;
+
+    // Per-(entity, frame) deterministic randomness.
+    Pcg32 rng = SubStream(options_.seed,
+                          gt.object_class == sim::ObjectClass::kVehicle ? "det-v"
+                                                                        : "det-p",
+                          (static_cast<uint64_t>(frame_index) << 20) ^
+                              static_cast<uint64_t>(gt.entity_id));
+
+    // Detection probability rises with visibility and size.
+    double size_factor = std::min(
+        1.0, (gt.box.Width() + gt.box.Height()) / (0.12 * (w + h)));
+    double p = options_.base_recall * gt.visible_fraction *
+               (0.55 + 0.45 * size_factor);
+    if (!rng.NextBool(p)) continue;
+
+    // Localisation jitter, proportional to object size.
+    auto jitter = [&](int extent) {
+      return static_cast<int>(
+          std::lround(rng.NextGaussian(0.0, options_.box_jitter * extent)));
+    };
+    Detection det;
+    det.object_class = gt.object_class;
+    det.entity_id = gt.entity_id;
+    det.box = RectI{gt.box.x0 + jitter(gt.box.Width()),
+                    gt.box.y0 + jitter(gt.box.Height()),
+                    gt.box.x1 + jitter(gt.box.Width()),
+                    gt.box.y1 + jitter(gt.box.Height())}
+                  .Clamp(w, h);
+    if (det.box.Empty()) continue;
+
+    // Confidence: blend the head activation at the box centre into the
+    // score so the CNN output genuinely participates.
+    int gx = std::clamp(((det.box.x0 + det.box.x1) / 2) * grid.width() / w, 0,
+                        grid.width() - 1);
+    int gy = std::clamp(((det.box.y0 + det.box.y1) / 2) * grid.height() / h, 0,
+                        grid.height() - 1);
+    double activation = std::tanh(std::abs(grid.At(0, gy, gx)));
+    det.score = std::clamp(0.55 + 0.35 * gt.visible_fraction + 0.10 * activation +
+                               rng.NextGaussian(0.0, 0.05),
+                           0.05, 0.999);
+    detections.push_back(det);
+  }
+
+  // False positives.
+  Pcg32 fp_rng = SubStream(options_.seed, "det-fp", static_cast<uint64_t>(frame_index));
+  if (fp_rng.NextBool(options_.false_positives_per_frame)) {
+    Detection fp;
+    fp.object_class =
+        fp_rng.NextBool(0.5) ? sim::ObjectClass::kVehicle : sim::ObjectClass::kPedestrian;
+    int bw = static_cast<int>(fp_rng.NextInt(w / 20 + 2, w / 6 + 4));
+    int bh = static_cast<int>(fp_rng.NextInt(h / 20 + 2, h / 6 + 4));
+    int x0 = static_cast<int>(fp_rng.NextBounded(std::max(1, w - bw)));
+    int y0 = static_cast<int>(fp_rng.NextBounded(std::max(1, h - bh)));
+    fp.box = RectI{x0, y0, x0 + bw, y0 + bh}.Clamp(w, h);
+    fp.score = fp_rng.NextDouble(0.3, 0.6);
+    fp.entity_id = -1;
+    if (!fp.box.Empty()) detections.push_back(fp);
+  }
+
+  // Highest confidence first, as detector APIs conventionally return.
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  return detections;
+}
+
+}  // namespace visualroad::vision

@@ -1,0 +1,89 @@
+#ifndef VISUALROAD_VISION_MINIYOLO_H_
+#define VISUALROAD_VISION_MINIYOLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simulation/ground_truth.h"
+#include "vision/convnet.h"
+
+namespace visualroad::vision {
+
+/// One detected object.
+struct Detection {
+  sim::ObjectClass object_class = sim::ObjectClass::kVehicle;
+  RectI box;
+  double score = 0.0;
+  /// The simulation entity this detection corresponds to; kNoEntity (-1) for
+  /// false positives.
+  int32_t entity_id = -1;
+};
+
+/// Detector behaviour knobs.
+struct DetectorOptions {
+  uint64_t seed = 17;
+  /// Base probability of detecting a clearly visible object. Calibrated
+  /// (with box_jitter) so AP@50 on benchmark video lands in the low-to-mid
+  /// 70s, the YOLOv2 range Section 6.3.1 reports.
+  double base_recall = 0.85;
+  /// Expected false positives per frame.
+  double false_positives_per_frame = 0.05;
+  /// Relative box-corner jitter (fraction of box size, Gaussian sigma).
+  double box_jitter = 0.10;
+  /// Objects less visible than this are never detected.
+  double min_visible_fraction = 0.20;
+  /// Boxes smaller than this many pixels on a side are never detected.
+  int min_box_pixels = 4;
+  /// Network input resolution. 96 is the reference configuration; engines
+  /// with heavier frameworks run larger inputs (more real arithmetic per
+  /// frame), cascade engines run smaller cheap models.
+  int input_size = 96;
+};
+
+/// The YOLO substitute (see DESIGN.md). The network is a real multi-layer
+/// CNN executed over every input frame — four 3x3 convolution stages with
+/// pooling and a 1x1 detection head, all computed with genuine arithmetic so
+/// query runtimes carry a realistic per-frame inference cost. Detections are
+/// produced by fusing the head's grid activations with simulation ground
+/// truth through a calibrated noise model (misses for small/occluded objects,
+/// localisation jitter, occasional false positives), reproducing YOLOv2-like
+/// accuracy (AP@50 in the low 70s) without pretrained weights.
+class MiniYolo {
+ public:
+  explicit MiniYolo(const DetectorOptions& options = {});
+
+  /// Runs the network and returns detections for one frame. `ground_truth`
+  /// supplies the frame's actual scene content (empty for content-free
+  /// video, e.g. noise); `frame_index` decorrelates the noise model across
+  /// frames.
+  std::vector<Detection> Detect(const video::Frame& frame,
+                                const sim::FrameGroundTruth& ground_truth,
+                                int frame_index) const;
+
+  /// Runs only the CNN (no fusion); exposed for tests and FLOP benches.
+  Tensor Forward(const video::Frame& frame) const;
+
+  /// Multiply-accumulates per frame at the network's input resolution.
+  int64_t MacsPerFrame() const;
+
+  const DetectorOptions& options() const { return options_; }
+
+ private:
+  DetectorOptions options_;
+  Conv2d conv1_;
+  Conv2d conv2_;
+  Conv2d conv3_;
+  Conv2d conv4_;
+  Conv2d head_;
+};
+
+/// Reference network input resolution.
+inline constexpr int kDetectorInputSize = 96;
+
+/// Class-colour mapping for Q2(c)'s box-fill output: each detected class has
+/// a constant color c_j; undetected regions are the black sentinel.
+video::Yuv ClassColor(sim::ObjectClass object_class);
+
+}  // namespace visualroad::vision
+
+#endif  // VISUALROAD_VISION_MINIYOLO_H_

@@ -1,0 +1,33 @@
+#ifndef VISUALROAD_VISION_OVERLAY_H_
+#define VISUALROAD_VISION_OVERLAY_H_
+
+#include <vector>
+
+#include "video/webvtt.h"
+#include "vision/miniyolo.h"
+
+namespace visualroad::vision {
+
+/// Builds the Q2(c) output frame: each detection's rectangle filled with its
+/// constant class colour, everything else the black sentinel omega.
+video::Frame RenderDetectionFrame(int width, int height,
+                                  const std::vector<Detection>& detections);
+
+/// Renders the cues active at `seconds` into an omega-background frame sized
+/// (width, height), honouring the line/position cue settings (Q6(b)).
+video::Frame RenderCaptionFrame(int width, int height,
+                                const video::WebVttDocument& captions,
+                                double seconds);
+
+/// Serialises detections for the VCD's "serialized sequence of bounding box
+/// class identifiers and coordinates" Q6(a) input variant.
+std::vector<uint8_t> SerializeDetections(
+    const std::vector<std::vector<Detection>>& per_frame);
+
+/// Parses a payload produced by SerializeDetections.
+StatusOr<std::vector<std::vector<Detection>>> ParseDetections(
+    const std::vector<uint8_t>& bytes);
+
+}  // namespace visualroad::vision
+
+#endif  // VISUALROAD_VISION_OVERLAY_H_

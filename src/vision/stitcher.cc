@@ -1,0 +1,107 @@
+#include "vision/stitcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace visualroad::vision {
+
+namespace {
+
+/// Bilinear luma/chroma sample with edge clamping.
+video::Yuv SampleBilinear(const video::Frame& frame, double fx, double fy) {
+  fx = std::clamp(fx, 0.0, static_cast<double>(frame.width() - 1));
+  fy = std::clamp(fy, 0.0, static_cast<double>(frame.height() - 1));
+  int x0 = static_cast<int>(fx), y0 = static_cast<int>(fy);
+  int x1 = std::min(x0 + 1, frame.width() - 1);
+  int y1 = std::min(y0 + 1, frame.height() - 1);
+  double ax = fx - x0, ay = fy - y0;
+  auto blend = [&](auto get) -> uint8_t {
+    double v = get(x0, y0) * (1 - ax) * (1 - ay) + get(x1, y0) * ax * (1 - ay) +
+               get(x0, y1) * (1 - ax) * ay + get(x1, y1) * ax * ay;
+    return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+  };
+  return {blend([&](int x, int y) { return frame.Y(x, y); }),
+          blend([&](int x, int y) { return frame.U(x, y); }),
+          blend([&](int x, int y) { return frame.V(x, y); })};
+}
+
+}  // namespace
+
+StatusOr<video::Frame> StitchEquirect(const std::array<const video::Frame*, 4>& faces,
+                                      const std::array<sim::Camera, 4>& cameras,
+                                      int out_width, int out_height,
+                                      double forward_yaw) {
+  for (const video::Frame* face : faces) {
+    if (face == nullptr || face->Empty()) {
+      return Status::InvalidArgument("stitcher requires four non-empty faces");
+    }
+  }
+  if (out_width <= 0 || out_height <= 0) {
+    return Status::InvalidArgument("invalid panorama resolution");
+  }
+
+  video::Frame out(out_width, out_height);
+  for (int y = 0; y < out_height; ++y) {
+    // Latitude from +pi/2 (top) to -pi/2 (bottom).
+    double lat = kPi / 2.0 - (y + 0.5) / out_height * kPi;
+    for (int x = 0; x < out_width; ++x) {
+      // Longitude from -pi to +pi around the forward yaw.
+      double lon = forward_yaw + (x + 0.5) / out_width * 2.0 * kPi - kPi;
+      Vec3 dir{std::cos(lat) * std::cos(lon), std::cos(lat) * std::sin(lon),
+               std::sin(lat)};
+
+      // Select the face whose optical axis is most aligned.
+      int best_face = 0;
+      double best_dot = -2.0;
+      for (int f = 0; f < 4; ++f) {
+        double d = dir.Dot(cameras[static_cast<size_t>(f)].forward());
+        if (d > best_dot) {
+          best_dot = d;
+          best_face = f;
+        }
+      }
+      const sim::Camera& camera = cameras[static_cast<size_t>(best_face)];
+      // Project the direction through the face camera.
+      Vec3 cam{dir.Dot(camera.right()), dir.Dot(camera.up()),
+               dir.Dot(camera.forward())};
+      video::Yuv sample{0, 128, 128};
+      if (cam.z > 1e-6) {
+        double focal = camera.intrinsics().Focal();
+        double px = camera.intrinsics().width / 2.0 + focal * cam.x / cam.z;
+        double py = camera.intrinsics().height / 2.0 - focal * cam.y / cam.z;
+        sample = SampleBilinear(*faces[static_cast<size_t>(best_face)], px, py);
+      }
+      out.SetPixel(x, y, sample.y, sample.u, sample.v);
+    }
+  }
+  return out;
+}
+
+StatusOr<video::Video> StitchEquirectVideo(
+    const std::array<const video::Video*, 4>& faces,
+    const std::array<sim::Camera, 4>& cameras, int out_width, int out_height,
+    double forward_yaw) {
+  size_t frame_count = SIZE_MAX;
+  for (const video::Video* face : faces) {
+    if (face == nullptr) return Status::InvalidArgument("missing face video");
+    frame_count = std::min(frame_count, face->frames.size());
+  }
+  if (frame_count == 0 || frame_count == SIZE_MAX) {
+    return Status::InvalidArgument("empty face videos");
+  }
+  video::Video out;
+  out.fps = faces[0]->fps;
+  out.frames.reserve(frame_count);
+  for (size_t i = 0; i < frame_count; ++i) {
+    std::array<const video::Frame*, 4> frame_faces{
+        &faces[0]->frames[i], &faces[1]->frames[i], &faces[2]->frames[i],
+        &faces[3]->frames[i]};
+    VR_ASSIGN_OR_RETURN(video::Frame stitched,
+                        StitchEquirect(frame_faces, cameras, out_width, out_height,
+                                       forward_yaw));
+    out.frames.push_back(std::move(stitched));
+  }
+  return out;
+}
+
+}  // namespace visualroad::vision

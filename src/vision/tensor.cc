@@ -1,0 +1,3 @@
+// Tensor is header-only; this translation unit exists so the build system
+// has a home for future out-of-line additions.
+#include "vision/tensor.h"

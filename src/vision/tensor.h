@@ -1,0 +1,46 @@
+#ifndef VISUALROAD_VISION_TENSOR_H_
+#define VISUALROAD_VISION_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace visualroad::vision {
+
+/// A dense CHW float tensor — the value type of the CNN inference engine.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int channels, int height, int width)
+      : channels_(channels),
+        height_(height),
+        width_(width),
+        data_(static_cast<size_t>(channels) * height * width, 0.0f) {}
+
+  int channels() const { return channels_; }
+  int height() const { return height_; }
+  int width() const { return width_; }
+  size_t size() const { return data_.size(); }
+
+  float At(int c, int y, int x) const {
+    return data_[(static_cast<size_t>(c) * height_ + y) * width_ + x];
+  }
+  float& At(int c, int y, int x) {
+    return data_[(static_cast<size_t>(c) * height_ + y) * width_ + x];
+  }
+  const float* Channel(int c) const {
+    return &data_[static_cast<size_t>(c) * height_ * width_];
+  }
+  float* Channel(int c) { return &data_[static_cast<size_t>(c) * height_ * width_]; }
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+ private:
+  int channels_ = 0;
+  int height_ = 0;
+  int width_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace visualroad::vision
+
+#endif  // VISUALROAD_VISION_TENSOR_H_

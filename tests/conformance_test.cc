@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "driver/conformance.h"
+#include "driver/datasets.h"
+#include "video/metrics.h"
+
+namespace visualroad::driver {
+namespace {
+
+QueryBatchResult MakeResult(queries::QueryId id, int instances, int succeeded,
+                            double seconds) {
+  QueryBatchResult result;
+  result.id = id;
+  result.engine = "TestEngine";
+  result.instances = instances;
+  result.succeeded = succeeded;
+  result.total_seconds = seconds;
+  result.validation.checked = succeeded;
+  result.validation.passed = succeeded;
+  result.validation.mean_psnr_db = 47.5;
+  return result;
+}
+
+ConformanceReport MakeReport() {
+  ConformanceReport report;
+  report.system_name = "TestEngine";
+  report.scale_factor = 2;
+  report.width = 320;
+  report.height = 180;
+  report.duration_seconds = 10.0;
+  report.fps = 15.0;
+  report.seed = 99;
+  report.results.push_back(MakeResult(queries::QueryId::kQ1, 8, 8, 1.25));
+  report.results.push_back(MakeResult(queries::QueryId::kQ2c, 8, 8, 9.5));
+  return report;
+}
+
+TEST(ConformanceTest, PassedWhenEverythingValidates) {
+  ConformanceReport report = MakeReport();
+  EXPECT_TRUE(report.Passed());
+  EXPECT_EQ(report.SupportedQueryCount(), 2);
+}
+
+TEST(ConformanceTest, FailedValidationFailsReport) {
+  ConformanceReport report = MakeReport();
+  report.results[0].validation.passed = report.results[0].validation.checked - 1;
+  EXPECT_FALSE(report.Passed());
+}
+
+TEST(ConformanceTest, HardFailureFailsReport) {
+  ConformanceReport report = MakeReport();
+  report.results[1].failed = 2;
+  EXPECT_FALSE(report.Passed());
+}
+
+TEST(ConformanceTest, MemoryExhaustionDoesNotFailReport) {
+  // The paper reports out-of-memory queries as N/A, not benchmark failure.
+  ConformanceReport report = MakeReport();
+  report.results[1].failed = 2;
+  report.results[1].resource_exhausted = 2;
+  EXPECT_TRUE(report.Passed());
+}
+
+TEST(ConformanceTest, UnsupportedQueriesDoNotFailReport) {
+  ConformanceReport report = MakeReport();
+  QueryBatchResult unsupported;
+  unsupported.id = queries::QueryId::kQ9;
+  unsupported.instances = 8;
+  unsupported.unsupported = 8;
+  report.results.push_back(unsupported);
+  EXPECT_TRUE(report.Passed());
+  EXPECT_EQ(report.SupportedQueryCount(), 2);
+}
+
+TEST(ConformanceTest, FormatContainsElections) {
+  std::string text = FormatConformanceReport(MakeReport());
+  EXPECT_NE(text.find("L=2"), std::string::npos);
+  EXPECT_NE(text.find("320x180"), std::string::npos);
+  EXPECT_NE(text.find("seed=99"), std::string::npos);
+  EXPECT_NE(text.find("offline"), std::string::npos);
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+  EXPECT_NE(text.find("Q2(c)"), std::string::npos);
+}
+
+TEST(ConformanceTest, SerializeParseRoundTrips) {
+  ConformanceReport report = MakeReport();
+  auto parsed = ParseConformanceReport(SerializeConformanceReport(report));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->system_name, "TestEngine");
+  EXPECT_EQ(parsed->scale_factor, 2);
+  EXPECT_EQ(parsed->seed, 99u);
+  ASSERT_EQ(parsed->results.size(), 2u);
+  EXPECT_EQ(parsed->results[0].id, queries::QueryId::kQ1);
+  EXPECT_EQ(parsed->results[1].id, queries::QueryId::kQ2c);
+  EXPECT_EQ(parsed->results[0].instances, 8);
+  EXPECT_NEAR(parsed->results[1].total_seconds, 9.5, 1e-9);
+  EXPECT_EQ(parsed->results[0].validation.passed, 8);
+  EXPECT_TRUE(parsed->Passed());
+}
+
+TEST(ConformanceTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseConformanceReport("hello world\n").ok());
+}
+
+TEST(ConformanceTest, BuildPullsElectionsFromDataset) {
+  sim::Dataset dataset;
+  dataset.config.scale_factor = 3;
+  dataset.config.width = 640;
+  dataset.config.height = 360;
+  dataset.config.duration_seconds = 12.0;
+  dataset.config.fps = 30.0;
+  dataset.config.seed = 1234;
+  VcdOptions options;
+  options.output_mode = systems::OutputMode::kStreaming;
+  ConformanceReport report =
+      BuildConformanceReport(dataset, options, "EngineX", {});
+  EXPECT_EQ(report.scale_factor, 3);
+  EXPECT_EQ(report.width, 640);
+  EXPECT_EQ(report.output_mode, systems::OutputMode::kStreaming);
+  EXPECT_EQ(report.system_name, "EngineX");
+}
+
+// --- SSIM (the paper's "future metric" extension) ---
+
+video::Frame Gradient(int w, int h, int shift) {
+  video::Frame frame(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      frame.SetPixel(x, y, static_cast<uint8_t>((x * 2 + y + shift) & 0xFF), 120,
+                     136);
+    }
+  }
+  return frame;
+}
+
+TEST(SsimTest, IdenticalFramesScoreOne) {
+  video::Frame frame = Gradient(64, 48, 0);
+  auto ssim = video::Ssim(frame, frame);
+  ASSERT_TRUE(ssim.ok());
+  EXPECT_NEAR(*ssim, 1.0, 1e-9);
+}
+
+TEST(SsimTest, NoiseScoresLow) {
+  video::Frame frame = Gradient(64, 48, 0);
+  video::Frame noise(64, 48);
+  Pcg32 rng(3, 3);
+  for (uint8_t& s : noise.y_plane()) s = static_cast<uint8_t>(rng.NextBounded(256));
+  auto ssim = video::Ssim(frame, noise);
+  ASSERT_TRUE(ssim.ok());
+  EXPECT_LT(*ssim, 0.3);
+}
+
+TEST(SsimTest, MildDistortionScoresBetweenExtremes) {
+  video::Frame frame = Gradient(64, 48, 0);
+  video::Frame shifted = Gradient(64, 48, 4);
+  auto ssim = video::Ssim(frame, shifted);
+  ASSERT_TRUE(ssim.ok());
+  EXPECT_GT(*ssim, 0.3);
+  EXPECT_LT(*ssim, 0.999);
+}
+
+TEST(SsimTest, RejectsMismatchedAndTinyFrames) {
+  EXPECT_FALSE(video::Ssim(video::Frame(16, 16), video::Frame(8, 16)).ok());
+  EXPECT_FALSE(video::Ssim(video::Frame(4, 4), video::Frame(4, 4)).ok());
+}
+
+TEST(SsimTest, NearLosslessEncodeScoresAboveThreshold) {
+  video::Video source;
+  source.fps = 15;
+  for (int f = 0; f < 3; ++f) source.frames.push_back(Gradient(64, 48, f * 3));
+  video::codec::EncoderConfig config;
+  config.qp = 8;
+  auto encoded = video::codec::Encode(source, config);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = video::codec::Decode(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  auto mean = video::MeanSsim(source, *decoded);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_GT(*mean, video::kValidationSsim);
+}
+
+}  // namespace
+}  // namespace visualroad::driver

@@ -1,0 +1,409 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "driver/datasets.h"
+#include "driver/report.h"
+#include "driver/validation.h"
+#include "driver/vcd.h"
+
+namespace visualroad::driver {
+namespace {
+
+using queries::QueryId;
+
+class DriverTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::CityConfig config;
+    config.scale_factor = 1;
+    config.width = 96;
+    config.height = 54;
+    config.duration_seconds = 1.0;
+    config.fps = 15;
+    config.seed = 41;
+    auto dataset = PrepareDataset(config);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    dataset_ = new sim::Dataset(std::move(dataset).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static sim::Dataset* dataset_;
+};
+
+sim::Dataset* DriverTest::dataset_ = nullptr;
+
+// --- Named datasets ---
+
+TEST(DatasetsTest, TableTwoConfigurations) {
+  std::vector<NamedDataset> configs = PregeneratedConfigs();
+  ASSERT_EQ(configs.size(), 6u);
+  EXPECT_EQ(configs[0].name, "1k-short");
+  EXPECT_EQ(configs[0].config.scale_factor, 2);
+  EXPECT_EQ(configs[1].name, "1k-long");
+  EXPECT_EQ(configs[1].config.scale_factor, 4);
+  // Resolution doubles from 1k to 2k to 4k (proportional scaling).
+  EXPECT_EQ(configs[2].config.width, 2 * configs[0].config.width);
+  EXPECT_EQ(configs[4].config.width, 4 * configs[0].config.width);
+  // Long runs are 4x the short duration, as 60 min is 4 x 15 min.
+  EXPECT_DOUBLE_EQ(configs[1].config.duration_seconds,
+                   4.0 * configs[0].config.duration_seconds);
+}
+
+TEST(DatasetsTest, RandomCaptionsAreNonOverlapping) {
+  Pcg32 rng(5, 5);
+  video::WebVttDocument document = GenerateRandomCaptions(rng, 30.0);
+  ASSERT_GT(document.cues.size(), 3u);
+  for (size_t i = 1; i < document.cues.size(); ++i) {
+    EXPECT_GE(document.cues[i].start_seconds, document.cues[i - 1].end_seconds);
+  }
+  for (const video::WebVttCue& cue : document.cues) {
+    EXPECT_LT(cue.start_seconds, cue.end_seconds);
+    EXPECT_LE(cue.end_seconds, 30.0);
+    EXPECT_FALSE(cue.text.empty());
+  }
+}
+
+TEST_F(DriverTest, CaptionTracksAttachedToEveryAsset) {
+  for (const sim::VideoAsset& asset : dataset_->assets) {
+    const video::container::MetadataTrack* track = asset.container.FindTrack("WVTT");
+    ASSERT_NE(track, nullptr);
+    auto parsed = video::ParseWebVtt(
+        std::string(track->payload.begin(), track->payload.end()));
+    EXPECT_TRUE(parsed.ok());
+  }
+}
+
+TEST(DatasetsTest, CaptionAttachmentIsIdempotent) {
+  sim::Dataset dataset;
+  dataset.assets.emplace_back();
+  dataset.assets[0].container.video.fps = 15;
+  AttachCaptionTracks(dataset, 1);
+  AttachCaptionTracks(dataset, 1);
+  int tracks = 0;
+  for (const auto& track : dataset.assets[0].container.tracks) {
+    if (track.kind == "WVTT") ++tracks;
+  }
+  EXPECT_EQ(tracks, 1);
+}
+
+// --- Validation math ---
+
+TEST(ValidationTest, FrameValidatePassesIdenticalVideo) {
+  video::Video reference;
+  reference.fps = 15;
+  for (int f = 0; f < 4; ++f) {
+    video::Frame frame(32, 32);
+    for (int y = 0; y < 32; ++y) {
+      for (int x = 0; x < 32; ++x) {
+        frame.SetPixel(x, y, static_cast<uint8_t>((x * 7 + y * 3 + f) & 0xFF), 120,
+                       140);
+      }
+    }
+    reference.frames.push_back(std::move(frame));
+  }
+  video::codec::EncoderConfig config;
+  config.qp = 8;  // Near-lossless.
+  auto encoded = video::codec::Encode(reference, config);
+  ASSERT_TRUE(encoded.ok());
+  auto stats = FrameValidate(*encoded, reference, 40.0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->checked, 4);
+  EXPECT_EQ(stats->passed, 4);
+  EXPECT_GT(stats->mean_psnr_db, 40.0);
+}
+
+TEST(ValidationTest, FrameValidateFailsCorruptedVideo) {
+  video::Video reference;
+  reference.fps = 15;
+  video::Frame frame(32, 32);
+  frame.Fill(100, 120, 140);
+  reference.frames.push_back(frame);
+  // "Engine output": a very different frame.
+  video::Video wrong;
+  wrong.fps = 15;
+  video::Frame bad(32, 32);
+  bad.Fill(30, 90, 200);
+  wrong.frames.push_back(bad);
+  video::codec::EncoderConfig config;
+  config.qp = 8;
+  auto encoded = video::codec::Encode(wrong, config);
+  ASSERT_TRUE(encoded.ok());
+  auto stats = FrameValidate(*encoded, reference, 40.0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->passed, 0);
+}
+
+TEST(ValidationTest, FrameValidateRejectsCountMismatch) {
+  video::Video reference;
+  reference.fps = 15;
+  reference.frames.resize(3, video::Frame(16, 16));
+  video::codec::EncoderConfig config;
+  video::Video shorter = reference;
+  shorter.frames.pop_back();
+  auto encoded = video::codec::Encode(shorter, config);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_FALSE(FrameValidate(*encoded, reference, 40.0).ok());
+}
+
+TEST(ValidationTest, SemanticValidateUsesJaccardThreshold) {
+  std::vector<sim::FrameGroundTruth> truth(1);
+  sim::GroundTruthBox gt;
+  gt.entity_id = 1001;
+  gt.object_class = sim::ObjectClass::kVehicle;
+  gt.box = {10, 10, 50, 50};
+  truth[0].boxes.push_back(gt);
+
+  std::vector<std::vector<vision::Detection>> detections(1);
+  vision::Detection close;  // IoU well above 0.5.
+  close.object_class = sim::ObjectClass::kVehicle;
+  close.box = {12, 12, 52, 52};
+  vision::Detection far;  // Disjoint.
+  far.object_class = sim::ObjectClass::kVehicle;
+  far.box = {70, 70, 90, 90};
+  detections[0] = {close, far};
+
+  auto stats = SemanticValidate(detections, truth, sim::ObjectClass::kVehicle, 0.5);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->checked, 2);
+  EXPECT_EQ(stats->passed, 1);
+}
+
+TEST(ValidationTest, SemanticValidateIgnoresOtherClasses) {
+  std::vector<sim::FrameGroundTruth> truth(1);
+  std::vector<std::vector<vision::Detection>> detections(1);
+  vision::Detection pedestrian;
+  pedestrian.object_class = sim::ObjectClass::kPedestrian;
+  pedestrian.box = {0, 0, 5, 5};
+  detections[0].push_back(pedestrian);
+  auto stats = SemanticValidate(detections, truth, sim::ObjectClass::kVehicle, 0.5);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->checked, 0);
+}
+
+TEST(ValidationTest, StatsMergeCombinesCorrectly) {
+  ValidationStats a, b;
+  a.checked = 2;
+  a.passed = 2;
+  a.min_psnr_db = 42;
+  a.mean_psnr_db = 45;
+  a.max_psnr_db = 48;
+  b.checked = 2;
+  b.passed = 1;
+  b.min_psnr_db = 30;
+  b.mean_psnr_db = 35;
+  b.max_psnr_db = 40;
+  a.Merge(b);
+  EXPECT_EQ(a.checked, 4);
+  EXPECT_EQ(a.passed, 3);
+  EXPECT_DOUBLE_EQ(a.min_psnr_db, 30);
+  EXPECT_DOUBLE_EQ(a.max_psnr_db, 48);
+  EXPECT_DOUBLE_EQ(a.mean_psnr_db, 40);
+  EXPECT_DOUBLE_EQ(a.PassRate(), 0.75);
+}
+
+TEST(ValidationTest, PerfectDetectorApIsOne) {
+  std::vector<sim::FrameGroundTruth> truth(2);
+  std::vector<std::vector<vision::Detection>> detections(2);
+  for (int f = 0; f < 2; ++f) {
+    sim::GroundTruthBox gt;
+    gt.entity_id = 1001;
+    gt.object_class = sim::ObjectClass::kVehicle;
+    gt.box = {10, 10, 40, 40};
+    gt.visible_fraction = 1.0;
+    truth[static_cast<size_t>(f)].boxes.push_back(gt);
+    vision::Detection d;
+    d.object_class = sim::ObjectClass::kVehicle;
+    d.box = gt.box;
+    d.score = 0.9;
+    detections[static_cast<size_t>(f)].push_back(d);
+  }
+  EXPECT_NEAR(AveragePrecision(detections, truth, sim::ObjectClass::kVehicle), 1.0,
+              1e-9);
+}
+
+TEST(ValidationTest, FalsePositivesDepressAp) {
+  std::vector<sim::FrameGroundTruth> truth(1);
+  sim::GroundTruthBox gt;
+  gt.object_class = sim::ObjectClass::kVehicle;
+  gt.box = {10, 10, 40, 40};
+  gt.visible_fraction = 1.0;
+  truth[0].boxes.push_back(gt);
+
+  std::vector<std::vector<vision::Detection>> detections(1);
+  vision::Detection fp;  // Ranked above the true positive.
+  fp.object_class = sim::ObjectClass::kVehicle;
+  fp.box = {60, 60, 90, 90};
+  fp.score = 0.95;
+  vision::Detection tp;
+  tp.object_class = sim::ObjectClass::kVehicle;
+  tp.box = gt.box;
+  tp.score = 0.5;
+  detections[0] = {fp, tp};
+  double ap = AveragePrecision(detections, truth, sim::ObjectClass::kVehicle);
+  EXPECT_LT(ap, 0.75);
+  EXPECT_GT(ap, 0.2);
+}
+
+TEST(ValidationTest, MissedObjectsDepressAp) {
+  std::vector<sim::FrameGroundTruth> truth(1);
+  for (int i = 0; i < 2; ++i) {
+    sim::GroundTruthBox gt;
+    gt.object_class = sim::ObjectClass::kVehicle;
+    gt.box = {10 + 50 * i, 10, 40 + 50 * i, 40};
+    gt.visible_fraction = 1.0;
+    truth[0].boxes.push_back(gt);
+  }
+  std::vector<std::vector<vision::Detection>> detections(1);
+  vision::Detection d;
+  d.object_class = sim::ObjectClass::kVehicle;
+  d.box = {10, 10, 40, 40};
+  d.score = 0.9;
+  detections[0].push_back(d);  // Only one of two objects found.
+  EXPECT_NEAR(AveragePrecision(detections, truth, sim::ObjectClass::kVehicle), 0.5,
+              1e-9);
+}
+
+TEST(ValidationTest, ApZeroWhenNoPositives) {
+  std::vector<sim::FrameGroundTruth> truth(1);
+  std::vector<std::vector<vision::Detection>> detections(1);
+  EXPECT_DOUBLE_EQ(AveragePrecision(detections, truth, sim::ObjectClass::kVehicle),
+                   0.0);
+}
+
+// --- VCD ---
+
+TEST_F(DriverTest, BatchSizeIsFourTimesScale) {
+  VcdOptions options;
+  VisualCityDriver vcd(*dataset_, options);
+  EXPECT_EQ(vcd.BatchSize(), 4 * dataset_->config.scale_factor);
+  options.batch_size_override = 2;
+  VisualCityDriver overridden(*dataset_, options);
+  EXPECT_EQ(overridden.BatchSize(), 2);
+}
+
+TEST_F(DriverTest, BatchSamplingDeterministicAcrossDrivers) {
+  VcdOptions options;
+  VisualCityDriver a(*dataset_, options), b(*dataset_, options);
+  auto batch_a = a.SampleBatch(QueryId::kQ1);
+  auto batch_b = b.SampleBatch(QueryId::kQ1);
+  ASSERT_TRUE(batch_a.ok());
+  ASSERT_TRUE(batch_b.ok());
+  ASSERT_EQ(batch_a->size(), batch_b->size());
+  for (size_t i = 0; i < batch_a->size(); ++i) {
+    EXPECT_EQ((*batch_a)[i].q1_rect, (*batch_b)[i].q1_rect);
+    EXPECT_EQ((*batch_a)[i].video_index, (*batch_b)[i].video_index);
+  }
+}
+
+TEST_F(DriverTest, DifferentSeedsDifferentBatches) {
+  VcdOptions a_options, b_options;
+  b_options.seed = a_options.seed + 1;
+  VisualCityDriver a(*dataset_, a_options), b(*dataset_, b_options);
+  auto batch_a = a.SampleBatch(QueryId::kQ1);
+  auto batch_b = b.SampleBatch(QueryId::kQ1);
+  ASSERT_TRUE(batch_a.ok());
+  ASSERT_TRUE(batch_b.ok());
+  bool differ = false;
+  for (size_t i = 0; i < batch_a->size(); ++i) {
+    if (!((*batch_a)[i].q1_rect == (*batch_b)[i].q1_rect)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST_F(DriverTest, RunQueryBatchMeasuresAndValidates) {
+  VcdOptions options;
+  options.batch_size_override = 2;
+  VisualCityDriver vcd(*dataset_, options);
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  auto result = vcd.RunQueryBatch(*engine, QueryId::kQ1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->instances, 2);
+  EXPECT_EQ(result->succeeded, 2);
+  EXPECT_GT(result->total_seconds, 0.0);
+  EXPECT_GT(result->frames_per_second, 0.0);
+  EXPECT_GT(result->validation.checked, 0);
+  EXPECT_EQ(result->validation.passed, result->validation.checked);
+}
+
+TEST_F(DriverTest, UnsupportedQueryReportedNotFailed) {
+  VcdOptions options;
+  options.batch_size_override = 2;
+  VisualCityDriver vcd(*dataset_, options);
+  systems::EngineOptions engine_options;
+  auto cascade = systems::MakeCascadeEngine(engine_options);
+  auto result = vcd.RunQueryBatch(*cascade, QueryId::kQ3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->Supported());
+  EXPECT_EQ(result->failed, 0);
+}
+
+TEST_F(DriverTest, StreamingModeSkipsValidation) {
+  VcdOptions options;
+  options.batch_size_override = 1;
+  options.output_mode = systems::OutputMode::kStreaming;
+  VisualCityDriver vcd(*dataset_, options);
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  auto result = vcd.RunQueryBatch(*engine, QueryId::kQ2a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->succeeded, 1);
+  EXPECT_EQ(result->validation.checked, 0);
+}
+
+// --- Report formatting ---
+
+TEST(ReportTest, TextTableAlignsColumns) {
+  TextTable table;
+  table.SetHeader({"A", "LongHeader"});
+  table.AddRow({"xxxxx", "1"});
+  table.AddRow({"y", "22"});
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("A      LongHeader"), std::string::npos);
+  EXPECT_NE(rendered.find("xxxxx"), std::string::npos);
+  EXPECT_NE(rendered.find("-----"), std::string::npos);
+}
+
+TEST(ReportTest, FormatSecondsAdaptsUnits) {
+  EXPECT_EQ(FormatSeconds(0.128), "128ms");
+  EXPECT_EQ(FormatSeconds(3.42), "3.42s");
+  EXPECT_EQ(FormatSeconds(250.0), "250s");
+}
+
+TEST(ReportTest, FormatRatioMatchesPaperStyle) {
+  EXPECT_EQ(FormatRatio(0.9), "0.9x");
+  EXPECT_EQ(FormatRatio(26.0), "26x");
+  EXPECT_EQ(FormatRatio(1.04), "1.0x");
+}
+
+TEST(ReportTest, BenchmarkReportListsQueries) {
+  std::vector<QueryBatchResult> results(1);
+  results[0].id = QueryId::kQ2b;
+  results[0].engine = "TestEngine";
+  results[0].instances = 4;
+  results[0].succeeded = 4;
+  results[0].total_seconds = 1.5;
+  results[0].frames_per_second = 120;
+  std::string report = FormatBenchmarkReport(results);
+  EXPECT_NE(report.find("Q2(b)"), std::string::npos);
+  EXPECT_NE(report.find("TestEngine"), std::string::npos);
+  EXPECT_NE(report.find("1.50s"), std::string::npos);
+}
+
+TEST(ReportTest, ReportShowsNaForMemoryFailures) {
+  std::vector<QueryBatchResult> results(1);
+  results[0].id = QueryId::kQ4;
+  results[0].engine = "BatchEngine";
+  results[0].instances = 4;
+  results[0].failed = 4;
+  results[0].resource_exhausted = 4;
+  std::string report = FormatBenchmarkReport(results);
+  EXPECT_NE(report.find("N/A (out of memory)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace visualroad::driver

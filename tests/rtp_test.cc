@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "video/metrics.h"
+#include "video/rtp.h"
+
+namespace visualroad::video::rtp {
+namespace {
+
+codec::EncodedVideo MakeStream(int frames, size_t frame_bytes, uint64_t seed) {
+  codec::EncodedVideo video;
+  video.width = 64;
+  video.height = 36;
+  video.fps = 30.0;
+  Pcg32 rng(seed, 3);
+  for (int f = 0; f < frames; ++f) {
+    codec::EncodedFrame frame;
+    frame.keyframe = f % 4 == 0;
+    frame.qp = static_cast<uint8_t>(18 + f % 8);
+    frame.data.resize(frame_bytes + rng.NextBounded(200));
+    for (uint8_t& b : frame.data) b = static_cast<uint8_t>(rng.NextBounded(256));
+    video.frames.push_back(std::move(frame));
+  }
+  return video;
+}
+
+TEST(RtpPacketTest, WireFormatRoundTrips) {
+  Packet packet;
+  packet.sequence_number = 0xBEEF;
+  packet.timestamp = 0x12345678;
+  packet.ssrc = 0xCAFEBABE;
+  packet.marker = true;
+  packet.payload_type = 96;
+  packet.payload = {1, 2, 3, 4, 5};
+  auto parsed = Packet::Parse(packet.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->sequence_number, 0xBEEF);
+  EXPECT_EQ(parsed->timestamp, 0x12345678u);
+  EXPECT_EQ(parsed->ssrc, 0xCAFEBABEu);
+  EXPECT_TRUE(parsed->marker);
+  EXPECT_EQ(parsed->payload_type, 96);
+  EXPECT_EQ(parsed->payload, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(RtpPacketTest, RejectsTruncatedHeader) {
+  std::vector<uint8_t> wire = {0x80, 0x60, 0x00};
+  EXPECT_FALSE(Packet::Parse(wire).ok());
+}
+
+TEST(RtpPacketTest, RejectsWrongVersion) {
+  Packet packet;
+  std::vector<uint8_t> wire = packet.Serialize();
+  wire[0] = 0x00;  // Version 0.
+  EXPECT_FALSE(Packet::Parse(wire).ok());
+}
+
+TEST(RtpTest, SmallFrameIsOnePacketWithMarker) {
+  codec::EncodedVideo video = MakeStream(1, 100, 1);
+  Packetizer packetizer(7, 1200);
+  std::vector<Packet> packets = packetizer.PacketizeFrame(video.frames[0], 0, 30.0);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_TRUE(packets[0].marker);
+  // The payload is the frame plus the 2-byte payload header.
+  EXPECT_EQ(packets[0].payload.size(), video.frames[0].data.size() + 2);
+}
+
+TEST(RtpTest, LargeFrameFragmentsWithinMtu) {
+  codec::EncodedVideo video = MakeStream(1, 5000, 2);
+  Packetizer packetizer(7, 1200);
+  std::vector<Packet> packets = packetizer.PacketizeFrame(video.frames[0], 0, 30.0);
+  EXPECT_GT(packets.size(), 3u);
+  for (size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_LE(packets[i].payload.size(), 1200u);
+    EXPECT_EQ(packets[i].marker, i + 1 == packets.size());
+    // All fragments of one frame share a timestamp.
+    EXPECT_EQ(packets[i].timestamp, packets[0].timestamp);
+  }
+}
+
+TEST(RtpTest, SequenceNumbersAreContiguousAcrossFrames) {
+  codec::EncodedVideo video = MakeStream(5, 3000, 3);
+  Packetizer packetizer(7, 800, 65530);  // Wraps through 65535.
+  std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+  for (size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].sequence_number,
+              static_cast<uint16_t>(packets[i - 1].sequence_number + 1));
+  }
+}
+
+TEST(RtpTest, TimestampsFollowNinetyKhzClock) {
+  codec::EncodedVideo video = MakeStream(3, 100, 4);
+  Packetizer packetizer(7);
+  std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+  // At 30 fps each frame advances 3000 ticks.
+  EXPECT_EQ(packets[0].timestamp, 0u);
+  EXPECT_EQ(packets[1].timestamp, 3000u);
+  EXPECT_EQ(packets[2].timestamp, 6000u);
+}
+
+TEST(RtpTest, LosslessLoopbackPreservesEveryFrame) {
+  codec::EncodedVideo video = MakeStream(12, 2500, 5);
+  auto looped = Loopback(video, 700);
+  ASSERT_TRUE(looped.ok());
+  ASSERT_EQ(looped->FrameCount(), 12);
+  for (int f = 0; f < 12; ++f) {
+    EXPECT_EQ(looped->frames[static_cast<size_t>(f)].data,
+              video.frames[static_cast<size_t>(f)].data);
+    EXPECT_EQ(looped->frames[static_cast<size_t>(f)].keyframe,
+              video.frames[static_cast<size_t>(f)].keyframe);
+    EXPECT_EQ(looped->frames[static_cast<size_t>(f)].qp,
+              video.frames[static_cast<size_t>(f)].qp);
+  }
+}
+
+TEST(RtpTest, PacketLossDropsOnlyAffectedFrames) {
+  codec::EncodedVideo video = MakeStream(10, 2500, 6);
+  Packetizer packetizer(7, 700);
+  std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+
+  Depacketizer depacketizer;
+  // Drop one mid-frame packet (find a non-marker, non-first packet).
+  size_t dropped = 0;
+  for (size_t i = 1; i < packets.size(); ++i) {
+    if (!packets[i].marker && !(packets[i].payload[0] & 0x02)) {
+      dropped = i;
+      break;
+    }
+  }
+  ASSERT_GT(dropped, 0u);
+  for (size_t i = 0; i < packets.size(); ++i) {
+    if (i == dropped) continue;
+    depacketizer.Feed(packets[i]);
+  }
+  int completed = 0;
+  while (depacketizer.HasFrame()) {
+    ASSERT_TRUE(depacketizer.TakeFrame().ok());
+    ++completed;
+  }
+  EXPECT_EQ(depacketizer.stats().packets_lost, 1);
+  EXPECT_EQ(completed, 9);  // Exactly the frame containing the loss is gone.
+  EXPECT_EQ(depacketizer.stats().frames_dropped, 1);
+}
+
+TEST(RtpTest, LosingAFrameStartDropsThatFrame) {
+  codec::EncodedVideo video = MakeStream(4, 1500, 7);
+  Packetizer packetizer(7, 700);
+  std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+  Depacketizer depacketizer;
+  bool skipped_first_start = false;
+  for (const Packet& packet : packets) {
+    bool is_start = (packet.payload[0] & 0x02) != 0;
+    if (is_start && !skipped_first_start) {
+      skipped_first_start = true;
+      continue;  // Lose the very first frame's first fragment.
+    }
+    depacketizer.Feed(packet);
+  }
+  int completed = 0;
+  while (depacketizer.HasFrame()) {
+    (void)depacketizer.TakeFrame();
+    ++completed;
+  }
+  EXPECT_EQ(completed, 3);
+}
+
+TEST(RtpTest, TakeFrameWithoutDataFails) {
+  Depacketizer depacketizer;
+  EXPECT_FALSE(depacketizer.TakeFrame().ok());
+}
+
+TEST(RtpTest, RealCodecStreamSurvivesRtpTransport) {
+  // End-to-end: encode real video, transport over RTP, decode, compare.
+  Video source;
+  source.fps = 15;
+  for (int f = 0; f < 6; ++f) {
+    Frame frame(64, 36);
+    for (int y = 0; y < 36; ++y) {
+      for (int x = 0; x < 64; ++x) {
+        frame.SetPixel(x, y, static_cast<uint8_t>((x * 4 + y * 3 + f * 8) & 0xFF),
+                       120, 136);
+      }
+    }
+    source.frames.push_back(std::move(frame));
+  }
+  codec::EncoderConfig config;
+  config.qp = 20;
+  auto encoded = codec::Encode(source, config);
+  ASSERT_TRUE(encoded.ok());
+  auto transported = Loopback(*encoded, 500);
+  ASSERT_TRUE(transported.ok());
+  auto decoded = codec::Decode(*transported);
+  ASSERT_TRUE(decoded.ok());
+  auto reference = codec::Decode(*encoded);
+  ASSERT_TRUE(reference.ok());
+  for (int f = 0; f < 6; ++f) {
+    EXPECT_TRUE(decoded->frames[static_cast<size_t>(f)].SameContentAs(
+        reference->frames[static_cast<size_t>(f)]));
+  }
+}
+
+}  // namespace
+}  // namespace visualroad::video::rtp

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "driver/dataset_io.h"
+#include "driver/datasets.h"
+#include "storage/sharded_store.h"
+
+namespace visualroad::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ShardedStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("vr_store_" + std::to_string(counter_++))).string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  StoreOptions Options(int nodes = 4, int replication = 2,
+                       int64_t block_size = 256) {
+    StoreOptions options;
+    options.root = root_;
+    options.num_nodes = nodes;
+    options.replication = replication;
+    options.block_size = block_size;
+    return options;
+  }
+
+  std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+    Pcg32 rng(seed, 1);
+    std::vector<uint8_t> bytes(n);
+    for (uint8_t& b : bytes) b = static_cast<uint8_t>(rng.NextBounded(256));
+    return bytes;
+  }
+
+  std::string root_;
+  static int counter_;
+};
+
+int ShardedStoreTest::counter_ = 0;
+
+TEST_F(ShardedStoreTest, PutGetRoundTrip) {
+  auto store = ShardedStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> payload = RandomBytes(1000, 1);
+  ASSERT_TRUE(store->Put("a.vrmp", payload).ok());
+  auto loaded = store->Get("a.vrmp");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, payload);
+}
+
+TEST_F(ShardedStoreTest, FilesSplitIntoBlocks) {
+  auto store = ShardedStore::Open(Options(4, 2, 256));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("big", RandomBytes(1000, 2)).ok());
+  auto info = store->Stat("big");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 1000);
+  EXPECT_EQ(info->block_count, 4);  // ceil(1000/256).
+}
+
+TEST_F(ShardedStoreTest, EmptyFileStoresOneEmptyBlock) {
+  auto store = ShardedStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("empty", {}).ok());
+  auto loaded = store->Get("empty");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(ShardedStoreTest, GetMissingFileFails) {
+  auto store = ShardedStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(store->Get("nope").ok());
+  EXPECT_FALSE(store->Stat("nope").ok());
+}
+
+TEST_F(ShardedStoreTest, OverwriteReplacesContent) {
+  auto store = ShardedStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("f", RandomBytes(500, 3)).ok());
+  std::vector<uint8_t> second = RandomBytes(700, 4);
+  ASSERT_TRUE(store->Put("f", second).ok());
+  auto loaded = store->Get("f");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, second);
+  EXPECT_EQ(store->List().size(), 1u);
+}
+
+TEST_F(ShardedStoreTest, DeleteRemovesFileAndBlocks) {
+  auto store = ShardedStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("f", RandomBytes(600, 5)).ok());
+  ASSERT_TRUE(store->Delete("f").ok());
+  EXPECT_FALSE(store->Get("f").ok());
+  // Every block file should be gone from every datanode.
+  size_t remaining = 0;
+  for (int n = 0; n < 4; ++n) {
+    for (auto& entry : fs::directory_iterator(root_ + "/node" + std::to_string(n))) {
+      (void)entry;
+      ++remaining;
+    }
+  }
+  EXPECT_EQ(remaining, 0u);
+}
+
+TEST_F(ShardedStoreTest, SurvivesSingleNodeFailure) {
+  auto store = ShardedStore::Open(Options(4, 2, 128));
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> payload = RandomBytes(1024, 6);
+  ASSERT_TRUE(store->Put("resilient", payload).ok());
+  // With replication 2, any single node loss must be survivable.
+  for (int victim = 0; victim < 4; ++victim) {
+    ASSERT_TRUE(store->DisableNode(victim).ok());
+    auto loaded = store->Get("resilient");
+    ASSERT_TRUE(loaded.ok()) << "node " << victim;
+    EXPECT_EQ(*loaded, payload);
+    ASSERT_TRUE(store->EnableNode(victim).ok());
+  }
+}
+
+TEST_F(ShardedStoreTest, DoubleNodeFailureCanLoseData) {
+  auto store = ShardedStore::Open(Options(4, 2, 64));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("fragile", RandomBytes(1024, 7)).ok());
+  // Disable two nodes: with replication 2 over 4 nodes and many blocks,
+  // some block will have both replicas on the disabled pair.
+  ASSERT_TRUE(store->DisableNode(0).ok());
+  ASSERT_TRUE(store->DisableNode(1).ok());
+  auto loaded = store->Get("fragile");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(ShardedStoreTest, ManifestPersistsAcrossReopen) {
+  std::vector<uint8_t> payload = RandomBytes(900, 8);
+  {
+    auto store = ShardedStore::Open(Options());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Put("persist", payload).ok());
+  }
+  auto reopened = ShardedStore::Open(Options());
+  ASSERT_TRUE(reopened.ok());
+  auto loaded = reopened->Get("persist");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, payload);
+  EXPECT_EQ(reopened->List(), std::vector<std::string>{"persist"});
+}
+
+TEST_F(ShardedStoreTest, RejectsBadOptions) {
+  StoreOptions bad;
+  EXPECT_FALSE(ShardedStore::Open(bad).ok());  // Empty root.
+  bad.root = root_;
+  bad.num_nodes = 0;
+  EXPECT_FALSE(ShardedStore::Open(bad).ok());
+  bad.num_nodes = 2;
+  bad.block_size = 4;
+  EXPECT_FALSE(ShardedStore::Open(bad).ok());
+}
+
+TEST_F(ShardedStoreTest, ReplicationClampedToNodeCount) {
+  auto store = ShardedStore::Open(Options(2, 5, 256));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->options().replication, 2);
+  ASSERT_TRUE(store->Put("f", RandomBytes(100, 9)).ok());
+  auto loaded = store->Get("f");
+  EXPECT_TRUE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace visualroad::storage
+
+namespace visualroad::driver {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::CityConfig config;
+    config.scale_factor = 1;
+    config.width = 96;
+    config.height = 54;
+    config.duration_seconds = 0.5;
+    config.fps = 16;
+    config.seed = 77;
+    auto dataset = PrepareDataset(config);
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = new sim::Dataset(std::move(dataset).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static sim::Dataset* dataset_;
+};
+
+sim::Dataset* DatasetIoTest::dataset_ = nullptr;
+
+TEST_F(DatasetIoTest, ManifestRoundTrips) {
+  auto parsed = ParseDatasetManifest(SerializeDatasetManifest(*dataset_));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->config.scale_factor, dataset_->config.scale_factor);
+  EXPECT_EQ(parsed->config.seed, dataset_->config.seed);
+  ASSERT_EQ(parsed->assets.size(), dataset_->assets.size());
+  for (size_t i = 0; i < parsed->assets.size(); ++i) {
+    EXPECT_EQ(parsed->assets[i].camera.camera_id,
+              dataset_->assets[i].camera.camera_id);
+    EXPECT_DOUBLE_EQ(parsed->assets[i].camera.pose.yaw,
+                     dataset_->assets[i].camera.pose.yaw);
+  }
+}
+
+TEST_F(DatasetIoTest, SaveLoadDirectoryRoundTrips) {
+  std::string dir = (fs::temp_directory_path() / "vr_dataset_io").string();
+  ASSERT_TRUE(SaveDataset(*dataset_, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->assets.size(), dataset_->assets.size());
+  for (size_t i = 0; i < loaded->assets.size(); ++i) {
+    EXPECT_EQ(loaded->assets[i].container.video.TotalBytes(),
+              dataset_->assets[i].container.video.TotalBytes());
+    EXPECT_EQ(loaded->assets[i].ground_truth.size(),
+              dataset_->assets[i].ground_truth.size());
+    EXPECT_EQ(loaded->assets[i].camera.kind, dataset_->assets[i].camera.kind);
+  }
+  // A loaded dataset still answers structural queries.
+  EXPECT_EQ(loaded->TrafficAssets().size(), dataset_->TrafficAssets().size());
+  EXPECT_EQ(loaded->PanoramicGroupCount(), dataset_->PanoramicGroupCount());
+  fs::remove_all(dir);
+}
+
+TEST_F(DatasetIoTest, LoadMissingDirectoryFails) {
+  EXPECT_FALSE(LoadDataset("/nonexistent/vr_dataset").ok());
+}
+
+TEST_F(DatasetIoTest, ShardedStoreRoundTrips) {
+  std::string root = (fs::temp_directory_path() / "vr_dataset_sharded").string();
+  storage::StoreOptions options;
+  options.root = root;
+  options.num_nodes = 3;
+  options.replication = 2;
+  options.block_size = 4096;
+  auto store = storage::ShardedStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(SaveDatasetSharded(*dataset_, *store).ok());
+  auto loaded = LoadDatasetSharded(*store);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->assets.size(), dataset_->assets.size());
+  EXPECT_EQ(loaded->assets[0].container.video.TotalBytes(),
+            dataset_->assets[0].container.video.TotalBytes());
+
+  // Resilience: the dataset survives one datanode going dark.
+  ASSERT_TRUE(store->DisableNode(0).ok());
+  auto degraded = LoadDatasetSharded(*store);
+  EXPECT_TRUE(degraded.ok());
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace visualroad::driver

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+
+#include "driver/datasets.h"
+#include "driver/validation.h"
+#include "systems/vdbms.h"
+#include "systems/video_source.h"
+#include "video/metrics.h"
+
+namespace visualroad::systems {
+namespace {
+
+using queries::QueryId;
+using queries::QueryInstance;
+
+class SystemsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::CityConfig config;
+    config.scale_factor = 1;
+    config.width = 96;
+    config.height = 54;
+    config.duration_seconds = 1.0;
+    config.fps = 15;
+    config.seed = 31;
+    auto dataset = driver::PrepareDataset(config);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    dataset_ = new sim::Dataset(std::move(dataset).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  QueryInstance Sample(QueryId id, uint64_t seed = 5) {
+    Pcg32 rng = SubStream(seed, "systems-test", static_cast<uint64_t>(id));
+    queries::SamplerOptions options;
+    options.max_upsample_exponent = 2;
+    auto instance = queries::SampleQueryInstance(id, *dataset_, rng, options);
+    EXPECT_TRUE(instance.ok());
+    return *instance;
+  }
+
+  static sim::Dataset* dataset_;
+};
+
+sim::Dataset* SystemsTest::dataset_ = nullptr;
+
+// --- VideoSource ---
+
+TEST_F(SystemsTest, OfflineSourceSupportsSeek) {
+  const video::codec::EncodedVideo& stream =
+      dataset_->assets[0].container.video;
+  VideoSource source = VideoSource::Offline(&stream);
+  EXPECT_TRUE(source.SeekSupported());
+  auto first = source.Next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE((*first)->keyframe);
+  ASSERT_TRUE(source.Seek(5).ok());
+  EXPECT_EQ(source.position(), 5);
+  // Exhaust and verify OutOfRange at the end.
+  while (!source.AtEnd()) ASSERT_TRUE(source.Next().ok());
+  EXPECT_FALSE(source.Next().ok());
+}
+
+TEST_F(SystemsTest, OnlineSourceIsForwardOnlyAndThrottled) {
+  const video::codec::EncodedVideo& stream =
+      dataset_->assets[0].container.video;
+  // 100x real time keeps the test fast while still exercising the sleep
+  // path: 15 frames at 15 fps = 1 simulated second = ~10ms wall.
+  VideoSource source = VideoSource::Online(&stream, 100.0);
+  EXPECT_FALSE(source.SeekSupported());
+  EXPECT_FALSE(source.Seek(0).ok());
+  auto start = std::chrono::steady_clock::now();
+  int frames = 0;
+  while (!source.AtEnd()) {
+    ASSERT_TRUE(source.Next().ok());
+    ++frames;
+  }
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start).count();
+  EXPECT_EQ(frames, stream.FrameCount());
+  // Last frame available at (frames-1)/fps / 100 seconds.
+  EXPECT_GE(elapsed, (frames - 1) / stream.fps / 100.0 * 0.8);
+}
+
+// --- Engine capabilities ---
+
+TEST_F(SystemsTest, EngineSupportMatrix) {
+  EngineOptions options;
+  auto batch = MakeBatchEngine(options);
+  auto pipeline = MakePipelineEngine(options);
+  auto cascade = MakeCascadeEngine(options);
+  for (QueryId id : queries::AllQueries()) {
+    EXPECT_TRUE(batch->Supports(id));
+    EXPECT_TRUE(pipeline->Supports(id));
+  }
+  EXPECT_TRUE(cascade->Supports(QueryId::kQ1));
+  EXPECT_TRUE(cascade->Supports(QueryId::kQ2c));
+  EXPECT_FALSE(cascade->Supports(QueryId::kQ2a));
+  EXPECT_FALSE(cascade->Supports(QueryId::kQ9));
+}
+
+TEST_F(SystemsTest, EngineNamesAreDistinct) {
+  EngineOptions options;
+  EXPECT_STRNE(MakeBatchEngine(options)->name(),
+               MakePipelineEngine(options)->name());
+  EXPECT_STRNE(MakePipelineEngine(options)->name(),
+               MakeCascadeEngine(options)->name());
+}
+
+// --- Cross-engine output equivalence (parameterised over engine x query) ---
+
+enum class EngineKind { kBatch, kPipeline, kCascade };
+
+std::unique_ptr<Vdbms> MakeEngine(EngineKind kind, const EngineOptions& options) {
+  switch (kind) {
+    case EngineKind::kBatch:
+      return MakeBatchEngine(options);
+    case EngineKind::kPipeline:
+      return MakePipelineEngine(options);
+    case EngineKind::kCascade:
+      return MakeCascadeEngine(options);
+  }
+  return nullptr;
+}
+
+struct EngineQueryCase {
+  EngineKind engine;
+  QueryId query;
+};
+
+class EngineQueryMatrix : public SystemsTest,
+                          public ::testing::WithParamInterface<EngineQueryCase> {};
+
+TEST_P(EngineQueryMatrix, OutputValidatesAgainstReference) {
+  const EngineQueryCase& param = GetParam();
+  EngineOptions options;
+  auto engine = MakeEngine(param.engine, options);
+  if (!engine->Supports(param.query)) GTEST_SKIP() << "unsupported";
+
+  QueryInstance instance = Sample(param.query);
+  auto output = engine->Execute(instance, *dataset_, OutputMode::kWrite, "");
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  ASSERT_TRUE(output->produced || !output->detections.empty() ||
+              output->video.FrameCount() == 0);
+
+  queries::ValidationKind kind = queries::ValidationFor(param.query);
+  if (kind == queries::ValidationKind::kFrame && output->video.FrameCount() > 0) {
+    queries::ReferenceContext context;
+    context.dataset = dataset_;
+    video::Video input;
+    if (param.query != QueryId::kQ9 && param.query != QueryId::kQ10) {
+      auto asset = detail::InputAsset(instance, *dataset_);
+      ASSERT_TRUE(asset.ok());
+      auto decoded = video::codec::Decode((*asset)->container.video);
+      ASSERT_TRUE(decoded.ok());
+      input = std::move(decoded).value();
+    }
+    auto reference = queries::RunReference(context, instance, input);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    double threshold = param.query == QueryId::kQ9 ? video::kStitchingPsnrDb
+                                                   : video::kValidationPsnrDb;
+    auto stats = driver::FrameValidate(output->video, reference->video, threshold);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->passed, stats->checked)
+        << "mean " << stats->mean_psnr_db << " dB, min " << stats->min_psnr_db;
+  }
+  if (kind == queries::ValidationKind::kSemantic && !output->detections.empty()) {
+    auto asset = detail::InputAsset(instance, *dataset_);
+    ASSERT_TRUE(asset.ok());
+    auto stats = driver::SemanticValidate(output->detections, (*asset)->ground_truth,
+                                          instance.object_class);
+    ASSERT_TRUE(stats.ok());
+    // A tiny batch can consist solely of the detector's rare false
+    // positives; only assert the pass rate once the sample is meaningful.
+    if (stats->checked >= 5) {
+      EXPECT_GE(stats->PassRate(), 0.8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EngineQueryMatrix,
+    ::testing::Values(
+        EngineQueryCase{EngineKind::kBatch, QueryId::kQ1},
+        EngineQueryCase{EngineKind::kBatch, QueryId::kQ2a},
+        EngineQueryCase{EngineKind::kBatch, QueryId::kQ2b},
+        EngineQueryCase{EngineKind::kBatch, QueryId::kQ2c},
+        EngineQueryCase{EngineKind::kBatch, QueryId::kQ2d},
+        EngineQueryCase{EngineKind::kBatch, QueryId::kQ5},
+        EngineQueryCase{EngineKind::kBatch, QueryId::kQ6a},
+        EngineQueryCase{EngineKind::kBatch, QueryId::kQ6b},
+        EngineQueryCase{EngineKind::kBatch, QueryId::kQ9},
+        EngineQueryCase{EngineKind::kPipeline, QueryId::kQ1},
+        EngineQueryCase{EngineKind::kPipeline, QueryId::kQ2a},
+        EngineQueryCase{EngineKind::kPipeline, QueryId::kQ2b},
+        EngineQueryCase{EngineKind::kPipeline, QueryId::kQ2c},
+        EngineQueryCase{EngineKind::kPipeline, QueryId::kQ2d},
+        EngineQueryCase{EngineKind::kPipeline, QueryId::kQ5},
+        EngineQueryCase{EngineKind::kPipeline, QueryId::kQ6a},
+        EngineQueryCase{EngineKind::kPipeline, QueryId::kQ6b},
+        EngineQueryCase{EngineKind::kPipeline, QueryId::kQ9},
+        EngineQueryCase{EngineKind::kCascade, QueryId::kQ1},
+        EngineQueryCase{EngineKind::kCascade, QueryId::kQ2c}));
+
+// --- Engine-specific behaviours ---
+
+TEST_F(SystemsTest, CascadeRejectsUnsupportedQueries) {
+  EngineOptions options;
+  auto cascade = MakeCascadeEngine(options);
+  QueryInstance instance = Sample(QueryId::kQ2a);
+  auto output = cascade->Execute(instance, *dataset_, OutputMode::kWrite, "");
+  ASSERT_FALSE(output.ok());
+  EXPECT_EQ(output.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(SystemsTest, CascadeSkipsRedundantFrames) {
+  EngineOptions options;
+  auto cascade = MakeCascadeEngine(options);
+  QueryInstance instance = Sample(QueryId::kQ2c);
+  auto output = cascade->Execute(instance, *dataset_, OutputMode::kStreaming, "");
+  ASSERT_TRUE(output.ok());
+  EngineStats stats = cascade->stats();
+  // Every input frame is decoded; not every one runs the full CNN.
+  EXPECT_GT(stats.frames_decoded, 0);
+  EXPECT_LT(stats.cnn_frames_full, stats.frames_decoded);
+}
+
+TEST_F(SystemsTest, PipelineCachesDecodedContent) {
+  EngineOptions options;
+  auto pipeline = MakePipelineEngine(options);
+  QueryInstance instance = Sample(QueryId::kQ2a);
+  ASSERT_TRUE(
+      pipeline->Execute(instance, *dataset_, OutputMode::kStreaming, "").ok());
+  ASSERT_TRUE(
+      pipeline->Execute(instance, *dataset_, OutputMode::kStreaming, "").ok());
+  EngineStats stats = pipeline->stats();
+  EXPECT_GE(stats.cache_hits, 1);
+  // Quiesce clears the cache: the next run misses again.
+  pipeline->Quiesce();
+  ASSERT_TRUE(
+      pipeline->Execute(instance, *dataset_, OutputMode::kStreaming, "").ok());
+  EXPECT_GE(pipeline->stats().cache_misses, 2);
+}
+
+TEST_F(SystemsTest, BatchEngineFailsQ4UnderTightMemory) {
+  EngineOptions options;
+  options.memory_fail_bytes = 1 << 17;  // 128 KB ceiling: any upsample dies.
+  auto batch = MakeBatchEngine(options);
+  QueryInstance instance = Sample(QueryId::kQ4);
+  auto output = batch->Execute(instance, *dataset_, OutputMode::kStreaming, "");
+  ASSERT_FALSE(output.ok());
+  EXPECT_EQ(output.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SystemsTest, BatchEngineSpillsUnderMemoryPressure) {
+  EngineOptions options;
+  options.memory_budget_bytes = 1 << 16;  // Tiny budget: immediate pressure.
+  auto batch = MakeBatchEngine(options);
+  QueryInstance instance = Sample(QueryId::kQ2a);
+  ASSERT_TRUE(batch->Execute(instance, *dataset_, OutputMode::kStreaming, "").ok());
+  EXPECT_GT(batch->stats().chunked_redecodes, 0);
+}
+
+TEST_F(SystemsTest, WriteModePersistsContainer) {
+  EngineOptions options;
+  auto pipeline = MakePipelineEngine(options);
+  QueryInstance instance = Sample(QueryId::kQ5);
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "vr_systems_test").string();
+  auto output = pipeline->Execute(instance, *dataset_, OutputMode::kWrite, dir);
+  ASSERT_TRUE(output.ok());
+  ASSERT_FALSE(output->written_path.empty());
+  auto container = video::container::ReadContainerFile(output->written_path);
+  ASSERT_TRUE(container.ok());
+  EXPECT_EQ(container->video.FrameCount(), output->video.FrameCount());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SystemsTest, StreamingModeDiscardsResults) {
+  EngineOptions options;
+  auto pipeline = MakePipelineEngine(options);
+  QueryInstance instance = Sample(QueryId::kQ5);
+  auto output = pipeline->Execute(instance, *dataset_, OutputMode::kStreaming, "");
+  ASSERT_TRUE(output.ok());
+  EXPECT_FALSE(output->produced);
+  EXPECT_EQ(output->video.FrameCount(), 0);
+  EXPECT_TRUE(output->written_path.empty());
+}
+
+TEST_F(SystemsTest, InvalidVideoIndexRejected) {
+  EngineOptions options;
+  auto batch = MakeBatchEngine(options);
+  QueryInstance instance = Sample(QueryId::kQ2a);
+  instance.video_index = 999;
+  EXPECT_FALSE(batch->Execute(instance, *dataset_, OutputMode::kWrite, "").ok());
+}
+
+TEST_F(SystemsTest, BatchDetectorRunsLargerNetworkThanPipeline) {
+  // The architectural difference behind the Q2(c) gap: the batch engine's
+  // framework path must burn more arithmetic per frame.
+  EngineOptions options;
+  vision::MiniYolo reference_net(options.detector);
+  vision::DetectorOptions batch_options = options.detector;
+  batch_options.input_size = 224;
+  vision::MiniYolo batch_net(batch_options);
+  EXPECT_GT(batch_net.MacsPerFrame(), 4 * reference_net.MacsPerFrame());
+}
+
+}  // namespace
+}  // namespace visualroad::systems

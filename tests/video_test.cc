@@ -1,0 +1,462 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "video/color.h"
+#include "video/frame.h"
+#include "video/image_ops.h"
+#include "video/metrics.h"
+#include "video/webvtt.h"
+
+namespace visualroad::video {
+namespace {
+
+Frame GradientFrame(int w, int h, int shift = 0) {
+  Frame frame(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      frame.SetPixel(x, y, static_cast<uint8_t>((x * 2 + y + shift) & 0xFF),
+                     static_cast<uint8_t>(96 + (x & 31)),
+                     static_cast<uint8_t>(160 - (y & 31)));
+    }
+  }
+  return frame;
+}
+
+// --- Frame ---
+
+TEST(FrameTest, ConstructionInitialisesBlack) {
+  Frame frame(16, 12);
+  EXPECT_EQ(frame.width(), 16);
+  EXPECT_EQ(frame.height(), 12);
+  EXPECT_EQ(frame.Y(5, 5), 0);
+  EXPECT_EQ(frame.U(5, 5), 128);
+  EXPECT_EQ(frame.V(5, 5), 128);
+}
+
+TEST(FrameTest, OddDimensionsGetCeilingChroma) {
+  Frame frame(15, 9);
+  EXPECT_EQ(frame.chroma_width(), 8);
+  EXPECT_EQ(frame.chroma_height(), 5);
+  frame.SetPixel(14, 8, 200, 30, 40);  // Must not crash at the odd edge.
+  EXPECT_EQ(frame.Y(14, 8), 200);
+  EXPECT_EQ(frame.U(14, 8), 30);
+}
+
+TEST(FrameTest, ContentHashDetectsChanges) {
+  Frame a = GradientFrame(32, 24);
+  Frame b = a;
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+  EXPECT_TRUE(a.SameContentAs(b));
+  b.SetY(10, 10, static_cast<uint8_t>(b.Y(10, 10) + 1));
+  EXPECT_NE(a.ContentHash(), b.ContentHash());
+  EXPECT_FALSE(a.SameContentAs(b));
+}
+
+TEST(FrameTest, FillSetsAllPlanes) {
+  Frame frame(8, 8);
+  frame.Fill(10, 20, 30);
+  EXPECT_EQ(frame.Y(7, 7), 10);
+  EXPECT_EQ(frame.U(0, 0), 20);
+  EXPECT_EQ(frame.V(3, 5), 30);
+}
+
+TEST(VideoTest, DurationFromFps) {
+  Video v;
+  v.fps = 10.0;
+  v.frames.resize(25, Frame(4, 4));
+  EXPECT_DOUBLE_EQ(v.DurationSeconds(), 2.5);
+  EXPECT_EQ(v.Width(), 4);
+}
+
+// --- Color ---
+
+TEST(ColorTest, PrimariesRoundTripWithinTolerance) {
+  Rgb primaries[] = {{255, 0, 0}, {0, 255, 0},   {0, 0, 255},
+                     {255, 255, 255}, {0, 0, 0}, {128, 64, 200}};
+  for (const Rgb& rgb : primaries) {
+    Rgb back = YuvToRgb(RgbToYuv(rgb));
+    EXPECT_NEAR(back.r, rgb.r, 3);
+    EXPECT_NEAR(back.g, rgb.g, 3);
+    EXPECT_NEAR(back.b, rgb.b, 3);
+  }
+}
+
+TEST(ColorTest, GrayHasNeutralChroma) {
+  Yuv yuv = RgbToYuv({77, 77, 77});
+  EXPECT_EQ(yuv.u, 128);
+  EXPECT_EQ(yuv.v, 128);
+  EXPECT_EQ(yuv.y, 77);
+}
+
+TEST(ColorTest, OmegaIsBlack) {
+  Rgb rgb = YuvToRgb(kOmega);
+  EXPECT_EQ(rgb.r, 0);
+  EXPECT_EQ(rgb.g, 0);
+  EXPECT_EQ(rgb.b, 0);
+  EXPECT_TRUE(IsOmega(kOmega));
+  EXPECT_FALSE(IsOmega({1, 128, 128}));
+}
+
+TEST(ColorTest, RgbImageFrameRoundTrip) {
+  RgbImage image(16, 16);
+  Pcg32 rng(1, 1);
+  for (uint8_t& s : image.data) s = static_cast<uint8_t>(rng.NextBounded(256));
+  Frame frame = RgbToFrame(image);
+  RgbImage back = FrameToRgb(frame);
+  // 4:2:0 chroma subsampling of per-pixel random noise loses substantial
+  // chroma detail; the average error stays bounded well below gross
+  // corruption levels.
+  double error = 0;
+  for (size_t i = 0; i < image.data.size(); ++i) {
+    error += std::abs(static_cast<int>(image.data[i]) - back.data[i]);
+  }
+  EXPECT_LT(error / static_cast<double>(image.data.size()), 48.0);
+}
+
+TEST(ColorTest, SolidColorSurvivesFrameRoundTripExactly) {
+  RgbImage image(8, 8);
+  for (int i = 0; i < 64; ++i) {
+    image.data[static_cast<size_t>(i) * 3] = 180;
+    image.data[static_cast<size_t>(i) * 3 + 1] = 40;
+    image.data[static_cast<size_t>(i) * 3 + 2] = 90;
+  }
+  RgbImage back = FrameToRgb(RgbToFrame(image));
+  EXPECT_NEAR(back.data[0], 180, 3);
+  EXPECT_NEAR(back.data[1], 40, 3);
+  EXPECT_NEAR(back.data[2], 90, 3);
+}
+
+// --- Image ops ---
+
+TEST(ImageOpsTest, CropExtractsRegion) {
+  Frame frame = GradientFrame(32, 24);
+  auto cropped = Crop(frame, {4, 6, 20, 18});
+  ASSERT_TRUE(cropped.ok());
+  EXPECT_EQ(cropped->width(), 16);
+  EXPECT_EQ(cropped->height(), 12);
+  EXPECT_EQ(cropped->Y(0, 0), frame.Y(4, 6));
+  EXPECT_EQ(cropped->Y(15, 11), frame.Y(19, 17));
+}
+
+TEST(ImageOpsTest, CropClampsToFrame) {
+  Frame frame = GradientFrame(16, 16);
+  auto cropped = Crop(frame, {-10, -10, 100, 100});
+  ASSERT_TRUE(cropped.ok());
+  EXPECT_EQ(cropped->width(), 16);
+  EXPECT_EQ(cropped->height(), 16);
+}
+
+TEST(ImageOpsTest, EmptyCropFails) {
+  Frame frame = GradientFrame(16, 16);
+  EXPECT_FALSE(Crop(frame, {20, 20, 30, 30}).ok());
+  EXPECT_FALSE(Crop(frame, {5, 5, 5, 10}).ok());
+}
+
+TEST(ImageOpsTest, ResizeToSameSizeIsNearIdentity) {
+  Frame frame = GradientFrame(24, 16);
+  auto resized = BilinearResize(frame, 24, 16);
+  ASSERT_TRUE(resized.ok());
+  auto psnr = Psnr(frame, *resized);
+  ASSERT_TRUE(psnr.ok());
+  EXPECT_GT(*psnr, 50.0);
+}
+
+TEST(ImageOpsTest, UpsampleDoublesDimensions) {
+  Frame frame = GradientFrame(20, 12);
+  auto up = BilinearResize(frame, 40, 24);
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->width(), 40);
+  EXPECT_EQ(up->height(), 24);
+}
+
+TEST(ImageOpsTest, UpsampleOfConstantIsConstant) {
+  Frame frame(10, 10);
+  frame.Fill(99, 60, 70);
+  auto up = BilinearResize(frame, 35, 27);
+  ASSERT_TRUE(up.ok());
+  for (int y = 0; y < 27; ++y) {
+    for (int x = 0; x < 35; ++x) {
+      EXPECT_EQ(up->Y(x, y), 99);
+    }
+  }
+}
+
+TEST(ImageOpsTest, DownsampleHalves) {
+  Frame frame = GradientFrame(32, 32);
+  auto down = Downsample(frame, 16, 16);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->width(), 16);
+  EXPECT_EQ(down->Y(0, 0), frame.Y(0, 0));
+  EXPECT_EQ(down->Y(8, 8), frame.Y(16, 16));
+}
+
+TEST(ImageOpsTest, DownsampleLargerThanSourceFails) {
+  Frame frame = GradientFrame(8, 8);
+  EXPECT_FALSE(Downsample(frame, 16, 8).ok());
+}
+
+TEST(ImageOpsTest, ResizeRejectsBadTargets) {
+  Frame frame = GradientFrame(8, 8);
+  EXPECT_FALSE(BilinearResize(frame, 0, 8).ok());
+  EXPECT_FALSE(BilinearResize(frame, 8, -1).ok());
+}
+
+TEST(ImageOpsTest, GrayscaleZeroesChromaKeepsLuma) {
+  Frame frame = GradientFrame(16, 16);
+  Frame gray = Grayscale(frame);
+  EXPECT_EQ(gray.Y(7, 9), frame.Y(7, 9));
+  EXPECT_EQ(gray.U(7, 9), 128);
+  EXPECT_EQ(gray.V(7, 9), 128);
+}
+
+TEST(ImageOpsTest, GaussianKernelSumsToOne) {
+  for (int d : {3, 5, 9, 15}) {
+    std::vector<double> kernel = GaussianKernel1d(d, 0.0);
+    EXPECT_EQ(static_cast<int>(kernel.size()), d);
+    double sum = 0;
+    for (double k : kernel) sum += k;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    // Symmetric and peaked at the centre.
+    EXPECT_NEAR(kernel.front(), kernel.back(), 1e-12);
+    EXPECT_GT(kernel[static_cast<size_t>(d / 2)], kernel[0]);
+  }
+}
+
+TEST(ImageOpsTest, BlurPreservesConstantRegions) {
+  Frame frame(16, 16);
+  frame.Fill(120, 100, 140);
+  auto blurred = GaussianBlur(frame, 5);
+  ASSERT_TRUE(blurred.ok());
+  EXPECT_EQ(blurred->Y(8, 8), 120);
+  EXPECT_EQ(blurred->U(8, 8), 100);
+}
+
+TEST(ImageOpsTest, BlurReducesVariance) {
+  Frame frame = GradientFrame(32, 32);
+  // Add a bright dot.
+  frame.SetY(16, 16, 255);
+  auto blurred = GaussianBlur(frame, 7);
+  ASSERT_TRUE(blurred.ok());
+  EXPECT_LT(blurred->Y(16, 16), 255);
+}
+
+TEST(ImageOpsTest, BlurRejectsEvenKernel) {
+  Frame frame = GradientFrame(8, 8);
+  EXPECT_FALSE(GaussianBlur(frame, 4).ok());
+  EXPECT_FALSE(GaussianBlur(frame, 0).ok());
+}
+
+TEST(ImageOpsTest, PMapAppliesPerPixel) {
+  Video input;
+  input.fps = 10;
+  input.frames.push_back(GradientFrame(8, 8));
+  Video output = PMap(input, [](const Yuv& p) { return Yuv{p.y, 128, 128}; });
+  EXPECT_EQ(output.frames[0].U(3, 3), 128);
+  EXPECT_EQ(output.frames[0].Y(3, 3), input.frames[0].Y(3, 3));
+}
+
+TEST(ImageOpsTest, FMapAppliesPerFrame) {
+  Video input;
+  input.fps = 10;
+  input.frames.push_back(GradientFrame(8, 8, 0));
+  input.frames.push_back(GradientFrame(8, 8, 5));
+  Video output = FMap(input, [](const Frame& f) { return Grayscale(f); });
+  EXPECT_EQ(output.FrameCount(), 2);
+  EXPECT_EQ(output.frames[1].U(0, 0), 128);
+}
+
+TEST(ImageOpsTest, JoinPRequiresMatchingResolutions) {
+  Video a, b;
+  a.frames.push_back(GradientFrame(8, 8));
+  b.frames.push_back(GradientFrame(16, 8));
+  EXPECT_FALSE(JoinP(a, b, OmegaCoalesce).ok());
+}
+
+TEST(ImageOpsTest, OmegaCoalescePrefersNonOmegaOverlay) {
+  Yuv base{50, 90, 110}, overlay{200, 30, 40};
+  EXPECT_EQ(OmegaCoalesce(base, overlay), overlay);
+  EXPECT_EQ(OmegaCoalesce(base, kOmega), base);
+}
+
+TEST(ImageOpsTest, JoinPTruncatesToShorter) {
+  Video a, b;
+  a.fps = 10;
+  for (int i = 0; i < 5; ++i) a.frames.push_back(GradientFrame(8, 8));
+  for (int i = 0; i < 3; ++i) b.frames.push_back(GradientFrame(8, 8));
+  auto joined = JoinP(a, b, OmegaCoalesce);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->FrameCount(), 3);
+}
+
+TEST(ImageOpsTest, MeanFrameAveragesExactly) {
+  Frame a(4, 4), b(4, 4);
+  a.Fill(100, 110, 120);
+  b.Fill(200, 130, 140);
+  auto mean = MeanFrame({&a, &b});
+  ASSERT_TRUE(mean.ok());
+  EXPECT_EQ(mean->Y(2, 2), 150);
+  EXPECT_EQ(mean->U(2, 2), 120);
+}
+
+TEST(ImageOpsTest, MeanFrameRejectsEmptyAndMismatched) {
+  EXPECT_FALSE(MeanFrame({}).ok());
+  Frame a(4, 4), b(8, 4);
+  EXPECT_FALSE(MeanFrame({&a, &b}).ok());
+}
+
+TEST(ImageOpsTest, MaskEmitsOmegaForStaticPixels) {
+  Frame frame(4, 4), background(4, 4);
+  frame.Fill(100, 90, 80);
+  background.Fill(100, 90, 80);
+  auto masked = MaskAgainstBackground(frame, background, 0.2);
+  ASSERT_TRUE(masked.ok());
+  EXPECT_EQ(masked->Y(1, 1), kOmega.y);
+  EXPECT_EQ(masked->U(1, 1), kOmega.u);
+}
+
+TEST(ImageOpsTest, MaskKeepsChangedPixels) {
+  Frame frame(4, 4), background(4, 4);
+  frame.Fill(200, 90, 80);
+  background.Fill(100, 90, 80);
+  auto masked = MaskAgainstBackground(frame, background, 0.2);
+  ASSERT_TRUE(masked.ok());
+  EXPECT_EQ(masked->Y(1, 1), 200);
+  EXPECT_EQ(masked->U(1, 1), 90);
+}
+
+TEST(ImageOpsTest, MaskThresholdBoundary) {
+  // |(pv - pb)/pv| = 0.5 exactly; with epsilon 0.5 the pixel is NOT static
+  // (< comparison) so it is kept.
+  Frame frame(2, 2), background(2, 2);
+  frame.Fill(100, 128, 128);
+  background.Fill(150, 128, 128);
+  auto masked = MaskAgainstBackground(frame, background, 0.5);
+  ASSERT_TRUE(masked.ok());
+  EXPECT_EQ(masked->Y(0, 0), 100);
+}
+
+// --- Metrics ---
+
+TEST(MetricsTest, IdenticalFramesInfinitePsnr) {
+  Frame frame = GradientFrame(16, 16);
+  auto psnr = Psnr(frame, frame);
+  ASSERT_TRUE(psnr.ok());
+  EXPECT_TRUE(std::isinf(*psnr));
+}
+
+TEST(MetricsTest, KnownMseGivesKnownPsnr) {
+  Frame a(16, 16), b(16, 16);
+  a.Fill(100, 128, 128);
+  b.Fill(110, 128, 128);
+  // Luma differs by 10 everywhere, chroma identical.
+  auto mse = LumaMse(a, b);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_DOUBLE_EQ(*mse, 100.0);
+  auto psnr = Psnr(a, b);
+  ASSERT_TRUE(psnr.ok());
+  // Combined MSE = 100 * (256 / 384): luma samples dominate 2:1.
+  double expected = 10.0 * std::log10(255.0 * 255.0 / (100.0 * 256.0 / 384.0));
+  EXPECT_NEAR(*psnr, expected, 1e-9);
+}
+
+TEST(MetricsTest, MismatchedSizesRejected) {
+  Frame a(8, 8), b(16, 8);
+  EXPECT_FALSE(Psnr(a, b).ok());
+  EXPECT_FALSE(LumaMse(a, b).ok());
+}
+
+TEST(MetricsTest, MeanPsnrCapsIdenticalFrames) {
+  Video a, b;
+  a.frames.push_back(GradientFrame(8, 8));
+  b.frames.push_back(GradientFrame(8, 8));
+  auto mean = MeanPsnr(a, b, 99.0);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(*mean, 99.0);
+}
+
+TEST(MetricsTest, MeanPsnrRequiresEqualCounts) {
+  Video a, b;
+  a.frames.resize(2, Frame(4, 4));
+  b.frames.resize(3, Frame(4, 4));
+  EXPECT_FALSE(MeanPsnr(a, b).ok());
+}
+
+// --- WebVTT ---
+
+TEST(WebVttTest, SerializeParseRoundTrip) {
+  WebVttDocument document;
+  WebVttCue cue;
+  cue.start_seconds = 1.25;
+  cue.end_seconds = 4.5;
+  cue.line_percent = 80;
+  cue.position_percent = 25;
+  cue.text = "HELLO WORLD";
+  document.cues.push_back(cue);
+  cue.start_seconds = 10;
+  cue.end_seconds = 12.125;
+  cue.text = "SECOND CUE";
+  document.cues.push_back(cue);
+
+  auto parsed = ParseWebVtt(SerializeWebVtt(document));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->cues.size(), 2u);
+  EXPECT_NEAR(parsed->cues[0].start_seconds, 1.25, 1e-3);
+  EXPECT_NEAR(parsed->cues[0].end_seconds, 4.5, 1e-3);
+  EXPECT_NEAR(parsed->cues[0].line_percent, 80, 1e-9);
+  EXPECT_NEAR(parsed->cues[0].position_percent, 25, 1e-9);
+  EXPECT_EQ(parsed->cues[0].text, "HELLO WORLD");
+  EXPECT_NEAR(parsed->cues[1].end_seconds, 12.125, 1e-3);
+}
+
+TEST(WebVttTest, RejectsMissingHeader) {
+  EXPECT_FALSE(ParseWebVtt("00:00:01.000 --> 00:00:02.000\nhi\n").ok());
+}
+
+TEST(WebVttTest, RejectsInvertedTiming) {
+  EXPECT_FALSE(
+      ParseWebVtt("WEBVTT\n\n00:00:05.000 --> 00:00:02.000\nbackwards\n").ok());
+}
+
+TEST(WebVttTest, SkipsNoteBlocks) {
+  auto parsed = ParseWebVtt(
+      "WEBVTT\n\nNOTE this is a comment\nstill a comment\n\n"
+      "00:00:01.000 --> 00:00:02.000\ncontent\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->cues.size(), 1u);
+  EXPECT_EQ(parsed->cues[0].text, "content");
+}
+
+TEST(WebVttTest, ParsesCueIdentifierLines) {
+  auto parsed = ParseWebVtt(
+      "WEBVTT\n\ncue-1\n00:00:01.000 --> 00:00:02.000 line:40% position:60%\n"
+      "identified\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->cues.size(), 1u);
+  EXPECT_NEAR(parsed->cues[0].line_percent, 40.0, 1e-9);
+  EXPECT_NEAR(parsed->cues[0].position_percent, 60.0, 1e-9);
+}
+
+TEST(WebVttTest, ActiveAtSelectsByHalfOpenInterval) {
+  WebVttDocument document;
+  WebVttCue cue;
+  cue.start_seconds = 1.0;
+  cue.end_seconds = 2.0;
+  cue.text = "X";
+  document.cues.push_back(cue);
+  EXPECT_TRUE(document.ActiveAt(0.5).empty());
+  EXPECT_EQ(document.ActiveAt(1.0).size(), 1u);
+  EXPECT_EQ(document.ActiveAt(1.99).size(), 1u);
+  EXPECT_TRUE(document.ActiveAt(2.0).empty());
+}
+
+TEST(WebVttTest, MultilinePayloadPreserved) {
+  auto parsed = ParseWebVtt(
+      "WEBVTT\n\n00:00:00.000 --> 00:00:01.000\nline one\nline two\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->cues[0].text, "line one\nline two");
+}
+
+}  // namespace
+}  // namespace visualroad::video
