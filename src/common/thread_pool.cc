@@ -1,8 +1,30 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <memory>
+
+#include "common/stopwatch.h"
 
 namespace visualroad {
+
+namespace {
+
+/// Converts a caught exception into a Status without letting it escape the
+/// worker thread.
+Status CurrentExceptionToStatus() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("task threw a non-standard exception");
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   num_threads = std::max(1, num_threads);
@@ -26,20 +48,115 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    ++stats_.tasks_submitted;
+    stats_.queue_peak =
+        std::max(stats_.queue_peak, static_cast<int64_t>(tasks_.size()));
   }
   task_available_.notify_one();
 }
 
-void ThreadPool::Wait() {
+Status ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  Status first = std::move(first_error_);
+  first_error_ = Status::Ok();
+  return first;
 }
 
-void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
-  for (int i = 0; i < count; ++i) {
-    Submit([&fn, i] { fn(i); });
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn,
+                             int grain) {
+  Status status = ParallelForStatus(
+      count,
+      [&fn](int i) {
+        fn(i);
+        return Status::Ok();
+      },
+      grain);
+  if (!status.ok()) {
+    // Void callers have nowhere to put the error; park it for the next
+    // Wait(), mirroring the Submit() path.
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (first_error_.ok()) first_error_ = std::move(status);
   }
-  Wait();
+}
+
+Status ThreadPool::ParallelForStatus(int count,
+                                     const std::function<Status(int)>& fn,
+                                     int grain) {
+  if (count <= 0) return Status::Ok();
+  if (grain <= 0) {
+    // Several chunks per worker keeps the pool balanced without paying one
+    // queue round-trip per index.
+    grain = std::max(1, count / (num_threads() * 4));
+  }
+  int chunks = (count + grain - 1) / grain;
+
+  // Completion is tracked per call so concurrent ParallelForStatus calls on
+  // one pool cannot steal each other's errors or wake-ups. The shared_ptr
+  // keeps the state alive until the last chunk task has released it, even
+  // after the waiter has returned.
+  struct CallState {
+    std::mutex mutex;
+    std::condition_variable done;
+    int pending = 0;
+    int failed_index = std::numeric_limits<int>::max();
+    Status first_error;
+    std::atomic<bool> failed{false};
+  };
+  auto state = std::make_shared<CallState>();
+  state->pending = chunks;
+
+  for (int c = 0; c < chunks; ++c) {
+    int begin = c * grain;
+    int end = std::min(count, begin + grain);
+    Submit([this, state, begin, end, &fn] {
+      Status status = Status::Ok();
+      int failed_at = begin;
+      // Once any chunk has failed, later chunks skip their work entirely
+      // (the waiter only ever sees the lowest-index failure anyway).
+      if (!state->failed.load(std::memory_order_relaxed)) {
+        try {
+          for (int i = begin; i < end; ++i) {
+            status = fn(i);
+            if (!status.ok()) {
+              failed_at = i;
+              break;
+            }
+          }
+        } catch (...) {
+          status = CurrentExceptionToStatus();
+        }
+      }
+      if (!status.ok()) {
+        state->failed.store(true, std::memory_order_relaxed);
+        RecordChunkFailure();
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (!status.ok() && failed_at < state->failed_index) {
+        state->failed_index = failed_at;
+        state->first_error = std::move(status);
+      }
+      if (--state->pending == 0) state->done.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&state] { return state->pending == 0; });
+  return state->first_error;
+}
+
+PoolStats ThreadPool::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+int ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::RecordChunkFailure() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.tasks_failed;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -52,9 +169,24 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    Stopwatch watch;
+    Status status = Status::Ok();
+    try {
+      task();
+    } catch (...) {
+      status = CurrentExceptionToStatus();
+    }
+    double elapsed = watch.ElapsedSeconds();
     {
+      // The decrement runs whether or not the task threw, so Wait() can
+      // never strand on a poisoned counter.
       std::unique_lock<std::mutex> lock(mutex_);
+      ++stats_.tasks_executed;
+      stats_.busy_seconds += elapsed;
+      if (!status.ok()) {
+        ++stats_.tasks_failed;
+        if (first_error_.ok()) first_error_ = std::move(status);
+      }
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

@@ -2,47 +2,102 @@
 #define VISUALROAD_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace visualroad {
 
-/// A fixed-size worker pool. Used by the VCG's distributed mode (one worker
-/// per simulated node) and by the BatchEngine's stage executor.
+/// Lifetime counters for one pool, aggregated across workers. The busy /
+/// (threads x wall) ratio is the pool's parallel efficiency, which the
+/// benchmark reports print per phase.
+struct PoolStats {
+  /// Tasks handed to Submit(), including the chunk tasks ParallelFor and
+  /// ParallelForStatus create internally.
+  int64_t tasks_submitted = 0;
+  /// Tasks a worker ran to completion (successfully or not).
+  int64_t tasks_executed = 0;
+  /// Tasks that threw, plus ParallelForStatus chunks that returned an error.
+  int64_t tasks_failed = 0;
+  /// High-water mark of the pending-task queue depth.
+  int64_t queue_peak = 0;
+  /// Total wall-clock seconds workers spent inside tasks.
+  double busy_seconds = 0.0;
+};
+
+/// A fixed-size worker pool. Used by the VCG (parallel tile generation and
+/// distributed mode), the VCD's parallel batch execution, and the
+/// BatchEngine's stage executor.
+///
+/// Tasks must not submit to (or wait on) their own pool: workers that block
+/// on nested work can exhaust the pool and deadlock. Use a separate pool for
+/// nested parallelism (the VCD's instance pool and an engine's stage pool
+/// coexist this way).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
   explicit ThreadPool(int num_threads);
+
+  /// Drains every queued task, then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution. A task that throws does not take the
+  /// worker (or the process) down: the first exception is captured and
+  /// surfaced by the next Wait().
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
-  void Wait();
+  /// Blocks until every submitted task has finished. Returns the first
+  /// failure captured since the previous Wait() (a thrown exception becomes
+  /// an Internal status) and clears it; Ok when every task succeeded.
+  Status Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Runs `fn(i)` for i in [0, count) across the pool and waits. The calling
-  /// thread does not participate, matching a dispatch-to-cluster model.
-  void ParallelFor(int count, const std::function<void(int)>& fn);
+  /// Runs `fn(i)` for i in [0, count) across the pool and waits. Indices are
+  /// batched into chunks of `grain` (0 picks a grain that yields several
+  /// chunks per worker), so cheap bodies do not pay one queue round-trip per
+  /// index. The calling thread does not participate, matching a
+  /// dispatch-to-cluster model. A body that throws is captured as with
+  /// Submit() and surfaced by the next Wait().
+  void ParallelFor(int count, const std::function<void(int)>& fn, int grain = 0);
+
+  /// As ParallelFor, but the body returns Status and the call returns the
+  /// failure with the lowest index (exceptions are converted to Internal).
+  /// Once any chunk fails, not-yet-started chunks are skipped. Completion is
+  /// tracked per call, so concurrent callers on one pool do not interfere.
+  Status ParallelForStatus(int count, const std::function<Status(int)>& fn,
+                           int grain = 0);
+
+  /// Counters accumulated since construction.
+  PoolStats stats() const;
+
+  /// The hardware concurrency, at least 1.
+  static int HardwareThreads();
 
  private:
   void WorkerLoop();
 
+  /// Records a chunk failure in the pool counters (the error itself is
+  /// routed through the call's own state, not the pool).
+  void RecordChunkFailure();
+
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   int in_flight_ = 0;
   bool shutting_down_ = false;
+  Status first_error_;
+  PoolStats stats_;
 };
 
 }  // namespace visualroad

@@ -66,9 +66,30 @@ std::string FormatRatio(double ratio) {
   return buffer;
 }
 
+std::string FormatPoolStats(const PoolStats& stats, int threads,
+                            double wall_seconds) {
+  double efficiency = 0.0;
+  if (threads > 0 && wall_seconds > 0.0) {
+    efficiency = stats.busy_seconds / (threads * wall_seconds);
+    efficiency = std::min(1.0, std::max(0.0, efficiency));
+  }
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "%d thread%s: %lld tasks, busy %s / wall %s (%.0f%% efficient), "
+                "queue peak %lld, %lld failed",
+                threads, threads == 1 ? "" : "s",
+                static_cast<long long>(stats.tasks_executed),
+                FormatSeconds(stats.busy_seconds).c_str(),
+                FormatSeconds(wall_seconds).c_str(), efficiency * 100.0,
+                static_cast<long long>(stats.queue_peak),
+                static_cast<long long>(stats.tasks_failed));
+  return buffer;
+}
+
 std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) {
   TextTable table;
-  table.SetHeader({"Query", "Engine", "Batch", "Runtime", "FPS", "Validation"});
+  table.SetHeader(
+      {"Query", "Engine", "Batch", "Runtime", "FPS", "Validation", "Parallel"});
   for (const QueryBatchResult& result : results) {
     std::string validation;
     if (!result.Supported()) {
@@ -93,10 +114,23 @@ std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) 
     }
     char fps[32];
     std::snprintf(fps, sizeof(fps), "%.0f", result.frames_per_second);
+    // Per-batch parallel efficiency: how busy the driver's instance pool
+    // kept its workers during the measured window.
+    std::string parallel = "-";
+    if (result.parallel_instances > 1 && result.total_seconds > 0.0) {
+      double efficiency =
+          result.pool_stats.busy_seconds /
+          (result.parallel_instances * result.total_seconds);
+      efficiency = std::min(1.0, std::max(0.0, efficiency));
+      char buffer[48];
+      std::snprintf(buffer, sizeof(buffer), "%d thr, %.0f%% busy",
+                    result.parallel_instances, efficiency * 100.0);
+      parallel = buffer;
+    }
     table.AddRow({queries::QueryName(result.id), result.engine,
                   std::to_string(result.instances),
                   result.Supported() ? FormatSeconds(result.total_seconds) : "N/A",
-                  result.Supported() ? fps : "-", validation});
+                  result.Supported() ? fps : "-", validation, parallel});
   }
   return table.ToString();
 }

@@ -30,6 +30,12 @@ std::string FormatSeconds(double seconds);
 /// Formats a ratio as the paper prints speedups ("0.9x", "26x").
 std::string FormatRatio(double ratio);
 
+/// Renders one phase's executor counters with its parallel efficiency, e.g.
+/// "8 threads: 72 tasks, busy 3.20s / wall 0.48s (83% efficient), queue peak
+/// 64". Efficiency is busy / (threads x wall), clamped to [0, 100%].
+std::string FormatPoolStats(const PoolStats& stats, int threads,
+                            double wall_seconds);
+
 /// Renders a batch-result list as the standard per-query report (runtime,
 /// FPS, validation summary).
 std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results);

@@ -141,21 +141,32 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
     return result;
   }
 
+  // Per-instance outcome slots, aggregated in index order after the measured
+  // window so parallel execution reports exactly what serial execution
+  // would.
+  struct InstanceOutcome {
+    bool succeeded = false;
+    bool unsupported = false;
+    bool failed = false;
+    bool resource_exhausted = false;
+    std::string error;
+  };
+  std::vector<InstanceOutcome> outcomes(batch.size());
   std::vector<systems::QueryOutput> outputs(batch.size());
-  int64_t input_frames = 0;
 
-  Stopwatch stopwatch;
-  for (size_t i = 0; i < batch.size(); ++i) {
+  auto run_one = [&](int i) {
+    size_t index = static_cast<size_t>(i);
     if (options_.execution_mode == systems::ExecutionMode::kOnline) {
       // Online processing (Section 3.2): data arrives through a throttled
       // forward-only feed at the camera's capture rate. The engine cannot
       // start ahead of the data, so the ingest gate is part of the measured
       // runtime.
       std::vector<const sim::VideoAsset*> traffic = dataset_->TrafficAssets();
-      if (batch[i].video_index >= 0 &&
-          static_cast<size_t>(batch[i].video_index) < traffic.size()) {
+      if (batch[index].video_index >= 0 &&
+          static_cast<size_t>(batch[index].video_index) < traffic.size()) {
         systems::VideoSource source = systems::VideoSource::Online(
-            &traffic[static_cast<size_t>(batch[i].video_index)]->container.video,
+            &traffic[static_cast<size_t>(batch[index].video_index)]
+                 ->container.video,
             options_.online_rate_multiplier);
         while (!source.AtEnd()) {
           if (!source.Next().ok()) break;
@@ -163,36 +174,93 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
       }
     }
     StatusOr<systems::QueryOutput> output =
-        engine.Execute(batch[i], *dataset_, options_.output_mode,
+        engine.Execute(batch[index], *dataset_, options_.output_mode,
                        options_.output_dir);
     if (output.ok()) {
-      outputs[i] = std::move(output).value();
-      ++result.succeeded;
-      input_frames += InputFrames(batch[i]);
+      outputs[index] = std::move(output).value();
+      outcomes[index].succeeded = true;
     } else if (output.status().code() == StatusCode::kUnimplemented) {
-      ++result.unsupported;
+      outcomes[index].unsupported = true;
     } else {
-      ++result.failed;
-      if (output.status().code() == StatusCode::kResourceExhausted) {
-        ++result.resource_exhausted;
-      }
-      if (result.first_error.empty()) {
-        result.first_error = output.status().ToString();
-      }
+      outcomes[index].failed = true;
+      outcomes[index].resource_exhausted =
+          output.status().code() == StatusCode::kResourceExhausted;
+      outcomes[index].error = output.status().ToString();
+    }
+    return Status::Ok();
+  };
+
+  // Instance-level parallelism is opt-in, offline-only (online ingest
+  // throttling is part of the measured semantics), and gated on the engine
+  // declaring Execute() thread-safe.
+  int pool_threads =
+      std::min(options_.parallel_instances, static_cast<int>(batch.size()));
+  bool parallel_execute = pool_threads > 1 &&
+                          options_.execution_mode ==
+                              systems::ExecutionMode::kOffline &&
+                          engine.ConcurrentSafe();
+
+  Stopwatch stopwatch;
+  if (parallel_execute) {
+    ThreadPool pool(pool_threads);
+    VR_RETURN_IF_ERROR(pool.ParallelForStatus(static_cast<int>(batch.size()),
+                                              run_one, /*grain=*/1));
+    result.parallel_instances = pool.num_threads();
+    result.pool_stats = pool.stats();
+  } else {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      VR_RETURN_IF_ERROR(run_one(static_cast<int>(i)));
     }
   }
   result.total_seconds = stopwatch.ElapsedSeconds();
+
+  int64_t input_frames = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const InstanceOutcome& outcome = outcomes[i];
+    if (outcome.succeeded) {
+      ++result.succeeded;
+      input_frames += InputFrames(batch[i]);
+    } else if (outcome.unsupported) {
+      ++result.unsupported;
+    } else if (outcome.failed) {
+      ++result.failed;
+      if (outcome.resource_exhausted) ++result.resource_exhausted;
+      if (result.first_error.empty()) result.first_error = outcome.error;
+    }
+  }
   result.frames_per_second =
       result.total_seconds > 0
           ? static_cast<double>(input_frames) / result.total_seconds
           : 0.0;
 
   // Validation happens after the measured window (reference computation is
-  // the VCD's cost, not the engine's).
+  // the VCD's cost, not the engine's). It is pure per-instance work over
+  // const data, so it parallelises whenever the driver is configured for it,
+  // regardless of engine thread safety; per-instance stats merge in index
+  // order to keep the aggregate deterministic.
   if (options_.validate && options_.output_mode == systems::OutputMode::kWrite) {
-    for (size_t i = 0; i < batch.size(); ++i) {
-      if (!outputs[i].produced && outputs[i].detections.empty()) continue;
-      VR_RETURN_IF_ERROR(Validate(batch[i], outputs[i], result.validation));
+    auto needs_validation = [&](size_t i) {
+      return outputs[i].produced || !outputs[i].detections.empty();
+    };
+    if (pool_threads > 1) {
+      std::vector<ValidationStats> per_instance(batch.size());
+      ThreadPool pool(pool_threads);
+      VR_RETURN_IF_ERROR(pool.ParallelForStatus(
+          static_cast<int>(batch.size()),
+          [&](int i) {
+            size_t index = static_cast<size_t>(i);
+            if (!needs_validation(index)) return Status::Ok();
+            return Validate(batch[index], outputs[index], per_instance[index]);
+          },
+          /*grain=*/1));
+      for (const ValidationStats& stats : per_instance) {
+        result.validation.Merge(stats);
+      }
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (!needs_validation(i)) continue;
+        VR_RETURN_IF_ERROR(Validate(batch[i], outputs[i], result.validation));
+      }
     }
   }
   return result;

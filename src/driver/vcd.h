@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "driver/validation.h"
 #include "systems/vdbms.h"
 
@@ -31,6 +32,14 @@ struct VcdOptions {
   uint64_t seed = 0x5EED;
   /// Override for the per-query batch size; 0 uses the benchmark's 4L rule.
   int batch_size_override = 0;
+  /// Opt-in instance-level parallelism. When > 1, offline batch instances
+  /// are submitted to the engine concurrently from this many driver threads
+  /// — but only if the engine reports ConcurrentSafe(); otherwise execution
+  /// stays serial. Online mode always stays serial: the throttled
+  /// forward-only feed is part of the measured semantics. The
+  /// post-measurement validation loop (pure reference computation) is
+  /// parallelised whenever this is > 1, independent of the engine.
+  int parallel_instances = 1;
   queries::SamplerOptions sampler;
   /// Reference detector configuration used when computing reference results.
   vision::DetectorOptions detector;
@@ -53,8 +62,13 @@ struct QueryBatchResult {
   /// Input frames processed per second of batch runtime.
   double frames_per_second = 0.0;
   ValidationStats validation;
-  /// First error message, when failures occurred.
+  /// First error message, when failures occurred (lowest instance index, so
+  /// the report is deterministic under parallel execution).
   std::string first_error;
+  /// Driver threads that executed the measured window (1 = serial).
+  int parallel_instances = 1;
+  /// Executor counters for the measured window when it ran in parallel.
+  PoolStats pool_stats;
 
   bool Supported() const { return unsupported < instances; }
 };

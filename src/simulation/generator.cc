@@ -1,7 +1,6 @@
 #include "simulation/generator.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -109,32 +108,41 @@ StatusOr<Dataset> VisualCityGenerator::Generate(const CityConfig& config) {
   Dataset dataset;
   dataset.config = config;
 
+  // Distributed mode runs one worker per simulated node (the source of
+  // Figure 9's linear scaling); single-node mode parallelises the same tile
+  // loop across options_.threads workers. Both are deterministic: tiles are
+  // independent (each derives its own RNG substream) and results are merged
+  // in tile order, so output is byte-identical at every worker count.
+  int workers = options_.num_nodes > 1 ? options_.num_nodes
+                                       : std::max(1, options_.threads);
+  stats_ = GeneratorStats{};
+  stats_.workers = workers;
+
   int64_t frames_rendered = 0;
-  if (options_.num_nodes <= 1) {
+  if (workers <= 1 || config.scale_factor <= 1) {
+    stats_.workers = 1;
     for (int t = 0; t < config.scale_factor; ++t) {
       VR_RETURN_IF_ERROR(GenerateTile(config, options_.codec, city.tiles()[t],
                                       city.CamerasOfTile(t), dataset.assets,
                                       frames_rendered));
     }
   } else {
-    // Distributed mode: tiles are independent, so each node simulates and
-    // renders its own subset in parallel (the source of Figure 9's linear
-    // scaling). Results are merged in tile order for determinism.
-    ThreadPool pool(options_.num_nodes);
+    ThreadPool pool(workers);
     std::vector<std::vector<VideoAsset>> per_tile(config.scale_factor);
     std::vector<int64_t> per_tile_frames(config.scale_factor, 0);
-    std::vector<Status> statuses(config.scale_factor);
-    std::mutex mutex;
-    pool.ParallelFor(config.scale_factor, [&](int t) {
-      std::vector<VideoAsset> local;
-      Status status = GenerateTile(config, options_.codec, city.tiles()[t],
-                                   city.CamerasOfTile(t), local, per_tile_frames[t]);
-      std::lock_guard<std::mutex> lock(mutex);
-      per_tile[t] = std::move(local);
-      statuses[t] = std::move(status);
-    });
+    // Each task owns its own output slots, so no cross-task locking is
+    // needed; grain 1 because one tile is already a coarse unit of work.
+    Status status = pool.ParallelForStatus(
+        config.scale_factor,
+        [&](int t) {
+          return GenerateTile(config, options_.codec, city.tiles()[t],
+                              city.CamerasOfTile(t), per_tile[t],
+                              per_tile_frames[t]);
+        },
+        /*grain=*/1);
+    stats_.pool = pool.stats();
+    VR_RETURN_IF_ERROR(status);
     for (int t = 0; t < config.scale_factor; ++t) {
-      VR_RETURN_IF_ERROR(statuses[t]);
       frames_rendered += per_tile_frames[t];
       for (VideoAsset& asset : per_tile[t]) {
         dataset.assets.push_back(std::move(asset));

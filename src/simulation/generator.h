@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "simulation/city.h"
 #include "simulation/ground_truth.h"
 #include "video/codec/codec.h"
@@ -41,6 +42,12 @@ struct GeneratorOptions {
   /// partitioned across nodes, which render in parallel (Section 5). 1 =
   /// single-node mode.
   int num_nodes = 1;
+  /// Worker threads for single-node generation: tiles render and encode
+  /// concurrently, one task per tile. Output is byte-identical to the serial
+  /// path because every tile derives its own RNG substream and results are
+  /// merged in tile order. Ignored when num_nodes > 1 (each simulated node
+  /// is already one worker).
+  int threads = 1;
 };
 
 /// Timing breakdown for the most recent generation (drives Figures 8 and 9).
@@ -48,6 +55,10 @@ struct GeneratorStats {
   double total_seconds = 0.0;
   int64_t frames_rendered = 0;
   int64_t bytes_encoded = 0;
+  /// Workers that rendered tiles (1 = serial path).
+  int workers = 1;
+  /// Executor counters for the tile pool (zeroed on the serial path).
+  PoolStats pool;
 };
 
 /// The Visual City Generator (Section 3.1): builds a Visual City from the

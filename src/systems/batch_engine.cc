@@ -16,6 +16,7 @@
 // lines-of-code bench.
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -53,9 +54,21 @@ class BatchEngine : public Vdbms {
     return true;  // General-purpose; Q4 can still fail at runtime on memory.
   }
 
+  /// All mutable engine state is atomic (counters, retained-table
+  /// accounting) or per-call (spill files, stage completion), so the VCD may
+  /// fan batch instances out to this engine concurrently.
+  bool ConcurrentSafe() const override { return true; }
+
   void Quiesce() override { retained_bytes_ = 0; }
 
-  EngineStats stats() const override { return stats_; }
+  EngineStats stats() const override {
+    EngineStats stats;
+    stats.frames_decoded = frames_decoded_.load();
+    stats.frames_encoded = frames_encoded_.load();
+    stats.chunked_redecodes = chunked_redecodes_.load();
+    stats.cnn_frames_full = cnn_frames_full_.load();
+    return stats;
+  }
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
                                 const sim::Dataset& dataset, OutputMode mode,
@@ -66,7 +79,7 @@ class BatchEngine : public Vdbms {
   /// memory-pressure regime.
   StatusOr<Video> MaterializeAll(const video::codec::EncodedVideo& encoded) {
     VR_ASSIGN_OR_RETURN(Video decoded, video::codec::Decode(encoded));
-    stats_.frames_decoded += decoded.FrameCount();
+    frames_decoded_ += decoded.FrameCount();
     retained_bytes_ += static_cast<int64_t>(decoded.FrameCount()) *
                        detail::FrameBytes(decoded.Width(), decoded.Height());
     return decoded;
@@ -75,11 +88,14 @@ class BatchEngine : public Vdbms {
   bool UnderPressure() const { return retained_bytes_ > options_.memory_budget_bytes; }
 
   /// In the pressure regime, every stage's output is written to disk and
-  /// read back (Scanner-style disk-backed tables).
+  /// read back (Scanner-style disk-backed tables). Each call gets its own
+  /// file so concurrent instances cannot clobber one another's spills.
   Status MaybeSpill(Video& video) {
     if (!UnderPressure() || video.frames.empty()) return Status::Ok();
     std::string path =
-        (std::filesystem::temp_directory_path() / "vr_batch_spill.tmp").string();
+        (std::filesystem::temp_directory_path() /
+         ("vr_batch_spill_" + std::to_string(spill_serial_++) + ".tmp"))
+            .string();
     {
       std::ofstream out(path, std::ios::binary | std::ios::trunc);
       if (!out) return Status::IoError("cannot open spill file");
@@ -102,27 +118,32 @@ class BatchEngine : public Vdbms {
       in.read(reinterpret_cast<char*>(frame.v_plane().data()),
               static_cast<std::streamsize>(frame.v_plane().size()));
     }
-    ++stats_.chunked_redecodes;
+    in.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // Best-effort cleanup.
+    ++chunked_redecodes_;
     return Status::Ok();
   }
 
   /// One materialised stage: applies `fn` to every frame via the worker
-  /// pool, one dispatch per frame.
+  /// pool. Grain 1 dispatches one task per frame — the kernel-dispatch
+  /// overhead this architecture models — while the status-returning executor
+  /// propagates the first (lowest-frame) failure and keeps per-call
+  /// completion state, so concurrent instances can share the pool.
   template <typename Fn>
   StatusOr<Video> Stage(const Video& input, Fn&& fn) {
     Video output;
     output.fps = input.fps;
     output.frames.resize(input.frames.size());
-    std::vector<Status> statuses(input.frames.size());
-    pool_.ParallelFor(static_cast<int>(input.frames.size()), [&](int i) {
-      StatusOr<Frame> result = fn(input.frames[static_cast<size_t>(i)], i);
-      if (result.ok()) {
-        output.frames[static_cast<size_t>(i)] = std::move(result).value();
-      } else {
-        statuses[static_cast<size_t>(i)] = result.status();
-      }
-    });
-    for (const Status& status : statuses) VR_RETURN_IF_ERROR(status);
+    VR_RETURN_IF_ERROR(pool_.ParallelForStatus(
+        static_cast<int>(input.frames.size()),
+        [&](int i) {
+          StatusOr<Frame> result = fn(input.frames[static_cast<size_t>(i)], i);
+          if (!result.ok()) return result.status();
+          output.frames[static_cast<size_t>(i)] = std::move(result).value();
+          return Status::Ok();
+        },
+        /*grain=*/1));
     retained_bytes_ += static_cast<int64_t>(output.FrameCount()) *
                        detail::FrameBytes(output.Width(), output.Height());
     VR_RETURN_IF_ERROR(MaybeSpill(output));
@@ -138,33 +159,55 @@ class BatchEngine : public Vdbms {
     result.video.frames.resize(input.frames.size());
     result.detections.resize(input.frames.size());
     static const sim::FrameGroundTruth kEmpty;
-    pool_.ParallelFor(static_cast<int>(input.frames.size()), [&](int i) {
-      const sim::FrameGroundTruth& gt =
-          static_cast<size_t>(i) < truth.size() ? truth[static_cast<size_t>(i)]
-                                                : kEmpty;
-      std::vector<vision::Detection> detections =
-          detector_->Detect(input.frames[static_cast<size_t>(i)], gt, i);
-      detections.erase(std::remove_if(detections.begin(), detections.end(),
-                                      [object_class](const vision::Detection& d) {
-                                        return d.object_class != object_class;
-                                      }),
-                       detections.end());
-      result.video.frames[static_cast<size_t>(i)] = vision::RenderDetectionFrame(
-          input.Width(), input.Height(), detections);
-      result.detections[static_cast<size_t>(i)] = std::move(detections);
-    });
-    stats_.cnn_frames_full += input.FrameCount();
+    VR_RETURN_IF_ERROR(pool_.ParallelForStatus(
+        static_cast<int>(input.frames.size()),
+        [&](int i) {
+          const sim::FrameGroundTruth& gt =
+              static_cast<size_t>(i) < truth.size() ? truth[static_cast<size_t>(i)]
+                                                    : kEmpty;
+          std::vector<vision::Detection> detections =
+              detector_->Detect(input.frames[static_cast<size_t>(i)], gt, i);
+          detections.erase(
+              std::remove_if(detections.begin(), detections.end(),
+                             [object_class](const vision::Detection& d) {
+                               return d.object_class != object_class;
+                             }),
+              detections.end());
+          result.video.frames[static_cast<size_t>(i)] =
+              vision::RenderDetectionFrame(input.Width(), input.Height(),
+                                           detections);
+          result.detections[static_cast<size_t>(i)] = std::move(detections);
+          return Status::Ok();
+        },
+        /*grain=*/1));
+    cnn_frames_full_ += input.FrameCount();
     retained_bytes_ += static_cast<int64_t>(input.FrameCount()) *
                        detail::FrameBytes(input.Width(), input.Height());
     return result;
+  }
+
+  /// FinishVideoResult with the encoded-frame count folded into the atomic
+  /// counter (the shared helper writes through a plain pointer).
+  Status Finish(const Video& result, const QueryInstance& instance,
+                OutputMode mode, const std::string& output_dir,
+                QueryOutput& output) {
+    int64_t encoded = 0;
+    Status status = detail::FinishVideoResult(result, instance, options_, mode,
+                                              output_dir, name(), output, &encoded);
+    frames_encoded_ += encoded;
+    return status;
   }
 
   EngineOptions options_;
   ThreadPool pool_;
   vision::DetectorOptions detector_options_;
   std::unique_ptr<vision::MiniYolo> detector_;
-  EngineStats stats_;
-  int64_t retained_bytes_ = 0;
+  std::atomic<int64_t> frames_decoded_{0};
+  std::atomic<int64_t> frames_encoded_{0};
+  std::atomic<int64_t> chunked_redecodes_{0};
+  std::atomic<int64_t> cnn_frames_full_{0};
+  std::atomic<int64_t> retained_bytes_{0};
+  std::atomic<int64_t> spill_serial_{0};
 };
 
 StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
@@ -194,9 +237,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(Video cropped, Stage(trimmed, [&](const Frame& f, int) {
                             return video::Crop(f, instance.q1_rect);
                           }));
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(cropped, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(cropped, instance, mode, output_dir, output));
       // vr:Q1:end
       return output;
     }
@@ -208,9 +249,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(Video gray, Stage(input, [](const Frame& f, int) {
                             return StatusOr<Frame>(video::Grayscale(f));
                           }));
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(gray, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(gray, instance, mode, output_dir, output));
       // vr:Q2(a):end
       return output;
     }
@@ -222,9 +261,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(Video blurred, Stage(input, [&](const Frame& f, int) {
                             return video::GaussianBlur(f, instance.q2b_d);
                           }));
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(blurred, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(blurred, instance, mode, output_dir, output));
       // vr:Q2(b):end
       return output;
     }
@@ -237,9 +274,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
           queries::ReferenceResult result,
           DetectStage(input, asset->ground_truth, instance.object_class));
       output.detections = std::move(result.detections);
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(result.video, instance, options_,
-                                                   mode, output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(result.video, instance, mode, output_dir, output));
       // vr:Q2(c):end
       return output;
     }
@@ -254,9 +289,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
                           vision::MaskBackgroundRunning(input, instance.q2d_m,
                                                         instance.q2d_epsilon));
       VR_RETURN_IF_ERROR(MaybeSpill(masked));
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(masked, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(masked, instance, mode, output_dir, output));
       // vr:Q2(d):end
       return output;
     }
@@ -270,9 +303,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
                                                 instance.q3_bitrates,
                                                 options_.output_profile));
       VR_RETURN_IF_ERROR(MaybeSpill(tiled));
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(tiled, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(tiled, instance, mode, output_dir, output));
       // vr:Q3:end
       return output;
     }
@@ -301,9 +332,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
                                 f, f.width() * instance.q45_alpha,
                                 f.height() * instance.q45_beta);
                           }));
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(up, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(up, instance, mode, output_dir, output));
       // vr:Q4:end
       return output;
     }
@@ -317,9 +346,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
                                 f, std::max(1, f.width() / instance.q45_alpha),
                                 std::max(1, f.height() / instance.q45_beta));
                           }));
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(down, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(down, instance, mode, output_dir, output));
       // vr:Q5:end
       return output;
     }
@@ -348,9 +375,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
                           queries::UnionBoxesQuery(input, box_table));
       VR_RETURN_IF_ERROR(MaybeSpill(merged));
       output.detections = std::move(boxes);
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(merged, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(merged, instance, mode, output_dir, output));
       // vr:Q6(a):end
       return output;
     }
@@ -397,9 +422,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
         }
         return StatusOr<Frame>(std::move(merged_frame));
       }));
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(merged, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(merged, instance, mode, output_dir, output));
       // vr:Q6(b):end
       return output;
     }
@@ -418,9 +441,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
                           vision::MaskBackgroundRunning(merged, instance.q2d_m,
                                                         instance.q2d_epsilon));
       output.detections = std::move(boxes.detections);
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(masked, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(masked, instance, mode, output_dir, output));
       // vr:Q7:end
       return output;
     }
@@ -429,10 +450,8 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(Video tracking,
                           queries::TrackingQuery(context, instance.q8_plate,
                                                  nullptr));
-      stats_.cnn_frames_full += tracking.FrameCount();
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(tracking, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      cnn_frames_full_ += tracking.FrameCount();
+      VR_RETURN_IF_ERROR(Finish(tracking, instance, mode, output_dir, output));
       // vr:Q8:end
       return output;
     }
@@ -440,11 +459,9 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
       // vr:Q9:begin
       VR_ASSIGN_OR_RETURN(Video stitched,
                           queries::StitchQuery(context, instance.pano_group));
-      stats_.frames_decoded += 4 * stitched.FrameCount();
+      frames_decoded_ += 4 * stitched.FrameCount();
       VR_RETURN_IF_ERROR(MaybeSpill(stitched));
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(stitched, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(stitched, instance, mode, output_dir, output));
       // vr:Q9:end
       return output;
     }
@@ -452,16 +469,14 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
       // vr:Q10:begin
       VR_ASSIGN_OR_RETURN(Video stitched,
                           queries::StitchQuery(context, instance.pano_group));
-      stats_.frames_decoded += 4 * stitched.FrameCount();
+      frames_decoded_ += 4 * stitched.FrameCount();
       VR_ASSIGN_OR_RETURN(
           Video result,
           queries::TileStreamQuery(stitched, instance.q10_bitrates,
                                    instance.q10_client_width,
                                    instance.q10_client_height,
                                    options_.output_profile));
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(result, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(result, instance, mode, output_dir, output));
       // vr:Q10:end
       return output;
     }

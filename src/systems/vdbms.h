@@ -83,6 +83,12 @@ class Vdbms {
   /// support only a narrow slice; see Figure 5).
   virtual bool Supports(queries::QueryId id) const = 0;
 
+  /// Whether Execute() may be called concurrently from multiple threads.
+  /// The VCD's parallel batch mode only fans instances out to engines that
+  /// opt in; stateful engines (caches keyed on shared maps, running
+  /// counters without synchronisation) stay on the serial path.
+  virtual bool ConcurrentSafe() const { return false; }
+
   /// Executes one query instance against the dataset. In write mode the
   /// result is encoded and persisted under `output_dir`.
   virtual StatusOr<QueryOutput> Execute(const queries::QueryInstance& instance,

@@ -68,7 +68,9 @@ std::vector<Packet> Packetizer::PacketizeFrame(const codec::EncodedFrame& frame,
 
   std::vector<Packet> packets;
   size_t offset = 0;
-  size_t chunk = static_cast<size_t>(mtu_) - 2;  // Payload header takes 2 bytes.
+  // The MTU bounds the serialized packet, so the budget for frame bytes is
+  // the MTU minus the 12-byte RTP header and the 2-byte payload header.
+  size_t chunk = static_cast<size_t>(mtu_) - kHeaderBytes - 2;
   bool first = true;
   do {
     size_t take = std::min(chunk, frame.data.size() - offset);
@@ -105,11 +107,20 @@ std::vector<Packet> Packetizer::PacketizeVideo(const codec::EncodedVideo& video)
 void Depacketizer::Feed(const Packet& packet) {
   ++stats_.packets_received;
 
-  // Loss detection by sequence gap (16-bit wraparound handled).
+  // Loss detection by sequence gap (16-bit wraparound handled). A gap in
+  // the upper half of the sequence space is not a ~65k-packet loss: it is a
+  // packet that arrived late, behind ones already processed. This in-order
+  // assembler cannot splice it back in, so it is counted as reordered and
+  // otherwise ignored — in particular `last_sequence_` keeps tracking the
+  // newest packet, so the next in-order arrival is not misread as a loss.
   if (has_last_sequence_) {
     uint16_t expected = static_cast<uint16_t>(last_sequence_ + 1);
     if (packet.sequence_number != expected) {
       uint16_t gap = static_cast<uint16_t>(packet.sequence_number - expected);
+      if (gap >= 0x8000) {
+        ++stats_.packets_reordered;
+        return;
+      }
       stats_.packets_lost += gap;
       assembly_broken_ = assembling_ || gap > 0;
     }

@@ -41,7 +41,9 @@ struct PayloadHeader {
 /// Fragments an encoded video into an RTP packet stream.
 class Packetizer {
  public:
-  /// `mtu` bounds each packet's payload (plus the 12-byte RTP header).
+  /// `mtu` bounds each serialized packet — the 12-byte RTP header plus the
+  /// payload — so fragments fit the configured link without IP
+  /// fragmentation.
   Packetizer(uint32_t ssrc, int mtu = 1200, uint16_t first_sequence = 0);
 
   /// Packetises one frame; `frame_index` and `fps` produce the timestamp.
@@ -62,9 +64,10 @@ class Packetizer {
 /// Statistics from reassembly.
 struct ReceiverStats {
   int64_t packets_received = 0;
-  int64_t packets_lost = 0;      // Sequence-number gaps.
+  int64_t packets_lost = 0;       // Forward sequence-number gaps.
+  int64_t packets_reordered = 0;  // Late arrivals (behind the newest packet).
   int64_t frames_completed = 0;
-  int64_t frames_dropped = 0;    // Incomplete at the next frame boundary.
+  int64_t frames_dropped = 0;     // Incomplete at the next frame boundary.
 };
 
 /// Reassembles frames from an (ordered, possibly lossy) packet stream.

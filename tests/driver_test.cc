@@ -355,6 +355,54 @@ TEST_F(DriverTest, StreamingModeSkipsValidation) {
   EXPECT_EQ(result->validation.checked, 0);
 }
 
+TEST_F(DriverTest, ParallelInstancesMatchSerialResults) {
+  VcdOptions serial_options;
+  serial_options.batch_size_override = 4;
+  VcdOptions parallel_options = serial_options;
+  parallel_options.parallel_instances = 4;
+
+  systems::EngineOptions engine_options;
+  auto serial_engine = systems::MakeBatchEngine(engine_options);
+  auto parallel_engine = systems::MakeBatchEngine(engine_options);
+  ASSERT_TRUE(parallel_engine->ConcurrentSafe());
+
+  VisualCityDriver serial_vcd(*dataset_, serial_options);
+  VisualCityDriver parallel_vcd(*dataset_, parallel_options);
+  auto serial = serial_vcd.RunQueryBatch(*serial_engine, QueryId::kQ1);
+  auto parallel = parallel_vcd.RunQueryBatch(*parallel_engine, QueryId::kQ1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  EXPECT_EQ(serial->parallel_instances, 1);
+  EXPECT_EQ(parallel->parallel_instances, 4);
+  EXPECT_GT(parallel->pool_stats.tasks_executed, 0);
+  // Outcome aggregation and validation must not depend on how the batch was
+  // scheduled.
+  EXPECT_EQ(parallel->succeeded, serial->succeeded);
+  EXPECT_EQ(parallel->failed, serial->failed);
+  EXPECT_EQ(parallel->unsupported, serial->unsupported);
+  EXPECT_EQ(parallel->validation.checked, serial->validation.checked);
+  EXPECT_EQ(parallel->validation.passed, serial->validation.passed);
+  EXPECT_NEAR(parallel->validation.mean_psnr_db, serial->validation.mean_psnr_db,
+              1e-9);
+}
+
+TEST_F(DriverTest, ParallelRequestFallsBackForUnsafeEngine) {
+  VcdOptions options;
+  options.batch_size_override = 2;
+  options.parallel_instances = 4;
+  VisualCityDriver vcd(*dataset_, options);
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  ASSERT_FALSE(engine->ConcurrentSafe());
+  auto result = vcd.RunQueryBatch(*engine, QueryId::kQ1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The engine did not declare Execute() thread-safe, so the measured window
+  // ran serially even though the driver was configured for parallelism.
+  EXPECT_EQ(result->parallel_instances, 1);
+  EXPECT_EQ(result->succeeded, 2);
+}
+
 // --- Report formatting ---
 
 TEST(ReportTest, TextTableAlignsColumns) {
@@ -392,6 +440,38 @@ TEST(ReportTest, BenchmarkReportListsQueries) {
   EXPECT_NE(report.find("Q2(b)"), std::string::npos);
   EXPECT_NE(report.find("TestEngine"), std::string::npos);
   EXPECT_NE(report.find("1.50s"), std::string::npos);
+}
+
+TEST(ReportTest, FormatPoolStatsReportsEfficiency) {
+  PoolStats stats;
+  stats.tasks_executed = 72;
+  stats.busy_seconds = 3.2;
+  stats.queue_peak = 64;
+  stats.tasks_failed = 0;
+  std::string line = FormatPoolStats(stats, 8, 0.5);
+  EXPECT_NE(line.find("8 threads"), std::string::npos);
+  EXPECT_NE(line.find("72 tasks"), std::string::npos);
+  EXPECT_NE(line.find("80% efficient"), std::string::npos);
+  EXPECT_NE(line.find("queue peak 64"), std::string::npos);
+}
+
+TEST(ReportTest, BenchmarkReportShowsParallelColumn) {
+  std::vector<QueryBatchResult> results(2);
+  results[0].id = QueryId::kQ1;
+  results[0].engine = "BatchEngine";
+  results[0].instances = 4;
+  results[0].succeeded = 4;
+  results[0].total_seconds = 2.0;
+  results[0].parallel_instances = 4;
+  results[0].pool_stats.busy_seconds = 6.0;
+  results[1].id = QueryId::kQ2a;
+  results[1].engine = "BatchEngine";
+  results[1].instances = 4;
+  results[1].succeeded = 4;
+  results[1].total_seconds = 2.0;
+  std::string report = FormatBenchmarkReport(results);
+  EXPECT_NE(report.find("Parallel"), std::string::npos);
+  EXPECT_NE(report.find("4 thr, 75% busy"), std::string::npos);
 }
 
 TEST(ReportTest, ReportShowsNaForMemoryFailures) {

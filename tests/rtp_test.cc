@@ -70,11 +70,83 @@ TEST(RtpTest, LargeFrameFragmentsWithinMtu) {
   std::vector<Packet> packets = packetizer.PacketizeFrame(video.frames[0], 0, 30.0);
   EXPECT_GT(packets.size(), 3u);
   for (size_t i = 0; i < packets.size(); ++i) {
-    EXPECT_LE(packets[i].payload.size(), 1200u);
+    // The MTU bounds the serialized packet (header included), not just the
+    // payload.
+    EXPECT_LE(packets[i].Serialize().size(), 1200u);
     EXPECT_EQ(packets[i].marker, i + 1 == packets.size());
     // All fragments of one frame share a timestamp.
     EXPECT_EQ(packets[i].timestamp, packets[0].timestamp);
   }
+}
+
+TEST(RtpTest, SerializedPacketsRespectMtu) {
+  codec::EncodedVideo video = MakeStream(6, 4000, 8);
+  for (int mtu : {16, 100, 576, 1200, 1500}) {
+    Packetizer packetizer(7, mtu);
+    std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+    Depacketizer depacketizer;
+    for (const Packet& packet : packets) {
+      EXPECT_LE(packet.Serialize().size(), static_cast<size_t>(mtu))
+          << "mtu=" << mtu;
+      depacketizer.Feed(packet);
+    }
+    // The tighter budget must not corrupt reassembly.
+    EXPECT_EQ(depacketizer.stats().frames_completed, 6) << "mtu=" << mtu;
+    EXPECT_EQ(depacketizer.stats().packets_lost, 0) << "mtu=" << mtu;
+  }
+}
+
+TEST(RtpTest, ReorderedPacketCountsReorderNotLoss) {
+  codec::EncodedVideo video = MakeStream(6, 2500, 9);
+  Packetizer packetizer(7, 700);
+  std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+
+  // Swap two adjacent mid-frame fragments so one packet arrives one slot
+  // late. The backward gap is 0xFFFE in 16-bit arithmetic; a receiver that
+  // misreads it as a forward gap books ~65k lost packets.
+  size_t swap = 0;
+  for (size_t i = 1; i + 1 < packets.size(); ++i) {
+    bool mid_i = !packets[i].marker && !(packets[i].payload[0] & 0x02);
+    bool mid_next =
+        !packets[i + 1].marker && !(packets[i + 1].payload[0] & 0x02);
+    if (mid_i && mid_next) {
+      swap = i;
+      break;
+    }
+  }
+  ASSERT_GT(swap, 0u);
+  std::swap(packets[swap], packets[swap + 1]);
+
+  Depacketizer depacketizer;
+  for (const Packet& packet : packets) depacketizer.Feed(packet);
+  int completed = 0;
+  while (depacketizer.HasFrame()) {
+    ASSERT_TRUE(depacketizer.TakeFrame().ok());
+    ++completed;
+  }
+  // The early arrival looks like a one-packet hole; the late one is counted
+  // as reordered, not as a 65534-packet loss, and does not desynchronise
+  // the sequence tracking for the frames that follow.
+  EXPECT_EQ(depacketizer.stats().packets_lost, 1);
+  EXPECT_EQ(depacketizer.stats().packets_reordered, 1);
+  EXPECT_EQ(completed, 5);
+  EXPECT_EQ(depacketizer.stats().frames_dropped, 1);
+}
+
+TEST(RtpTest, ReorderAcrossSequenceWrapIsStillReorder) {
+  codec::EncodedVideo video = MakeStream(4, 2500, 10);
+  Packetizer packetizer(7, 700, /*first_sequence=*/65533);
+  std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+  ASSERT_GT(packets.size(), 8u);
+  // Swap the packets straddling the 65535 -> 0 wrap (positions 2 and 3).
+  ASSERT_EQ(packets[2].sequence_number, 65535);
+  ASSERT_EQ(packets[3].sequence_number, 0);
+  std::swap(packets[2], packets[3]);
+
+  Depacketizer depacketizer;
+  for (const Packet& packet : packets) depacketizer.Feed(packet);
+  EXPECT_EQ(depacketizer.stats().packets_lost, 1);
+  EXPECT_EQ(depacketizer.stats().packets_reordered, 1);
 }
 
 TEST(RtpTest, SequenceNumbersAreContiguousAcrossFrames) {
