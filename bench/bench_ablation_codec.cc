@@ -9,11 +9,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "driver/report.h"
 #include "video/codec/codec.h"
 #include "video/codec/dct.h"
 #include "video/codec/entropy.h"
+#include "video/codec/gop_cache.h"
 #include "video/codec/motion.h"
 
 namespace visualroad::video::codec {
@@ -170,7 +175,189 @@ void BM_DiamondSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_DiamondSearch)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 
+// Isolates the bounded-SAD early exit: the same candidate sweep once through
+// the exhaustive kernel (bound disabled) and once with a best-so-far bound,
+// the way DiamondSearch calls it. Arg(0) = unbounded, Arg(1) = bounded.
+void BM_BlockSadEarlyExit(benchmark::State& state) {
+  Plane reference(240, 136), current(240, 136);
+  for (int y = 0; y < 136; ++y) {
+    for (int x = 0; x < 240; ++x) {
+      uint8_t v = static_cast<uint8_t>(128 + 80 * std::sin(x * 0.12) *
+                                                 std::cos(y * 0.1));
+      reference.Set(x, y, v);
+      current.Set(x, y,
+                  reference.At(std::min(239, x + 3), std::max(0, y - 2)));
+    }
+  }
+  bool bounded = state.range(0) != 0;
+  for (auto _ : state) {
+    for (int by = 0; by + 16 <= 136; by += 16) {
+      for (int bx = 0; bx + 16 <= 240; bx += 16) {
+        int64_t best = INT64_MAX;
+        for (int dy = -4; dy <= 4; ++dy) {
+          for (int dx = -4; dx <= 4; ++dx) {
+            int64_t sad =
+                bounded ? BlockSadBounded(current, reference, bx, by, 16, dx,
+                                          dy, best)
+                        : BlockSad(current, reference, bx, by, 16, dx, dy);
+            if (sad < best) best = sad;
+          }
+        }
+        benchmark::DoNotOptimize(best);
+      }
+    }
+  }
+  state.SetLabel(bounded ? "bounded" : "exhaustive");
+}
+BENCHMARK(BM_BlockSadEarlyExit)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// --- GOP-parallel codec scaling ---
+// ParallelEncode/ParallelDecode split work at keyframe boundaries; output is
+// byte-identical to the serial path at every thread count because a serial
+// rate-control pre-pass fixes the QP schedule first. Like bench_fig8's
+// generator table, the speedup column only reflects real cores: on a
+// single-core host every thread count collapses to serial wall-clock time.
+int RunParallelScalingSection() {
+  std::printf(
+      "GOP-parallel codec scaling (hardware threads: %d, 8 GOPs of 8 "
+      "frames)\n",
+      ThreadPool::HardwareThreads());
+  Video content = MakeContent(240, 136, 64);
+  EncoderConfig config;
+  config.qp = 28;
+  config.gop_length = 8;
+
+  driver::TextTable table;
+  table.SetHeader({"Threads", "Encode", "Decode", "Speedup", "Efficiency",
+                   "Output"});
+  double baseline_seconds = 0.0;
+  EncodedVideo baseline;
+  for (int threads : {1, 2, 4, 8}) {
+    PoolStats before = CodecPoolStats();
+    Stopwatch watch;
+    auto encoded = ParallelEncode(content, config, threads);
+    double encode_seconds = watch.ElapsedSeconds();
+    if (!encoded.ok()) {
+      std::fprintf(stderr, "parallel encode failed: %s\n",
+                   encoded.status().ToString().c_str());
+      return 1;
+    }
+    watch.Reset();
+    auto decoded = ParallelDecode(*encoded, threads);
+    double decode_seconds = watch.ElapsedSeconds();
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "parallel decode failed: %s\n",
+                   decoded.status().ToString().c_str());
+      return 1;
+    }
+    double seconds = encode_seconds + decode_seconds;
+    PoolStats after = CodecPoolStats();
+
+    std::string output = "baseline";
+    if (threads == 1) {
+      baseline_seconds = seconds;
+      baseline = std::move(encoded).value();
+    } else {
+      // Determinism check: bitstream byte-identical to the serial encode.
+      bool identical = encoded->frames.size() == baseline.frames.size();
+      for (size_t f = 0; identical && f < baseline.frames.size(); ++f) {
+        identical = encoded->frames[f].data == baseline.frames[f].data &&
+                    encoded->frames[f].keyframe == baseline.frames[f].keyframe;
+      }
+      output = identical ? "identical" : "DIVERGED";
+    }
+
+    double busy = after.busy_seconds - before.busy_seconds;
+    double efficiency =
+        threads > 1 && seconds > 0.0 ? busy / (threads * seconds) : 1.0;
+    char eff[32];
+    std::snprintf(eff, sizeof(eff), "%.0f%%", 100.0 * efficiency);
+    table.AddRow({std::to_string(threads),
+                  driver::FormatSeconds(encode_seconds),
+                  driver::FormatSeconds(decode_seconds),
+                  driver::FormatRatio(seconds > 0 ? baseline_seconds / seconds
+                                                  : 0.0),
+                  eff, output});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}
+
+// --- Decoded-GOP cache ---
+// The shared cache every engine decodes through: a cold sweep pays one decode
+// per GOP, re-reads are pure hits, and a capacity half the working set forces
+// LRU churn. Hit rate and decode-work saved come from the cache's own
+// counters.
+int RunGopCacheSection() {
+  std::printf("Decoded-GOP cache (8 GOPs of 8 frames, 3 passes per row)\n");
+  Video content = MakeContent(240, 136, 64);
+  EncoderConfig config;
+  config.qp = 28;
+  config.gop_length = 8;
+  auto encoded = Encode(content, config);
+  if (!encoded.ok()) {
+    std::fprintf(stderr, "encode failed: %s\n",
+                 encoded.status().ToString().c_str());
+    return 1;
+  }
+  int64_t gop_bytes = 0;
+  for (const Frame& frame : content.frames) {
+    gop_bytes += static_cast<int64_t>(frame.y_plane().size() +
+                                      frame.u_plane().size() +
+                                      frame.v_plane().size());
+  }
+  gop_bytes /= 8;  // Per-GOP decoded footprint.
+
+  driver::TextTable table;
+  table.SetHeader({"Capacity", "Runtime", "Hit rate", "Frames decoded",
+                   "Evictions"});
+  struct Row {
+    const char* label;
+    int64_t gops;  // Capacity in whole decoded GOPs.
+  } rows[] = {{"whole stream", 8}, {"half stream", 4}, {"one GOP", 1}};
+  for (const Row& row : rows) {
+    GopCacheOptions options;
+    options.capacity_bytes = row.gops * gop_bytes;
+    options.shards = 1;
+    GopCache cache(options);
+    GopCacheCounters counters;
+    Stopwatch watch;
+    for (int pass = 0; pass < 3; ++pass) {
+      auto decoded = CachedDecode(*encoded, cache, &counters);
+      if (!decoded.ok()) {
+        std::fprintf(stderr, "cached decode failed: %s\n",
+                     decoded.status().ToString().c_str());
+        return 1;
+      }
+      benchmark::DoNotOptimize(decoded);
+    }
+    double seconds = watch.ElapsedSeconds();
+    GopCacheStats stats = cache.stats();
+    int64_t lookups = stats.hits + stats.coalesced + stats.misses;
+    char hit_rate[32];
+    std::snprintf(hit_rate, sizeof(hit_rate), "%.0f%%",
+                  lookups > 0
+                      ? 100.0 * static_cast<double>(stats.hits + stats.coalesced) /
+                            static_cast<double>(lookups)
+                      : 0.0);
+    table.AddRow({row.label, driver::FormatSeconds(seconds), hit_rate,
+                  std::to_string(counters.frames_decoded.load()),
+                  std::to_string(stats.evictions)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace visualroad::video::codec
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace visualroad::video::codec;
+  if (int rc = RunParallelScalingSection(); rc != 0) return rc;
+  if (int rc = RunGopCacheSection(); rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -88,8 +88,8 @@ std::string FormatPoolStats(const PoolStats& stats, int threads,
 
 std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) {
   TextTable table;
-  table.SetHeader(
-      {"Query", "Engine", "Batch", "Runtime", "FPS", "Validation", "Parallel"});
+  table.SetHeader({"Query", "Engine", "Batch", "Runtime", "FPS", "Validation",
+                   "Parallel", "Cache"});
   for (const QueryBatchResult& result : results) {
     std::string validation;
     if (!result.Supported()) {
@@ -127,10 +127,24 @@ std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) 
                     result.parallel_instances, efficiency * 100.0);
       parallel = buffer;
     }
+    // Decode-cache hit rate over the measured window: how much of the batch's
+    // decode demand the shared GOP cache absorbed.
+    std::string cache = "-";
+    int64_t lookups =
+        result.engine_stats.cache_hits + result.engine_stats.cache_misses;
+    if (lookups > 0) {
+      char buffer[96];
+      std::snprintf(buffer, sizeof(buffer), "%.0f%% hit (%lld/%lld)",
+                    100.0 * static_cast<double>(result.engine_stats.cache_hits) /
+                        static_cast<double>(lookups),
+                    static_cast<long long>(result.engine_stats.cache_hits),
+                    static_cast<long long>(lookups));
+      cache = buffer;
+    }
     table.AddRow({queries::QueryName(result.id), result.engine,
                   std::to_string(result.instances),
                   result.Supported() ? FormatSeconds(result.total_seconds) : "N/A",
-                  result.Supported() ? fps : "-", validation, parallel});
+                  result.Supported() ? fps : "-", validation, parallel, cache});
   }
   return table.ToString();
 }

@@ -69,6 +69,9 @@ struct QueryBatchResult {
   int parallel_instances = 1;
   /// Executor counters for the measured window when it ran in parallel.
   PoolStats pool_stats;
+  /// Engine counter deltas over the measured window (decode cache hit/miss,
+  /// frames decoded/encoded); see EngineStats.
+  systems::EngineStats engine_stats;
 
   bool Supported() const { return unsupported < instances; }
 };

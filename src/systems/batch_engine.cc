@@ -24,6 +24,7 @@
 
 #include "common/thread_pool.h"
 #include "systems/vdbms.h"
+#include "video/codec/gop_cache.h"
 #include "video/image_ops.h"
 #include "vision/background.h"
 #include "vision/overlay.h"
@@ -41,7 +42,9 @@ using video::Video;
 class BatchEngine : public Vdbms {
  public:
   explicit BatchEngine(const EngineOptions& options)
-      : options_(options), pool_(options.threads) {
+      : options_(options),
+        pool_(options.threads),
+        gop_cache_(&detail::ResolveGopCache(options)) {
     detector_options_ = options.detector;
     detector_options_.input_size = 224;  // The heavyweight framework path.
     detector_ = std::make_unique<vision::MiniYolo>(detector_options_);
@@ -59,12 +62,18 @@ class BatchEngine : public Vdbms {
   /// fan batch instances out to this engine concurrently.
   bool ConcurrentSafe() const override { return true; }
 
-  void Quiesce() override { retained_bytes_ = 0; }
+  void Quiesce() override {
+    retained_bytes_ = 0;
+    gop_cache_->Clear();
+  }
 
   EngineStats stats() const override {
     EngineStats stats;
-    stats.frames_decoded = frames_decoded_.load();
+    stats.frames_decoded = decode_counters_.frames_decoded.load() +
+                           frames_decoded_extra_.load();
     stats.frames_encoded = frames_encoded_.load();
+    stats.cache_hits = decode_counters_.hits.load();
+    stats.cache_misses = decode_counters_.misses.load();
     stats.chunked_redecodes = chunked_redecodes_.load();
     stats.cnn_frames_full = cnn_frames_full_.load();
     return stats;
@@ -75,11 +84,13 @@ class BatchEngine : public Vdbms {
                                 const std::string& output_dir) override;
 
  private:
-  /// Full eager decode of an input; retained-table accounting drives the
-  /// memory-pressure regime.
+  /// Full eager decode of an input through the shared GOP cache;
+  /// retained-table accounting drives the memory-pressure regime either way
+  /// (the materialised table is this engine's copy, hit or miss).
   StatusOr<Video> MaterializeAll(const video::codec::EncodedVideo& encoded) {
-    VR_ASSIGN_OR_RETURN(Video decoded, video::codec::Decode(encoded));
-    frames_decoded_ += decoded.FrameCount();
+    VR_ASSIGN_OR_RETURN(
+        Video decoded,
+        video::codec::CachedDecode(encoded, *gop_cache_, &decode_counters_));
     retained_bytes_ += static_cast<int64_t>(decoded.FrameCount()) *
                        detail::FrameBytes(decoded.Width(), decoded.Height());
     return decoded;
@@ -202,7 +213,9 @@ class BatchEngine : public Vdbms {
   ThreadPool pool_;
   vision::DetectorOptions detector_options_;
   std::unique_ptr<vision::MiniYolo> detector_;
-  std::atomic<int64_t> frames_decoded_{0};
+  video::codec::GopCache* gop_cache_;
+  video::codec::GopCacheCounters decode_counters_;
+  std::atomic<int64_t> frames_decoded_extra_{0};  // Stitch inputs (Q9/Q10).
   std::atomic<int64_t> frames_encoded_{0};
   std::atomic<int64_t> chunked_redecodes_{0};
   std::atomic<int64_t> cnn_frames_full_{0};
@@ -459,7 +472,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
       // vr:Q9:begin
       VR_ASSIGN_OR_RETURN(Video stitched,
                           queries::StitchQuery(context, instance.pano_group));
-      frames_decoded_ += 4 * stitched.FrameCount();
+      frames_decoded_extra_ += 4 * stitched.FrameCount();
       VR_RETURN_IF_ERROR(MaybeSpill(stitched));
       VR_RETURN_IF_ERROR(Finish(stitched, instance, mode, output_dir, output));
       // vr:Q9:end
@@ -469,7 +482,7 @@ StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
       // vr:Q10:begin
       VR_ASSIGN_OR_RETURN(Video stitched,
                           queries::StitchQuery(context, instance.pano_group));
-      frames_decoded_ += 4 * stitched.FrameCount();
+      frames_decoded_extra_ += 4 * stitched.FrameCount();
       VR_ASSIGN_OR_RETURN(
           Video result,
           queries::TileStreamQuery(stitched, instance.q10_bitrates,

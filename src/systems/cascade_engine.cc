@@ -13,9 +13,11 @@
 // lines-of-code bench.
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "systems/vdbms.h"
+#include "video/codec/gop_cache.h"
 #include "video/image_ops.h"
 #include "video/metrics.h"
 #include "vision/overlay.h"
@@ -31,7 +33,8 @@ using video::Video;
 
 class CascadeEngine : public Vdbms {
  public:
-  explicit CascadeEngine(const EngineOptions& options) : options_(options) {
+  explicit CascadeEngine(const EngineOptions& options)
+      : options_(options), gop_cache_(&detail::ResolveGopCache(options)) {
     vision::DetectorOptions cheap = options.detector;
     cheap.input_size = 48;  // The cascade's small model.
     cheap_detector_ = std::make_unique<vision::MiniYolo>(cheap);
@@ -46,17 +49,49 @@ class CascadeEngine : public Vdbms {
     return id == QueryId::kQ1 || id == QueryId::kQ2c;
   }
 
-  EngineStats stats() const override { return stats_; }
+  // All cascade state (difference detector, last detections) is per-call;
+  // decodes go through the thread-safe shared GOP cache and the counters are
+  // atomic, so concurrent Execute() calls are safe.
+  bool ConcurrentSafe() const override { return true; }
+
+  void Quiesce() override { gop_cache_->Clear(); }
+
+  EngineStats stats() const override {
+    EngineStats stats;
+    stats.frames_decoded = decode_counters_.frames_decoded.load();
+    stats.frames_encoded = frames_encoded_.load();
+    stats.cache_hits = decode_counters_.hits.load();
+    stats.cache_misses = decode_counters_.misses.load();
+    stats.cnn_frames_full = cnn_frames_full_.load();
+    stats.cnn_frames_cheap = cnn_frames_cheap_.load();
+    stats.cnn_frames_skipped = cnn_frames_skipped_.load();
+    return stats;
+  }
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
                                 const sim::Dataset& dataset, OutputMode mode,
                                 const std::string& output_dir) override;
 
  private:
+  Status Finish(const Video& result, const QueryInstance& instance,
+                OutputMode mode, const std::string& output_dir,
+                QueryOutput& output) {
+    int64_t encoded = 0;
+    Status status = detail::FinishVideoResult(result, instance, options_, mode,
+                                              output_dir, name(), output, &encoded);
+    frames_encoded_ += encoded;
+    return status;
+  }
+
   EngineOptions options_;
   std::unique_ptr<vision::MiniYolo> cheap_detector_;
   std::unique_ptr<vision::MiniYolo> full_detector_;
-  EngineStats stats_;
+  video::codec::GopCache* gop_cache_;
+  video::codec::GopCacheCounters decode_counters_;
+  std::atomic<int64_t> frames_encoded_{0};
+  std::atomic<int64_t> cnn_frames_full_{0};
+  std::atomic<int64_t> cnn_frames_cheap_{0};
+  std::atomic<int64_t> cnn_frames_skipped_{0};
 };
 
 StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
@@ -75,17 +110,16 @@ StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
       int last = std::clamp(static_cast<int>(std::ceil(instance.q1_t2 * encoded.fps)),
                             first + 1, encoded.FrameCount());
       VR_ASSIGN_OR_RETURN(Video range,
-                          video::codec::DecodeRange(encoded, first, last - first));
-      stats_.frames_decoded += range.FrameCount();
+                          video::codec::CachedDecodeRange(encoded, first, last - first,
+                                                          *gop_cache_,
+                                                          &decode_counters_));
       Video cropped;
       cropped.fps = range.fps;
       for (const Frame& frame : range.frames) {
         VR_ASSIGN_OR_RETURN(Frame c, video::Crop(frame, instance.q1_rect));
         cropped.frames.push_back(std::move(c));
       }
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(cropped, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(cropped, instance, mode, output_dir, output));
       // vr:Q1:end
       return output;
     }
@@ -93,8 +127,9 @@ StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
       // vr:Q2(c):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, video::codec::Decode(asset->container.video));
-      stats_.frames_decoded += input.FrameCount();
+      VR_ASSIGN_OR_RETURN(Video input,
+                          video::codec::CachedDecode(asset->container.video,
+                                                     *gop_cache_, &decode_counters_));
 
       Video boxes;
       boxes.fps = input.fps;
@@ -119,11 +154,11 @@ StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
         std::vector<vision::Detection> detections;
         if (reuse) {
           detections = last_detections;
-          ++stats_.cnn_frames_skipped;
+          cnn_frames_skipped_.fetch_add(1, std::memory_order_relaxed);
         } else {
           // Stage 2: the cheap model.
           detections = cheap_detector_->Detect(frame, gt, f);
-          ++stats_.cnn_frames_cheap;
+          cnn_frames_cheap_.fetch_add(1, std::memory_order_relaxed);
           // Stage 3: ambiguous confidence escalates to the full model.
           bool ambiguous = false;
           for (const vision::Detection& d : detections) {
@@ -131,7 +166,7 @@ StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
           }
           if (ambiguous) {
             detections = full_detector_->Detect(frame, gt, f);
-            ++stats_.cnn_frames_full;
+            cnn_frames_full_.fetch_add(1, std::memory_order_relaxed);
           }
           last_processed = &frame;
           last_detections = detections;
@@ -147,9 +182,7 @@ StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
             input.Width(), input.Height(), detections));
         output.detections.push_back(std::move(detections));
       }
-      VR_RETURN_IF_ERROR(detail::FinishVideoResult(boxes, instance, options_, mode,
-                                                   output_dir, name(), output,
-                                                   &stats_.frames_encoded));
+      VR_RETURN_IF_ERROR(Finish(boxes, instance, mode, output_dir, output));
       // vr:Q2(c):end
       return output;
     }

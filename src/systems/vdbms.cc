@@ -2,6 +2,8 @@
 
 #include <filesystem>
 
+#include "video/codec/gop_cache.h"
+
 namespace visualroad::systems::detail {
 
 StatusOr<const sim::VideoAsset*> InputAsset(const queries::QueryInstance& instance,
@@ -27,8 +29,9 @@ Status FinishVideoResult(const video::Video& result,
       video::codec::EncoderConfig config;
       config.profile = options.output_profile;
       config.qp = options.output_qp;
-      VR_ASSIGN_OR_RETURN(video::codec::EncodedVideo discarded,
-                          video::codec::Encode(result, config));
+      VR_ASSIGN_OR_RETURN(
+          video::codec::EncodedVideo discarded,
+          video::codec::ParallelEncode(result, config, options.codec_threads));
       if (frames_encoded != nullptr) *frames_encoded += result.FrameCount();
       (void)discarded;
     }
@@ -44,7 +47,8 @@ Status FinishVideoResult(const video::Video& result,
   video::codec::EncoderConfig config;
   config.profile = options.output_profile;
   config.qp = options.output_qp;
-  VR_ASSIGN_OR_RETURN(output.video, video::codec::Encode(result, config));
+  VR_ASSIGN_OR_RETURN(output.video, video::codec::ParallelEncode(
+                                        result, config, options.codec_threads));
   if (frames_encoded != nullptr) *frames_encoded += result.FrameCount();
   output.produced = true;
 
@@ -68,6 +72,14 @@ Status FinishVideoResult(const video::Video& result,
 
 int64_t FrameBytes(int width, int height) {
   return static_cast<int64_t>(width) * height * 3 / 2;
+}
+
+video::codec::GopCache& ResolveGopCache(const EngineOptions& options) {
+  video::codec::GopCache& cache = options.gop_cache != nullptr
+                                      ? *options.gop_cache
+                                      : video::codec::GopCache::Global();
+  if (options.gop_cache_bytes > 0) cache.set_capacity_bytes(options.gop_cache_bytes);
+  return cache;
 }
 
 }  // namespace visualroad::systems::detail

@@ -7,6 +7,10 @@
 
 #include "queries/reference.h"
 
+namespace visualroad::video::codec {
+class GopCache;
+}  // namespace visualroad::video::codec
+
 namespace visualroad::systems {
 
 /// Benchmark execution modes (Section 3.2). Offline gives the engine random
@@ -41,8 +45,15 @@ struct EngineOptions {
   /// Reference detector settings; engines override input_size per their
   /// architecture.
   vision::DetectorOptions detector;
-  /// Decoded-content cache capacity (videos) for the pipeline engine.
-  int decoded_cache_capacity = 8;
+  /// Threads for GOP-parallel output encoding (and validation decodes).
+  /// 0 means the codec pool default (hardware concurrency).
+  int codec_threads = 0;
+  /// Byte budget applied to the decoded-GOP cache at engine construction;
+  /// 0 leaves the cache's current capacity untouched.
+  int64_t gop_cache_bytes = 0;
+  /// Decoded-GOP cache the engine routes decodes through. Null selects the
+  /// process-wide GopCache::Global(); tests inject private instances.
+  video::codec::GopCache* gop_cache = nullptr;
   double plate_match_threshold = 0.80;
 };
 
@@ -126,6 +137,10 @@ Status FinishVideoResult(const video::Video& result,
 
 /// Decoded size of one frame in bytes (YUV420).
 int64_t FrameBytes(int width, int height);
+
+/// The GOP cache selected by `options`: the injected instance if any, else
+/// the process-wide one; applies `gop_cache_bytes` when positive.
+video::codec::GopCache& ResolveGopCache(const EngineOptions& options);
 
 }  // namespace detail
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "video/frame.h"
 
 namespace visualroad::video::codec {
@@ -96,20 +97,50 @@ class Decoder {
   /// Decodes the next frame. The first frame must be a keyframe.
   StatusOr<Frame> DecodeFrame(const EncodedFrame& encoded);
 
+  /// Decodes `encoded` into the reference state without materialising an
+  /// output frame — the cheap warm-up path when random access lands mid-GOP.
+  Status Advance(const EncodedFrame& encoded);
+
  private:
   struct State;
+  Status DecodeInto(const EncodedFrame& encoded);
+
   std::shared_ptr<State> state_;
 };
 
-/// Encodes an entire video.
+/// Encodes an entire video. Equivalent to ParallelEncode(video, config, 1).
 StatusOr<EncodedVideo> Encode(const Video& video, const EncoderConfig& config);
+
+/// GOP-parallel encode, byte-identical to Encode() at every thread count: a
+/// serial rate-control pre-pass (PlanQpSchedule) fixes the per-frame QP, then
+/// keyframe-delimited GOPs — independent coding units in this closed-GOP
+/// format — encode concurrently on the shared codec pool. `threads` <= 0
+/// selects DefaultCodecThreads().
+StatusOr<EncodedVideo> ParallelEncode(const Video& video, const EncoderConfig& config,
+                                      int threads = 0);
 
 /// Decodes an entire encoded video.
 StatusOr<Video> Decode(const EncodedVideo& encoded);
 
+/// GOP-parallel decode of the whole stream; output is identical to Decode().
+/// `threads` <= 0 selects DefaultCodecThreads().
+StatusOr<Video> ParallelDecode(const EncodedVideo& encoded, int threads = 0);
+
 /// Decodes only frames [first, first+count) — requires decoding from the
 /// preceding keyframe, which is what offline (random access) engines do.
-StatusOr<Video> DecodeRange(const EncodedVideo& encoded, int first, int count);
+/// Warm-up frames before `first` advance the reference without being
+/// materialised. With `threads` > 1, independent GOPs inside the range decode
+/// concurrently; `threads` <= 0 selects DefaultCodecThreads().
+StatusOr<Video> DecodeRange(const EncodedVideo& encoded, int first, int count,
+                            int threads = 1);
+
+/// Worker count used when `threads` <= 0 is passed to the calls above: one per
+/// hardware thread.
+int DefaultCodecThreads();
+
+/// Cumulative counters of the process-wide codec pool, for the benchmark
+/// parallel-efficiency lines.
+PoolStats CodecPoolStats();
 
 }  // namespace visualroad::video::codec
 

@@ -5,7 +5,9 @@
 // public API.
 
 #include <algorithm>
+#include <functional>
 
+#include "video/codec/codec.h"
 #include "video/codec/entropy.h"
 #include "video/codec/motion.h"
 #include "video/frame.h"
@@ -61,6 +63,36 @@ struct ReconPlanes {
 /// the encoder's reference loop and the decoder so both stay bit-exact.
 void ReconstructBlock(const uint8_t* prediction, const int16_t* levels, int qp,
                       Plane& recon, int bx, int by);
+
+/// Immutable per-stream encoder parameters derived from an EncoderConfig.
+struct EncoderSettings {
+  int width = 0;
+  int height = 0;
+  int block_size = 16;
+  int search_radius = 8;
+  bool allow_planar = false;
+};
+
+/// Shared validation for Encoder::Create and ParallelEncode.
+Status ValidateEncoderConfig(int width, int height, const EncoderConfig& config);
+
+EncoderSettings MakeEncoderSettings(int width, int height,
+                                    const EncoderConfig& config);
+
+/// Encodes one frame with an explicit (keyframe, qp) decision against
+/// `reference` — the previous frame's padded reconstruction, unused for
+/// keyframes — and replaces `reference` with this frame's reconstruction.
+/// Both the streaming Encoder and the GOP-parallel path call this, so a fixed
+/// QP schedule yields byte-identical output regardless of threading.
+StatusOr<EncodedFrame> EncodeFrameImpl(const EncoderSettings& settings,
+                                       ReconPlanes& reference, const Frame& frame,
+                                       bool keyframe, int qp);
+
+/// Runs fn(i) for i in [0, count) on the process-wide codec pool, batching
+/// indices into at most `parallelism` contiguous chunk tasks. Returns the
+/// lowest-index failure. Callers must not already be on the codec pool.
+Status CodecParallelForStatus(int parallelism, int count,
+                              const std::function<Status(int)>& fn);
 
 }  // namespace visualroad::video::codec::internal
 

@@ -76,7 +76,7 @@ Decoder::Decoder(int width, int height, Profile profile)
   state_->block_size = ProfileBlockSize(profile);
 }
 
-StatusOr<Frame> Decoder::DecodeFrame(const EncodedFrame& encoded) {
+Status Decoder::DecodeInto(const EncodedFrame& encoded) {
   State& s = *state_;
   if (s.width <= 0 || s.height <= 0) {
     return Status::FailedPrecondition("decoder has invalid dimensions");
@@ -178,36 +178,81 @@ StatusOr<Frame> Decoder::DecodeFrame(const EncodedFrame& encoded) {
     }
   }
 
-  Frame frame(s.width, s.height);
-  internal::UnpadPlane(recon.y, s.width, s.height, frame.y_plane());
-  internal::UnpadPlane(recon.u, cw, ch, frame.u_plane());
-  internal::UnpadPlane(recon.v, cw, ch, frame.v_plane());
-
   s.reference = std::move(recon);
   s.has_reference = true;
+  return Status::Ok();
+}
+
+Status Decoder::Advance(const EncodedFrame& encoded) { return DecodeInto(encoded); }
+
+StatusOr<Frame> Decoder::DecodeFrame(const EncodedFrame& encoded) {
+  VR_RETURN_IF_ERROR(DecodeInto(encoded));
+  State& s = *state_;
+  int cw = (s.width + 1) / 2, ch = (s.height + 1) / 2;
+  Frame frame(s.width, s.height);
+  internal::UnpadPlane(s.reference.y, s.width, s.height, frame.y_plane());
+  internal::UnpadPlane(s.reference.u, cw, ch, frame.u_plane());
+  internal::UnpadPlane(s.reference.v, cw, ch, frame.v_plane());
   return frame;
 }
+
+namespace {
+
+/// Decodes frames [begin, end), which must start at a keyframe (or at the
+/// warm-up keyframe preceding `first`), writing frames at or after `first`
+/// into out[i - first]. Warm-up frames only advance the reference state.
+Status DecodeSegment(const EncodedVideo& encoded, int begin, int end, int first,
+                     std::vector<Frame>& out) {
+  Decoder decoder(encoded.width, encoded.height, encoded.profile);
+  for (int i = begin; i < end; ++i) {
+    if (i < first) {
+      VR_RETURN_IF_ERROR(decoder.Advance(encoded.frames[i]));
+      continue;
+    }
+    VR_ASSIGN_OR_RETURN(Frame frame, decoder.DecodeFrame(encoded.frames[i]));
+    out[static_cast<size_t>(i - first)] = std::move(frame);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 StatusOr<Video> Decode(const EncodedVideo& encoded) {
   return DecodeRange(encoded, 0, encoded.FrameCount());
 }
 
-StatusOr<Video> DecodeRange(const EncodedVideo& encoded, int first, int count) {
+StatusOr<Video> DecodeRange(const EncodedVideo& encoded, int first, int count,
+                            int threads) {
   if (first < 0 || count < 0 || first + count > encoded.FrameCount()) {
     return Status::OutOfRange("decode range outside the encoded video");
   }
   // Random access requires starting from the keyframe at or before `first`.
   int start = first;
   while (start > 0 && !encoded.frames[start].keyframe) --start;
+  int end = first + count;
 
-  Decoder decoder(encoded.width, encoded.height, encoded.profile);
   Video out;
   out.fps = encoded.fps;
-  out.frames.reserve(count);
-  for (int i = start; i < first + count; ++i) {
-    VR_ASSIGN_OR_RETURN(Frame frame, decoder.DecodeFrame(encoded.frames[i]));
-    if (i >= first) out.frames.push_back(std::move(frame));
+  out.frames.resize(count);
+
+  // Keyframes after `start` open independently decodable segments.
+  std::vector<int> segment_starts{start};
+  for (int i = start + 1; i < end; ++i) {
+    if (encoded.frames[i].keyframe) segment_starts.push_back(i);
   }
+  int segments = static_cast<int>(segment_starts.size());
+  if (threads <= 0) threads = DefaultCodecThreads();
+
+  if (threads <= 1 || segments <= 1) {
+    VR_RETURN_IF_ERROR(DecodeSegment(encoded, start, end, first, out.frames));
+    return out;
+  }
+  VR_RETURN_IF_ERROR(internal::CodecParallelForStatus(
+      std::min(threads, segments), segments, [&](int index) -> Status {
+        int begin = segment_starts[index];
+        int stop = index + 1 < segments ? segment_starts[index + 1] : end;
+        return DecodeSegment(encoded, begin, stop, first, out.frames);
+      }));
   return out;
 }
 

@@ -95,25 +95,9 @@ void EncodeIntraBlock(ArithmeticEncoder& enc, FrameContexts& ctx, const Plane& s
 
 }  // namespace
 
-struct Encoder::State {
-  int width = 0;
-  int height = 0;
-  int block_size = 16;
-  int search_radius = 8;
-  bool allow_planar = false;
-  int frame_index = 0;
-  RateController rate_control{0, 30.0, 28};
-  ReconPlanes reference;  // Previous reconstructed frame (padded).
-};
+namespace internal {
 
-Encoder::Encoder(std::unique_ptr<State> state)
-    : state_(std::move(state)) {}
-
-Encoder::Encoder(Encoder&&) noexcept = default;
-Encoder& Encoder::operator=(Encoder&&) noexcept = default;
-Encoder::~Encoder() = default;
-
-StatusOr<Encoder> Encoder::Create(int width, int height, const EncoderConfig& config) {
+Status ValidateEncoderConfig(int width, int height, const EncoderConfig& config) {
   if (width <= 0 || height <= 0) {
     return Status::InvalidArgument("encoder dimensions must be positive");
   }
@@ -123,27 +107,28 @@ StatusOr<Encoder> Encoder::Create(int width, int height, const EncoderConfig& co
   if (config.gop_length < 1) {
     return Status::InvalidArgument("GOP length must be at least 1");
   }
-  auto state = std::make_unique<State>();
-  state->width = width;
-  state->height = height;
-  state->block_size = ProfileBlockSize(config.profile);
-  state->search_radius = config.search_radius > 0 ? config.search_radius
-                                                  : ProfileSearchRadius(config.profile);
-  state->allow_planar = config.profile == Profile::kHevcLike;
-  state->rate_control = RateController(config.target_bitrate_bps, 30.0, config.qp);
-  Encoder encoder(std::move(state));
-  encoder.config_ = config;
-  return encoder;
+  return Status::Ok();
 }
 
-StatusOr<EncodedFrame> Encoder::EncodeFrame(const Frame& frame) {
-  State& s = *state_;
+EncoderSettings MakeEncoderSettings(int width, int height,
+                                    const EncoderConfig& config) {
+  EncoderSettings settings;
+  settings.width = width;
+  settings.height = height;
+  settings.block_size = ProfileBlockSize(config.profile);
+  settings.search_radius = config.search_radius > 0
+                               ? config.search_radius
+                               : ProfileSearchRadius(config.profile);
+  settings.allow_planar = config.profile == Profile::kHevcLike;
+  return settings;
+}
+
+StatusOr<EncodedFrame> EncodeFrameImpl(const EncoderSettings& s,
+                                       ReconPlanes& reference, const Frame& frame,
+                                       bool keyframe, int qp) {
   if (frame.width() != s.width || frame.height() != s.height) {
     return Status::InvalidArgument("frame dimensions do not match encoder");
   }
-
-  bool keyframe = s.frame_index % config_.gop_length == 0;
-  int qp = s.rate_control.PickQp(keyframe);
 
   int mb = s.block_size;
   int cmb = mb / 2;
@@ -194,7 +179,7 @@ StatusOr<EncodedFrame> Encoder::EncodeFrame(const Frame& frame) {
 
       // --- P-frame macroblock ---
       MotionVector mv =
-          DiamondSearch(src_y, s.reference.y, bx, by, mb, s.search_radius, left_mv);
+          DiamondSearch(src_y, reference.y, bx, by, mb, s.search_radius, left_mv);
 
       // Trial-code the inter residuals so the skip decision is exact.
       std::vector<int16_t> luma_levels(static_cast<size_t>(sub) * sub * kTransformArea);
@@ -204,7 +189,7 @@ StatusOr<EncodedFrame> Encoder::EncodeFrame(const Frame& frame) {
         for (int sx = 0; sx < sub; ++sx) {
           int tx = bx + sx * kTransformSize, ty = by + sy * kTransformSize;
           size_t off = (static_cast<size_t>(sy) * sub + sx) * kTransformArea;
-          MotionCompensate(s.reference.y, tx, ty, kTransformSize, mv.dx, mv.dy,
+          MotionCompensate(reference.y, tx, ty, kTransformSize, mv.dx, mv.dy,
                            &luma_pred[off]);
           TransformQuantBlock(src_y, tx, ty, &luma_pred[off], qp, &luma_levels[off]);
           if (!AllZero(&luma_levels[off], kTransformArea)) all_zero = false;
@@ -216,7 +201,7 @@ StatusOr<EncodedFrame> Encoder::EncodeFrame(const Frame& frame) {
       std::vector<uint8_t> chroma_pred(chroma_levels.size());
       for (int plane = 0; plane < 2; ++plane) {
         const Plane& csrc = plane == 0 ? src_u : src_v;
-        const Plane& cref = plane == 0 ? s.reference.u : s.reference.v;
+        const Plane& cref = plane == 0 ? reference.u : reference.v;
         for (int sy = 0; sy < csub; ++sy) {
           for (int sx = 0; sx < csub; ++sx) {
             int tx = cbx + sx * kTransformSize, ty = cby + sy * kTransformSize;
@@ -235,12 +220,12 @@ StatusOr<EncodedFrame> Encoder::EncodeFrame(const Frame& frame) {
         // reference block.
         enc.EncodeBit(ctx.skip, 1);
         for (int y = 0; y < mb; ++y) {
-          std::memcpy(recon.y.Row(by + y) + bx, s.reference.y.Row(by + y) + bx, mb);
+          std::memcpy(recon.y.Row(by + y) + bx, reference.y.Row(by + y) + bx, mb);
         }
         for (int y = 0; y < cmb; ++y) {
-          std::memcpy(recon.u.Row(cby + y) + cbx, s.reference.u.Row(cby + y) + cbx,
+          std::memcpy(recon.u.Row(cby + y) + cbx, reference.u.Row(cby + y) + cbx,
                       cmb);
-          std::memcpy(recon.v.Row(cby + y) + cbx, s.reference.v.Row(cby + y) + cbx,
+          std::memcpy(recon.v.Row(cby + y) + cbx, reference.v.Row(cby + y) + cbx,
                       cmb);
         }
         left_mv = MotionVector{};
@@ -324,28 +309,45 @@ StatusOr<EncodedFrame> Encoder::EncodeFrame(const Frame& frame) {
   out.qp = static_cast<uint8_t>(qp);
   out.data = enc.Finish();
 
-  s.rate_control.Update(keyframe, static_cast<int64_t>(out.data.size()));
-  s.reference = std::move(recon);
-  ++s.frame_index;
+  reference = std::move(recon);
   return out;
 }
 
-StatusOr<EncodedVideo> Encode(const Video& video, const EncoderConfig& config) {
-  if (video.frames.empty()) {
-    return Status::InvalidArgument("cannot encode an empty video");
-  }
-  VR_ASSIGN_OR_RETURN(Encoder encoder,
-                      Encoder::Create(video.Width(), video.Height(), config));
-  EncodedVideo out;
-  out.profile = config.profile;
-  out.width = video.Width();
-  out.height = video.Height();
-  out.fps = video.fps;
-  out.frames.reserve(video.frames.size());
-  for (const Frame& frame : video.frames) {
-    VR_ASSIGN_OR_RETURN(EncodedFrame encoded, encoder.EncodeFrame(frame));
-    out.frames.push_back(std::move(encoded));
-  }
+}  // namespace internal
+
+struct Encoder::State {
+  internal::EncoderSettings settings;
+  int frame_index = 0;
+  RateController rate_control{0, 30.0, 28};
+  internal::ReconPlanes reference;  // Previous reconstructed frame (padded).
+};
+
+Encoder::Encoder(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+Encoder::Encoder(Encoder&&) noexcept = default;
+Encoder& Encoder::operator=(Encoder&&) noexcept = default;
+Encoder::~Encoder() = default;
+
+StatusOr<Encoder> Encoder::Create(int width, int height, const EncoderConfig& config) {
+  VR_RETURN_IF_ERROR(internal::ValidateEncoderConfig(width, height, config));
+  auto state = std::make_unique<State>();
+  state->settings = internal::MakeEncoderSettings(width, height, config);
+  state->rate_control = RateController(config.target_bitrate_bps, 30.0, config.qp);
+  Encoder encoder(std::move(state));
+  encoder.config_ = config;
+  return encoder;
+}
+
+StatusOr<EncodedFrame> Encoder::EncodeFrame(const Frame& frame) {
+  State& s = *state_;
+  bool keyframe = s.frame_index % config_.gop_length == 0;
+  int qp = s.rate_control.PickQp(keyframe);
+  VR_ASSIGN_OR_RETURN(EncodedFrame out,
+                      internal::EncodeFrameImpl(s.settings, s.reference, frame,
+                                                keyframe, qp));
+  s.rate_control.Update(keyframe, static_cast<int64_t>(out.data.size()));
+  ++s.frame_index;
   return out;
 }
 

@@ -1,0 +1,117 @@
+#ifndef VISUALROAD_VIDEO_CODEC_GOP_CACHE_H_
+#define VISUALROAD_VIDEO_CODEC_GOP_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "video/codec/codec.h"
+#include "video/frame.h"
+
+namespace visualroad::video::codec {
+
+/// One decoded closed GOP. Immutable once published to the cache; concurrent
+/// readers share it by shared_ptr, so eviction never invalidates a reader.
+struct DecodedGop {
+  int first_frame = 0;
+  std::vector<Frame> frames;
+  int64_t bytes = 0;  // Decoded payload size, for the cache budget.
+};
+
+/// Cumulative counters across all shards.
+struct GopCacheStats {
+  int64_t hits = 0;        // Entry was ready on arrival.
+  int64_t misses = 0;      // Caller decoded the GOP (single-flight leader).
+  int64_t coalesced = 0;   // Waited on another caller's in-flight decode.
+  int64_t evictions = 0;   // Entries dropped to fit the byte budget.
+  int64_t bytes_in_use = 0;
+  int64_t entries = 0;
+};
+
+struct GopCacheOptions {
+  /// Total decoded-frame budget across shards.
+  int64_t capacity_bytes = int64_t{256} << 20;
+  /// Lock striping width. 1 gives a single global LRU order (deterministic
+  /// eviction, used by tests); the default spreads contention.
+  int shards = 8;
+};
+
+/// Sharded, mutex-per-shard LRU of decoded GOPs keyed by (stream identity,
+/// GOP start frame), with byte-size budgeting and single-flight decode:
+/// concurrent requesters of the same cold GOP block on the one in-flight
+/// decode instead of repeating it. Thread-safe; entries are immutable once
+/// published.
+class GopCache {
+ public:
+  explicit GopCache(const GopCacheOptions& options = {});
+  ~GopCache();
+
+  GopCache(const GopCache&) = delete;
+  GopCache& operator=(const GopCache&) = delete;
+
+  /// The process-wide cache every engine shares by default.
+  static GopCache& Global();
+
+  /// How a Get was satisfied.
+  enum class Outcome { kHit, kMiss, kCoalesced };
+
+  /// Returns the decoded GOP of `encoded` starting at frame `start` and
+  /// spanning `count` frames, decoding it (serially — GOPs are the unit of
+  /// parallelism) on a miss. `identity` must be StreamIdentity(encoded).
+  StatusOr<std::shared_ptr<const DecodedGop>> Get(const EncodedVideo& encoded,
+                                                  uint64_t identity, int start,
+                                                  int count,
+                                                  Outcome* outcome = nullptr);
+
+  /// Drops every ready entry (in-flight decodes complete uncached).
+  void Clear();
+
+  /// Adjusts the byte budget; evicts immediately if over.
+  void set_capacity_bytes(int64_t bytes);
+  int64_t capacity_bytes() const { return capacity_bytes_.load(); }
+
+  GopCacheStats stats() const;
+
+ private:
+  struct Shard;
+
+  Shard& ShardFor(uint64_t identity, int start) const;
+  /// Evicts LRU entries until `shard` fits its per-shard budget share.
+  void EvictLocked(Shard& shard);
+
+  std::atomic<int64_t> capacity_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Full-bitstream identity hash (dimensions, profile, every payload byte) for
+/// cache keying. Collision-resistant enough for a cache: a false hit needs an
+/// FNV-1a collision across entire streams.
+uint64_t StreamIdentity(const EncodedVideo& encoded);
+
+/// Keyframe indices of `encoded`, i.e. the start of each closed GOP.
+std::vector<int> GopStarts(const EncodedVideo& encoded);
+
+/// Per-engine accounting, separate from the cache's own stats because the
+/// cache is process-wide and shared.
+struct GopCacheCounters {
+  std::atomic<int64_t> hits{0};    // Served without decoding (hit or coalesced).
+  std::atomic<int64_t> misses{0};  // This caller ran the decode.
+  std::atomic<int64_t> frames_decoded{0};
+};
+
+/// Decode of a whole stream through `cache`. Returns a fresh Video assembled
+/// from cached GOPs.
+StatusOr<Video> CachedDecode(const EncodedVideo& encoded, GopCache& cache,
+                             GopCacheCounters* counters = nullptr);
+
+/// Range decode through `cache`: fetches only the GOPs overlapping
+/// [first, first+count) and trims to the requested window.
+StatusOr<Video> CachedDecodeRange(const EncodedVideo& encoded, int first, int count,
+                                  GopCache& cache,
+                                  GopCacheCounters* counters = nullptr);
+
+}  // namespace visualroad::video::codec
+
+#endif  // VISUALROAD_VIDEO_CODEC_GOP_CACHE_H_

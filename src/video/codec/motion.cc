@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 namespace visualroad::video::codec {
 
@@ -9,8 +10,8 @@ namespace {
 int ClampCoord(int v, int limit) { return std::clamp(v, 0, limit - 1); }
 }  // namespace
 
-int64_t BlockSad(const Plane& cur, const Plane& ref, int bx, int by, int size, int dx,
-                 int dy) {
+int64_t BlockSadBounded(const Plane& cur, const Plane& ref, int bx, int by, int size,
+                        int dx, int dy, int64_t bound) {
   int64_t sad = 0;
   bool inside = bx + dx >= 0 && by + dy >= 0 && bx + dx + size <= ref.width &&
                 by + dy + size <= ref.height;
@@ -21,28 +22,42 @@ int64_t BlockSad(const Plane& cur, const Plane& ref, int bx, int by, int size, i
       for (int x = 0; x < size; ++x) {
         sad += std::abs(static_cast<int>(crow[x]) - rrow[x]);
       }
+      if (sad >= bound) return sad;
     }
     return sad;
   }
   for (int y = 0; y < size; ++y) {
+    const uint8_t* crow = cur.Row(by + y) + bx;
+    const uint8_t* rrow = ref.Row(ClampCoord(by + dy + y, ref.height));
     for (int x = 0; x < size; ++x) {
-      int rx = ClampCoord(bx + dx + x, ref.width);
-      int ry = ClampCoord(by + dy + y, ref.height);
-      sad += std::abs(static_cast<int>(cur.At(bx + x, by + y)) - ref.At(rx, ry));
+      sad += std::abs(static_cast<int>(crow[x]) -
+                      rrow[ClampCoord(bx + dx + x, ref.width)]);
     }
+    if (sad >= bound) return sad;
   }
   return sad;
 }
 
+int64_t BlockSad(const Plane& cur, const Plane& ref, int bx, int by, int size, int dx,
+                 int dy) {
+  return BlockSadBounded(cur, ref, bx, by, size, dx, dy,
+                         std::numeric_limits<int64_t>::max());
+}
+
 MotionVector DiamondSearch(const Plane& cur, const Plane& ref, int bx, int by,
                            int size, int search_radius, MotionVector predictor) {
-  auto evaluate = [&](int dx, int dy) -> int64_t {
-    return BlockSad(cur, ref, bx, by, size, dx, dy);
+  // Candidates only ever replace `best` on a strict improvement, so bounding
+  // each SAD by the current best keeps every accept/reject decision — and so
+  // the returned vector — identical to the unbounded search, while losing
+  // candidates abandon the sum early. An accepted SAD never hit its bound,
+  // so best.sad stays exact.
+  auto evaluate = [&](int dx, int dy, int64_t bound) -> int64_t {
+    return BlockSadBounded(cur, ref, bx, by, size, dx, dy, bound);
   };
 
-  MotionVector best{0, 0, evaluate(0, 0)};
+  MotionVector best{0, 0, BlockSad(cur, ref, bx, by, size, 0, 0)};
   if (predictor.dx != 0 || predictor.dy != 0) {
-    int64_t sad = evaluate(predictor.dx, predictor.dy);
+    int64_t sad = evaluate(predictor.dx, predictor.dy, best.sad);
     if (sad < best.sad) best = {predictor.dx, predictor.dy, sad};
   }
 
@@ -59,7 +74,7 @@ MotionVector DiamondSearch(const Plane& cur, const Plane& ref, int bx, int by,
       int dx = best.dx + offset[0];
       int dy = best.dy + offset[1];
       if (std::abs(dx) > search_radius || std::abs(dy) > search_radius) continue;
-      int64_t sad = evaluate(dx, dy);
+      int64_t sad = evaluate(dx, dy, best.sad);
       if (sad < best.sad) {
         best = {dx, dy, sad};
         improved = true;
@@ -70,7 +85,7 @@ MotionVector DiamondSearch(const Plane& cur, const Plane& ref, int bx, int by,
     int dx = best.dx + offset[0];
     int dy = best.dy + offset[1];
     if (std::abs(dx) > search_radius || std::abs(dy) > search_radius) continue;
-    int64_t sad = evaluate(dx, dy);
+    int64_t sad = evaluate(dx, dy, best.sad);
     if (sad < best.sad) best = {dx, dy, sad};
   }
   return best;

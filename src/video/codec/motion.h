@@ -36,6 +36,13 @@ struct MotionVector {
 int64_t BlockSad(const Plane& cur, const Plane& ref, int bx, int by, int size, int dx,
                  int dy);
 
+/// As BlockSad, but gives up once the running sum reaches `bound`, returning
+/// some value >= `bound`. Exact whenever the true SAD is below `bound`, which
+/// is all a strict best-so-far comparison needs — DiamondSearch passes the
+/// current best so losing candidates stop early.
+int64_t BlockSadBounded(const Plane& cur, const Plane& ref, int bx, int by, int size,
+                        int dx, int dy, int64_t bound);
+
 /// Diamond-search motion estimation: evaluates the zero vector and the
 /// supplied predictor, then refines with a large-diamond / small-diamond
 /// pattern out to `search_radius`. Returns the best integer-pel vector.

@@ -1,6 +1,8 @@
 #include "video/codec/rate_control.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 
 #include "video/codec/quant.h"
 
@@ -32,6 +34,113 @@ void RateController::Update(bool keyframe, int64_t bytes) {
     qp_ = std::max(qp_ - 1, kMinQp);
     debt_bits_ *= 0.5;
   }
+}
+
+namespace {
+
+/// Luma planes are sampled on this grid; the estimator needs a texture
+/// statistic, not an exact sum.
+constexpr int kSampleStride = 2;
+
+/// Mean absolute horizontal luma gradient — a proxy for intra coding cost.
+double SampledGradient(const Frame& frame) {
+  const std::vector<uint8_t>& y = frame.y_plane();
+  int w = frame.width(), h = frame.height();
+  int64_t total = 0, count = 0;
+  for (int row = 0; row < h; row += kSampleStride) {
+    const uint8_t* base = &y[static_cast<size_t>(row) * w];
+    for (int col = 1; col < w; col += kSampleStride) {
+      total += std::abs(static_cast<int>(base[col]) - base[col - 1]);
+      ++count;
+    }
+  }
+  return count > 0 ? static_cast<double>(total) / static_cast<double>(count) : 0.0;
+}
+
+/// Mean absolute luma difference vs `previous` displaced by (dx, dy),
+/// edge-clamped, over the sampling grid.
+double SampledShiftDelta(const Frame& frame, const Frame& previous, int dx, int dy) {
+  const std::vector<uint8_t>& a = frame.y_plane();
+  const std::vector<uint8_t>& b = previous.y_plane();
+  int w = frame.width(), h = frame.height();
+  int64_t total = 0, count = 0;
+  for (int row = 0; row < h; row += kSampleStride) {
+    size_t base = static_cast<size_t>(row) * w;
+    size_t shifted = static_cast<size_t>(std::clamp(row + dy, 0, h - 1)) * w;
+    for (int col = 0; col < w; col += kSampleStride) {
+      int sc = std::clamp(col + dx, 0, w - 1);
+      total += std::abs(static_cast<int>(a[base + col]) - b[shifted + sc]);
+      ++count;
+    }
+  }
+  return count > 0 ? static_cast<double>(total) / static_cast<double>(count) : 0.0;
+}
+
+/// Coarse motion-search radius for the inter proxy. Plain frame deltas
+/// overstate compensable motion by an order of magnitude (the encoder's
+/// DiamondSearch removes it) while matching uncompensable noise exactly, so
+/// a small whole-frame shift search is the cheapest statistic that separates
+/// the two regimes.
+constexpr int kShiftRadius = 2;
+
+/// Minimum sampled delta over whole-frame shifts within kShiftRadius — a
+/// proxy for the post-motion-compensation residual.
+double SampledMinShiftDelta(const Frame& frame, const Frame& previous) {
+  double best = SampledShiftDelta(frame, previous, 0, 0);
+  for (int dy = -kShiftRadius; dy <= kShiftRadius; ++dy) {
+    for (int dx = -kShiftRadius; dx <= kShiftRadius; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      best = std::min(best, SampledShiftDelta(frame, previous, dx, dy));
+    }
+  }
+  return best;
+}
+
+// Rate-model constants, fitted against this codec's actual output across
+// QP 12-40 on four content regimes: textured+moving, smooth pan (fully
+// compensable), and uniform noise (uncompensable). Worst-case aggregate error
+// is ~2x, which is the tolerance the closed loop needs (see
+// PlanQpScheduleTracksTarget in tests/codec_test.cc).
+constexpr double kIntraBase = 0.045;   // Mode/DC/signaling floor, bits per pixel.
+constexpr double kIntraRate = 1.80;
+constexpr double kIntraScale = 0.6;
+constexpr double kInterBase = 0.005;   // Skip flags and MV floor.
+constexpr double kInterRate = 1.60;
+constexpr double kInterScale = 0.8;
+constexpr double kFrameOverheadBits = 256.0;
+
+}  // namespace
+
+int64_t EstimateFrameBits(const Frame& frame, const Frame* previous, int qp) {
+  double step = QpToStep(qp);
+  double pixels = static_cast<double>(frame.width()) * frame.height();
+  double bpp;
+  if (previous == nullptr) {
+    double activity = SampledGradient(frame);
+    bpp = kIntraBase + kIntraRate * std::log2(1.0 + kIntraScale * activity / step);
+  } else {
+    double delta = SampledMinShiftDelta(frame, *previous);
+    bpp = kInterBase + kInterRate * std::log2(1.0 + kInterScale * delta / step);
+  }
+  return static_cast<int64_t>(std::llround(pixels * bpp + kFrameOverheadBits));
+}
+
+std::vector<int> PlanQpSchedule(const Video& video, const EncoderConfig& config) {
+  std::vector<int> schedule(video.frames.size(), std::clamp(config.qp, kMinQp, kMaxQp));
+  // The pre-pass mirrors Encoder::Create's controller, including its fixed
+  // 30 fps assumption, so streaming and planned paths share one rate model.
+  RateController control(config.target_bitrate_bps, 30.0, config.qp);
+  if (control.constant_qp()) return schedule;
+  const Frame* previous = nullptr;
+  for (size_t i = 0; i < video.frames.size(); ++i) {
+    bool keyframe = i % static_cast<size_t>(config.gop_length) == 0;
+    int qp = control.PickQp(keyframe);
+    schedule[i] = qp;
+    int64_t bits = EstimateFrameBits(video.frames[i], keyframe ? nullptr : previous, qp);
+    control.Update(keyframe, bits / 8);
+    previous = &video.frames[i];
+  }
+  return schedule;
 }
 
 }  // namespace visualroad::video::codec

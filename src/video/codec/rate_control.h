@@ -2,6 +2,10 @@
 #define VISUALROAD_VIDEO_CODEC_RATE_CONTROL_H_
 
 #include <cstdint>
+#include <vector>
+
+#include "video/codec/codec.h"
+#include "video/frame.h"
 
 namespace visualroad::video::codec {
 
@@ -28,6 +32,23 @@ class RateController {
   int qp_;
   double debt_bits_ = 0.0;  // Positive when over budget.
 };
+
+/// Predicted payload bits for one frame at `qp` without encoding it: a
+/// rate-model of luma activity (intra) or the post-compensation residual
+/// proxy — the minimum sampled delta over small whole-frame shifts — (inter)
+/// against the quantisation step. `previous` is null for keyframes. Used by
+/// the QP pre-pass so rate control no longer needs the actual encoded byte
+/// counts.
+int64_t EstimateFrameBits(const Frame& frame, const Frame* previous, int qp);
+
+/// Serial rate-control pre-pass: runs the closed-loop controller over
+/// EstimateFrameBits instead of real encodes and returns the per-frame QP
+/// schedule. With the schedule fixed up front, keyframe-delimited GOPs can
+/// encode in parallel and still match the serial path byte for byte.
+/// Constant-QP configs (target_bitrate_bps == 0) yield a flat schedule. Costs
+/// one sampled pass over the luma planes — orders of magnitude cheaper than
+/// the encode it plans.
+std::vector<int> PlanQpSchedule(const Video& video, const EncoderConfig& config);
 
 }  // namespace visualroad::video::codec
 

@@ -524,6 +524,174 @@ TEST(CodecTest, DecodeRangeMatchesFullDecode) {
   }
 }
 
+// --- GOP-parallel codec ---
+
+/// Frame-by-frame bitstream equality, with a readable failure message.
+void ExpectBitIdentical(const EncodedVideo& a, const EncodedVideo& b) {
+  ASSERT_EQ(a.FrameCount(), b.FrameCount());
+  for (int i = 0; i < a.FrameCount(); ++i) {
+    const EncodedFrame& fa = a.frames[static_cast<size_t>(i)];
+    const EncodedFrame& fb = b.frames[static_cast<size_t>(i)];
+    EXPECT_EQ(fa.keyframe, fb.keyframe) << "frame " << i;
+    EXPECT_EQ(fa.qp, fb.qp) << "frame " << i;
+    ASSERT_EQ(fa.data, fb.data) << "frame " << i << " bytes diverge";
+  }
+}
+
+TEST(ParallelCodecTest, EncodeBitIdenticalAcrossThreadCounts) {
+  Video input = MakeMovingVideo(64, 48, 13, 50);
+  EncoderConfig config;
+  config.qp = 22;
+  config.gop_length = 4;  // 4 GOPs; the last is short.
+  auto baseline = Encode(input, config);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (int threads : {1, 2, 4, 8}) {
+    auto parallel = ParallelEncode(input, config, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectBitIdentical(*baseline, *parallel);
+  }
+}
+
+TEST(ParallelCodecTest, EncodeBitIdenticalUnderRateControl) {
+  // Bitrate mode exercises the planned QP schedule: the pre-pass is serial
+  // and deterministic, so the schedule — and therefore the bitstream — must
+  // not depend on the worker count.
+  Video input = MakeMovingVideo(96, 64, 24, 51);
+  EncoderConfig config;
+  config.target_bitrate_bps = 60000;
+  config.gop_length = 6;
+  auto baseline = Encode(input, config);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  bool qp_moved = false;
+  for (const EncodedFrame& frame : baseline->frames) {
+    if (frame.qp != baseline->frames[0].qp) qp_moved = true;
+  }
+  EXPECT_TRUE(qp_moved) << "rate control never adjusted QP; test is vacuous";
+  for (int threads : {2, 4, 8}) {
+    auto parallel = ParallelEncode(input, config, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectBitIdentical(*baseline, *parallel);
+  }
+}
+
+TEST(ParallelCodecTest, ParallelDecodeMatchesSerial) {
+  Video input = MakeMovingVideo(64, 48, 14, 52);
+  EncoderConfig config;
+  config.qp = 20;
+  config.gop_length = 4;
+  auto encoded = Encode(input, config);
+  ASSERT_TRUE(encoded.ok());
+  auto serial = Decode(*encoded);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {1, 2, 4, 8}) {
+    auto parallel = ParallelDecode(*encoded, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_EQ(parallel->FrameCount(), serial->FrameCount());
+    for (int i = 0; i < serial->FrameCount(); ++i) {
+      EXPECT_TRUE(parallel->frames[static_cast<size_t>(i)].SameContentAs(
+          serial->frames[static_cast<size_t>(i)]))
+          << "threads=" << threads << " frame=" << i;
+    }
+  }
+}
+
+TEST(ParallelCodecTest, DecodeRangeAtGopBoundaries) {
+  // Regression for the warm-up skip: a range starting exactly on a keyframe
+  // has no warm-up frames, one starting just past it has gop_length-1.
+  Video input = MakeMovingVideo(48, 32, 12, 53);
+  EncoderConfig config;
+  config.gop_length = 4;
+  auto encoded = Encode(input, config);
+  ASSERT_TRUE(encoded.ok());
+  auto full = Decode(*encoded);
+  ASSERT_TRUE(full.ok());
+  struct RangeCase {
+    int first;
+    int count;
+  };
+  for (const RangeCase& c : {RangeCase{4, 4},    // Exactly on a keyframe.
+                             RangeCase{5, 3},    // One past a keyframe.
+                             RangeCase{3, 2},    // Straddles a GOP boundary.
+                             RangeCase{0, 12},   // Whole stream.
+                             RangeCase{11, 1}})  // Last frame alone.
+  {
+    for (int threads : {1, 4}) {
+      auto range = DecodeRange(*encoded, c.first, c.count, threads);
+      ASSERT_TRUE(range.ok()) << range.status().ToString();
+      ASSERT_EQ(range->FrameCount(), c.count) << "first=" << c.first;
+      for (int i = 0; i < c.count; ++i) {
+        EXPECT_TRUE(range->frames[static_cast<size_t>(i)].SameContentAs(
+            full->frames[static_cast<size_t>(c.first + i)]))
+            << "first=" << c.first << " i=" << i << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelCodecTest, StreamingEncoderMatchesWholeVideoEncode) {
+  // Constant-QP is the only mode with both a streaming and a planned user
+  // base; their outputs must agree byte for byte.
+  Video input = MakeMovingVideo(48, 32, 9, 54);
+  EncoderConfig config;
+  config.qp = 26;
+  config.gop_length = 3;
+  auto whole = Encode(input, config);
+  ASSERT_TRUE(whole.ok());
+  auto encoder = Encoder::Create(48, 32, config);
+  ASSERT_TRUE(encoder.ok());
+  for (int i = 0; i < input.FrameCount(); ++i) {
+    auto frame = encoder->EncodeFrame(input.frames[static_cast<size_t>(i)]);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->data, whole->frames[static_cast<size_t>(i)].data)
+        << "frame " << i;
+  }
+}
+
+TEST(RateControlTest, PlanQpScheduleTracksTarget) {
+  Video input = MakeMovingVideo(96, 64, 30, 55);
+  EncoderConfig config;
+  config.gop_length = 15;
+
+  // Constant-QP plans are flat at the configured QP.
+  config.qp = 24;
+  std::vector<int> flat = PlanQpSchedule(input, config);
+  ASSERT_EQ(flat.size(), input.frames.size());
+  for (int qp : flat) EXPECT_EQ(qp, 24);
+
+  // A starved target drives the planned QP up; a generous one drives it
+  // down. The closed loop only needs the bit estimator right to ~2x for
+  // this ordering to hold.
+  config.target_bitrate_bps = 30000;
+  std::vector<int> starved = PlanQpSchedule(input, config);
+  config.target_bitrate_bps = 400000;
+  std::vector<int> generous = PlanQpSchedule(input, config);
+  int64_t starved_sum = 0, generous_sum = 0;
+  for (int qp : starved) starved_sum += qp;
+  for (int qp : generous) generous_sum += qp;
+  EXPECT_GT(starved_sum, generous_sum);
+}
+
+TEST(MotionTest, BoundedSadExactUnderBound) {
+  // The early-exit contract: a result below the bound is the exact SAD; a
+  // result at or above it only promises "no better than the bound". Vectors
+  // near the edge also exercise the clamped path's hoisted rows.
+  Plane cur = MakePlane(64, 48, 57);
+  Plane ref = MakePlane(64, 48, 58);
+  for (int by : {0, 16}) {
+    for (int dy = -3; dy <= 3; ++dy) {
+      for (int dx = -3; dx <= 3; ++dx) {
+        int64_t exact = BlockSad(cur, ref, 16, by, 16, dx, dy);
+        int64_t bounded = BlockSadBounded(cur, ref, 16, by, 16, dx, dy, exact + 1);
+        EXPECT_EQ(bounded, exact) << "by=" << by << " dx=" << dx << " dy=" << dy;
+        if (exact > 0) {
+          int64_t cut = BlockSadBounded(cur, ref, 16, by, 16, dx, dy, exact / 2);
+          EXPECT_GE(cut, exact / 2) << "by=" << by << " dx=" << dx << " dy=" << dy;
+        }
+      }
+    }
+  }
+}
+
 TEST(CodecTest, DecodeRangeRejectsOutOfBounds) {
   Video input = MakeMovingVideo(48, 32, 4, 40);
   auto encoded = Encode(input, EncoderConfig{});

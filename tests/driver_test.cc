@@ -6,6 +6,7 @@
 #include "driver/report.h"
 #include "driver/validation.h"
 #include "driver/vcd.h"
+#include "video/codec/gop_cache.h"
 
 namespace visualroad::driver {
 namespace {
@@ -387,20 +388,91 @@ TEST_F(DriverTest, ParallelInstancesMatchSerialResults) {
               1e-9);
 }
 
+// All three shipped engines are ConcurrentSafe now, so the serial-fallback
+// path needs an engine that deliberately is not.
+class SerialOnlyEngine : public systems::Vdbms {
+ public:
+  const char* name() const override { return "SerialOnlyEngine"; }
+  bool Supports(QueryId) const override { return true; }
+  // Inherits ConcurrentSafe() == false.
+  StatusOr<systems::QueryOutput> Execute(const queries::QueryInstance&,
+                                         const sim::Dataset&,
+                                         systems::OutputMode,
+                                         const std::string&) override {
+    return systems::QueryOutput{};
+  }
+};
+
 TEST_F(DriverTest, ParallelRequestFallsBackForUnsafeEngine) {
   VcdOptions options;
   options.batch_size_override = 2;
   options.parallel_instances = 4;
   VisualCityDriver vcd(*dataset_, options);
-  systems::EngineOptions engine_options;
-  auto engine = systems::MakePipelineEngine(engine_options);
-  ASSERT_FALSE(engine->ConcurrentSafe());
-  auto result = vcd.RunQueryBatch(*engine, QueryId::kQ1);
+  SerialOnlyEngine engine;
+  ASSERT_FALSE(engine.ConcurrentSafe());
+  auto result = vcd.RunQueryBatch(engine, QueryId::kQ1);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   // The engine did not declare Execute() thread-safe, so the measured window
   // ran serially even though the driver was configured for parallelism.
   EXPECT_EQ(result->parallel_instances, 1);
   EXPECT_EQ(result->succeeded, 2);
+}
+
+TEST_F(DriverTest, PipelineAndCascadeRunParallelBatches) {
+  // Since the GOP cache rework, all three engines opt into instance-level
+  // parallelism; fanned-out batches must report what serial ones would.
+  struct Case {
+    std::unique_ptr<systems::Vdbms> serial;
+    std::unique_ptr<systems::Vdbms> parallel;
+    QueryId id;
+  };
+  systems::EngineOptions engine_options;
+  Case cases[] = {
+      {systems::MakePipelineEngine(engine_options),
+       systems::MakePipelineEngine(engine_options), QueryId::kQ2a},
+      {systems::MakeCascadeEngine(engine_options),
+       systems::MakeCascadeEngine(engine_options), QueryId::kQ2c},
+  };
+  for (Case& c : cases) {
+    ASSERT_TRUE(c.parallel->ConcurrentSafe());
+    VcdOptions serial_options;
+    serial_options.batch_size_override = 4;
+    VcdOptions parallel_options = serial_options;
+    parallel_options.parallel_instances = 4;
+    VisualCityDriver serial_vcd(*dataset_, serial_options);
+    VisualCityDriver parallel_vcd(*dataset_, parallel_options);
+    auto serial = serial_vcd.RunQueryBatch(*c.serial, c.id);
+    auto parallel = parallel_vcd.RunQueryBatch(*c.parallel, c.id);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(serial->parallel_instances, 1);
+    EXPECT_EQ(parallel->parallel_instances, 4);
+    EXPECT_EQ(parallel->succeeded, serial->succeeded);
+    EXPECT_EQ(parallel->failed, serial->failed);
+    EXPECT_EQ(parallel->validation.checked, serial->validation.checked);
+    EXPECT_EQ(parallel->validation.passed, serial->validation.passed);
+    EXPECT_NEAR(parallel->validation.mean_psnr_db,
+                serial->validation.mean_psnr_db, 1e-9);
+  }
+}
+
+TEST_F(DriverTest, BatchResultCarriesEngineCacheCounters) {
+  VcdOptions options;
+  options.batch_size_override = 3;
+  VisualCityDriver vcd(*dataset_, options);
+  systems::EngineOptions engine_options;
+  video::codec::GopCache cache;
+  engine_options.gop_cache = &cache;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  auto result = vcd.RunQueryBatch(*engine, QueryId::kQ2a);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The window's decode demand shows up as cache traffic: at least one cold
+  // miss, and repeat instances against the same few inputs produce hits.
+  EXPECT_GT(result->engine_stats.cache_misses, 0);
+  EXPECT_GT(result->engine_stats.frames_decoded, 0);
+  std::string report = FormatBenchmarkReport({*result});
+  EXPECT_NE(report.find("Cache"), std::string::npos);
+  EXPECT_NE(report.find("% hit"), std::string::npos);
 }
 
 // --- Report formatting ---

@@ -7,6 +7,7 @@
 #include "driver/validation.h"
 #include "systems/vdbms.h"
 #include "systems/video_source.h"
+#include "video/codec/gop_cache.h"
 #include "video/metrics.h"
 
 namespace visualroad::systems {
@@ -218,7 +219,11 @@ TEST_F(SystemsTest, CascadeRejectsUnsupportedQueries) {
 }
 
 TEST_F(SystemsTest, CascadeSkipsRedundantFrames) {
+  // A private cache keeps the decode counters independent of whatever other
+  // tests have left in the process-wide one.
+  video::codec::GopCache cache;
   EngineOptions options;
+  options.gop_cache = &cache;
   auto cascade = MakeCascadeEngine(options);
   QueryInstance instance = Sample(QueryId::kQ2c);
   auto output = cascade->Execute(instance, *dataset_, OutputMode::kStreaming, "");
@@ -230,7 +235,11 @@ TEST_F(SystemsTest, CascadeSkipsRedundantFrames) {
 }
 
 TEST_F(SystemsTest, PipelineCachesDecodedContent) {
+  // A private cache keeps hit/miss expectations deterministic regardless of
+  // what other tests have cached process-wide.
+  video::codec::GopCache cache;
   EngineOptions options;
+  options.gop_cache = &cache;
   auto pipeline = MakePipelineEngine(options);
   QueryInstance instance = Sample(QueryId::kQ2a);
   ASSERT_TRUE(
