@@ -1,8 +1,55 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <fstream>
+
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace visualroad::bench {
+namespace {
+
+/// Writes the run's observability artefacts at process exit when requested
+/// via the environment (docs/OBSERVABILITY.md): VR_TRACE_PATH receives a
+/// Chrome trace of every recorded span, VR_METRICS a Prometheus dump ('-'
+/// for stdout). Installed once, from PrintBanner, so every bench binary
+/// supports the same inspection workflow without per-bench wiring.
+void DumpObservabilityAtExit() {
+  const char* trace_path = std::getenv("VR_TRACE_PATH");
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    Status status = trace::WriteChromeTrace(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  const char* metrics_path = std::getenv("VR_METRICS");
+  if (metrics_path != nullptr && metrics_path[0] != '\0') {
+    std::string text = metrics::MetricsRegistry::Global().PrometheusText();
+    if (std::string(metrics_path) == "-") {
+      std::printf("%s", text.c_str());
+    } else {
+      std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
+      out << text;
+    }
+  }
+}
+
+void InstallObservabilityDump() {
+  static bool installed = [] {
+    // Recording must be on for the trace dump to have content; VR_TRACE_PATH
+    // implies VR_TRACE=1.
+    if (const char* path = std::getenv("VR_TRACE_PATH");
+        path != nullptr && path[0] != '\0') {
+      trace::SetEnabled(true);
+    }
+    std::atexit(DumpObservabilityAtExit);
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace
 
 bool QuickMode() {
   const char* value = std::getenv("VR_QUICK");
@@ -55,6 +102,7 @@ StatusOr<sim::Dataset> MakeBenchDataset(int scale_factor, int width, int height,
 }
 
 void PrintBanner(const std::string& title, const std::string& subtitle) {
+  InstallObservabilityDump();
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());

@@ -42,6 +42,9 @@ StatusOr<sim::Dataset> MakeBenchDataset(int scale_factor, int width, int height,
                                         double duration_seconds, uint64_t seed);
 
 /// Prints a section banner matching the paper artefact being reproduced.
+/// Also installs the at-exit observability dump: set VR_TRACE_PATH and/or
+/// VR_METRICS in the environment to receive a Chrome trace / Prometheus
+/// snapshot of the bench run (docs/OBSERVABILITY.md).
 void PrintBanner(const std::string& title, const std::string& subtitle);
 
 }  // namespace visualroad::bench

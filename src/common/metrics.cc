@@ -1,0 +1,175 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace visualroad::metrics {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<int64_t>[upper_bounds_.size() + 1]) {
+  assert(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = upper_bounds_.size();  // The implicit +Inf bucket.
+  for (size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (value <= upper_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+int64_t Histogram::CumulativeCount(size_t bucket) const {
+  int64_t total = 0;
+  for (size_t i = 0; i <= bucket && i <= upper_bounds_.size(); ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: instruments are referenced from worker threads that
+  // may outlive static destruction order (same rationale as the codec pool).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::FamilyFor(const std::string& name,
+                                                    const std::string& help,
+                                                    Type type) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    it->second.help = help;
+  }
+  assert(it->second.type == type && "metric re-registered with another type");
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = FamilyFor(name, help, Type::kCounter);
+  auto [it, inserted] = family.counters.try_emplace(labels);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const std::string& help,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = FamilyFor(name, help, Type::kGauge);
+  auto [it, inserted] = family.gauges.try_emplace(labels);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const std::vector<double>& upper_bounds,
+                                         const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = FamilyFor(name, help, Type::kHistogram);
+  auto [it, inserted] = family.histograms.try_emplace(labels);
+  if (inserted) it->second = std::make_unique<Histogram>(upper_bounds);
+  return *it->second;
+}
+
+std::string FormatMetricValue(double value) {
+  if (std::isfinite(value) && value == std::rint(value) &&
+      std::abs(value) < 9.007199254740992e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64,
+                  static_cast<int64_t>(value));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+namespace {
+
+/// `le` bound rendering: Prometheus uses "+Inf" for the overflow bucket.
+std::string FormatBound(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  return FormatMetricValue(bound);
+}
+
+/// Joins a family's label body with an extra `le` pair for bucket lines.
+std::string JoinLabels(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return extra;
+  if (extra.empty()) return labels;
+  return labels + "," + extra;
+}
+
+void EmitSample(std::ostringstream& out, const std::string& name,
+                const std::string& labels, double value) {
+  out << name;
+  if (!labels.empty()) out << "{" << labels << "}";
+  out << " " << FormatMetricValue(value) << "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    out << "# HELP " << name << " " << family.help << "\n";
+    switch (family.type) {
+      case Type::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        for (const auto& [labels, counter] : family.counters) {
+          EmitSample(out, name, labels, counter->Value());
+        }
+        break;
+      case Type::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        for (const auto& [labels, gauge] : family.gauges) {
+          EmitSample(out, name, labels, gauge->Value());
+        }
+        break;
+      case Type::kHistogram:
+        out << "# TYPE " << name << " histogram\n";
+        for (const auto& [labels, histogram] : family.histograms) {
+          const std::vector<double>& bounds = histogram->upper_bounds();
+          for (size_t i = 0; i <= bounds.size(); ++i) {
+            double bound = i < bounds.size()
+                               ? bounds[i]
+                               : std::numeric_limits<double>::infinity();
+            EmitSample(out, name + "_bucket",
+                       JoinLabels(labels, "le=\"" + FormatBound(bound) + "\""),
+                       static_cast<double>(histogram->CumulativeCount(i)));
+          }
+          EmitSample(out, name + "_sum", labels, histogram->Sum());
+          EmitSample(out, name + "_count", labels,
+                     static_cast<double>(histogram->TotalCount()));
+        }
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> MetricsRegistry::MetricNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(families_.size());
+  for (const auto& [name, family] : families_) names.push_back(name);
+  return names;
+}
+
+}  // namespace visualroad::metrics

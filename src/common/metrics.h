@@ -1,0 +1,133 @@
+#ifndef VISUALROAD_COMMON_METRICS_H_
+#define VISUALROAD_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace visualroad::metrics {
+
+/// A monotonically increasing value (Prometheus counter). Doubles are exact
+/// for integer counts below 2^53, which lets one type carry both event counts
+/// and accumulated seconds. All operations are lock-free atomics, safe to
+/// call from any thread.
+class Counter {
+ public:
+  void Increment(double delta = 1.0) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A value that can move in both directions (Prometheus gauge): bytes in
+/// use, entries resident, queue high-water marks (via SetMax).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `value` if it is higher (high-water-mark semantics).
+  void SetMax(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket cumulative histogram (Prometheus histogram). Bucket upper
+/// bounds are set at registration and never change; Observe() is a short
+/// linear scan plus relaxed atomics, cheap enough for per-query (not
+/// per-pixel) events.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Cumulative count of observations <= upper_bounds()[i].
+  int64_t CumulativeCount(size_t bucket) const;
+  int64_t TotalCount() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> upper_bounds_;  // Ascending; implicit +Inf at the end.
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // Per-bucket (non-cumulative).
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// A process-wide registry of named instruments with Prometheus text export.
+/// Get* calls are get-or-create: the first call for a (name, labels) pair
+/// registers the instrument, later calls return the same instance, so call
+/// sites cache the reference and pay only the atomic update afterwards.
+/// Every metric name and label in the Global() registry is documented in
+/// docs/OBSERVABILITY.md; a registry/docs sync test enforces the listing.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Global();
+
+  /// `labels` is a preformatted Prometheus label body without braces, e.g.
+  /// `pool="codec"`; empty means no labels. The same name may carry several
+  /// label sets (one instrument each) but only one type and help string.
+  Counter& GetCounter(const std::string& name, const std::string& help,
+                      const std::string& labels = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help,
+                  const std::string& labels = "");
+  /// `upper_bounds` must be ascending; it is fixed by the first registration
+  /// of `name` and ignored on later calls.
+  Histogram& GetHistogram(const std::string& name, const std::string& help,
+                          const std::vector<double>& upper_bounds,
+                          const std::string& labels = "");
+
+  /// Prometheus text exposition (HELP/TYPE comments, one line per sample,
+  /// families and label sets in lexicographic order — deterministic, so the
+  /// export is testable against a golden string).
+  std::string PrometheusText() const;
+
+  /// Sorted family names (base metric names, without label sets or the
+  /// _bucket/_sum/_count suffixes). The docs-sync test walks this list.
+  std::vector<std::string> MetricNames() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    // Keyed by label body; std::map keeps export order deterministic.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family& FamilyFor(const std::string& name, const std::string& help, Type type);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+/// Renders a sample value the way the exporter does: integers without a
+/// decimal point, everything else with enough digits to round-trip.
+std::string FormatMetricValue(double value);
+
+}  // namespace visualroad::metrics
+
+#endif  // VISUALROAD_COMMON_METRICS_H_

@@ -26,7 +26,26 @@ Status CurrentExceptionToStatus() {
 
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, const char* name) {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  std::string labels = std::string("pool=\"") + name + "\"";
+  registry_.submitted = &registry.GetCounter(
+      "vr_pool_tasks_submitted_total",
+      "Tasks handed to ThreadPool::Submit, including ParallelFor chunks",
+      labels);
+  registry_.executed = &registry.GetCounter(
+      "vr_pool_tasks_executed_total", "Tasks a pool worker ran to completion",
+      labels);
+  registry_.failed = &registry.GetCounter(
+      "vr_pool_tasks_failed_total",
+      "Tasks that threw plus ParallelForStatus chunks that returned an error",
+      labels);
+  registry_.busy_seconds = &registry.GetCounter(
+      "vr_pool_busy_seconds_total",
+      "Wall-clock seconds pool workers spent inside tasks", labels);
+  registry_.queue_peak = &registry.GetGauge(
+      "vr_pool_queue_peak", "High-water mark of the pending-task queue depth",
+      labels);
   num_threads = std::max(1, num_threads);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
@@ -51,6 +70,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     ++stats_.tasks_submitted;
     stats_.queue_peak =
         std::max(stats_.queue_peak, static_cast<int64_t>(tasks_.size()));
+    registry_.submitted->Increment();
+    registry_.queue_peak->SetMax(static_cast<double>(stats_.queue_peak));
   }
   task_available_.notify_one();
 }
@@ -155,6 +176,7 @@ int ThreadPool::HardwareThreads() {
 }
 
 void ThreadPool::RecordChunkFailure() {
+  registry_.failed->Increment();
   std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.tasks_failed;
 }
@@ -177,6 +199,9 @@ void ThreadPool::WorkerLoop() {
       status = CurrentExceptionToStatus();
     }
     double elapsed = watch.ElapsedSeconds();
+    registry_.executed->Increment();
+    registry_.busy_seconds->Increment(elapsed);
+    if (!status.ok()) registry_.failed->Increment();
     {
       // The decrement runs whether or not the task threw, so Wait() can
       // never strand on a poisoned counter.

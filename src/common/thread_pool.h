@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace visualroad {
@@ -40,8 +41,12 @@ struct PoolStats {
 /// coexist this way).
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (at least 1).
-  explicit ThreadPool(int num_threads);
+  /// Starts `num_threads` workers (at least 1). `name` selects the
+  /// `pool="<name>"` label under which this pool's counters aggregate in the
+  /// process-wide metrics registry (docs/OBSERVABILITY.md lists the label
+  /// values in use); pools sharing a name share registry counters, while the
+  /// per-instance stats() snapshot below stays exact per pool.
+  explicit ThreadPool(int num_threads, const char* name = "adhoc");
 
   /// Drains every queued task, then joins the workers.
   ~ThreadPool();
@@ -89,7 +94,19 @@ class ThreadPool {
   /// routed through the call's own state, not the pool).
   void RecordChunkFailure();
 
+  /// Registry instruments behind the `vr_pool_*` metric family, labeled with
+  /// this pool's name. The lifetime counters in `stats_` remain the
+  /// per-instance source of truth; these aggregate across instances.
+  struct RegistryCounters {
+    metrics::Counter* submitted = nullptr;
+    metrics::Counter* executed = nullptr;
+    metrics::Counter* failed = nullptr;
+    metrics::Counter* busy_seconds = nullptr;
+    metrics::Gauge* queue_peak = nullptr;
+  };
+
   std::vector<std::thread> workers_;
+  RegistryCounters registry_;
   std::queue<std::function<void()>> tasks_;
   mutable std::mutex mutex_;
   std::condition_variable task_available_;

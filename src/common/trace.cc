@@ -1,0 +1,255 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/metrics.h"
+
+namespace visualroad::trace {
+
+namespace {
+
+/// Safety cap on retained events (~64 MB of spans). Flushing is lossless up
+/// to this point; beyond it spans are dropped and counted, never blocked on.
+constexpr size_t kMaxSessionEvents = size_t{1} << 20;
+
+bool InitialEnabled() {
+#ifdef VISUALROAD_TRACE_DEFAULT_ON
+  return true;
+#else
+  const char* env = std::getenv("VR_TRACE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+#endif
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{InitialEnabled()};
+  return enabled;
+}
+
+double NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch).count();
+}
+
+/// Events a thread has completed but not yet flushed. The owning thread
+/// appends under the buffer mutex (uncontended except during a flush);
+/// flushes move the batch out. The shared_ptr keeps the buffer reachable by
+/// the collector after the thread exits, so no span is ever lost.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+  int tid = 0;
+  int depth = 0;  // Owner-thread only; current span nesting.
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::vector<Event> session;
+  int next_tid = 1;
+  int64_t dropped = 0;
+};
+
+Collector& GetCollector() {
+  // Leaked: worker threads (e.g. the codec pool's) may record past static
+  // destruction.
+  static Collector* collector = new Collector();
+  return *collector;
+}
+
+metrics::Counter& DroppedCounter() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global().GetCounter(
+      "vr_trace_events_dropped_total",
+      "Trace spans discarded because the session buffer hit its safety cap");
+  return counter;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    Collector& collector = GetCollector();
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    fresh->tid = collector.next_tid++;
+    collector.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+/// Moves every thread buffer's completed events into the session list,
+/// preserving per-thread emission order. Caller holds the collector mutex.
+void FlushLocked(Collector& collector) {
+  for (auto& buffer : collector.buffers) {
+    std::vector<Event> batch;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      batch.swap(buffer->events);
+    }
+    for (Event& event : batch) {
+      if (collector.session.size() >= kMaxSessionEvents) {
+        ++collector.dropped;
+        DroppedCounter().Increment();
+        continue;
+      }
+      collector.session.push_back(std::move(event));
+    }
+  }
+}
+
+/// Minimal JSON string escaping for span names.
+void AppendJsonEscaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) {
+  if (!Enabled()) return;
+  name_ = name;
+  start_us_ = NowMicros();
+  ++LocalBuffer().depth;
+}
+
+Span::Span(std::string name) {
+  if (!Enabled()) return;
+  owned_ = std::move(name);
+  name_ = owned_.c_str();
+  start_us_ = NowMicros();
+  ++LocalBuffer().depth;
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  double end_us = NowMicros();
+  ThreadBuffer& buffer = LocalBuffer();
+  int depth = --buffer.depth;
+  Event event;
+  event.name = name_;
+  event.start_us = start_us_;
+  event.dur_us = end_us - start_us_;
+  event.tid = buffer.tid;
+  event.depth = depth;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+size_t EventCount() {
+  Collector& collector = GetCollector();
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  FlushLocked(collector);
+  return collector.session.size();
+}
+
+std::vector<Event> EventsSince(size_t first_index) {
+  Collector& collector = GetCollector();
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  FlushLocked(collector);
+  if (first_index >= collector.session.size()) return {};
+  return std::vector<Event>(collector.session.begin() +
+                                static_cast<ptrdiff_t>(first_index),
+                            collector.session.end());
+}
+
+std::vector<Event> AllEvents() { return EventsSince(0); }
+
+void Clear() {
+  Collector& collector = GetCollector();
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  FlushLocked(collector);
+  collector.session.clear();
+  collector.dropped = 0;
+}
+
+int64_t DroppedEvents() {
+  Collector& collector = GetCollector();
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  return collector.dropped;
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<Event>& events) {
+  std::vector<const Event*> ordered;
+  ordered.reserve(events.size());
+  for (const Event& event : events) ordered.push_back(&event);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     return a->start_us < b->start_us;
+                   });
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open trace file: " + path);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buffer[128];
+  for (const Event* event : ordered) {
+    if (!first) out << ",";
+    first = false;
+    std::string name;
+    AppendJsonEscaped(name, event->name);
+    std::snprintf(buffer, sizeof(buffer),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                  "\"dur\":%.3f}",
+                  event->tid, event->start_us, event->dur_us);
+    out << "\n{\"cat\":\"vr\",\"name\":\"" << name << buffer;
+  }
+  out << "\n]}\n";
+  if (!out.good()) return Status::IoError("failed writing trace file: " + path);
+  return Status::Ok();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  return WriteChromeTrace(path, AllEvents());
+}
+
+std::vector<SpanTotal> Summarize(const std::vector<Event>& events) {
+  std::unordered_map<std::string, SpanTotal> by_name;
+  for (const Event& event : events) {
+    SpanTotal& total = by_name[event.name];
+    total.name = event.name;
+    ++total.count;
+    total.total_seconds += event.dur_us * 1e-6;
+  }
+  std::vector<SpanTotal> totals;
+  totals.reserve(by_name.size());
+  for (auto& [name, total] : by_name) totals.push_back(std::move(total));
+  std::sort(totals.begin(), totals.end(), [](const SpanTotal& a, const SpanTotal& b) {
+    if (a.total_seconds != b.total_seconds) {
+      return a.total_seconds > b.total_seconds;
+    }
+    return a.name < b.name;
+  });
+  return totals;
+}
+
+}  // namespace visualroad::trace

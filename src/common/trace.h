@@ -1,0 +1,97 @@
+#ifndef VISUALROAD_COMMON_TRACE_H_
+#define VISUALROAD_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace visualroad::trace {
+
+/// One completed span. Timestamps are microseconds on the steady clock,
+/// relative to the process trace epoch (first trace use), which is exactly
+/// the layout Chrome's about://tracing expects.
+struct Event {
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  /// Small dense id assigned to each recording thread (the exported `tid`).
+  int tid = 0;
+  /// Nesting depth at span open on that thread (0 = top level). The timing
+  /// tree is reconstructible from (tid, start, dur) alone; depth makes
+  /// summaries cheap.
+  int depth = 0;
+};
+
+/// Whether spans record. Checked with one relaxed atomic load at every
+/// TRACE_SPAN site, so a disabled build path costs a load and a branch.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// An RAII trace span: records [construction, destruction) into the calling
+/// thread's buffer when tracing is enabled, and does nothing otherwise.
+/// Instrument scopes with the TRACE_SPAN macro; use the class directly only
+/// for dynamic names.
+class Span {
+ public:
+  /// `name` must outlive the span (string literals and static names).
+  explicit Span(const char* name);
+  /// Dynamic-name overload; copies only when tracing is enabled.
+  explicit Span(std::string name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // Null when tracing was off at construction.
+  std::string owned_;
+  double start_us_ = 0.0;
+};
+
+/// Completed spans accumulate in per-thread buffers and are flushed (without
+/// loss, preserving per-thread order) into one session-wide list the
+/// functions below expose. Indices into that list are stable, so a caller
+/// can bracket a phase with EventCount()/EventsSince() to attribute spans to
+/// it — the driver does this per query batch.
+size_t EventCount();
+std::vector<Event> EventsSince(size_t first_index);
+std::vector<Event> AllEvents();
+/// Drops every recorded event (buffers and session list). Tests only.
+void Clear();
+/// Spans dropped because the session buffer hit its safety cap; also
+/// exported as the vr_trace_events_dropped_total counter.
+int64_t DroppedEvents();
+
+/// Writes events as Chrome trace JSON ("traceEvents" array of complete "X"
+/// events), loadable in chrome://tracing or https://ui.perfetto.dev.
+Status WriteChromeTrace(const std::string& path, const std::vector<Event>& events);
+/// Convenience: flushes and writes every session event.
+Status WriteChromeTrace(const std::string& path);
+
+/// Aggregate of all spans sharing a name.
+struct SpanTotal {
+  std::string name;
+  int64_t count = 0;
+  double total_seconds = 0.0;
+};
+
+/// Per-name totals, descending by total time. Nested spans each contribute
+/// their full duration to their own name (no self-time subtraction), so
+/// totals across names can exceed wall-clock — the same convention as
+/// inclusive-time profilers.
+std::vector<SpanTotal> Summarize(const std::vector<Event>& events);
+
+}  // namespace visualroad::trace
+
+#define VR_TRACE_CONCAT_INNER_(x, y) x##y
+#define VR_TRACE_CONCAT_(x, y) VR_TRACE_CONCAT_INNER_(x, y)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define TRACE_SPAN(name) \
+  ::visualroad::trace::Span VR_TRACE_CONCAT_(vr_trace_span_, __COUNTER__)(name)
+
+#endif  // VISUALROAD_COMMON_TRACE_H_

@@ -149,4 +149,22 @@ std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) 
   return table.ToString();
 }
 
+std::string FormatStageBreakdown(const QueryBatchResult& result) {
+  if (result.stage_breakdown.empty()) return "";
+  TextTable table;
+  table.SetHeader({"Span", "Count", "Total", "% of wall"});
+  for (const trace::SpanTotal& total : result.stage_breakdown) {
+    std::string share = "-";
+    if (result.total_seconds > 0.0) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.0f%%",
+                    100.0 * total.total_seconds / result.total_seconds);
+      share = buffer;
+    }
+    table.AddRow({total.name, std::to_string(total.count),
+                  FormatSeconds(total.total_seconds), share});
+  }
+  return table.ToString();
+}
+
 }  // namespace visualroad::driver

@@ -40,6 +40,12 @@ std::string FormatPoolStats(const PoolStats& stats, int threads,
 /// FPS, validation summary).
 std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results);
 
+/// Renders one batch's trace-span totals as a stage-breakdown table
+/// (Span | Count | Total | % of wall). Spans are inclusive, so nested stages
+/// can sum past 100% of the batch wall-clock; the top rows still show where
+/// the time went. Empty string when the batch recorded no spans.
+std::string FormatStageBreakdown(const QueryBatchResult& result);
+
 }  // namespace visualroad::driver
 
 #endif  // VISUALROAD_DRIVER_REPORT_H_

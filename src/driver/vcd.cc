@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "systems/video_source.h"
 #include "video/metrics.h"
@@ -10,6 +11,46 @@ namespace visualroad::driver {
 
 using queries::QueryId;
 using queries::QueryInstance;
+
+namespace {
+
+/// Registry instruments for driver-level progress, shared by every
+/// VisualCityDriver instance in the process.
+struct DriverMetrics {
+  metrics::Counter& batches;
+  metrics::Counter& instances_succeeded;
+  metrics::Counter& instances_unsupported;
+  metrics::Counter& instances_failed;
+  metrics::Histogram& batch_seconds;
+  metrics::Counter& validation_seconds;
+
+  static DriverMetrics& Get() {
+    static DriverMetrics* instruments = [] {
+      metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+      return new DriverMetrics{
+          registry.GetCounter("vr_driver_batches_total",
+                              "Query batches the VCD measured"),
+          registry.GetCounter("vr_driver_instances_succeeded_total",
+                              "Query instances that produced a result"),
+          registry.GetCounter(
+              "vr_driver_instances_unsupported_total",
+              "Query instances the engine declined as unsupported"),
+          registry.GetCounter("vr_driver_instances_failed_total",
+                              "Query instances that returned an error"),
+          registry.GetHistogram("vr_driver_batch_seconds",
+                                "Measured wall-clock duration per query batch",
+                                {0.1, 0.5, 2.0, 10.0, 60.0, 300.0}),
+          registry.GetCounter(
+              "vr_driver_validation_seconds_total",
+              "Wall-clock seconds spent validating results off the measured "
+              "path"),
+      };
+    }();
+    return *instruments;
+  }
+};
+
+}  // namespace
 
 int VisualCityDriver::BatchSize() const {
   if (options_.batch_size_override > 0) return options_.batch_size_override;
@@ -132,6 +173,9 @@ Status VisualCityDriver::Validate(const QueryInstance& instance,
 
 StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engine,
                                                            QueryId id) {
+  // Session-list indices are stable, so this mark brackets every span this
+  // batch (and its validation) records, across all threads.
+  size_t trace_mark = trace::EventCount();
   VR_ASSIGN_OR_RETURN(std::vector<QueryInstance> batch, SampleBatch(id));
 
   QueryBatchResult result;
@@ -141,6 +185,8 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
 
   if (!engine.Supports(id)) {
     result.unsupported = result.instances;
+    DriverMetrics::Get().instances_unsupported.Increment(
+        static_cast<double>(result.unsupported));
     return result;
   }
 
@@ -205,18 +251,27 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
 
   systems::EngineStats stats_before = engine.stats();
   Stopwatch stopwatch;
-  if (parallel_execute) {
-    ThreadPool pool(pool_threads);
-    VR_RETURN_IF_ERROR(pool.ParallelForStatus(static_cast<int>(batch.size()),
-                                              run_one, /*grain=*/1));
-    result.parallel_instances = pool.num_threads();
-    result.pool_stats = pool.stats();
-  } else {
-    for (size_t i = 0; i < batch.size(); ++i) {
-      VR_RETURN_IF_ERROR(run_one(static_cast<int>(i)));
+  {
+    // One span covering the whole measured window, so the exported trace
+    // accounts for the batch wall-clock even where no finer span runs. Named
+    // "vcd:" to stay distinct from the engines' per-instance "<engine>:"
+    // spans (the batch engine's is "batch:<query>").
+    trace::Span batch_span(std::string("vcd:") + queries::QueryName(id));
+    if (parallel_execute) {
+      ThreadPool pool(pool_threads, "driver");
+      VR_RETURN_IF_ERROR(pool.ParallelForStatus(static_cast<int>(batch.size()),
+                                                run_one, /*grain=*/1));
+      result.parallel_instances = pool.num_threads();
+      result.pool_stats = pool.stats();
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        VR_RETURN_IF_ERROR(run_one(static_cast<int>(i)));
+      }
     }
   }
   result.total_seconds = stopwatch.ElapsedSeconds();
+  DriverMetrics::Get().batches.Increment();
+  DriverMetrics::Get().batch_seconds.Observe(result.total_seconds);
   // The engine's counter movement over the measured window; batches share
   // one engine, so absolutes would conflate earlier queries.
   systems::EngineStats stats_after = engine.stats();
@@ -254,6 +309,12 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
       result.total_seconds > 0
           ? static_cast<double>(input_frames) / result.total_seconds
           : 0.0;
+  DriverMetrics::Get().instances_succeeded.Increment(
+      static_cast<double>(result.succeeded));
+  DriverMetrics::Get().instances_unsupported.Increment(
+      static_cast<double>(result.unsupported));
+  DriverMetrics::Get().instances_failed.Increment(
+      static_cast<double>(result.failed));
 
   // Validation happens after the measured window (reference computation is
   // the VCD's cost, not the engine's). It is pure per-instance work over
@@ -261,12 +322,14 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
   // regardless of engine thread safety; per-instance stats merge in index
   // order to keep the aggregate deterministic.
   if (options_.validate && options_.output_mode == systems::OutputMode::kWrite) {
+    trace::Span validate_span(std::string("validate:") + queries::QueryName(id));
+    Stopwatch validate_watch;
     auto needs_validation = [&](size_t i) {
       return outputs[i].produced || !outputs[i].detections.empty();
     };
     if (pool_threads > 1) {
       std::vector<ValidationStats> per_instance(batch.size());
-      ThreadPool pool(pool_threads);
+      ThreadPool pool(pool_threads, "driver");
       VR_RETURN_IF_ERROR(pool.ParallelForStatus(
           static_cast<int>(batch.size()),
           [&](int i) {
@@ -284,6 +347,11 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
         VR_RETURN_IF_ERROR(Validate(batch[i], outputs[i], result.validation));
       }
     }
+    DriverMetrics::Get().validation_seconds.Increment(
+        validate_watch.ElapsedSeconds());
+  }
+  if (trace::Enabled()) {
+    result.stage_breakdown = trace::Summarize(trace::EventsSince(trace_mark));
   }
   return result;
 }
@@ -296,7 +364,13 @@ StatusOr<std::vector<QueryBatchResult>> VisualCityDriver::RunBenchmark(
     results.push_back(std::move(result));
     engine.Quiesce();  // Engines may quiesce between batches (Section 3.2).
   }
+  VR_RETURN_IF_ERROR(WriteTrace());
   return results;
+}
+
+Status VisualCityDriver::WriteTrace() const {
+  if (options_.trace_path.empty()) return Status::Ok();
+  return trace::WriteChromeTrace(options_.trace_path);
 }
 
 }  // namespace visualroad::driver

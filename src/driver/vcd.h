@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "driver/validation.h"
 #include "systems/vdbms.h"
 
@@ -43,6 +44,12 @@ struct VcdOptions {
   queries::SamplerOptions sampler;
   /// Reference detector configuration used when computing reference results.
   vision::DetectorOptions detector;
+  /// Enables trace-span recording for this driver's runs (see
+  /// docs/OBSERVABILITY.md). Setting `trace_path` implies `trace`.
+  bool trace = false;
+  /// When non-empty, RunBenchmark writes every span recorded during the run
+  /// as Chrome trace JSON (chrome://tracing / Perfetto) to this path.
+  std::string trace_path;
 };
 
 /// Measured outcome of one query batch on one engine.
@@ -72,6 +79,9 @@ struct QueryBatchResult {
   /// Engine counter deltas over the measured window (decode cache hit/miss,
   /// frames decoded/encoded); see EngineStats.
   systems::EngineStats engine_stats;
+  /// Per-span-name totals of every trace span recorded while this batch ran
+  /// (measured window plus validation). Empty when tracing is disabled.
+  std::vector<trace::SpanTotal> stage_breakdown;
 
   bool Supported() const { return unsupported < instances; }
 };
@@ -82,7 +92,9 @@ struct QueryBatchResult {
 class VisualCityDriver {
  public:
   VisualCityDriver(const sim::Dataset& dataset, const VcdOptions& options)
-      : dataset_(&dataset), options_(options) {}
+      : dataset_(&dataset), options_(options) {
+    if (options_.trace || !options_.trace_path.empty()) trace::SetEnabled(true);
+  }
 
   /// Number of instances per batch: 4L (Section 3.1) unless overridden.
   int BatchSize() const;
@@ -94,8 +106,13 @@ class VisualCityDriver {
   StatusOr<QueryBatchResult> RunQueryBatch(systems::Vdbms& engine,
                                            queries::QueryId id);
 
-  /// Runs every benchmark query in submission order (Q1 first).
+  /// Runs every benchmark query in submission order (Q1 first). When
+  /// `trace_path` is set, finishes by writing the run's Chrome trace there.
   StatusOr<std::vector<QueryBatchResult>> RunBenchmark(systems::Vdbms& engine);
+
+  /// Writes every span recorded so far as Chrome trace JSON to
+  /// options().trace_path; no-op (Ok) when no path is configured.
+  Status WriteTrace() const;
 
   const VcdOptions& options() const { return options_; }
   const sim::Dataset& dataset() const { return *dataset_; }

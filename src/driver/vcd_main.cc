@@ -1,0 +1,285 @@
+// The `vcd` command-line driver: generates a Visual City dataset, runs the
+// benchmark query suite on one engine, and prints the standard report. The
+// observability flags make it the quickest way to inspect a run:
+//
+//   vcd --scale 1 --duration 1 --queries Q1-Q4 --trace out.json --metrics -
+//
+// writes a chrome://tracing file covering the whole run and dumps every
+// registered Prometheus metric to stdout (see docs/OBSERVABILITY.md).
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "driver/datasets.h"
+#include "driver/report.h"
+#include "driver/vcd.h"
+
+namespace visualroad::driver {
+namespace {
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "Usage: %s [options]\n"
+      "\n"
+      "Dataset:\n"
+      "  --scale N         City scale factor L (default 1)\n"
+      "  --duration SECS   Video duration per camera (default 1.0)\n"
+      "  --width N         Camera width (default 240)\n"
+      "  --height N        Camera height (default 136)\n"
+      "  --seed N          Dataset + sampler seed (default 0x5EED)\n"
+      "\n"
+      "Execution:\n"
+      "  --engine NAME     batch | pipeline | cascade (default pipeline)\n"
+      "  --queries LIST    Comma list and/or ranges over submission order,\n"
+      "                    e.g. Q1,Q3 or Q1-Q4 or Q2c (default: all)\n"
+      "  --batch-size N    Override the 4L batch-size rule\n"
+      "  --parallel N      Driver threads for concurrent instances\n"
+      "  --no-validate     Skip reference validation\n"
+      "  --streaming       Discard results instead of writing containers\n"
+      "  --output-dir DIR  Persist write-mode results under DIR\n"
+      "\n"
+      "Observability (docs/OBSERVABILITY.md):\n"
+      "  --trace PATH      Record spans; write Chrome trace JSON to PATH\n"
+      "  --metrics PATH    Dump the Prometheus metrics registry to PATH\n"
+      "                    after the run ('-' for stdout)\n",
+      argv0);
+}
+
+/// Canonicalises a query token for matching: lowercase, parens stripped, so
+/// "Q2(c)", "q2c", and "Q2C" all compare equal.
+std::string CanonicalQueryToken(const std::string& token) {
+  std::string out;
+  for (char c : token) {
+    if (c == '(' || c == ')' || c == ' ') continue;
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+bool LookupQuery(const std::string& token, queries::QueryId& id) {
+  std::string canonical = CanonicalQueryToken(token);
+  for (queries::QueryId candidate : queries::AllQueries()) {
+    if (CanonicalQueryToken(queries::QueryName(candidate)) == canonical) {
+      id = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses "Q1,Q3-Q5,Q6b" into query ids; ranges follow submission order.
+bool ParseQueryList(const std::string& spec, std::vector<queries::QueryId>& out) {
+  const auto& all = queries::AllQueries();
+  auto index_of = [&](queries::QueryId id) {
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (all[i] == id) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (item.empty()) continue;
+    size_t dash = item.find('-');
+    if (dash != std::string::npos) {
+      queries::QueryId first, last;
+      if (!LookupQuery(item.substr(0, dash), first) ||
+          !LookupQuery(item.substr(dash + 1), last)) {
+        return false;
+      }
+      int lo = index_of(first), hi = index_of(last);
+      if (lo < 0 || hi < lo) return false;
+      for (int i = lo; i <= hi; ++i) out.push_back(all[i]);
+    } else {
+      queries::QueryId id;
+      if (!LookupQuery(item, id)) return false;
+      out.push_back(id);
+    }
+  }
+  return !out.empty();
+}
+
+Status DumpMetrics(const std::string& path) {
+  std::string text = metrics::MetricsRegistry::Global().PrometheusText();
+  if (path == "-") {
+    std::printf("%s", text.c_str());
+    return Status::Ok();
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open metrics path: " + path);
+  out << text;
+  if (!out.flush()) return Status::IoError("cannot write metrics: " + path);
+  return Status::Ok();
+}
+
+int Run(int argc, char** argv) {
+  sim::CityConfig config;
+  config.width = 240;
+  config.height = 136;
+  config.duration_seconds = 1.0;
+  config.fps = 15.0;
+  config.seed = 0x5EED;
+
+  VcdOptions vcd_options;
+  vcd_options.seed = config.seed;
+  std::string engine_name = "pipeline";
+  std::string query_spec;
+  std::string metrics_path;
+
+  auto next_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else if (arg == "--scale") {
+      if (!(value = next_value(i, "--scale"))) return 2;
+      config.scale_factor = std::atoi(value);
+    } else if (arg == "--duration") {
+      if (!(value = next_value(i, "--duration"))) return 2;
+      config.duration_seconds = std::atof(value);
+    } else if (arg == "--width") {
+      if (!(value = next_value(i, "--width"))) return 2;
+      config.width = std::atoi(value);
+    } else if (arg == "--height") {
+      if (!(value = next_value(i, "--height"))) return 2;
+      config.height = std::atoi(value);
+    } else if (arg == "--seed") {
+      if (!(value = next_value(i, "--seed"))) return 2;
+      config.seed = std::strtoull(value, nullptr, 0);
+      vcd_options.seed = config.seed;
+    } else if (arg == "--engine") {
+      if (!(value = next_value(i, "--engine"))) return 2;
+      engine_name = value;
+    } else if (arg == "--queries") {
+      if (!(value = next_value(i, "--queries"))) return 2;
+      query_spec = value;
+    } else if (arg == "--batch-size") {
+      if (!(value = next_value(i, "--batch-size"))) return 2;
+      vcd_options.batch_size_override = std::atoi(value);
+    } else if (arg == "--parallel") {
+      if (!(value = next_value(i, "--parallel"))) return 2;
+      vcd_options.parallel_instances = std::atoi(value);
+    } else if (arg == "--no-validate") {
+      vcd_options.validate = false;
+    } else if (arg == "--streaming") {
+      vcd_options.output_mode = systems::OutputMode::kStreaming;
+    } else if (arg == "--output-dir") {
+      if (!(value = next_value(i, "--output-dir"))) return 2;
+      vcd_options.output_dir = value;
+    } else if (arg == "--trace") {
+      if (!(value = next_value(i, "--trace"))) return 2;
+      vcd_options.trace = true;
+      vcd_options.trace_path = value;
+    } else if (arg == "--metrics") {
+      if (!(value = next_value(i, "--metrics"))) return 2;
+      metrics_path = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<queries::QueryId> query_ids(queries::AllQueries().begin(),
+                                          queries::AllQueries().end());
+  if (!query_spec.empty()) {
+    query_ids.clear();
+    if (!ParseQueryList(query_spec, query_ids)) {
+      std::fprintf(stderr, "cannot parse --queries '%s'\n", query_spec.c_str());
+      return 2;
+    }
+  }
+
+  systems::EngineOptions engine_options;
+  std::unique_ptr<systems::Vdbms> engine;
+  if (engine_name == "batch") {
+    engine = systems::MakeBatchEngine(engine_options);
+  } else if (engine_name == "pipeline") {
+    engine = systems::MakePipelineEngine(engine_options);
+  } else if (engine_name == "cascade") {
+    engine = systems::MakeCascadeEngine(engine_options);
+  } else {
+    std::fprintf(stderr, "unknown engine '%s' (batch|pipeline|cascade)\n",
+                 engine_name.c_str());
+    return 2;
+  }
+
+  std::printf("Generating dataset: L=%d, %dx%d, %.2fs @ %.0f FPS, seed %llu\n",
+              config.scale_factor, config.width, config.height,
+              config.duration_seconds, config.fps,
+              static_cast<unsigned long long>(config.seed));
+  auto dataset = PrepareDataset(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  VisualCityDriver vcd(*dataset, vcd_options);
+  std::vector<QueryBatchResult> results;
+  for (queries::QueryId id : query_ids) {
+    std::printf("Running %s on %s engine (batch of %d)...\n",
+                queries::QueryName(id), engine_name.c_str(), vcd.BatchSize());
+    auto result = vcd.RunQueryBatch(*engine, id);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", queries::QueryName(id),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(std::move(*result));
+  }
+  engine->Quiesce();
+
+  std::printf("\n%s\n", FormatBenchmarkReport(results).c_str());
+  for (const QueryBatchResult& result : results) {
+    std::string breakdown = FormatStageBreakdown(result);
+    if (breakdown.empty()) continue;
+    std::printf("Stage breakdown for %s:\n%s\n", queries::QueryName(result.id),
+                breakdown.c_str());
+  }
+
+  if (!vcd_options.trace_path.empty()) {
+    Status status = vcd.WriteTrace();
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote Chrome trace to %s (open via chrome://tracing)\n",
+                vcd_options.trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    Status status = DumpMetrics(metrics_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics dump failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (metrics_path != "-") {
+      std::printf("Wrote Prometheus metrics to %s\n", metrics_path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace visualroad::driver
+
+int main(int argc, char** argv) { return visualroad::driver::Run(argc, argv); }

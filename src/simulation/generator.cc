@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "video/color.h"
 
 namespace visualroad::sim {
@@ -39,10 +41,24 @@ namespace {
 
 /// Renders and encodes every camera of one tile across the full duration.
 /// Per-camera streaming encoders keep memory proportional to one frame.
+metrics::Counter& FramesRenderedCounter() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global().GetCounter(
+      "vr_generator_frames_rendered_total",
+      "Camera frames the generator rendered and encoded");
+  return counter;
+}
+
+metrics::Counter& TilesGeneratedCounter() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global().GetCounter(
+      "vr_generator_tiles_total", "City tiles the generator completed");
+  return counter;
+}
+
 Status GenerateTile(const CityConfig& config,
                     const video::codec::EncoderConfig& codec_config, Tile& tile,
                     const std::vector<const CameraPlacement*>& cameras,
                     std::vector<VideoAsset>& out, int64_t& frames_rendered) {
+  TRACE_SPAN("generate_tile");
   struct PerCamera {
     const CameraPlacement* placement;
     Camera camera;
@@ -86,6 +102,9 @@ Status GenerateTile(const CityConfig& config,
         "GTRU", SerializeGroundTruth(stream.asset.ground_truth)});
     out.push_back(std::move(stream.asset));
   }
+  FramesRenderedCounter().Increment(
+      static_cast<double>(frame_count) * static_cast<double>(streams.size()));
+  TilesGeneratedCounter().Increment();
   return Status::Ok();
 }
 
@@ -127,7 +146,7 @@ StatusOr<Dataset> VisualCityGenerator::Generate(const CityConfig& config) {
                                       frames_rendered));
     }
   } else {
-    ThreadPool pool(workers);
+    ThreadPool pool(workers, "generator");
     std::vector<std::vector<VideoAsset>> per_tile(config.scale_factor);
     std::vector<int64_t> per_tile_frames(config.scale_factor, 0);
     // Each task owns its own output slots, so no cross-task locking is

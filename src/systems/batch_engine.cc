@@ -23,6 +23,7 @@
 #include <fstream>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "systems/vdbms.h"
 #include "video/codec/gop_cache.h"
 #include "video/image_ops.h"
@@ -43,7 +44,7 @@ class BatchEngine : public Vdbms {
  public:
   explicit BatchEngine(const EngineOptions& options)
       : options_(options),
-        pool_(options.threads),
+        pool_(options.threads, "engine_stage"),
         gop_cache_(&detail::ResolveGopCache(options)) {
     detector_options_ = options.detector;
     detector_options_.input_size = 224;  // The heavyweight framework path.
@@ -81,13 +82,22 @@ class BatchEngine : public Vdbms {
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
                                 const sim::Dataset& dataset, OutputMode mode,
-                                const std::string& output_dir) override;
+                                const std::string& output_dir) override {
+    trace::Span span(std::string("batch:") + queries::QueryName(instance.id));
+    StatusOr<QueryOutput> result = ExecuteImpl(instance, dataset, mode, output_dir);
+    mirror_.Publish(stats());
+    return result;
+  }
 
  private:
+  StatusOr<QueryOutput> ExecuteImpl(const QueryInstance& instance,
+                                    const sim::Dataset& dataset, OutputMode mode,
+                                    const std::string& output_dir);
   /// Full eager decode of an input through the shared GOP cache;
   /// retained-table accounting drives the memory-pressure regime either way
   /// (the materialised table is this engine's copy, hit or miss).
   StatusOr<Video> MaterializeAll(const video::codec::EncodedVideo& encoded) {
+    TRACE_SPAN("materialize_input");
     VR_ASSIGN_OR_RETURN(
         Video decoded,
         video::codec::CachedDecode(encoded, *gop_cache_, &decode_counters_));
@@ -103,6 +113,7 @@ class BatchEngine : public Vdbms {
   /// file so concurrent instances cannot clobber one another's spills.
   Status MaybeSpill(Video& video) {
     if (!UnderPressure() || video.frames.empty()) return Status::Ok();
+    TRACE_SPAN("spill_roundtrip");
     std::string path =
         (std::filesystem::temp_directory_path() /
          ("vr_batch_spill_" + std::to_string(spill_serial_++) + ".tmp"))
@@ -143,6 +154,7 @@ class BatchEngine : public Vdbms {
   /// completion state, so concurrent instances can share the pool.
   template <typename Fn>
   StatusOr<Video> Stage(const Video& input, Fn&& fn) {
+    TRACE_SPAN("batch_stage");
     Video output;
     output.fps = input.fps;
     output.frames.resize(input.frames.size());
@@ -165,6 +177,7 @@ class BatchEngine : public Vdbms {
   StatusOr<queries::ReferenceResult> DetectStage(
       const Video& input, const std::vector<sim::FrameGroundTruth>& truth,
       sim::ObjectClass object_class) {
+    TRACE_SPAN("detect_stage");
     queries::ReferenceResult result;
     result.video.fps = input.fps;
     result.video.frames.resize(input.frames.size());
@@ -221,12 +234,13 @@ class BatchEngine : public Vdbms {
   std::atomic<int64_t> cnn_frames_full_{0};
   std::atomic<int64_t> retained_bytes_{0};
   std::atomic<int64_t> spill_serial_{0};
+  detail::EngineMetricsMirror mirror_{"batch"};
 };
 
-StatusOr<QueryOutput> BatchEngine::Execute(const QueryInstance& instance,
-                                           const sim::Dataset& dataset,
-                                           OutputMode mode,
-                                           const std::string& output_dir) {
+StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
+                                               const sim::Dataset& dataset,
+                                               OutputMode mode,
+                                               const std::string& output_dir) {
   QueryOutput output;
   queries::ReferenceContext context;
   context.dataset = &dataset;

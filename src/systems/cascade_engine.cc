@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "common/trace.h"
 #include "systems/vdbms.h"
 #include "video/codec/gop_cache.h"
 #include "video/image_ops.h"
@@ -70,9 +71,18 @@ class CascadeEngine : public Vdbms {
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
                                 const sim::Dataset& dataset, OutputMode mode,
-                                const std::string& output_dir) override;
+                                const std::string& output_dir) override {
+    trace::Span span(std::string("cascade:") + queries::QueryName(instance.id));
+    StatusOr<QueryOutput> result = ExecuteImpl(instance, dataset, mode, output_dir);
+    mirror_.Publish(stats());
+    return result;
+  }
 
  private:
+  StatusOr<QueryOutput> ExecuteImpl(const QueryInstance& instance,
+                                    const sim::Dataset& dataset, OutputMode mode,
+                                    const std::string& output_dir);
+
   Status Finish(const Video& result, const QueryInstance& instance,
                 OutputMode mode, const std::string& output_dir,
                 QueryOutput& output) {
@@ -92,12 +102,13 @@ class CascadeEngine : public Vdbms {
   std::atomic<int64_t> cnn_frames_full_{0};
   std::atomic<int64_t> cnn_frames_cheap_{0};
   std::atomic<int64_t> cnn_frames_skipped_{0};
+  detail::EngineMetricsMirror mirror_{"cascade"};
 };
 
-StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
-                                             const sim::Dataset& dataset,
-                                             OutputMode mode,
-                                             const std::string& output_dir) {
+StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
+                                                 const sim::Dataset& dataset,
+                                                 OutputMode mode,
+                                                 const std::string& output_dir) {
   QueryOutput output;
   switch (instance.id) {
     case QueryId::kQ1: {
@@ -115,9 +126,12 @@ StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
                                                           &decode_counters_));
       Video cropped;
       cropped.fps = range.fps;
-      for (const Frame& frame : range.frames) {
-        VR_ASSIGN_OR_RETURN(Frame c, video::Crop(frame, instance.q1_rect));
-        cropped.frames.push_back(std::move(c));
+      {
+        TRACE_SPAN("cascade_crop");
+        for (const Frame& frame : range.frames) {
+          VR_ASSIGN_OR_RETURN(Frame c, video::Crop(frame, instance.q1_rect));
+          cropped.frames.push_back(std::move(c));
+        }
       }
       VR_RETURN_IF_ERROR(Finish(cropped, instance, mode, output_dir, output));
       // vr:Q1:end
@@ -137,6 +151,8 @@ StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
       const Frame* last_processed = nullptr;
       static const sim::FrameGroundTruth kEmpty;
 
+      auto detect_span =
+          std::make_unique<trace::Span>("cascade_detect");
       for (int f = 0; f < input.FrameCount(); ++f) {
         const Frame& frame = input.frames[static_cast<size_t>(f)];
         const sim::FrameGroundTruth& gt =
@@ -182,6 +198,7 @@ StatusOr<QueryOutput> CascadeEngine::Execute(const QueryInstance& instance,
             input.Width(), input.Height(), detections));
         output.detections.push_back(std::move(detections));
       }
+      detect_span.reset();  // Close the span before the encode stage.
       VR_RETURN_IF_ERROR(Finish(boxes, instance, mode, output_dir, output));
       // vr:Q2(c):end
       return output;

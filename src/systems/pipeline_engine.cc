@@ -26,6 +26,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/trace.h"
 #include "systems/vdbms.h"
 #include "video/codec/gop_cache.h"
 #include "video/image_ops.h"
@@ -79,11 +80,21 @@ class PipelineEngine : public Vdbms {
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
                                 const sim::Dataset& dataset, OutputMode mode,
-                                const std::string& output_dir) override;
+                                const std::string& output_dir) override {
+    trace::Span span(std::string("pipeline:") + queries::QueryName(instance.id));
+    StatusOr<QueryOutput> result = ExecuteImpl(instance, dataset, mode, output_dir);
+    mirror_.Publish(stats());
+    return result;
+  }
 
  private:
+  StatusOr<QueryOutput> ExecuteImpl(const QueryInstance& instance,
+                                    const sim::Dataset& dataset, OutputMode mode,
+                                    const std::string& output_dir);
+
   /// Whole-stream decode through the shared GOP cache.
   StatusOr<Video> DecodeCached(const video::codec::EncodedVideo& encoded) {
+    TRACE_SPAN("decode_cached");
     return video::codec::CachedDecode(encoded, *gop_cache_, &decode_counters_);
   }
 
@@ -95,6 +106,7 @@ class PipelineEngine : public Vdbms {
   StatusOr<queries::ReferenceResult> CachedBoxesQuery(
       const Video& input, const std::vector<sim::FrameGroundTruth>& truth,
       sim::ObjectClass object_class) {
+    TRACE_SPAN("cached_boxes");
     queries::ReferenceResult result;
     result.video.fps = input.fps;
     static const sim::FrameGroundTruth kEmpty;
@@ -154,6 +166,7 @@ class PipelineEngine : public Vdbms {
   /// frame. Only in write mode is an output bitstream kept.
   template <typename Fn>
   StatusOr<Video> FusedPipeline(const Video& input, Fn&& fn) {
+    TRACE_SPAN("fused_pipeline");
     Video output;
     output.fps = input.fps;
     output.frames.reserve(input.frames.size());
@@ -175,12 +188,13 @@ class PipelineEngine : public Vdbms {
   std::atomic<int64_t> frames_encoded_{0};
   std::atomic<int64_t> inference_hits_{0};
   std::atomic<int64_t> cnn_frames_full_{0};
+  detail::EngineMetricsMirror mirror_{"pipeline"};
 };
 
-StatusOr<QueryOutput> PipelineEngine::Execute(const QueryInstance& instance,
-                                              const sim::Dataset& dataset,
-                                              OutputMode mode,
-                                              const std::string& output_dir) {
+StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
+                                                  const sim::Dataset& dataset,
+                                                  OutputMode mode,
+                                                  const std::string& output_dir) {
   QueryOutput output;
   queries::ReferenceContext context;
   context.dataset = &dataset;

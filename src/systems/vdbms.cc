@@ -1,7 +1,9 @@
 #include "systems/vdbms.h"
 
+#include <algorithm>
 #include <filesystem>
 
+#include "common/trace.h"
 #include "video/codec/gop_cache.h"
 
 namespace visualroad::systems::detail {
@@ -26,6 +28,7 @@ Status FinishVideoResult(const video::Video& result,
     // output is still encoded — that work is part of the query — but the
     // bitstream is discarded instead of persisted.
     if (!result.frames.empty()) {
+      TRACE_SPAN("encode_output");
       video::codec::EncoderConfig config;
       config.profile = options.output_profile;
       config.qp = options.output_qp;
@@ -44,15 +47,19 @@ Status FinishVideoResult(const video::Video& result,
     output.produced = true;
     return Status::Ok();
   }
-  video::codec::EncoderConfig config;
-  config.profile = options.output_profile;
-  config.qp = options.output_qp;
-  VR_ASSIGN_OR_RETURN(output.video, video::codec::ParallelEncode(
-                                        result, config, options.codec_threads));
+  {
+    TRACE_SPAN("encode_output");
+    video::codec::EncoderConfig config;
+    config.profile = options.output_profile;
+    config.qp = options.output_qp;
+    VR_ASSIGN_OR_RETURN(output.video, video::codec::ParallelEncode(
+                                          result, config, options.codec_threads));
+  }
   if (frames_encoded != nullptr) *frames_encoded += result.FrameCount();
   output.produced = true;
 
   if (!output_dir.empty()) {
+    TRACE_SPAN("persist_output");
     std::error_code ec;
     std::filesystem::create_directories(output_dir, ec);
     std::string path = output_dir + "/" + engine_name + "_" +
@@ -72,6 +79,68 @@ Status FinishVideoResult(const video::Video& result,
 
 int64_t FrameBytes(int width, int height) {
   return static_cast<int64_t>(width) * height * 3 / 2;
+}
+
+namespace {
+
+metrics::Counter& EngineCounter(const std::string& name, const std::string& help,
+                                const char* engine_name) {
+  return metrics::MetricsRegistry::Global().GetCounter(
+      name, help, std::string("engine=\"") + engine_name + "\"");
+}
+
+}  // namespace
+
+EngineMetricsMirror::EngineMetricsMirror(const char* engine_name)
+    : queries_(EngineCounter("vr_engine_queries_total",
+                             "Query instances an engine finished executing",
+                             engine_name)),
+      frames_decoded_(EngineCounter("vr_engine_frames_decoded_total",
+                                    "Frames an engine decoded (or pulled decoded "
+                                    "from the GOP cache as a miss leader)",
+                                    engine_name)),
+      frames_encoded_(EngineCounter("vr_engine_frames_encoded_total",
+                                    "Result frames an engine encoded",
+                                    engine_name)),
+      cache_hits_(EngineCounter("vr_engine_cache_hits_total",
+                                "Engine-level cache hits (GOP or operator cache)",
+                                engine_name)),
+      cache_misses_(EngineCounter("vr_engine_cache_misses_total",
+                                  "Engine-level cache misses", engine_name)),
+      chunked_redecodes_(EngineCounter(
+          "vr_engine_chunked_redecodes_total",
+          "Chunked re-decode passes forced by the materialisation budget",
+          engine_name)),
+      cnn_frames_full_(EngineCounter("vr_engine_cnn_frames_full_total",
+                                     "Frames sent through the full detector",
+                                     engine_name)),
+      cnn_frames_cheap_(EngineCounter(
+          "vr_engine_cnn_frames_cheap_total",
+          "Frames handled by a cheap filter (cascade engines)", engine_name)),
+      cnn_frames_skipped_(EngineCounter("vr_engine_cnn_frames_skipped_total",
+                                        "Frames skipped entirely by a cascade",
+                                        engine_name)) {}
+
+void EngineMetricsMirror::Publish(const EngineStats& current) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Clamp at zero: counters only move forward even if an engine ever resets
+  // its snapshot (e.g. in Quiesce).
+  auto delta = [](int64_t now, int64_t then) {
+    return static_cast<double>(std::max<int64_t>(now - then, 0));
+  };
+  queries_.Increment();
+  frames_decoded_.Increment(delta(current.frames_decoded, last_.frames_decoded));
+  frames_encoded_.Increment(delta(current.frames_encoded, last_.frames_encoded));
+  cache_hits_.Increment(delta(current.cache_hits, last_.cache_hits));
+  cache_misses_.Increment(delta(current.cache_misses, last_.cache_misses));
+  chunked_redecodes_.Increment(
+      delta(current.chunked_redecodes, last_.chunked_redecodes));
+  cnn_frames_full_.Increment(delta(current.cnn_frames_full, last_.cnn_frames_full));
+  cnn_frames_cheap_.Increment(
+      delta(current.cnn_frames_cheap, last_.cnn_frames_cheap));
+  cnn_frames_skipped_.Increment(
+      delta(current.cnn_frames_skipped, last_.cnn_frames_skipped));
+  last_ = current;
 }
 
 video::codec::GopCache& ResolveGopCache(const EngineOptions& options) {

@@ -2,9 +2,11 @@
 #define VISUALROAD_SYSTEMS_VDBMS_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "queries/reference.h"
 
 namespace visualroad::video::codec {
@@ -111,7 +113,10 @@ class Vdbms {
   /// batch", Section 3.2).
   virtual void Quiesce() {}
 
-  virtual EngineStats stats() const { return {}; }
+  /// Cumulative execution counters for this engine instance. Pure virtual:
+  /// every engine maintains real counters, so a silent all-zeros default can
+  /// never mask a missing implementation.
+  virtual EngineStats stats() const = 0;
 };
 
 /// Factory functions for the three comparison engines (see DESIGN.md for the
@@ -141,6 +146,33 @@ int64_t FrameBytes(int width, int height);
 /// The GOP cache selected by `options`: the injected instance if any, else
 /// the process-wide one; applies `gop_cache_bytes` when positive.
 video::codec::GopCache& ResolveGopCache(const EngineOptions& options);
+
+/// Publishes an engine's cumulative EngineStats into the process-wide
+/// metrics registry as `vr_engine_*` counters labeled `engine="<name>"`.
+/// Engines call Publish(stats()) after each Execute; the mirror tracks the
+/// last published snapshot per instance, so concurrent executes publish
+/// exact deltas and the per-instance EngineStats stays the source of truth.
+class EngineMetricsMirror {
+ public:
+  explicit EngineMetricsMirror(const char* engine_name);
+
+  /// Records one completed Execute and folds `current - last_published`
+  /// into the registry counters.
+  void Publish(const EngineStats& current);
+
+ private:
+  metrics::Counter& queries_;
+  metrics::Counter& frames_decoded_;
+  metrics::Counter& frames_encoded_;
+  metrics::Counter& cache_hits_;
+  metrics::Counter& cache_misses_;
+  metrics::Counter& chunked_redecodes_;
+  metrics::Counter& cnn_frames_full_;
+  metrics::Counter& cnn_frames_cheap_;
+  metrics::Counter& cnn_frames_skipped_;
+  std::mutex mutex_;
+  EngineStats last_;
+};
 
 }  // namespace detail
 

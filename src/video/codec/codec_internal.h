@@ -7,12 +7,22 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/metrics.h"
 #include "video/codec/codec.h"
 #include "video/codec/entropy.h"
 #include "video/codec/motion.h"
 #include "video/frame.h"
 
 namespace visualroad::video::codec::internal {
+
+/// Registry counters shared by the streaming and GOP-parallel paths. Both
+/// funnel through EncodeFrameImpl / the decoder frame loop, so incrementing
+/// there counts every frame exactly once regardless of entry point.
+metrics::Counter& FramesEncodedCounter();
+metrics::Counter& FramesDecodedCounter();
+/// Frames decoded only to warm a decoder up to a seek target (wasted work a
+/// GOP-aligned access pattern avoids).
+metrics::Counter& WarmupFramesCounter();
 
 /// Per-frame adaptive contexts; reset at every frame so each frame's payload
 /// is independently decodable given its reference.

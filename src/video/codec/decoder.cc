@@ -2,6 +2,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/trace.h"
 #include "video/codec/codec.h"
 #include "video/codec/codec_internal.h"
 #include "video/codec/dct.h"
@@ -183,10 +184,15 @@ Status Decoder::DecodeInto(const EncodedFrame& encoded) {
   return Status::Ok();
 }
 
-Status Decoder::Advance(const EncodedFrame& encoded) { return DecodeInto(encoded); }
+Status Decoder::Advance(const EncodedFrame& encoded) {
+  VR_RETURN_IF_ERROR(DecodeInto(encoded));
+  internal::WarmupFramesCounter().Increment();
+  return Status::Ok();
+}
 
 StatusOr<Frame> Decoder::DecodeFrame(const EncodedFrame& encoded) {
   VR_RETURN_IF_ERROR(DecodeInto(encoded));
+  internal::FramesDecodedCounter().Increment();
   State& s = *state_;
   int cw = (s.width + 1) / 2, ch = (s.height + 1) / 2;
   Frame frame(s.width, s.height);
@@ -203,6 +209,7 @@ namespace {
 /// into out[i - first]. Warm-up frames only advance the reference state.
 Status DecodeSegment(const EncodedVideo& encoded, int begin, int end, int first,
                      std::vector<Frame>& out) {
+  TRACE_SPAN("decode_gop");
   Decoder decoder(encoded.width, encoded.height, encoded.profile);
   for (int i = begin; i < end; ++i) {
     if (i < first) {

@@ -310,6 +310,7 @@ StatusOr<EncodedFrame> EncodeFrameImpl(const EncoderSettings& s,
   out.data = enc.Finish();
 
   reference = std::move(recon);
+  FramesEncodedCounter().Increment();
   return out;
 }
 

@@ -7,9 +7,53 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
 namespace visualroad::video::codec {
 
 namespace {
+
+/// Registry instruments aggregating across every GopCache instance (tests
+/// construct private caches besides Global()). Per-instance stats() remains
+/// the exact per-cache view.
+struct CacheMetrics {
+  metrics::Counter& hits;
+  metrics::Counter& misses;
+  metrics::Counter& coalesced;
+  metrics::Counter& evictions;
+  metrics::Gauge& bytes_in_use;
+  metrics::Gauge& entries;
+  metrics::Histogram& decode_seconds;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics* instruments = [] {
+      metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+      return new CacheMetrics{
+          registry.GetCounter("vr_gop_cache_hits_total",
+                              "GOP cache lookups satisfied by a ready entry"),
+          registry.GetCounter(
+              "vr_gop_cache_misses_total",
+              "GOP cache lookups that decoded as the single-flight leader"),
+          registry.GetCounter(
+              "vr_gop_cache_coalesced_total",
+              "GOP cache lookups that waited on another caller's decode"),
+          registry.GetCounter("vr_gop_cache_evictions_total",
+                              "Cached GOPs dropped to fit the byte budget"),
+          registry.GetGauge("vr_gop_cache_bytes_in_use",
+                            "Decoded bytes resident across all GOP caches"),
+          registry.GetGauge("vr_gop_cache_entries",
+                            "Ready GOP entries resident across all GOP caches"),
+          registry.GetHistogram(
+              "vr_gop_decode_seconds",
+              "Wall-clock duration of single-flight GOP decodes",
+              {0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0}),
+      };
+    }();
+    return *instruments;
+  }
+};
 
 struct Key {
   uint64_t identity = 0;
@@ -84,8 +128,12 @@ void GopCache::EvictLocked(Shard& shard) {
     auto it = shard.entries.find(victim);
     if (it != shard.entries.end() && it->second.value != nullptr) {
       shard.bytes -= it->second.value->bytes;
+      CacheMetrics::Get().bytes_in_use.Add(
+          -static_cast<double>(it->second.value->bytes));
+      CacheMetrics::Get().entries.Add(-1.0);
       shard.entries.erase(it);
       ++shard.stats.evictions;
+      CacheMetrics::Get().evictions.Increment();
     }
   }
 }
@@ -107,9 +155,11 @@ StatusOr<std::shared_ptr<const DecodedGop>> GopCache::Get(
         shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_position);
         if (waited) {
           ++shard.stats.coalesced;
+          CacheMetrics::Get().coalesced.Increment();
           if (outcome) *outcome = Outcome::kCoalesced;
         } else {
           ++shard.stats.hits;
+          CacheMetrics::Get().hits.Increment();
           if (outcome) *outcome = Outcome::kHit;
         }
         return it->second.value;
@@ -120,12 +170,18 @@ StatusOr<std::shared_ptr<const DecodedGop>> GopCache::Get(
     // Single-flight leader: publish the in-flight marker before decoding.
     shard.entries[key].decoding = true;
     ++shard.stats.misses;
+    CacheMetrics::Get().misses.Increment();
     if (outcome) *outcome = Outcome::kMiss;
   }
 
   // Decode outside the lock; other keys (and other shards) proceed freely.
   // Serial decode: the GOP itself is the unit of parallelism here.
-  StatusOr<Video> decoded = DecodeRange(encoded, start, count, /*threads=*/1);
+  Stopwatch decode_watch;
+  StatusOr<Video> decoded = [&] {
+    TRACE_SPAN("gop_decode");
+    return DecodeRange(encoded, start, count, /*threads=*/1);
+  }();
+  CacheMetrics::Get().decode_seconds.Observe(decode_watch.ElapsedSeconds());
 
   std::unique_lock<std::mutex> lock(shard.mutex);
   if (!decoded.ok()) {
@@ -150,6 +206,8 @@ StatusOr<std::shared_ptr<const DecodedGop>> GopCache::Get(
   it->second.value = gop;
   it->second.lru_position = shard.lru.insert(shard.lru.end(), key);
   shard.bytes += gop->bytes;
+  CacheMetrics::Get().bytes_in_use.Add(static_cast<double>(gop->bytes));
+  CacheMetrics::Get().entries.Add(1.0);
   EvictLocked(shard);
   shard.ready.notify_all();
   return std::shared_ptr<const DecodedGop>(gop);
@@ -166,6 +224,9 @@ void GopCache::Clear() {
       } else {
         shard->lru.erase(it->second.lru_position);
         shard->bytes -= it->second.value->bytes;
+        CacheMetrics::Get().bytes_in_use.Add(
+            -static_cast<double>(it->second.value->bytes));
+        CacheMetrics::Get().entries.Add(-1.0);
         it = shard->entries.erase(it);
       }
     }

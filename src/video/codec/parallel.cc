@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "video/codec/codec.h"
 #include "video/codec/codec_internal.h"
 #include "video/codec/rate_control.h"
@@ -20,7 +22,7 @@ namespace {
 /// Process-wide pool shared by every codec call. Intentionally leaked so
 /// worker shutdown never races static destruction at process exit.
 ThreadPool& CodecPool() {
-  static ThreadPool* pool = new ThreadPool(ThreadPool::HardwareThreads());
+  static ThreadPool* pool = new ThreadPool(ThreadPool::HardwareThreads(), "codec");
   return *pool;
 }
 
@@ -31,6 +33,27 @@ int DefaultCodecThreads() { return ThreadPool::HardwareThreads(); }
 PoolStats CodecPoolStats() { return CodecPool().stats(); }
 
 namespace internal {
+
+metrics::Counter& FramesEncodedCounter() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global().GetCounter(
+      "vr_codec_frames_encoded_total",
+      "Frames encoded, across the streaming and GOP-parallel paths");
+  return counter;
+}
+
+metrics::Counter& FramesDecodedCounter() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global().GetCounter(
+      "vr_codec_frames_decoded_total",
+      "Frames fully decoded and returned to a caller");
+  return counter;
+}
+
+metrics::Counter& WarmupFramesCounter() {
+  static metrics::Counter& counter = metrics::MetricsRegistry::Global().GetCounter(
+      "vr_codec_warmup_frames_total",
+      "Frames decoded only to advance a decoder to a seek target");
+  return counter;
+}
 
 Status CodecParallelForStatus(int parallelism, int count,
                               const std::function<Status(int)>& fn) {
@@ -52,7 +75,11 @@ StatusOr<EncodedVideo> ParallelEncode(const Video& video, const EncoderConfig& c
 
   // Serial pre-pass: fix the QP of every frame before any GOP encodes, so the
   // schedule (and thus the bitstream) is independent of thread count.
-  std::vector<int> schedule = PlanQpSchedule(video, config);
+  std::vector<int> schedule;
+  {
+    TRACE_SPAN("plan_qp_schedule");
+    schedule = PlanQpSchedule(video, config);
+  }
   internal::EncoderSettings settings =
       internal::MakeEncoderSettings(width, height, config);
 
@@ -68,6 +95,7 @@ StatusOr<EncodedVideo> ParallelEncode(const Video& video, const EncoderConfig& c
   out.frames.resize(video.frames.size());
 
   auto encode_gop = [&](int index) -> Status {
+    TRACE_SPAN("encode_gop");
     int begin = index * gop;
     int end = std::min(begin + gop, frame_count);
     internal::ReconPlanes reference;

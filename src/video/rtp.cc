@@ -3,12 +3,48 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
+
 namespace visualroad::video::rtp {
 
 namespace {
 
 constexpr size_t kHeaderBytes = 12;
 constexpr uint8_t kVersionBits = 2 << 6;  // RTP version 2, no padding/ext/CSRC.
+
+/// Process-wide aggregates across every Packetizer/Depacketizer instance;
+/// per-instance ReceiverStats stays the exact per-stream view.
+struct RtpMetrics {
+  metrics::Counter& packets_sent;
+  metrics::Counter& packets_received;
+  metrics::Counter& packets_lost;
+  metrics::Counter& packets_reordered;
+  metrics::Counter& frames_completed;
+  metrics::Counter& frames_dropped;
+
+  static RtpMetrics& Get() {
+    static RtpMetrics* instruments = [] {
+      metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+      return new RtpMetrics{
+          registry.GetCounter("vr_rtp_packets_sent_total",
+                              "RTP packets produced by packetizers"),
+          registry.GetCounter("vr_rtp_packets_received_total",
+                              "RTP packets fed to depacketizers"),
+          registry.GetCounter("vr_rtp_packets_lost_total",
+                              "Packets inferred lost from forward sequence gaps"),
+          registry.GetCounter(
+              "vr_rtp_packets_reordered_total",
+              "Late arrivals behind the newest processed packet"),
+          registry.GetCounter("vr_rtp_frames_completed_total",
+                              "Frames fully reassembled from packets"),
+          registry.GetCounter(
+              "vr_rtp_frames_dropped_total",
+              "Frames abandoned because a fragment was missing or damaged"),
+      };
+    }();
+    return *instruments;
+  }
+};
 
 void PutU16(std::vector<uint8_t>& out, uint16_t v) {
   out.push_back(static_cast<uint8_t>(v >> 8));
@@ -91,6 +127,7 @@ std::vector<Packet> Packetizer::PacketizeFrame(const codec::EncodedFrame& frame,
     packets.push_back(std::move(packet));
     first = false;
   } while (offset < frame.data.size());
+  RtpMetrics::Get().packets_sent.Increment(static_cast<double>(packets.size()));
   return packets;
 }
 
@@ -106,6 +143,7 @@ std::vector<Packet> Packetizer::PacketizeVideo(const codec::EncodedVideo& video)
 
 void Depacketizer::Feed(const Packet& packet) {
   ++stats_.packets_received;
+  RtpMetrics::Get().packets_received.Increment();
 
   // Loss detection by sequence gap (16-bit wraparound handled). A gap in
   // the upper half of the sequence space is not a ~65k-packet loss: it is a
@@ -119,9 +157,11 @@ void Depacketizer::Feed(const Packet& packet) {
       uint16_t gap = static_cast<uint16_t>(packet.sequence_number - expected);
       if (gap >= 0x8000) {
         ++stats_.packets_reordered;
+        RtpMetrics::Get().packets_reordered.Increment();
         return;
       }
       stats_.packets_lost += gap;
+      RtpMetrics::Get().packets_lost.Increment(static_cast<double>(gap));
       assembly_broken_ = assembling_ || gap > 0;
     }
   }
@@ -138,7 +178,10 @@ void Depacketizer::Feed(const Packet& packet) {
 
   if (first_fragment) {
     // Starting a new frame; a frame still mid-assembly was truncated.
-    if (assembling_) ++stats_.frames_dropped;
+    if (assembling_) {
+      ++stats_.frames_dropped;
+      RtpMetrics::Get().frames_dropped.Increment();
+    }
     assembly_.clear();
     assembling_ = true;
     assembly_broken_ = false;
@@ -156,6 +199,7 @@ void Depacketizer::Feed(const Packet& packet) {
   if (packet.marker) {
     if (assembly_broken_) {
       ++stats_.frames_dropped;
+      RtpMetrics::Get().frames_dropped.Increment();
     } else {
       codec::EncodedFrame frame;
       frame.keyframe = assembly_keyframe_;
@@ -163,6 +207,7 @@ void Depacketizer::Feed(const Packet& packet) {
       frame.data = assembly_;
       frames_.push_back(std::move(frame));
       ++stats_.frames_completed;
+      RtpMetrics::Get().frames_completed.Increment();
     }
     assembly_.clear();
     assembling_ = false;

@@ -394,6 +394,7 @@ class SerialOnlyEngine : public systems::Vdbms {
  public:
   const char* name() const override { return "SerialOnlyEngine"; }
   bool Supports(QueryId) const override { return true; }
+  systems::EngineStats stats() const override { return {}; }
   // Inherits ConcurrentSafe() == false.
   StatusOr<systems::QueryOutput> Execute(const queries::QueryInstance&,
                                          const sim::Dataset&,

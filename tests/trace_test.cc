@@ -1,0 +1,161 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace visualroad {
+namespace {
+
+/// Each test starts from an empty session with tracing on, and leaves
+/// tracing off so span recording never leaks into other suites.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::SetEnabled(true);
+    trace::Clear();
+  }
+  void TearDown() override {
+    trace::SetEnabled(false);
+    trace::Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  trace::SetEnabled(false);
+  {
+    TRACE_SPAN("ignored");
+    trace::Span dynamic(std::string("also_ignored"));
+  }
+  EXPECT_EQ(trace::EventCount(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  {
+    TRACE_SPAN("outer");
+    {
+      TRACE_SPAN("inner");
+    }
+  }
+  std::vector<trace::Event> events = trace::AllEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete inner-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  // The outer interval contains the inner one.
+  EXPECT_LE(events[1].start_us, events[0].start_us);
+  EXPECT_GE(events[1].start_us + events[1].dur_us,
+            events[0].start_us + events[0].dur_us);
+  // Both recorded on the same thread.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, DynamicNamesAreCopied) {
+  {
+    std::string name = "dyn_";
+    name += "span";
+    trace::Span span(name);
+    name = "mutated after construction";
+  }
+  std::vector<trace::Event> events = trace::AllEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "dyn_span");
+}
+
+TEST_F(TraceTest, SpansAcrossPoolWorkersFlushLosslessly) {
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([] { TRACE_SPAN("worker_task"); });
+    }
+    ASSERT_TRUE(pool.Wait().ok());
+  }
+  std::vector<trace::Event> events = trace::AllEvents();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kTasks));
+  for (const trace::Event& event : events) {
+    EXPECT_EQ(event.name, "worker_task");
+    EXPECT_GT(event.tid, 0);
+  }
+  EXPECT_EQ(trace::DroppedEvents(), 0);
+}
+
+TEST_F(TraceTest, EventsSinceBracketsAPhase) {
+  { TRACE_SPAN("before_a"); }
+  { TRACE_SPAN("before_b"); }
+  size_t mark = trace::EventCount();
+  { TRACE_SPAN("phase_a"); }
+  { TRACE_SPAN("phase_b"); }
+  { TRACE_SPAN("phase_c"); }
+  std::vector<trace::Event> phase = trace::EventsSince(mark);
+  ASSERT_EQ(phase.size(), 3u);
+  EXPECT_EQ(phase[0].name, "phase_a");
+  EXPECT_EQ(phase[2].name, "phase_c");
+  // The mark is stable: asking again returns the same slice.
+  EXPECT_EQ(trace::EventsSince(mark).size(), 3u);
+  EXPECT_EQ(trace::EventsSince(trace::EventCount()).size(), 0u);
+}
+
+TEST_F(TraceTest, WriteChromeTraceEmitsCompleteEvents) {
+  {
+    TRACE_SPAN("traced \"quoted\" stage");
+    TRACE_SPAN("plain_stage");
+  }
+  std::string path = ::testing::TempDir() + "/vr_trace_test.json";
+  Status status = trace::WriteChromeTrace(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  // The chrome://tracing JSON object format: a traceEvents array of
+  // complete ("X") events with microsecond timestamps.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"plain_stage\""), std::string::npos);
+  // Quotes in span names are escaped, so the file stays valid JSON.
+  EXPECT_NE(json.find("traced \\\"quoted\\\" stage"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST_F(TraceTest, SummarizeAggregatesByNameDescending) {
+  std::vector<trace::Event> events;
+  auto add = [&](const char* name, double dur_us) {
+    trace::Event event;
+    event.name = name;
+    event.dur_us = dur_us;
+    events.push_back(event);
+  };
+  add("fast", 100.0);
+  add("slow", 900.0);
+  add("fast", 200.0);
+  std::vector<trace::SpanTotal> totals = trace::Summarize(events);
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].name, "slow");
+  EXPECT_EQ(totals[0].count, 1);
+  EXPECT_NEAR(totals[0].total_seconds, 900e-6, 1e-12);
+  EXPECT_EQ(totals[1].name, "fast");
+  EXPECT_EQ(totals[1].count, 2);
+  EXPECT_NEAR(totals[1].total_seconds, 300e-6, 1e-12);
+}
+
+TEST_F(TraceTest, ClearEmptiesTheSession) {
+  { TRACE_SPAN("gone"); }
+  EXPECT_EQ(trace::EventCount(), 1u);
+  trace::Clear();
+  EXPECT_EQ(trace::EventCount(), 0u);
+  EXPECT_EQ(trace::DroppedEvents(), 0);
+}
+
+}  // namespace
+}  // namespace visualroad
