@@ -151,6 +151,19 @@ Status SaveDatasetSharded(const sim::Dataset& dataset,
   return Status::Ok();
 }
 
+Status IngestDatasetVss(const sim::Dataset& dataset,
+                        storage::VideoStorageService& vss) {
+  for (const sim::VideoAsset& asset : dataset.assets) {
+    const std::string name = storage::CameraStreamName(asset.camera.camera_id);
+    if (vss.Contains(name)) {
+      VR_ASSIGN_OR_RETURN(storage::CatalogEntry entry, vss.Describe(name));
+      if (entry.frame_count == asset.container.video.FrameCount()) continue;
+    }
+    VR_RETURN_IF_ERROR(vss.Ingest(name, asset.container.video));
+  }
+  return Status::Ok();
+}
+
 StatusOr<sim::Dataset> LoadDatasetSharded(const storage::ShardedStore& store) {
   VR_ASSIGN_OR_RETURN(std::vector<uint8_t> manifest, store.Get("dataset.vrds"));
   VR_ASSIGN_OR_RETURN(sim::Dataset dataset, ParseDatasetManifest(manifest));

@@ -5,6 +5,7 @@
 
 #include "simulation/generator.h"
 #include "storage/sharded_store.h"
+#include "storage/vss.h"
 
 namespace visualroad::driver {
 
@@ -25,6 +26,13 @@ Status SaveDatasetSharded(const sim::Dataset& dataset,
 
 /// Loads a dataset from a sharded store.
 StatusOr<sim::Dataset> LoadDatasetSharded(const storage::ShardedStore& store);
+
+/// Ingests every camera video of `dataset` into the storage service as its
+/// base variant, named CameraStreamName(camera_id). Streams the service
+/// already holds at the same frame count are left untouched, so re-staging
+/// a dataset is idempotent and keeps cached transcoded variants.
+Status IngestDatasetVss(const sim::Dataset& dataset,
+                        storage::VideoStorageService& vss);
 
 /// Serialises/parses the dataset manifest (config + camera placements).
 std::vector<uint8_t> SerializeDatasetManifest(const sim::Dataset& dataset);

@@ -4,6 +4,7 @@
 
 #include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "driver/dataset_io.h"
 #include "systems/video_source.h"
 #include "video/metrics.h"
 
@@ -359,6 +360,7 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
 StatusOr<std::vector<QueryBatchResult>> VisualCityDriver::RunBenchmark(
     systems::Vdbms& engine) {
   std::vector<QueryBatchResult> results;
+  VR_RETURN_IF_ERROR(StageStorage());
   for (QueryId id : queries::AllQueries()) {
     VR_ASSIGN_OR_RETURN(QueryBatchResult result, RunQueryBatch(engine, id));
     results.push_back(std::move(result));
@@ -371,6 +373,12 @@ StatusOr<std::vector<QueryBatchResult>> VisualCityDriver::RunBenchmark(
 Status VisualCityDriver::WriteTrace() const {
   if (options_.trace_path.empty()) return Status::Ok();
   return trace::WriteChromeTrace(options_.trace_path);
+}
+
+Status VisualCityDriver::StageStorage() {
+  if (options_.storage == nullptr) return Status::Ok();
+  TRACE_SPAN("stage_storage");
+  return IngestDatasetVss(*dataset_, *options_.storage);
 }
 
 }  // namespace visualroad::driver

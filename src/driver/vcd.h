@@ -9,6 +9,10 @@
 #include "driver/validation.h"
 #include "systems/vdbms.h"
 
+namespace visualroad::storage {
+class VideoStorageService;
+}  // namespace visualroad::storage
+
 namespace visualroad::driver {
 
 /// VCD configuration.
@@ -50,6 +54,12 @@ struct VcdOptions {
   /// When non-empty, RunBenchmark writes every span recorded during the run
   /// as Chrome trace JSON (chrome://tracing / Perfetto) to this path.
   std::string trace_path;
+  /// Storage-backed offline mode: when set, RunBenchmark stages the
+  /// dataset's camera streams into this service before the first measured
+  /// batch (idempotent), and engines pointed at the same service via
+  /// EngineOptions::vss read GOP-aligned ranges from it instead of the
+  /// in-memory containers. Borrowed; must outlive the driver.
+  storage::VideoStorageService* storage = nullptr;
 };
 
 /// Measured outcome of one query batch on one engine.
@@ -113,6 +123,11 @@ class VisualCityDriver {
   /// Writes every span recorded so far as Chrome trace JSON to
   /// options().trace_path; no-op (Ok) when no path is configured.
   Status WriteTrace() const;
+
+  /// Stages the dataset's camera streams into options().storage; no-op (Ok)
+  /// when no storage service is configured. RunBenchmark calls this before
+  /// its first batch; staging time is never part of a measured window.
+  Status StageStorage();
 
   const VcdOptions& options() const { return options_; }
   const sim::Dataset& dataset() const { return *dataset_; }

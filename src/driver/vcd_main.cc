@@ -20,6 +20,7 @@
 #include "driver/datasets.h"
 #include "driver/report.h"
 #include "driver/vcd.h"
+#include "storage/vss.h"
 
 namespace visualroad::driver {
 namespace {
@@ -44,6 +45,9 @@ void PrintUsage(const char* argv0) {
       "  --no-validate     Skip reference validation\n"
       "  --streaming       Discard results instead of writing containers\n"
       "  --output-dir DIR  Persist write-mode results under DIR\n"
+      "  --storage DIR     Stage inputs into a tiered storage service rooted\n"
+      "                    at DIR and read them back through it (DESIGN.md\n"
+      "                    Section 10) instead of from memory\n"
       "\n"
       "Observability (docs/OBSERVABILITY.md):\n"
       "  --trace PATH      Record spans; write Chrome trace JSON to PATH\n"
@@ -135,6 +139,7 @@ int Run(int argc, char** argv) {
   std::string engine_name = "pipeline";
   std::string query_spec;
   std::string metrics_path;
+  std::string storage_dir;
 
   auto next_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -185,6 +190,9 @@ int Run(int argc, char** argv) {
     } else if (arg == "--output-dir") {
       if (!(value = next_value(i, "--output-dir"))) return 2;
       vcd_options.output_dir = value;
+    } else if (arg == "--storage") {
+      if (!(value = next_value(i, "--storage"))) return 2;
+      storage_dir = value;
     } else if (arg == "--trace") {
       if (!(value = next_value(i, "--trace"))) return 2;
       vcd_options.trace = true;
@@ -209,7 +217,32 @@ int Run(int argc, char** argv) {
     }
   }
 
+  std::unique_ptr<storage::ShardedStore> store;
+  std::unique_ptr<storage::VideoStorageService> vss;
+  if (!storage_dir.empty()) {
+    storage::StoreOptions store_options;
+    store_options.root = storage_dir;
+    auto opened = storage::ShardedStore::Open(store_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open storage at %s: %s\n",
+                   storage_dir.c_str(), opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::make_unique<storage::ShardedStore>(std::move(opened).value());
+    storage::VssOptions vss_options;
+    vss_options.store = store.get();
+    auto service = storage::VideoStorageService::Open(vss_options);
+    if (!service.ok()) {
+      std::fprintf(stderr, "cannot open storage service: %s\n",
+                   service.status().ToString().c_str());
+      return 1;
+    }
+    vss = std::move(service).value();
+    vcd_options.storage = vss.get();
+  }
+
   systems::EngineOptions engine_options;
+  engine_options.vss = vss.get();
   std::unique_ptr<systems::Vdbms> engine;
   if (engine_name == "batch") {
     engine = systems::MakeBatchEngine(engine_options);
@@ -235,6 +268,16 @@ int Run(int argc, char** argv) {
   }
 
   VisualCityDriver vcd(*dataset, vcd_options);
+  if (vss != nullptr) {
+    std::printf("Staging %zu camera streams into %s...\n",
+                dataset->assets.size(), storage_dir.c_str());
+    Status staged = vcd.StageStorage();
+    if (!staged.ok()) {
+      std::fprintf(stderr, "storage staging failed: %s\n",
+                   staged.ToString().c_str());
+      return 1;
+    }
+  }
   std::vector<QueryBatchResult> results;
   for (queries::QueryId id : query_ids) {
     std::printf("Running %s on %s engine (batch of %d)...\n",

@@ -15,8 +15,10 @@ namespace {
 Status WriteFileBytes(const std::string& path, const uint8_t* data, size_t size) {
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return Status::IoError("cannot open for writing: " + path);
-  file.write(reinterpret_cast<const char*>(data),
-             static_cast<std::streamsize>(size));
+  if (size > 0) {
+    file.write(reinterpret_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+  }
   if (!file) return Status::IoError("write failed: " + path);
   return Status::Ok();
 }
@@ -34,7 +36,48 @@ StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
   return bytes;
 }
 
+/// Reads [offset, offset + length) of a replica file whose total size must
+/// be `expected_size` (a short file means a torn or foreign replica).
+Status ReadFileSlice(const std::string& path, int64_t expected_size,
+                     int64_t offset, int64_t length, uint8_t* out) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  if (static_cast<int64_t>(file.tellg()) != expected_size) {
+    return Status::DataLoss("replica size mismatch: " + path);
+  }
+  file.seekg(offset);
+  if (length > 0 &&
+      !file.read(reinterpret_cast<char*>(out), static_cast<std::streamsize>(length))) {
+    return Status::IoError("read failed: " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+ShardedStore::ShardedStore(StoreOptions options)
+    : options_(std::move(options)),
+      stats_(std::make_unique<AtomicStats>()),
+      mutex_(std::make_unique<std::shared_mutex>()) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  const std::string labels = "store=\"" + options_.metrics_label + "\"";
+  instruments_.blocks_written =
+      &registry.GetCounter("vr_store_blocks_written_total",
+                           "Replicated blocks written to datanodes.", labels);
+  instruments_.blocks_read = &registry.GetCounter(
+      "vr_store_blocks_read_total", "Blocks (or block slices) read.", labels);
+  instruments_.bytes_written = &registry.GetCounter(
+      "vr_store_bytes_written_total",
+      "Physical bytes written, replication included.", labels);
+  instruments_.bytes_read = &registry.GetCounter(
+      "vr_store_bytes_read_total", "Bytes delivered to readers.", labels);
+  instruments_.replica_failovers = &registry.GetCounter(
+      "vr_store_replica_failovers_total",
+      "Replicas skipped (down or unreadable) during block reads.", labels);
+  instruments_.partial_reads = &registry.GetCounter(
+      "vr_store_partial_reads_total",
+      "Range reads that touched a strict subset of a file's blocks.", labels);
+}
 
 StatusOr<ShardedStore> ShardedStore::Open(const StoreOptions& options) {
   if (options.root.empty()) return Status::InvalidArgument("store root is empty");
@@ -51,7 +94,7 @@ StatusOr<ShardedStore> ShardedStore::Open(const StoreOptions& options) {
     if (ec) return Status::IoError("cannot create datanode dir: " + store.NodeDir(n));
   }
   if (fs::exists(store.ManifestPath())) {
-    VR_RETURN_IF_ERROR(store.LoadManifest());
+    VR_RETURN_IF_ERROR(store.LoadManifestLocked());
   }
   return store;
 }
@@ -68,84 +111,240 @@ std::string ShardedStore::ManifestPath() const {
   return options_.root + "/manifest.vrsm";
 }
 
-Status ShardedStore::Put(const std::string& name,
-                         const std::vector<uint8_t>& bytes) {
+// --- Writer --------------------------------------------------------------
+
+ShardedStore::Writer::Writer(Writer&& other) noexcept
+    : store_(other.store_),
+      name_(std::move(other.name_)),
+      pending_(std::move(other.pending_)),
+      blocks_(std::move(other.blocks_)),
+      size_(other.size_) {
+  other.store_ = nullptr;
+}
+
+ShardedStore::Writer& ShardedStore::Writer::operator=(Writer&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    store_ = other.store_;
+    name_ = std::move(other.name_);
+    pending_ = std::move(other.pending_);
+    blocks_ = std::move(other.blocks_);
+    size_ = other.size_;
+    other.store_ = nullptr;
+  }
+  return *this;
+}
+
+ShardedStore::Writer::~Writer() { Abandon(); }
+
+void ShardedStore::Writer::Abandon() {
+  if (store_ == nullptr) return;
+  store_->DropBlocks(blocks_);
+  store_ = nullptr;
+}
+
+Status ShardedStore::Writer::Append(const uint8_t* data, size_t size) {
+  if (store_ == nullptr) return Status::FailedPrecondition("writer is closed");
+  const size_t block_size = static_cast<size_t>(store_->options_.block_size);
+  size_t consumed = 0;
+  while (consumed < size) {
+    size_t take = std::min(block_size - pending_.size(), size - consumed);
+    pending_.insert(pending_.end(), data + consumed, data + consumed + take);
+    consumed += take;
+    if (pending_.size() == block_size) {
+      VR_ASSIGN_OR_RETURN(BlockPlacement block,
+                          store_->WriteBlock(pending_.data(), pending_.size()));
+      blocks_.push_back(std::move(block));
+      pending_.clear();
+    }
+  }
+  size_ += static_cast<int64_t>(size);
+  return Status::Ok();
+}
+
+Status ShardedStore::Writer::Close() {
+  if (store_ == nullptr) return Status::FailedPrecondition("writer is closed");
+  if (!pending_.empty() || blocks_.empty()) {
+    VR_ASSIGN_OR_RETURN(BlockPlacement block,
+                        store_->WriteBlock(pending_.data(), pending_.size()));
+    blocks_.push_back(std::move(block));
+    pending_.clear();
+  }
+  FileEntry entry;
+  entry.size = size_;
+  entry.blocks = std::move(blocks_);
+  ShardedStore* store = store_;
+  store_ = nullptr;  // The file now owns the blocks, even if Install fails.
+  return store->Install(name_, std::move(entry));
+}
+
+StatusOr<ShardedStore::Writer> ShardedStore::OpenWriter(const std::string& name) {
   if (name.empty()) return Status::InvalidArgument("empty file name");
+  std::shared_lock lock(*mutex_);
+  int available = options_.num_nodes - static_cast<int>(disabled_nodes_.size());
+  if (available < 1) return Status::ResourceExhausted("no datanodes available");
+  return Writer(this, name);
+}
+
+StatusOr<BlockPlacement> ShardedStore::WriteBlock(const uint8_t* data,
+                                                  size_t size) {
+  std::unique_lock lock(*mutex_);
   int available = options_.num_nodes - static_cast<int>(disabled_nodes_.size());
   if (available < 1) return Status::ResourceExhausted("no datanodes available");
   int replication = std::min(options_.replication, available);
 
-  VR_RETURN_IF_ERROR(Delete(name));  // Overwrite semantics; ok if absent.
-
-  FileEntry entry;
-  entry.size = static_cast<int64_t>(bytes.size());
-  size_t offset = 0;
-  do {
-    size_t take = std::min(static_cast<size_t>(options_.block_size),
-                           bytes.size() - offset);
-    BlockPlacement block;
-    block.block_id = next_block_id_++;
-    block.size = static_cast<int64_t>(take);
-    // Round-robin placement over healthy nodes.
-    while (static_cast<int>(block.replicas.size()) < replication) {
-      int node = next_node_;
-      next_node_ = (next_node_ + 1) % options_.num_nodes;
-      if (disabled_nodes_.count(node)) continue;
-      if (std::find(block.replicas.begin(), block.replicas.end(), node) !=
-          block.replicas.end()) {
-        continue;
-      }
-      block.replicas.push_back(node);
+  BlockPlacement block;
+  block.block_id = next_block_id_++;
+  block.size = static_cast<int64_t>(size);
+  // Round-robin placement over healthy nodes.
+  while (static_cast<int>(block.replicas.size()) < replication) {
+    int node = next_node_;
+    next_node_ = (next_node_ + 1) % options_.num_nodes;
+    if (disabled_nodes_.count(node)) continue;
+    if (std::find(block.replicas.begin(), block.replicas.end(), node) !=
+        block.replicas.end()) {
+      continue;
     }
-    for (int node : block.replicas) {
-      VR_RETURN_IF_ERROR(WriteFileBytes(BlockPath(node, block.block_id),
-                                        bytes.data() + offset, take));
-    }
-    offset += take;
-    entry.blocks.push_back(std::move(block));
-  } while (offset < bytes.size());
-
-  files_[name] = std::move(entry);
-  return SaveManifest();
-}
-
-StatusOr<std::vector<uint8_t>> ShardedStore::Get(const std::string& name) const {
-  auto it = files_.find(name);
-  if (it == files_.end()) return Status::NotFound("no such file: " + name);
-  std::vector<uint8_t> bytes;
-  bytes.reserve(static_cast<size_t>(it->second.size));
-  for (const BlockPlacement& block : it->second.blocks) {
-    bool read_ok = false;
-    for (int node : block.replicas) {
-      if (disabled_nodes_.count(node)) continue;
-      auto chunk = ReadFileBytes(BlockPath(node, block.block_id));
-      if (chunk.ok() && static_cast<int64_t>(chunk->size()) == block.size) {
-        bytes.insert(bytes.end(), chunk->begin(), chunk->end());
-        read_ok = true;
-        break;
-      }
-    }
-    if (!read_ok) {
-      return Status::DataLoss("all replicas unavailable for a block of " + name);
-    }
+    block.replicas.push_back(node);
   }
-  return bytes;
+  for (int node : block.replicas) {
+    VR_RETURN_IF_ERROR(WriteFileBytes(BlockPath(node, block.block_id), data, size));
+  }
+  stats_->blocks_written.fetch_add(1, std::memory_order_relaxed);
+  stats_->bytes_written.fetch_add(
+      static_cast<int64_t>(size) * static_cast<int64_t>(block.replicas.size()),
+      std::memory_order_relaxed);
+  instruments_.blocks_written->Increment();
+  instruments_.bytes_written->Increment(
+      static_cast<double>(size) * static_cast<double>(block.replicas.size()));
+  return block;
 }
 
-Status ShardedStore::Delete(const std::string& name) {
+Status ShardedStore::Install(const std::string& name, FileEntry entry) {
+  std::unique_lock lock(*mutex_);
   auto it = files_.find(name);
-  if (it == files_.end()) return Status::Ok();
-  for (const BlockPlacement& block : it->second.blocks) {
+  if (it != files_.end()) {
+    DropBlocks(it->second.blocks);
+    files_.erase(it);
+  }
+  files_[name] = std::move(entry);
+  return SaveManifestLocked();
+}
+
+void ShardedStore::DropBlocks(const std::vector<BlockPlacement>& blocks) const {
+  for (const BlockPlacement& block : blocks) {
     for (int node : block.replicas) {
       std::error_code ec;
       fs::remove(BlockPath(node, block.block_id), ec);
     }
   }
+}
+
+Status ShardedStore::Put(const std::string& name,
+                         const std::vector<uint8_t>& bytes) {
+  VR_ASSIGN_OR_RETURN(Writer writer, OpenWriter(name));
+  VR_RETURN_IF_ERROR(writer.Append(bytes));
+  return writer.Close();
+}
+
+// --- Read paths ----------------------------------------------------------
+
+Status ShardedStore::ReadBlockSlice(const BlockPlacement& block,
+                                    int64_t slice_offset, int64_t slice_length,
+                                    uint8_t* out, const std::string& name) const {
+  for (int node : block.replicas) {
+    if (disabled_nodes_.count(node) ||
+        !ReadFileSlice(BlockPath(node, block.block_id), block.size, slice_offset,
+                       slice_length, out)
+             .ok()) {
+      stats_->replica_failovers.fetch_add(1, std::memory_order_relaxed);
+      instruments_.replica_failovers->Increment();
+      continue;
+    }
+    stats_->blocks_read.fetch_add(1, std::memory_order_relaxed);
+    stats_->bytes_read.fetch_add(slice_length, std::memory_order_relaxed);
+    instruments_.blocks_read->Increment();
+    instruments_.bytes_read->Increment(static_cast<double>(slice_length));
+    return Status::Ok();
+  }
+  return Status::DataLoss("all replicas unavailable for a block of " + name);
+}
+
+Status ShardedStore::Scan(
+    const std::string& name,
+    const std::function<Status(const uint8_t* data, size_t size)>& sink) const {
+  std::shared_lock lock(*mutex_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  std::vector<uint8_t> buffer;
+  for (const BlockPlacement& block : it->second.blocks) {
+    buffer.resize(static_cast<size_t>(block.size));
+    VR_RETURN_IF_ERROR(ReadBlockSlice(block, 0, block.size, buffer.data(), name));
+    VR_RETURN_IF_ERROR(sink(buffer.data(), buffer.size()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> ShardedStore::Get(const std::string& name) const {
+  VR_ASSIGN_OR_RETURN(FileInfo info, Stat(name));
+  std::vector<uint8_t> bytes;
+  bytes.reserve(static_cast<size_t>(info.size));
+  VR_RETURN_IF_ERROR(Scan(name, [&bytes](const uint8_t* data, size_t size) {
+    bytes.insert(bytes.end(), data, data + size);
+    return Status::Ok();
+  }));
+  return bytes;
+}
+
+StatusOr<std::vector<uint8_t>> ShardedStore::Read(const std::string& name,
+                                                  int64_t offset,
+                                                  int64_t length) const {
+  if (offset < 0 || length < 0) return Status::OutOfRange("negative read range");
+  std::shared_lock lock(*mutex_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  const FileEntry& entry = it->second;
+  if (offset + length > entry.size) {
+    return Status::OutOfRange("read past end of " + name);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(length));
+  int64_t block_start = 0;
+  int64_t out_pos = 0;
+  size_t blocks_touched = 0;
+  for (const BlockPlacement& block : entry.blocks) {
+    int64_t block_end = block_start + block.size;
+    int64_t slice_start = std::max(offset, block_start);
+    int64_t slice_end = std::min(offset + length, block_end);
+    if (slice_start < slice_end) {
+      VR_RETURN_IF_ERROR(ReadBlockSlice(block, slice_start - block_start,
+                                        slice_end - slice_start,
+                                        bytes.data() + out_pos, name));
+      out_pos += slice_end - slice_start;
+      ++blocks_touched;
+    }
+    block_start = block_end;
+    if (block_start >= offset + length) break;
+  }
+  if (blocks_touched < entry.blocks.size()) {
+    stats_->partial_reads.fetch_add(1, std::memory_order_relaxed);
+    instruments_.partial_reads->Increment();
+  }
+  return bytes;
+}
+
+// --- Catalog operations --------------------------------------------------
+
+Status ShardedStore::Delete(const std::string& name) {
+  std::unique_lock lock(*mutex_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::Ok();
+  DropBlocks(it->second.blocks);
   files_.erase(it);
-  return SaveManifest();
+  return SaveManifestLocked();
 }
 
 std::vector<std::string> ShardedStore::List() const {
+  std::shared_lock lock(*mutex_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, entry] : files_) names.push_back(name);
@@ -153,6 +352,7 @@ std::vector<std::string> ShardedStore::List() const {
 }
 
 StatusOr<ShardedStore::FileInfo> ShardedStore::Stat(const std::string& name) const {
+  std::shared_lock lock(*mutex_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   return FileInfo{it->second.size, static_cast<int>(it->second.blocks.size())};
@@ -162,6 +362,7 @@ Status ShardedStore::DisableNode(int node) {
   if (node < 0 || node >= options_.num_nodes) {
     return Status::OutOfRange("no such node");
   }
+  std::unique_lock lock(*mutex_);
   disabled_nodes_.insert(node);
   return Status::Ok();
 }
@@ -170,11 +371,26 @@ Status ShardedStore::EnableNode(int node) {
   if (node < 0 || node >= options_.num_nodes) {
     return Status::OutOfRange("no such node");
   }
+  std::unique_lock lock(*mutex_);
   disabled_nodes_.erase(node);
   return Status::Ok();
 }
 
-Status ShardedStore::SaveManifest() const {
+StoreStats ShardedStore::stats() const {
+  StoreStats out;
+  out.blocks_written = stats_->blocks_written.load(std::memory_order_relaxed);
+  out.blocks_read = stats_->blocks_read.load(std::memory_order_relaxed);
+  out.bytes_written = stats_->bytes_written.load(std::memory_order_relaxed);
+  out.bytes_read = stats_->bytes_read.load(std::memory_order_relaxed);
+  out.replica_failovers =
+      stats_->replica_failovers.load(std::memory_order_relaxed);
+  out.partial_reads = stats_->partial_reads.load(std::memory_order_relaxed);
+  return out;
+}
+
+// --- Manifest ------------------------------------------------------------
+
+Status ShardedStore::SaveManifestLocked() const {
   ByteWriter writer;
   writer.U32(0x5652534D);  // "VRSM".
   writer.U64(next_block_id_);
@@ -194,7 +410,7 @@ Status ShardedStore::SaveManifest() const {
   return WriteFileBytes(ManifestPath(), bytes.data(), bytes.size());
 }
 
-Status ShardedStore::LoadManifest() {
+Status ShardedStore::LoadManifestLocked() {
   VR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(ManifestPath()));
   ByteCursor cursor(bytes);
   if (cursor.U32() != 0x5652534D) {

@@ -1,12 +1,17 @@
 #ifndef VISUALROAD_STORAGE_SHARDED_STORE_H_
 #define VISUALROAD_STORAGE_SHARDED_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace visualroad::storage {
@@ -22,6 +27,31 @@ struct StoreOptions {
   int replication = 2;
   /// Block size in bytes.
   int64_t block_size = int64_t{1} << 20;
+  /// Label under which this store's counters appear in the process-wide
+  /// metrics registry, as `vr_store_*{store="<label>"}`.
+  std::string metrics_label = "main";
+};
+
+/// Per-instance I/O counters (the registry carries the same values process
+/// wide; these stay testable when several stores share a label).
+struct StoreStats {
+  int64_t blocks_written = 0;
+  int64_t blocks_read = 0;
+  /// Physical bytes written, replication included.
+  int64_t bytes_written = 0;
+  /// Bytes delivered to readers (logical, not per replica).
+  int64_t bytes_read = 0;
+  /// Replicas skipped (down or unreadable) before a block read succeeded.
+  int64_t replica_failovers = 0;
+  /// Read() calls that touched a strict subset of a file's blocks.
+  int64_t partial_reads = 0;
+};
+
+/// One replicated block of a stored file.
+struct BlockPlacement {
+  uint64_t block_id = 0;
+  int64_t size = 0;
+  std::vector<int> replicas;
 };
 
 /// The HDFS stand-in used by the VCD's distributed offline mode (Section
@@ -31,17 +61,69 @@ struct StoreOptions {
 /// datanodes (directories), and a namenode-style manifest maps file names
 /// to block/replica placements. Reads reassemble blocks and fail over to a
 /// replica when a datanode is down.
+///
+/// Thread-safe: any number of concurrent readers; writers are exclusive.
 class ShardedStore {
  public:
   /// Opens (or creates) a store at options.root, loading the manifest when
   /// one exists.
   static StatusOr<ShardedStore> Open(const StoreOptions& options);
 
+  /// Streams a file into the store block-by-block: blocks are placed and
+  /// replicated as they fill, so only one block is ever buffered. The file
+  /// becomes visible (replacing any previous version) at Close(); a writer
+  /// destroyed without Close() deletes the blocks it wrote.
+  class Writer {
+   public:
+    Writer(Writer&& other) noexcept;
+    Writer& operator=(Writer&& other) noexcept;
+    ~Writer();
+
+    Status Append(const uint8_t* data, size_t size);
+    Status Append(const std::vector<uint8_t>& bytes) {
+      return Append(bytes.data(), bytes.size());
+    }
+
+    /// Flushes the final block, installs the file, persists the manifest.
+    Status Close();
+
+    /// Bytes appended so far.
+    int64_t size() const { return size_; }
+
+   private:
+    friend class ShardedStore;
+    Writer(ShardedStore* store, std::string name)
+        : store_(store), name_(std::move(name)) {}
+    void Abandon();
+
+    ShardedStore* store_ = nullptr;  // Null once closed or moved from.
+    std::string name_;
+    std::vector<uint8_t> pending_;
+    std::vector<BlockPlacement> blocks_;
+    int64_t size_ = 0;
+  };
+
+  /// Opens a streaming writer for `name`. The store must outlive (and not
+  /// move while) the writer.
+  StatusOr<Writer> OpenWriter(const std::string& name);
+
   /// Stores a file, splitting it into replicated blocks. Overwrites.
+  /// Convenience over OpenWriter for callers that already hold the bytes.
   Status Put(const std::string& name, const std::vector<uint8_t>& bytes);
 
-  /// Reads a file back, failing over across replicas as needed.
+  /// Streams a file to `sink` block-by-block (one block buffered at a
+  /// time), failing over across replicas as needed.
+  Status Scan(const std::string& name,
+              const std::function<Status(const uint8_t* data, size_t size)>& sink) const;
+
+  /// Reads a whole file back. Prefer Scan/Read for large files.
   StatusOr<std::vector<uint8_t>> Get(const std::string& name) const;
+
+  /// Partial read of `length` bytes at `offset`: fetches only the covering
+  /// blocks, and within each block only the covering byte slice, with the
+  /// same replica fail-over as Get.
+  StatusOr<std::vector<uint8_t>> Read(const std::string& name, int64_t offset,
+                                      int64_t length) const;
 
   /// Removes a file and its blocks.
   Status Delete(const std::string& name);
@@ -63,31 +145,66 @@ class ShardedStore {
   Status EnableNode(int node);
 
   const StoreOptions& options() const { return options_; }
+  StoreStats stats() const;
 
  private:
-  struct BlockPlacement {
-    uint64_t block_id = 0;
-    int64_t size = 0;
-    std::vector<int> replicas;
-  };
   struct FileEntry {
     int64_t size = 0;
     std::vector<BlockPlacement> blocks;
   };
 
-  explicit ShardedStore(StoreOptions options) : options_(std::move(options)) {}
+  /// Registry instruments shared by every store with the same label.
+  struct Instruments {
+    metrics::Counter* blocks_written = nullptr;
+    metrics::Counter* blocks_read = nullptr;
+    metrics::Counter* bytes_written = nullptr;
+    metrics::Counter* bytes_read = nullptr;
+    metrics::Counter* replica_failovers = nullptr;
+    metrics::Counter* partial_reads = nullptr;
+  };
+
+  /// Counter updates happen under a shared (reader) lock, so they must be
+  /// atomic.
+  struct AtomicStats {
+    std::atomic<int64_t> blocks_written{0};
+    std::atomic<int64_t> blocks_read{0};
+    std::atomic<int64_t> bytes_written{0};
+    std::atomic<int64_t> bytes_read{0};
+    std::atomic<int64_t> replica_failovers{0};
+    std::atomic<int64_t> partial_reads{0};
+  };
+
+  explicit ShardedStore(StoreOptions options);
 
   std::string NodeDir(int node) const;
   std::string BlockPath(int node, uint64_t block_id) const;
   std::string ManifestPath() const;
-  Status SaveManifest() const;
-  Status LoadManifest();
+  Status SaveManifestLocked() const;
+  Status LoadManifestLocked();
+
+  /// Places and writes one replicated block (takes the exclusive lock).
+  StatusOr<BlockPlacement> WriteBlock(const uint8_t* data, size_t size);
+  /// Installs a streamed file under `name`, replacing any previous version.
+  Status Install(const std::string& name, FileEntry entry);
+  /// Best-effort removal of orphaned block replicas (abandoned writer).
+  void DropBlocks(const std::vector<BlockPlacement>& blocks) const;
+
+  /// Reads [slice_offset, slice_offset + slice_length) of `block` into
+  /// `out`, failing over across replicas. Caller holds at least a shared
+  /// lock.
+  Status ReadBlockSlice(const BlockPlacement& block, int64_t slice_offset,
+                        int64_t slice_length, uint8_t* out,
+                        const std::string& name) const;
 
   StoreOptions options_;
+  Instruments instruments_;
   std::map<std::string, FileEntry> files_;
   std::set<int> disabled_nodes_;
   uint64_t next_block_id_ = 1;
   int next_node_ = 0;  // Round-robin placement cursor.
+  std::unique_ptr<AtomicStats> stats_;
+  /// In a unique_ptr so the store stays movable (Open returns by value).
+  mutable std::unique_ptr<std::shared_mutex> mutex_;
 };
 
 }  // namespace visualroad::storage

@@ -1,0 +1,111 @@
+#include "storage/vss_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace visualroad::storage {
+
+std::string VariantTag(const VariantKey& key) {
+  std::string tag = std::to_string(key.width) + "x" + std::to_string(key.height);
+  return tag + (key.qp == 0 ? "_base" : "_qp" + std::to_string(key.qp));
+}
+
+bool Serves(const VariantInfo& v, const VariantKey& want) {
+  if (v.key.width != want.width || v.key.height != want.height) return false;
+  if (want.qp == 0) return v.base;  // The base bitstream itself.
+  return v.base || v.key.qp <= want.qp;
+}
+
+bool CanTranscode(const VariantInfo& source, const VariantKey& want) {
+  if (want.qp == 0) return false;  // The base bitstream cannot be recreated.
+  if (want.width <= 0 || want.height <= 0) return false;
+  if (source.key.width < want.width || source.key.height < want.height) {
+    return false;  // Never upscale: the result would fake detail.
+  }
+  return source.base || source.key.qp <= want.qp;
+}
+
+double ServeCost(const VariantInfo& source, const VariantKey& want,
+                 int frame_count, const CostModel& model) {
+  double read = static_cast<double>(source.bytes) * model.read_per_byte;
+  if (Serves(source, want)) return read;
+  if (!CanTranscode(source, want)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double src_pixels = static_cast<double>(source.key.width) * source.key.height;
+  double dst_pixels = static_cast<double>(want.width) * want.height;
+  return read + frame_count * (src_pixels * model.decode_per_pixel +
+                               dst_pixels * model.encode_per_pixel);
+}
+
+const VariantInfo* ChooseSource(const CatalogEntry& video, const VariantKey& want,
+                                const CostModel& model) {
+  const VariantInfo* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& [key, variant] : video.variants) {
+    double cost = ServeCost(variant, want, video.frame_count, model);
+    if (cost < best_cost) {
+      best = &variant;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+bool Dominates(const VariantInfo& b, const VariantInfo& a, double byte_slack) {
+  if (a.base || &a == &b || a.key == b.key) return false;
+  if (b.key.width != a.key.width || b.key.height != a.key.height) return false;
+  if (!b.base && b.key.qp > a.key.qp) return false;
+  return static_cast<double>(b.bytes) <=
+         byte_slack * static_cast<double>(a.bytes);
+}
+
+std::vector<VariantKey> CompactionVictims(const CatalogEntry& video,
+                                          double byte_slack) {
+  std::vector<VariantKey> victims;
+  for (const auto& [a_key, a] : video.variants) {
+    for (const auto& [b_key, b] : video.variants) {
+      // On mutual domination keep the lexicographically smaller key, so one
+      // of the pair always survives.
+      if (Dominates(b, a, byte_slack) &&
+          !(Dominates(a, b, byte_slack) && a_key < b_key)) {
+        victims.push_back(a_key);
+        break;
+      }
+    }
+  }
+  return victims;
+}
+
+std::vector<std::pair<std::string, VariantKey>> EvictionVictims(
+    const std::map<std::string, CatalogEntry>& catalog, int64_t budget_bytes,
+    const std::set<std::pair<std::string, VariantKey>>& pinned) {
+  struct Candidate {
+    uint64_t last_use;
+    int64_t bytes;
+    std::pair<std::string, VariantKey> id;
+  };
+  std::vector<Candidate> cached;
+  int64_t cached_bytes = 0;
+  for (const auto& [name, entry] : catalog) {
+    for (const auto& [key, variant] : entry.variants) {
+      if (variant.base) continue;
+      cached_bytes += variant.bytes;
+      cached.push_back({variant.last_use, variant.bytes, {name, key}});
+    }
+  }
+  std::sort(cached.begin(), cached.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.last_use < b.last_use;
+            });
+  std::vector<std::pair<std::string, VariantKey>> victims;
+  for (const Candidate& candidate : cached) {
+    if (cached_bytes <= budget_bytes) break;
+    if (pinned.count(candidate.id)) continue;
+    victims.push_back(candidate.id);
+    cached_bytes -= candidate.bytes;
+  }
+  return victims;
+}
+
+}  // namespace visualroad::storage

@@ -1,0 +1,124 @@
+#ifndef VISUALROAD_STORAGE_VSS_POLICY_H_
+#define VISUALROAD_STORAGE_VSS_POLICY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "video/codec/codec.h"
+
+namespace visualroad::storage {
+
+/// One physical quality tier of a logical video (VSS, Haynes et al.: a
+/// logical video is backed by one or more physical videos at different
+/// resolution/quality operating points).
+struct VariantKey {
+  int width = 0;
+  int height = 0;
+  /// Constant QP the variant was transcoded at. 0 is the base sentinel:
+  /// "the bitstream exactly as ingested", whatever QP schedule it carries.
+  int qp = 0;
+
+  bool operator==(const VariantKey& other) const {
+    return width == other.width && height == other.height && qp == other.qp;
+  }
+  bool operator<(const VariantKey& other) const {
+    if (width != other.width) return width < other.width;
+    if (height != other.height) return height < other.height;
+    return qp < other.qp;
+  }
+};
+
+/// "384x216_qp32", or "384x216_base" for the ingested bitstream.
+std::string VariantTag(const VariantKey& key);
+
+/// One GOP-aligned segment of a variant object: a contiguous byte range
+/// holding whole closed GOPs, so a frame range decodes from segment bytes
+/// alone.
+struct SegmentInfo {
+  int64_t offset = 0;
+  int64_t length = 0;
+  int first_frame = 0;
+  int frame_count = 0;
+};
+
+/// Catalog record of one materialized variant.
+struct VariantInfo {
+  VariantKey key;
+  /// The ingested bitstream; never evicted, never compacted away.
+  bool base = false;
+  /// Total object size in the store.
+  int64_t bytes = 0;
+  std::vector<SegmentInfo> segments;
+  /// Logical clock of the last read that used this variant (LRU eviction).
+  uint64_t last_use = 0;
+  int64_t hits = 0;
+};
+
+/// Catalog record of one logical video.
+struct CatalogEntry {
+  std::string name;
+  video::codec::Profile profile = video::codec::Profile::kH264Like;
+  double fps = 30.0;
+  int frame_count = 0;
+  /// Keyframe interval of the base bitstream; transcoded variants reuse it
+  /// so every variant segments at the same GOP boundaries.
+  int gop_length = 0;
+  std::map<VariantKey, VariantInfo> variants;
+};
+
+/// Relative costs of serving a read. The absolute scale is arbitrary; only
+/// ratios matter. Defaults reflect the VRC codec: decoding a pixel costs a
+/// few byte-reads, encoding (motion search) costs several decodes.
+struct CostModel {
+  double read_per_byte = 1.0;
+  double decode_per_pixel = 6.0;
+  double encode_per_pixel = 18.0;
+};
+
+/// True when materialized `v` answers a read at `want` directly: same
+/// resolution and quality no worse (base counts as best quality; a `want`
+/// with qp 0 demands the base bitstream itself).
+bool Serves(const VariantInfo& v, const VariantKey& want);
+
+/// True when `source` could produce `want` by transcoding down: resolution
+/// and quality at least as good, and `want` is a real transcode target
+/// (qp > 0, no upscale).
+bool CanTranscode(const VariantInfo& source, const VariantKey& want);
+
+/// Cost of answering a read at `want` from `source`: bytes fetched, plus
+/// decode+re-encode when the tier differs. +inf when `source` cannot serve
+/// or produce `want`.
+double ServeCost(const VariantInfo& source, const VariantKey& want,
+                 int frame_count, const CostModel& model);
+
+/// The cheapest materialized variant able to answer `want`, directly or by
+/// transcoding down; null when none qualifies.
+const VariantInfo* ChooseSource(const CatalogEntry& video, const VariantKey& want,
+                                const CostModel& model);
+
+/// True when cached variant `a` is dominated by materialized `b`: same
+/// resolution, quality at least as good, and object no more than
+/// `byte_slack` times larger — every read `a` answers, `b` answers at no
+/// worse quality and at most `byte_slack` the read bytes, so a compaction
+/// pass can drop `a`. Base variants are never dominated.
+bool Dominates(const VariantInfo& b, const VariantInfo& a, double byte_slack);
+
+/// Cached (non-base) variants of `video` that a compaction pass should
+/// drop because another materialized variant dominates them.
+std::vector<VariantKey> CompactionVictims(const CatalogEntry& video,
+                                          double byte_slack);
+
+/// Least-recently-used cached (non-base) variants to delete until the
+/// cached bytes across `catalog` fit `budget_bytes`. `pinned` lists
+/// variants a concurrent read is currently fetching; they are skipped.
+std::vector<std::pair<std::string, VariantKey>> EvictionVictims(
+    const std::map<std::string, CatalogEntry>& catalog, int64_t budget_bytes,
+    const std::set<std::pair<std::string, VariantKey>>& pinned);
+
+}  // namespace visualroad::storage
+
+#endif  // VISUALROAD_STORAGE_VSS_POLICY_H_

@@ -95,12 +95,15 @@ class BatchEngine : public Vdbms {
                                     const std::string& output_dir);
   /// Full eager decode of an input through the shared GOP cache;
   /// retained-table accounting drives the memory-pressure regime either way
-  /// (the materialised table is this engine's copy, hit or miss).
-  StatusOr<Video> MaterializeAll(const video::codec::EncodedVideo& encoded) {
+  /// (the materialised table is this engine's copy, hit or miss). The
+  /// bitstream comes from the storage service when one is configured.
+  StatusOr<Video> MaterializeAll(const sim::VideoAsset& asset) {
     TRACE_SPAN("materialize_input");
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<const video::codec::EncodedVideo> encoded,
+                        detail::ResolveInput(asset, options_));
     VR_ASSIGN_OR_RETURN(
         Video decoded,
-        video::codec::CachedDecode(encoded, *gop_cache_, &decode_counters_));
+        video::codec::CachedDecode(*encoded, *gop_cache_, &decode_counters_));
     retained_bytes_ += static_cast<int64_t>(decoded.FrameCount()) *
                        detail::FrameBytes(decoded.Width(), decoded.Height());
     return decoded;
@@ -252,7 +255,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q1:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       int first = std::clamp(static_cast<int>(instance.q1_t1 * input.fps), 0,
                              input.FrameCount() - 1);
       int last = std::clamp(static_cast<int>(std::ceil(instance.q1_t2 * input.fps)),
@@ -272,7 +275,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(a):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       VR_ASSIGN_OR_RETURN(Video gray, Stage(input, [](const Frame& f, int) {
                             return StatusOr<Frame>(video::Grayscale(f));
                           }));
@@ -284,7 +287,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(b):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       VR_ASSIGN_OR_RETURN(Video blurred, Stage(input, [&](const Frame& f, int) {
                             return video::GaussianBlur(f, instance.q2b_d);
                           }));
@@ -296,7 +299,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(c):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       VR_ASSIGN_OR_RETURN(
           queries::ReferenceResult result,
           DetectStage(input, asset->ground_truth, instance.object_class));
@@ -309,7 +312,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(d):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       // Materialised window sums: the batch architecture's natural (and
       // fast) mean-filter implementation.
       VR_ASSIGN_OR_RETURN(Video masked,
@@ -324,7 +327,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q3:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       VR_ASSIGN_OR_RETURN(Video tiled,
                           vision::TiledReencode(input, instance.q3_dx, instance.q3_dy,
                                                 instance.q3_bitrates,
@@ -353,7 +356,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
         return Status::ResourceExhausted(
             "Q4 upsample table exceeds the engine memory ceiling");
       }
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(encoded));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       VR_ASSIGN_OR_RETURN(Video up, Stage(input, [&](const Frame& f, int) {
                             return video::BilinearResize(
                                 f, f.width() * instance.q45_alpha,
@@ -367,7 +370,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q5:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       VR_ASSIGN_OR_RETURN(Video down, Stage(input, [&](const Frame& f, int) {
                             return video::Downsample(
                                 f, std::max(1, f.width() / instance.q45_alpha),
@@ -381,7 +384,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q6(a):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       // Consume the VCD's serialized box-sequence input format: parse the
       // class-id/coordinate records and rasterise a box table to join.
       const video::container::MetadataTrack* box_track =
@@ -418,7 +421,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(video::WebVttDocument captions,
                           video::ParseWebVtt(std::string(track->payload.begin(),
                                                          track->payload.end())));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       // Batch trick: caption overlays are pre-rendered once per distinct
       // active-cue set and reused across every frame that set covers.
       std::vector<Frame> overlay_cache;
@@ -457,7 +460,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q7:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
       VR_ASSIGN_OR_RETURN(
           queries::ReferenceResult boxes,
           DetectStage(input, asset->ground_truth, instance.object_class));

@@ -115,15 +115,18 @@ StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q1:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      const video::codec::EncodedVideo& encoded = asset->container.video;
-      int first = std::clamp(static_cast<int>(instance.q1_t1 * encoded.fps), 0,
-                             encoded.FrameCount() - 1);
-      int last = std::clamp(static_cast<int>(std::ceil(instance.q1_t2 * encoded.fps)),
-                            first + 1, encoded.FrameCount());
+      const video::codec::EncodedVideo& meta = asset->container.video;
+      int first = std::clamp(static_cast<int>(instance.q1_t1 * meta.fps), 0,
+                             meta.FrameCount() - 1);
+      int last = std::clamp(static_cast<int>(std::ceil(instance.q1_t2 * meta.fps)),
+                            first + 1, meta.FrameCount());
+      VR_ASSIGN_OR_RETURN(
+          detail::ResolvedRange input,
+          detail::ResolveInputRange(*asset, options_, first, last - first));
       VR_ASSIGN_OR_RETURN(Video range,
-                          video::codec::CachedDecodeRange(encoded, first, last - first,
-                                                          *gop_cache_,
-                                                          &decode_counters_));
+                          video::codec::CachedDecodeRange(
+                              *input.video, first - input.first_frame,
+                              last - first, *gop_cache_, &decode_counters_));
       Video cropped;
       cropped.fps = range.fps;
       {
@@ -141,9 +144,12 @@ StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(c):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
+      VR_ASSIGN_OR_RETURN(
+          std::shared_ptr<const video::codec::EncodedVideo> encoded,
+          detail::ResolveInput(*asset, options_));
       VR_ASSIGN_OR_RETURN(Video input,
-                          video::codec::CachedDecode(asset->container.video,
-                                                     *gop_cache_, &decode_counters_));
+                          video::codec::CachedDecode(*encoded, *gop_cache_,
+                                                     &decode_counters_));
 
       Video boxes;
       boxes.fps = input.fps;

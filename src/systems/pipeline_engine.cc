@@ -98,6 +98,14 @@ class PipelineEngine : public Vdbms {
     return video::codec::CachedDecode(encoded, *gop_cache_, &decode_counters_);
   }
 
+  /// Whole-stream decode of a query input; the bitstream comes from the
+  /// storage service when one is configured.
+  StatusOr<Video> DecodeInput(const sim::VideoAsset& asset) {
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<const video::codec::EncodedVideo> encoded,
+                        detail::ResolveInput(asset, options_));
+    return DecodeCached(*encoded);
+  }
+
   /// Inference memoisation: detection results keyed by frame content (and
   /// frame index, which seeds the detector's noise model). With few
   /// distinct inputs — the paper's duplicated-corpus scenario — repeated
@@ -206,17 +214,21 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q1:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      const video::codec::EncodedVideo& encoded = asset->container.video;
+      const video::codec::EncodedVideo& meta = asset->container.video;
       // Lazy temporal selection: only the keyframe-aligned range that covers
-      // [t1, t2) is ever decoded.
-      int first = std::clamp(static_cast<int>(instance.q1_t1 * encoded.fps), 0,
-                             encoded.FrameCount() - 1);
-      int last = std::clamp(static_cast<int>(std::ceil(instance.q1_t2 * encoded.fps)),
-                            first + 1, encoded.FrameCount());
+      // [t1, t2) is ever decoded — and with a storage service configured,
+      // only its covering GOP-aligned segments are ever fetched.
+      int first = std::clamp(static_cast<int>(instance.q1_t1 * meta.fps), 0,
+                             meta.FrameCount() - 1);
+      int last = std::clamp(static_cast<int>(std::ceil(instance.q1_t2 * meta.fps)),
+                            first + 1, meta.FrameCount());
+      VR_ASSIGN_OR_RETURN(
+          detail::ResolvedRange input,
+          detail::ResolveInputRange(*asset, options_, first, last - first));
       VR_ASSIGN_OR_RETURN(Video range,
-                          video::codec::CachedDecodeRange(encoded, first, last - first,
-                                                          *gop_cache_,
-                                                          &decode_counters_));
+                          video::codec::CachedDecodeRange(
+                              *input.video, first - input.first_frame,
+                              last - first, *gop_cache_, &decode_counters_));
       VR_ASSIGN_OR_RETURN(Video cropped, FusedPipeline(range, [&](const Frame& f, int) {
                             return video::Crop(f, instance.q1_rect);
                           }));
@@ -228,7 +240,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(a):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
       VR_ASSIGN_OR_RETURN(Video gray, FusedPipeline(input, [](const Frame& f, int) {
                             return StatusOr<Frame>(video::Grayscale(f));
                           }));
@@ -240,7 +252,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(b):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
       VR_ASSIGN_OR_RETURN(Video blurred,
                           FusedPipeline(input, [&](const Frame& f, int) {
                             return video::GaussianBlur(f, instance.q2b_d);
@@ -253,7 +265,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(c):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
       VR_ASSIGN_OR_RETURN(
           queries::ReferenceResult result,
           CachedBoxesQuery(input, asset->ground_truth, instance.object_class));
@@ -266,7 +278,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(d):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
       // The fused pipeline holds no materialised window sums, so the mean
       // filter recomputes its window per frame (the paper's slow path).
       VR_ASSIGN_OR_RETURN(Video masked,
@@ -280,7 +292,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q3:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
       VR_ASSIGN_OR_RETURN(Video tiled,
                           vision::TiledReencode(input, instance.q3_dx,
                                                 instance.q3_dy, instance.q3_bitrates,
@@ -293,7 +305,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q4:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
       VR_ASSIGN_OR_RETURN(Video up, FusedPipeline(input, [&](const Frame& f, int) {
                             return video::BilinearResize(
                                 f, f.width() * instance.q45_alpha,
@@ -307,7 +319,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q5:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
       VR_ASSIGN_OR_RETURN(Video down, FusedPipeline(input, [&](const Frame& f, int) {
                             return video::Downsample(
                                 f, std::max(1, f.width() / instance.q45_alpha),
@@ -321,7 +333,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q6(a):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
       // Consume the VCD's encoded box-video input (it flows through the
       // shared GOP cache like any other stream) and fuse the join.
       const video::container::MetadataTrack* box_track =
@@ -349,7 +361,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(video::WebVttDocument captions,
                           video::ParseWebVtt(std::string(track->payload.begin(),
                                                          track->payload.end())));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
       // Scalar CPU captioning: each frame re-renders its overlay from the
       // cue list and coalesces through a float RGB round-trip per pixel.
       VR_ASSIGN_OR_RETURN(Video merged, FusedPipeline(input, [&](const Frame& f,
@@ -381,7 +393,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q7:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(asset->container.video));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
       VR_ASSIGN_OR_RETURN(
           queries::ReferenceResult boxes,
           CachedBoxesQuery(input, asset->ground_truth, instance.object_class));

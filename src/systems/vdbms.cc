@@ -4,9 +4,42 @@
 #include <filesystem>
 
 #include "common/trace.h"
+#include "storage/vss.h"
 #include "video/codec/gop_cache.h"
 
 namespace visualroad::systems::detail {
+
+namespace {
+
+/// Non-owning view of a container-held bitstream. The dataset outlives the
+/// engine call, so an empty deleter is sound.
+std::shared_ptr<const video::codec::EncodedVideo> BorrowStream(
+    const video::codec::EncodedVideo& video) {
+  return {&video, [](const video::codec::EncodedVideo*) {}};
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const video::codec::EncodedVideo>> ResolveInput(
+    const sim::VideoAsset& asset, const EngineOptions& options) {
+  if (options.vss == nullptr) return BorrowStream(asset.container.video);
+  const std::string name = storage::CameraStreamName(asset.camera.camera_id);
+  VR_ASSIGN_OR_RETURN(storage::VariantKey tier, options.vss->BaseTier(name));
+  return options.vss->ReadVideo(name, tier);
+}
+
+StatusOr<ResolvedRange> ResolveInputRange(const sim::VideoAsset& asset,
+                                          const EngineOptions& options,
+                                          int first, int count) {
+  if (options.vss == nullptr) {
+    return ResolvedRange{BorrowStream(asset.container.video), 0};
+  }
+  const std::string name = storage::CameraStreamName(asset.camera.camera_id);
+  VR_ASSIGN_OR_RETURN(storage::VariantKey tier, options.vss->BaseTier(name));
+  VR_ASSIGN_OR_RETURN(storage::RangeRead range,
+                      options.vss->ReadRange(name, tier, first, count));
+  return ResolvedRange{std::move(range.video), range.first_frame};
+}
 
 StatusOr<const sim::VideoAsset*> InputAsset(const queries::QueryInstance& instance,
                                             const sim::Dataset& dataset) {

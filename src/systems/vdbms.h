@@ -13,6 +13,10 @@ namespace visualroad::video::codec {
 class GopCache;
 }  // namespace visualroad::video::codec
 
+namespace visualroad::storage {
+class VideoStorageService;
+}  // namespace visualroad::storage
+
 namespace visualroad::systems {
 
 /// Benchmark execution modes (Section 3.2). Offline gives the engine random
@@ -57,6 +61,12 @@ struct EngineOptions {
   /// process-wide GopCache::Global(); tests inject private instances.
   video::codec::GopCache* gop_cache = nullptr;
   double plate_match_threshold = 0.80;
+  /// Storage-backed offline mode: when set, engines read input bitstreams
+  /// (whole or as GOP-aligned frame ranges) from the storage service
+  /// instead of the dataset's in-memory containers. The base tier returns
+  /// the ingested bitstream byte-for-byte, so query results are identical
+  /// either way. Borrowed; must outlive the engine.
+  storage::VideoStorageService* vss = nullptr;
 };
 
 /// The outcome of one query instance.
@@ -131,6 +141,27 @@ namespace detail {
 /// The traffic asset a query instance addresses, or an error.
 StatusOr<const sim::VideoAsset*> InputAsset(const queries::QueryInstance& instance,
                                             const sim::Dataset& dataset);
+
+/// The input bitstream for `asset`: read from the storage service at the
+/// asset's base tier when `options.vss` is set (storage-backed offline
+/// mode), else a non-owning view of the in-memory container. Byte-identical
+/// either way.
+StatusOr<std::shared_ptr<const video::codec::EncodedVideo>> ResolveInput(
+    const sim::VideoAsset& asset, const EngineOptions& options);
+
+/// A resolved frame range: `video->frames[0]` is logical frame
+/// `first_frame` of the input stream.
+struct ResolvedRange {
+  std::shared_ptr<const video::codec::EncodedVideo> video;
+  int first_frame = 0;
+};
+
+/// The covering bitstream for frames [first, first+count) of `asset`: a
+/// GOP-aligned range read through the storage service when `options.vss`
+/// is set, else a view of the whole in-memory container.
+StatusOr<ResolvedRange> ResolveInputRange(const sim::VideoAsset& asset,
+                                          const EngineOptions& options,
+                                          int first, int count);
 
 /// Encodes `result` and, in write mode, persists it as a container under
 /// `output_dir` with a name derived from `instance`. Fills `output`.

@@ -1,15 +1,15 @@
 #include "systems/video_source.h"
 
+#include <algorithm>
 #include <thread>
+
+#include "storage/vss.h"
 
 namespace visualroad::systems {
 
 VideoSource::VideoSource(const video::codec::EncodedVideo* stream, bool offline,
                          double rate_multiplier)
-    : stream_(stream),
-      offline_(offline),
-      rate_multiplier_(rate_multiplier),
-      start_(std::chrono::steady_clock::now()) {}
+    : stream_(stream), offline_(offline), rate_multiplier_(rate_multiplier) {}
 
 VideoSource VideoSource::Offline(const video::codec::EncodedVideo* stream) {
   return VideoSource(stream, /*offline=*/true, 0.0);
@@ -21,15 +21,57 @@ VideoSource VideoSource::Online(const video::codec::EncodedVideo* stream,
                      rate_multiplier > 0 ? rate_multiplier : 1.0);
 }
 
+StatusOr<VideoSource> VideoSource::StorageOffline(
+    storage::VideoStorageService* vss, const std::string& name,
+    int readahead_frames) {
+  if (vss == nullptr) {
+    return Status::InvalidArgument("storage source needs a service");
+  }
+  VR_ASSIGN_OR_RETURN(storage::CatalogEntry entry, vss->Describe(name));
+  VideoSource source(nullptr, /*offline=*/true, 0.0);
+  source.vss_ = vss;
+  source.name_ = name;
+  source.readahead_frames_ = std::max(1, readahead_frames);
+  source.frame_count_ = entry.frame_count;
+  return source;
+}
+
+int VideoSource::FrameCount() const {
+  return stream_ != nullptr ? stream_->FrameCount() : frame_count_;
+}
+
+Status VideoSource::FillWindow() {
+  if (window_ != nullptr && position_ >= window_first_ &&
+      position_ < window_first_ + window_->FrameCount()) {
+    return Status::Ok();
+  }
+  VR_ASSIGN_OR_RETURN(storage::VariantKey tier, vss_->BaseTier(name_));
+  int count = std::min(readahead_frames_, frame_count_ - position_);
+  VR_ASSIGN_OR_RETURN(storage::RangeRead range,
+                      vss_->ReadRange(name_, tier, position_, count));
+  window_ = std::move(range.video);
+  window_first_ = range.first_frame;
+  return Status::Ok();
+}
+
 StatusOr<const video::codec::EncodedFrame*> VideoSource::Next() {
   if (AtEnd()) return Status::OutOfRange("video source exhausted");
   if (!offline_) {
+    if (!started_) {
+      // Anchor pacing at the first read, not at construction.
+      started_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
     // Throttle: frame i becomes available at start + i / (fps * multiplier).
     double seconds = position_ / (stream_->fps * rate_multiplier_);
     auto available_at =
         start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                      std::chrono::duration<double>(seconds));
     std::this_thread::sleep_until(available_at);
+  }
+  if (vss_ != nullptr) {
+    VR_RETURN_IF_ERROR(FillWindow());
+    return &window_->frames[static_cast<size_t>(position_++ - window_first_)];
   }
   return &stream_->frames[static_cast<size_t>(position_++)];
 }
@@ -38,10 +80,18 @@ Status VideoSource::Seek(int frame_index) {
   if (!offline_) {
     return Status::FailedPrecondition("online sources are forward-only");
   }
-  if (frame_index < 0 || frame_index > stream_->FrameCount()) {
+  if (frame_index < 0 || frame_index > FrameCount()) {
     return Status::OutOfRange("seek outside the stream");
   }
   position_ = frame_index;
+  // Reset position-dependent state: a window that no longer covers the new
+  // position would serve frames of the wrong index.
+  if (window_ != nullptr &&
+      (position_ < window_first_ ||
+       position_ >= window_first_ + window_->FrameCount())) {
+    window_.reset();
+    window_first_ = 0;
+  }
   return Status::Ok();
 }
 

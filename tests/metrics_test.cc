@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "driver/datasets.h"
 #include "driver/vcd.h"
+#include "storage/vss.h"
 #include "video/codec/codec.h"
 #include "video/codec/gop_cache.h"
 #include "video/rtp.h"
@@ -229,6 +231,41 @@ TEST(MetricsDocsSyncTest, EveryRegisteredMetricIsDocumented) {
       ASSERT_TRUE(result.ok()) << result.status().ToString();
       engine->Quiesce();
     }
+  }
+
+  // Storage service metrics (vr_store_*, vr_vss_*): ingest into a sharded
+  // store, read at a transcode tier, range-read, and compact.
+  {
+    namespace fs = std::filesystem;
+    std::string root = (fs::temp_directory_path() / "vr_metrics_vss").string();
+    storage::StoreOptions store_options;
+    store_options.root = root;
+    store_options.block_size = 512;
+    store_options.metrics_label = "metrics_test";
+    auto store = storage::ShardedStore::Open(store_options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    storage::VssOptions vss_options;
+    vss_options.store = &*store;
+    vss_options.resident_bytes = 0;
+    auto vss = storage::VideoStorageService::Open(vss_options);
+    ASSERT_TRUE(vss.ok()) << vss.status().ToString();
+    video::codec::EncodedVideo encoded = EncodeTestVideo(/*frames=*/8,
+                                                         /*gop_length=*/4);
+    ASSERT_TRUE((*vss)->Ingest("cam", encoded).ok());
+    auto base = (*vss)->BaseTier("cam");
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE((*vss)->ReadRange("cam", *base, 5, 2).ok());
+    storage::VariantKey tier{16, 16, 32};
+    ASSERT_TRUE((*vss)->ReadVideo("cam", tier).ok());
+    ASSERT_TRUE((*vss)->ReadVideo("cam", tier).ok());
+    ASSERT_TRUE((*vss)->Compact().ok());
+    // A degraded datanode exercises the fail-over counter.
+    ASSERT_TRUE(store->DisableNode(0).ok());
+    (*vss)->DropResident();
+    auto read = (*vss)->ReadVideo("cam", *base);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    std::error_code ec;
+    fs::remove_all(root, ec);
   }
 
   std::ifstream docs(std::string(VISUALROAD_SOURCE_DIR) +

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "common/random.h"
@@ -163,6 +164,119 @@ TEST_F(ShardedStoreTest, RejectsBadOptions) {
   bad.num_nodes = 2;
   bad.block_size = 4;
   EXPECT_FALSE(ShardedStore::Open(bad).ok());
+}
+
+TEST_F(ShardedStoreTest, PartialReadFetchesOnlyCoveringBlocks) {
+  auto store = ShardedStore::Open(Options(4, 2, 256));
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> payload = RandomBytes(1000, 10);
+  ASSERT_TRUE(store->Put("f", payload).ok());
+  StoreStats before = store->stats();
+  auto slice = store->Read("f", 300, 400);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(*slice, std::vector<uint8_t>(payload.begin() + 300,
+                                         payload.begin() + 700));
+  StoreStats after = store->stats();
+  // Bytes [300, 700) live in blocks 1 and 2 of four; the other two blocks
+  // are never touched.
+  EXPECT_EQ(after.blocks_read - before.blocks_read, 2);
+  EXPECT_EQ(after.bytes_read - before.bytes_read, 400);
+  EXPECT_EQ(after.partial_reads - before.partial_reads, 1);
+}
+
+TEST_F(ShardedStoreTest, PartialReadValidatesBounds) {
+  auto store = ShardedStore::Open(Options(4, 2, 256));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("f", RandomBytes(100, 11)).ok());
+  EXPECT_FALSE(store->Read("f", -1, 10).ok());
+  EXPECT_FALSE(store->Read("f", 0, -1).ok());
+  EXPECT_FALSE(store->Read("f", 90, 11).ok());
+  EXPECT_FALSE(store->Read("missing", 0, 1).ok());
+  auto empty = store->Read("f", 100, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(ShardedStoreTest, StreamingWriterRoundTrips) {
+  auto store = ShardedStore::Open(Options(4, 2, 256));
+  ASSERT_TRUE(store.ok());
+  auto writer = store->OpenWriter("streamed");
+  ASSERT_TRUE(writer.ok());
+  std::vector<uint8_t> expected;
+  // Appends straddle block boundaries in both directions (small and large).
+  for (size_t chunk : {100u, 1u, 700u, 256u, 3u}) {
+    std::vector<uint8_t> bytes = RandomBytes(chunk, 12 + chunk);
+    expected.insert(expected.end(), bytes.begin(), bytes.end());
+    ASSERT_TRUE(writer->Append(bytes).ok());
+  }
+  EXPECT_EQ(writer->size(), static_cast<int64_t>(expected.size()));
+  // Not visible until Close.
+  EXPECT_FALSE(store->Get("streamed").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  auto loaded = store->Get("streamed");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, expected);
+}
+
+TEST_F(ShardedStoreTest, AbandonedWriterLeavesNoTrace) {
+  auto store = ShardedStore::Open(Options(4, 2, 128));
+  ASSERT_TRUE(store.ok());
+  {
+    auto writer = store->OpenWriter("ghost");
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(RandomBytes(600, 13)).ok());
+    // Destroyed without Close: blocks already written must be removed.
+  }
+  EXPECT_FALSE(store->Get("ghost").ok());
+  size_t remaining = 0;
+  for (int n = 0; n < 4; ++n) {
+    for (auto& entry : fs::directory_iterator(root_ + "/node" + std::to_string(n))) {
+      (void)entry;
+      ++remaining;
+    }
+  }
+  EXPECT_EQ(remaining, 0u);
+}
+
+TEST_F(ShardedStoreTest, ScanStreamsBlockByBlock) {
+  auto store = ShardedStore::Open(Options(4, 2, 256));
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> payload = RandomBytes(1000, 14);
+  ASSERT_TRUE(store->Put("f", payload).ok());
+  std::vector<uint8_t> assembled;
+  size_t calls = 0;
+  size_t largest = 0;
+  ASSERT_TRUE(store
+                  ->Scan("f",
+                         [&](const uint8_t* data, size_t size) {
+                           assembled.insert(assembled.end(), data, data + size);
+                           largest = std::max(largest, size);
+                           ++calls;
+                           return Status::Ok();
+                         })
+                  .ok());
+  EXPECT_EQ(assembled, payload);
+  EXPECT_EQ(calls, 4u);       // One sink call per block.
+  EXPECT_LE(largest, 256u);   // Never more than one block buffered.
+}
+
+TEST_F(ShardedStoreTest, CountersTrackWritesReadsAndFailovers) {
+  auto store = ShardedStore::Open(Options(4, 2, 256));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("f", RandomBytes(1000, 15)).ok());
+  StoreStats stats = store->stats();
+  EXPECT_EQ(stats.blocks_written, 4);
+  EXPECT_EQ(stats.bytes_written, 2000);  // Physical: replication x logical.
+  EXPECT_EQ(stats.blocks_read, 0);
+  ASSERT_TRUE(store->Get("f").ok());
+  stats = store->stats();
+  EXPECT_EQ(stats.blocks_read, 4);
+  EXPECT_EQ(stats.bytes_read, 1000);
+  EXPECT_EQ(stats.replica_failovers, 0);
+  // A dark datanode forces at least one fail-over to a replica.
+  ASSERT_TRUE(store->DisableNode(0).ok());
+  ASSERT_TRUE(store->Get("f").ok());
+  EXPECT_GT(store->stats().replica_failovers, 0);
 }
 
 TEST_F(ShardedStoreTest, ReplicationClampedToNodeCount) {
