@@ -89,7 +89,7 @@ std::string FormatPoolStats(const PoolStats& stats, int threads,
 std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) {
   TextTable table;
   table.SetHeader({"Query", "Engine", "Batch", "Runtime", "FPS", "Validation",
-                   "Parallel", "Cache"});
+                   "Parallel", "Cache", "Faults"});
   for (const QueryBatchResult& result : results) {
     std::string validation;
     if (!result.Supported()) {
@@ -141,10 +141,21 @@ std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) 
                     static_cast<long long>(lookups));
       cache = buffer;
     }
+    // Robustness accounting: retries absorbed and frames served degraded
+    // during the measured window. A clean run shows "-".
+    std::string faults = "-";
+    if (result.retries > 0 || result.frames_degraded > 0) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%lld retries, %lld degraded",
+                    static_cast<long long>(result.retries),
+                    static_cast<long long>(result.frames_degraded));
+      faults = buffer;
+    }
     table.AddRow({queries::QueryName(result.id), result.engine,
                   std::to_string(result.instances),
                   result.Supported() ? FormatSeconds(result.total_seconds) : "N/A",
-                  result.Supported() ? fps : "-", validation, parallel, cache});
+                  result.Supported() ? fps : "-", validation, parallel, cache,
+                  faults});
   }
   return table.ToString();
 }

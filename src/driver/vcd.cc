@@ -200,6 +200,7 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
     bool failed = false;
     bool resource_exhausted = false;
     std::string error;
+    int64_t frames_degraded = 0;
   };
   std::vector<InstanceOutcome> outcomes(batch.size());
   std::vector<systems::QueryOutput> outputs(batch.size());
@@ -217,10 +218,11 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
         systems::VideoSource source = systems::VideoSource::Online(
             &traffic[static_cast<size_t>(batch[index].video_index)]
                  ->container.video,
-            options_.online_rate_multiplier);
+            options_.online_rate_multiplier, options_.faults);
         while (!source.AtEnd()) {
           if (!source.Next().ok()) break;
         }
+        outcomes[index].frames_degraded = source.frames_degraded();
       }
     }
     StatusOr<systems::QueryOutput> output =
@@ -251,6 +253,11 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
                           engine.ConcurrentSafe();
 
   systems::EngineStats stats_before = engine.stats();
+  // Robustness accounting for the measured window: retry attempts across
+  // every RetryPolicy site, and reads the VSS served degraded.
+  const int64_t retries_before = fault::TotalRetries();
+  const int64_t vss_degraded_before =
+      options_.storage != nullptr ? options_.storage->stats().degraded_reads : 0;
   Stopwatch stopwatch;
   {
     // One span covering the whole measured window, so the exported trace
@@ -271,6 +278,11 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
     }
   }
   result.total_seconds = stopwatch.ElapsedSeconds();
+  result.retries = fault::TotalRetries() - retries_before;
+  if (options_.storage != nullptr) {
+    result.frames_degraded +=
+        options_.storage->stats().degraded_reads - vss_degraded_before;
+  }
   DriverMetrics::Get().batches.Increment();
   DriverMetrics::Get().batch_seconds.Observe(result.total_seconds);
   // The engine's counter movement over the measured window; batches share
@@ -295,6 +307,7 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
   int64_t input_frames = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     const InstanceOutcome& outcome = outcomes[i];
+    result.frames_degraded += outcome.frames_degraded;
     if (outcome.succeeded) {
       ++result.succeeded;
       input_frames += InputFrames(batch[i]);

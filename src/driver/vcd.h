@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "driver/validation.h"
@@ -60,6 +61,12 @@ struct VcdOptions {
   /// EngineOptions::vss read GOP-aligned ranges from it instead of the
   /// in-memory containers. Borrowed; must outlive the driver.
   storage::VideoStorageService* storage = nullptr;
+  /// Deterministic fault injection for the run (borrowed; null = no
+  /// faults). Online sources consume channel loss/jitter from it; storage
+  /// and VSS faults flow through the services configured with the same
+  /// injector. The per-batch retry and degraded-frame accounting in
+  /// QueryBatchResult is populated whenever this is set.
+  fault::FaultInjector* faults = nullptr;
 };
 
 /// Measured outcome of one query batch on one engine.
@@ -92,6 +99,13 @@ struct QueryBatchResult {
   /// Per-span-name totals of every trace span recorded while this batch ran
   /// (measured window plus validation). Empty when tracing is disabled.
   std::vector<trace::SpanTotal> stage_breakdown;
+  /// Frames delivered degraded during the measured window: freeze-frame
+  /// repeats from online sources plus VSS reads served past the transcode
+  /// deadline. Zero on a fault-free run.
+  int64_t frames_degraded = 0;
+  /// Retry attempts (across every RetryPolicy site) during the measured
+  /// window. Zero on a fault-free run.
+  int64_t retries = 0;
 
   bool Supported() const { return unsupported < instances; }
 };

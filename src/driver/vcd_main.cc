@@ -8,12 +8,16 @@
 // registered Prometheus metric to stdout (see docs/OBSERVABILITY.md).
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "common/fault.h"
 
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -48,6 +52,12 @@ void PrintUsage(const char* argv0) {
       "  --storage DIR     Stage inputs into a tiered storage service rooted\n"
       "                    at DIR and read them back through it (DESIGN.md\n"
       "                    Section 10) instead of from memory\n"
+      "  --faults NAME     Deterministic fault injection profile (none |\n"
+      "                    flaky | lossy | degraded; DESIGN.md Section 11).\n"
+      "                    Implies online execution at an accelerated rate\n"
+      "                    and storage-backed reads (a temp store is created\n"
+      "                    when --storage is not given); the report gains a\n"
+      "                    Faults column with retries and degraded frames\n"
       "\n"
       "Observability (docs/OBSERVABILITY.md):\n"
       "  --trace PATH      Record spans; write Chrome trace JSON to PATH\n"
@@ -140,6 +150,7 @@ int Run(int argc, char** argv) {
   std::string query_spec;
   std::string metrics_path;
   std::string storage_dir;
+  std::string faults_name;
 
   auto next_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -193,6 +204,9 @@ int Run(int argc, char** argv) {
     } else if (arg == "--storage") {
       if (!(value = next_value(i, "--storage"))) return 2;
       storage_dir = value;
+    } else if (arg == "--faults") {
+      if (!(value = next_value(i, "--faults"))) return 2;
+      faults_name = value;
     } else if (arg == "--trace") {
       if (!(value = next_value(i, "--trace"))) return 2;
       vcd_options.trace = true;
@@ -217,11 +231,49 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Fault injection: resolve the profile, then run online (the channel
+  // faults act on the throttled feed) against storage-backed reads (the
+  // store and VSS faults act on the read path). One injector seeded with
+  // the run seed drives every site, so reruns reproduce the schedule.
+  std::unique_ptr<fault::FaultInjector> faults;
+  if (!faults_name.empty()) {
+    auto profile = fault::ProfileByName(faults_name);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+      return 2;
+    }
+    faults = std::make_unique<fault::FaultInjector>(*profile, config.seed);
+    vcd_options.faults = faults.get();
+    vcd_options.execution_mode = systems::ExecutionMode::kOnline;
+    // Accelerate simulated real time so a faulted run stays test-sized; the
+    // pacing semantics (and the fault schedule) are unchanged.
+    vcd_options.online_rate_multiplier = 200.0;
+    if (storage_dir.empty()) {
+      storage_dir =
+          (std::filesystem::temp_directory_path() /
+           ("vcd-faults-" + std::to_string(config.seed)))
+              .string();
+      std::error_code ec;
+      std::filesystem::remove_all(storage_dir, ec);
+      std::printf("Fault profile '%s': using temporary storage at %s\n",
+                  faults_name.c_str(), storage_dir.c_str());
+    }
+  }
+
   std::unique_ptr<storage::ShardedStore> store;
   std::unique_ptr<storage::VideoStorageService> vss;
   if (!storage_dir.empty()) {
     storage::StoreOptions store_options;
     store_options.root = storage_dir;
+    store_options.faults = faults.get();
+    if (faults != nullptr) {
+      // Single replica: an injected flap cannot fail over, it has to retry,
+      // which is the behavior a fault run exists to demonstrate. The larger
+      // attempt budget keeps the giveup odds negligible under `flaky`
+      // (p=.35 per attempt), so every query still completes.
+      store_options.replication = 1;
+      store_options.read_retry.max_attempts = 10;
+    }
     auto opened = storage::ShardedStore::Open(store_options);
     if (!opened.ok()) {
       std::fprintf(stderr, "cannot open storage at %s: %s\n",
@@ -231,6 +283,16 @@ int Run(int argc, char** argv) {
     store = std::make_unique<storage::ShardedStore>(std::move(opened).value());
     storage::VssOptions vss_options;
     vss_options.store = store.get();
+    vss_options.faults = faults.get();
+    if (faults != nullptr) {
+      // Reads that stall in transcode past this budget degrade to the
+      // nearest materialized variant instead of blocking the query.
+      vss_options.transcode_deadline = std::chrono::milliseconds(2);
+      // The resident cache would absorb every read after staging and the
+      // store fault sites would never fire; a fault run is about the read
+      // path, so force each read down to the sharded store.
+      vss_options.resident_bytes = 0;
+    }
     auto service = storage::VideoStorageService::Open(vss_options);
     if (!service.ok()) {
       std::fprintf(stderr, "cannot open storage service: %s\n",

@@ -77,6 +77,19 @@ ShardedStore::ShardedStore(StoreOptions options)
   instruments_.partial_reads = &registry.GetCounter(
       "vr_store_partial_reads_total",
       "Range reads that touched a strict subset of a file's blocks.", labels);
+  instruments_.read_retries = &registry.GetCounter(
+      "vr_store_read_retries_total",
+      "Block-read attempts beyond the first (transient failure, retried).",
+      labels);
+  instruments_.write_replacements = &registry.GetCounter(
+      "vr_store_write_replacements_total",
+      "Replica writes that failed mid-block and were re-placed.", labels);
+  instruments_.bytes_reclaimed = &registry.GetCounter(
+      "vr_store_bytes_reclaimed_total",
+      "Physical bytes reclaimed by dropping replicas.", labels);
+  instruments_.bytes_stored = &registry.GetGauge(
+      "vr_store_bytes_stored",
+      "Physical bytes currently stored, replication included.", labels);
 }
 
 StatusOr<ShardedStore> ShardedStore::Open(const StoreOptions& options) {
@@ -189,7 +202,15 @@ StatusOr<ShardedStore::Writer> ShardedStore::OpenWriter(const std::string& name)
 StatusOr<BlockPlacement> ShardedStore::WriteBlock(const uint8_t* data,
                                                   size_t size) {
   std::unique_lock lock(*mutex_);
-  int available = options_.num_nodes - static_cast<int>(disabled_nodes_.size());
+  // Prune expired flap windows while we hold the exclusive lock anyway.
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = flapped_nodes_.begin(); it != flapped_nodes_.end();) {
+    it = (it->second <= now) ? flapped_nodes_.erase(it) : std::next(it);
+  }
+  int available = 0;
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    if (!NodeDownLocked(n)) ++available;
+  }
   if (available < 1) return Status::ResourceExhausted("no datanodes available");
   int replication = std::min(options_.replication, available);
 
@@ -200,23 +221,71 @@ StatusOr<BlockPlacement> ShardedStore::WriteBlock(const uint8_t* data,
   while (static_cast<int>(block.replicas.size()) < replication) {
     int node = next_node_;
     next_node_ = (next_node_ + 1) % options_.num_nodes;
-    if (disabled_nodes_.count(node)) continue;
+    if (NodeDownLocked(node)) continue;
     if (std::find(block.replicas.begin(), block.replicas.end(), node) !=
         block.replicas.end()) {
       continue;
     }
     block.replicas.push_back(node);
   }
-  for (int node : block.replicas) {
-    VR_RETURN_IF_ERROR(WriteFileBytes(BlockPath(node, block.block_id), data, size));
+
+  // Write each replica; a failed replica write (real, or an injected
+  // kStoreWriteFail) re-places that replica on another healthy node rather
+  // than failing the whole Put mid-block.
+  auto write_replica = [&](int node) -> Status {
+    if (options_.faults != nullptr &&
+        options_.faults->ShouldInject(fault::Site::kStoreWriteFail)) {
+      return Status::IoError("injected replica write failure on node " +
+                             std::to_string(node));
+    }
+    return WriteFileBytes(BlockPath(node, block.block_id), data, size);
+  };
+  auto abort_block = [&](size_t written) {
+    // Remove replicas written before the failure (plus any torn file at the
+    // failed slot); nothing was accounted yet, so removal needs no stats.
+    for (size_t r = 0; r <= written && r < block.replicas.size(); ++r) {
+      std::error_code ec;
+      fs::remove(BlockPath(block.replicas[r], block.block_id), ec);
+    }
+  };
+  for (size_t i = 0; i < block.replicas.size(); ++i) {
+    std::set<int> tried;
+    Status write_status = write_replica(block.replicas[i]);
+    tried.insert(block.replicas[i]);
+    while (!write_status.ok()) {
+      int replacement = -1;
+      for (int probe = 0; probe < options_.num_nodes; ++probe) {
+        int candidate = next_node_;
+        next_node_ = (next_node_ + 1) % options_.num_nodes;
+        if (NodeDownLocked(candidate) || tried.count(candidate) ||
+            std::find(block.replicas.begin(), block.replicas.end(),
+                      candidate) != block.replicas.end()) {
+          continue;
+        }
+        replacement = candidate;
+        break;
+      }
+      if (replacement < 0) {
+        abort_block(i);
+        return write_status;
+      }
+      block.replicas[i] = replacement;
+      tried.insert(replacement);
+      write_status = write_replica(replacement);
+      if (write_status.ok()) {
+        stats_->write_replacements.fetch_add(1, std::memory_order_relaxed);
+        instruments_.write_replacements->Increment();
+      }
+    }
   }
+  const int64_t physical =
+      static_cast<int64_t>(size) * static_cast<int64_t>(block.replicas.size());
   stats_->blocks_written.fetch_add(1, std::memory_order_relaxed);
-  stats_->bytes_written.fetch_add(
-      static_cast<int64_t>(size) * static_cast<int64_t>(block.replicas.size()),
-      std::memory_order_relaxed);
+  stats_->bytes_written.fetch_add(physical, std::memory_order_relaxed);
+  stats_->bytes_stored.fetch_add(physical, std::memory_order_relaxed);
   instruments_.blocks_written->Increment();
-  instruments_.bytes_written->Increment(
-      static_cast<double>(size) * static_cast<double>(block.replicas.size()));
+  instruments_.bytes_written->Increment(static_cast<double>(physical));
+  instruments_.bytes_stored->Add(static_cast<double>(physical));
   return block;
 }
 
@@ -232,12 +301,28 @@ Status ShardedStore::Install(const std::string& name, FileEntry entry) {
 }
 
 void ShardedStore::DropBlocks(const std::vector<BlockPlacement>& blocks) const {
+  int64_t reclaimed = 0;
   for (const BlockPlacement& block : blocks) {
     for (int node : block.replicas) {
       std::error_code ec;
-      fs::remove(BlockPath(node, block.block_id), ec);
+      if (fs::remove(BlockPath(node, block.block_id), ec) && !ec) {
+        reclaimed += block.size;
+      }
     }
   }
+  if (reclaimed > 0) {
+    stats_->bytes_stored.fetch_sub(reclaimed, std::memory_order_relaxed);
+    stats_->bytes_reclaimed.fetch_add(reclaimed, std::memory_order_relaxed);
+    instruments_.bytes_stored->Add(-static_cast<double>(reclaimed));
+    instruments_.bytes_reclaimed->Increment(static_cast<double>(reclaimed));
+  }
+}
+
+bool ShardedStore::NodeDownLocked(int node) const {
+  if (disabled_nodes_.count(node)) return true;
+  auto it = flapped_nodes_.find(node);
+  return it != flapped_nodes_.end() &&
+         it->second > std::chrono::steady_clock::now();
 }
 
 Status ShardedStore::Put(const std::string& name,
@@ -252,22 +337,47 @@ Status ShardedStore::Put(const std::string& name,
 Status ShardedStore::ReadBlockSlice(const BlockPlacement& block,
                                     int64_t slice_offset, int64_t slice_length,
                                     uint8_t* out, const std::string& name) const {
-  for (int node : block.replicas) {
-    if (disabled_nodes_.count(node) ||
-        !ReadFileSlice(BlockPath(node, block.block_id), block.size, slice_offset,
-                       slice_length, out)
-             .ok()) {
-      stats_->replica_failovers.fetch_add(1, std::memory_order_relaxed);
-      instruments_.replica_failovers->Increment();
-      continue;
+  // One pass over the replicas: fail over on a down node, an injected
+  // transient flap, or an unreadable file.
+  auto read_once = [&]() -> Status {
+    for (int node : block.replicas) {
+      bool down = NodeDownLocked(node);
+      if (!down && options_.faults != nullptr &&
+          options_.faults->ShouldInject(fault::Site::kStoreReadFlap)) {
+        down = true;  // Transient: the next attempt may see it healthy.
+      }
+      if (!down && options_.faults != nullptr) {
+        options_.faults->MaybeDelay(fault::Site::kStoreSlowRead);
+      }
+      if (down ||
+          !ReadFileSlice(BlockPath(node, block.block_id), block.size,
+                         slice_offset, slice_length, out)
+               .ok()) {
+        stats_->replica_failovers.fetch_add(1, std::memory_order_relaxed);
+        instruments_.replica_failovers->Increment();
+        continue;
+      }
+      stats_->blocks_read.fetch_add(1, std::memory_order_relaxed);
+      stats_->bytes_read.fetch_add(slice_length, std::memory_order_relaxed);
+      instruments_.blocks_read->Increment();
+      instruments_.bytes_read->Increment(static_cast<double>(slice_length));
+      return Status::Ok();
     }
-    stats_->blocks_read.fetch_add(1, std::memory_order_relaxed);
-    stats_->bytes_read.fetch_add(slice_length, std::memory_order_relaxed);
-    instruments_.blocks_read->Increment();
-    instruments_.bytes_read->Increment(static_cast<double>(slice_length));
-    return Status::Ok();
+    return Status::DataLoss("all replicas unavailable for a block of " + name);
+  };
+  // Retry only when failures can actually heal (an injector is attached or
+  // a flap window is active); permanently disabled nodes fail fast as
+  // before. Note: retry sleeps run under the shared lock, which delays
+  // writers but never other readers.
+  if (options_.faults == nullptr && flapped_nodes_.empty()) return read_once();
+  int attempts = 0;
+  fault::RetryPolicy policy(fault::Site::kStoreReadFlap, options_.read_retry);
+  Status status = policy.Run(read_once, &attempts);
+  if (attempts > 1) {
+    stats_->read_retries.fetch_add(attempts - 1, std::memory_order_relaxed);
+    instruments_.read_retries->Increment(static_cast<double>(attempts - 1));
   }
-  return Status::DataLoss("all replicas unavailable for a block of " + name);
+  return status;
 }
 
 Status ShardedStore::Scan(
@@ -373,6 +483,25 @@ Status ShardedStore::EnableNode(int node) {
   }
   std::unique_lock lock(*mutex_);
   disabled_nodes_.erase(node);
+  flapped_nodes_.erase(node);
+  return Status::Ok();
+}
+
+Status ShardedStore::FailDatanode(int node, std::chrono::milliseconds duration) {
+  if (node < 0 || node >= options_.num_nodes) {
+    return Status::OutOfRange("no such node");
+  }
+  if (duration.count() <= 0) {
+    return Status::InvalidArgument("flap duration must be positive");
+  }
+  std::unique_lock lock(*mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = flapped_nodes_.begin(); it != flapped_nodes_.end();) {
+    it = (it->second <= now) ? flapped_nodes_.erase(it) : std::next(it);
+  }
+  auto expiry = now + duration;
+  auto [it, inserted] = flapped_nodes_.emplace(node, expiry);
+  if (!inserted && expiry > it->second) it->second = expiry;
   return Status::Ok();
 }
 
@@ -385,6 +514,11 @@ StoreStats ShardedStore::stats() const {
   out.replica_failovers =
       stats_->replica_failovers.load(std::memory_order_relaxed);
   out.partial_reads = stats_->partial_reads.load(std::memory_order_relaxed);
+  out.read_retries = stats_->read_retries.load(std::memory_order_relaxed);
+  out.write_replacements =
+      stats_->write_replacements.load(std::memory_order_relaxed);
+  out.bytes_stored = stats_->bytes_stored.load(std::memory_order_relaxed);
+  out.bytes_reclaimed = stats_->bytes_reclaimed.load(std::memory_order_relaxed);
   return out;
 }
 

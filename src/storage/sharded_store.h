@@ -2,6 +2,7 @@
 #define VISUALROAD_STORAGE_SHARDED_STORE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -11,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/status.h"
 
@@ -30,6 +32,14 @@ struct StoreOptions {
   /// Label under which this store's counters appear in the process-wide
   /// metrics registry, as `vr_store_*{store="<label>"}`.
   std::string metrics_label = "main";
+  /// Optional deterministic fault source (not owned; must outlive the
+  /// store). When set, block reads can observe injected transient replica
+  /// failures and slow reads, and replica writes can fail and re-place.
+  fault::FaultInjector* faults = nullptr;
+  /// Retry budget for block reads that hit transient failures (injected
+  /// flaps or FailDatanode windows). The defaults give up within ~7 ms, so
+  /// a genuinely dead file still fails fast.
+  fault::RetryOptions read_retry;
 };
 
 /// Per-instance I/O counters (the registry carries the same values process
@@ -45,6 +55,16 @@ struct StoreStats {
   int64_t replica_failovers = 0;
   /// Read() calls that touched a strict subset of a file's blocks.
   int64_t partial_reads = 0;
+  /// Block-read attempts beyond the first (transient failure, retried).
+  int64_t read_retries = 0;
+  /// Replica writes that failed mid-block and were re-placed on another node.
+  int64_t write_replacements = 0;
+  /// Physical bytes currently stored, replication included (live capacity;
+  /// excludes orphaned/dropped replicas).
+  int64_t bytes_stored = 0;
+  /// Physical bytes reclaimed by dropping replicas (abandoned writers,
+  /// overwrites, deletes).
+  int64_t bytes_reclaimed = 0;
 };
 
 /// One replicated block of a stored file.
@@ -143,6 +163,11 @@ class ShardedStore {
   Status DisableNode(int node);
   /// Brings a datanode back.
   Status EnableNode(int node);
+  /// Transient failure injection: the node is unreachable for `duration`
+  /// and then recovers on its own (time-based, no EnableNode needed).
+  /// Reads fail over and retry under StoreOptions::read_retry, so a flap
+  /// shorter than the retry deadline is invisible to callers.
+  Status FailDatanode(int node, std::chrono::milliseconds duration);
 
   const StoreOptions& options() const { return options_; }
   StoreStats stats() const;
@@ -161,6 +186,10 @@ class ShardedStore {
     metrics::Counter* bytes_read = nullptr;
     metrics::Counter* replica_failovers = nullptr;
     metrics::Counter* partial_reads = nullptr;
+    metrics::Counter* read_retries = nullptr;
+    metrics::Counter* write_replacements = nullptr;
+    metrics::Counter* bytes_reclaimed = nullptr;
+    metrics::Gauge* bytes_stored = nullptr;
   };
 
   /// Counter updates happen under a shared (reader) lock, so they must be
@@ -172,6 +201,10 @@ class ShardedStore {
     std::atomic<int64_t> bytes_read{0};
     std::atomic<int64_t> replica_failovers{0};
     std::atomic<int64_t> partial_reads{0};
+    std::atomic<int64_t> read_retries{0};
+    std::atomic<int64_t> write_replacements{0};
+    std::atomic<int64_t> bytes_stored{0};
+    std::atomic<int64_t> bytes_reclaimed{0};
   };
 
   explicit ShardedStore(StoreOptions options);
@@ -186,8 +219,13 @@ class ShardedStore {
   StatusOr<BlockPlacement> WriteBlock(const uint8_t* data, size_t size);
   /// Installs a streamed file under `name`, replacing any previous version.
   Status Install(const std::string& name, FileEntry entry);
-  /// Best-effort removal of orphaned block replicas (abandoned writer).
+  /// Removes block replicas (abandoned writer, overwrite, delete) and
+  /// reconciles the capacity accounting: every replica actually removed is
+  /// subtracted from bytes_stored and added to bytes_reclaimed.
   void DropBlocks(const std::vector<BlockPlacement>& blocks) const;
+  /// True when `node` is disabled or inside an active FailDatanode window.
+  /// Caller holds at least a shared lock.
+  bool NodeDownLocked(int node) const;
 
   /// Reads [slice_offset, slice_offset + slice_length) of `block` into
   /// `out`, failing over across replicas. Caller holds at least a shared
@@ -200,6 +238,10 @@ class ShardedStore {
   Instruments instruments_;
   std::map<std::string, FileEntry> files_;
   std::set<int> disabled_nodes_;
+  /// Transiently failed nodes: node -> steady-clock expiry of the flap.
+  /// Read under the shared lock (expiry checked, never erased there);
+  /// pruned lazily by operations that already hold the exclusive lock.
+  std::map<int, std::chrono::steady_clock::time_point> flapped_nodes_;
   uint64_t next_block_id_ = 1;
   int next_node_ = 0;  // Round-robin placement cursor.
   std::unique_ptr<AtomicStats> stats_;

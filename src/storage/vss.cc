@@ -36,6 +36,7 @@ struct VssMetrics {
   metrics::Counter& segments_fetched;
   metrics::Counter& bytes_fetched;
   metrics::Counter& resident_evictions;
+  metrics::Counter& degraded_reads;
   metrics::Gauge& bytes_stored;
   metrics::Gauge& resident_bytes;
 
@@ -71,6 +72,10 @@ struct VssMetrics {
                               "Segment payload bytes fetched from the store."),
           registry.GetCounter("vr_vss_resident_evictions_total",
                               "Resident streams evicted by the byte budget."),
+          registry.GetCounter(
+              "vr_vss_degraded_reads_total",
+              "Reads past the transcode deadline, served a better variant "
+              "directly."),
           registry.GetGauge("vr_vss_bytes_stored",
                             "Bytes persisted across all variants, base included."),
           registry.GetGauge("vr_vss_resident_bytes",
@@ -212,14 +217,25 @@ Status VideoStorageService::Ingest(const std::string& name,
   auto it = catalog_.find(name);
   if (it != catalog_.end()) {
     // Replacing a video drops its stale transcoded variants (the base
-    // object was already replaced by the writer's install).
+    // object was already replaced by the writer's install). A variant a
+    // reader still has pinned is not deleted under it: the delete is
+    // deferred to the last unpin, so the in-flight fetch stays readable.
     for (const auto& [key, variant] : it->second.variants) {
       stats_.bytes_stored -= variant.bytes;
       VssMetrics::Get().bytes_stored.Add(static_cast<double>(-variant.bytes));
-      if (!(key == base_key)) options_.store->Delete(ObjectName(name, key));
+      if (key == base_key) continue;
+      auto pin = pins_.find({name, key});
+      if (pin != pins_.end() && pin->second > 0) {
+        deferred_deletes_.insert({name, key});
+      } else {
+        options_.store->Delete(ObjectName(name, key));
+      }
     }
     catalog_.erase(it);
   }
+  // The new ingest just overwrote the base object, so a delete deferred for
+  // the same (name, base tier) would now destroy fresh data.
+  deferred_deletes_.erase({name, base_key});
   // Resident copies of the old content are stale too.
   const std::string prefix = name + "/";
   for (auto res = resident_.begin(); res != resident_.end();) {
@@ -305,12 +321,18 @@ StatusOr<EncodedVideo> VideoStorageService::Transcode(
 
 StatusOr<std::shared_ptr<const EncodedVideo>> VideoStorageService::AcquireStream(
     const std::string& name, const VariantKey& tier) {
+  const auto read_start = std::chrono::steady_clock::now();
   std::unique_lock lock(mutex_);
   bool counted_wait = false;
+  // Set when a leader's transcode blew the deadline: this reader gives up
+  // on materializing `tier` and serves the chosen source variant directly.
+  bool degrade_to_source = false;
   bool direct = false;
   VariantKey serving_key;
   VariantInfo source_copy;
   CatalogEntry props;
+  std::shared_ptr<Flight> flight_state;
+  std::pair<std::string, VariantKey> flight_key;
   for (;;) {
     auto it = catalog_.find(name);
     if (it == catalog_.end()) return Status::NotFound("no such video: " + name);
@@ -320,7 +342,7 @@ StatusOr<std::shared_ptr<const EncodedVideo>> VideoStorageService::AcquireStream
       return Status::NotFound("no variant of " + name + " can serve tier " +
                               VariantTag(tier));
     }
-    direct = Serves(*chosen, tier);
+    direct = Serves(*chosen, tier) || degrade_to_source;
     serving_key = direct ? chosen->key : tier;
     const std::string rkey = name + "/" + VariantTag(serving_key);
     auto res = resident_.find(rkey);
@@ -328,19 +350,32 @@ StatusOr<std::shared_ptr<const EncodedVideo>> VideoStorageService::AcquireStream
       TouchResidentLocked(rkey);
       ++stats_.resident_hits;
       VssMetrics::Get().resident_hits.Increment();
+      if (degrade_to_source) {
+        ++stats_.degraded_reads;
+        VssMetrics::Get().degraded_reads.Increment();
+      }
       return res->second.video;
     }
     auto flight = std::make_pair(name, serving_key);
-    if (inflight_.count(flight)) {
+    auto fit = inflight_.find(flight);
+    if (fit != inflight_.end()) {
+      // Hold the flight state across the wait: the leader publishes its
+      // outcome there, so a failed or degraded materialization is observed
+      // instead of silently re-led.
+      std::shared_ptr<Flight> state = fit->second;
       if (!direct && !counted_wait) {
         counted_wait = true;
         ++stats_.transcode_coalesced;
         VssMetrics::Get().transcode_coalesced.Increment();
       }
-      inflight_cv_.wait(lock);
+      inflight_cv_.wait(lock, [&state] { return state->done; });
+      if (!state->status.ok()) return state->status;
+      if (state->degraded) degrade_to_source = true;
       continue;  // Re-plan: the catalog may have changed while waiting.
     }
-    inflight_.insert(flight);
+    flight_key = flight;
+    flight_state = std::make_shared<Flight>();
+    inflight_.emplace(flight_key, flight_state);
     VariantInfo& source = entry.variants.at(chosen->key);
     ++pins_[{name, source.key}];
     source.last_use = ++use_clock_;
@@ -357,28 +392,43 @@ StatusOr<std::shared_ptr<const EncodedVideo>> VideoStorageService::AcquireStream
 
   // Leader: fetch (and transcode) outside the lock; waiters block on the
   // in-flight marker, so exactly one materialization runs per variant.
+  // A transcode past the deadline degrades: the already-fetched source is
+  // served as-is (a better variant than requested, never a worse one).
   int64_t fetched = 0;
+  bool degraded = false;
   StatusOr<EncodedVideo> produced = [&]() -> StatusOr<EncodedVideo> {
     VR_ASSIGN_OR_RETURN(EncodedVideo source_video,
                         FetchSegments(props, source_copy, 0,
                                       source_copy.segments.size(), &fetched));
     if (direct) return source_video;
+    if (options_.faults != nullptr) {
+      options_.faults->MaybeDelay(fault::Site::kTranscodeStall);
+    }
+    if (options_.transcode_deadline.count() > 0 &&
+        std::chrono::steady_clock::now() - read_start >
+            options_.transcode_deadline) {
+      degraded = true;
+      return source_video;
+    }
     return Transcode(source_video, props, tier);
   }();
+  if (degraded) serving_key = source_copy.key;
 
   // Persist a fresh transcode before publishing so later (cold) readers
   // find it materialized.
-  bool persist =
-      produced.ok() && !direct && options_.variant_cache_bytes > 0;
+  bool persist = produced.ok() && !direct && !degraded &&
+                 options_.variant_cache_bytes > 0;
   StatusOr<VariantInfo> new_variant = VariantInfo{};
   if (persist) {
     new_variant = WriteVariantObject(name, tier, *produced, /*base=*/false);
   }
 
   lock.lock();
-  auto pin = pins_.find({name, source_copy.key});
-  if (pin != pins_.end() && --pin->second <= 0) pins_.erase(pin);
-  inflight_.erase({name, serving_key});
+  UnpinLocked(name, source_copy.key);
+  flight_state->done = true;
+  flight_state->degraded = degraded;
+  flight_state->status = produced.ok() ? Status::Ok() : produced.status();
+  inflight_.erase(flight_key);
   if (!produced.ok()) {
     inflight_cv_.notify_all();
     return produced.status();
@@ -389,7 +439,7 @@ StatusOr<std::shared_ptr<const EncodedVideo>> VideoStorageService::AcquireStream
   metrics.segments_fetched.Increment(
       static_cast<double>(source_copy.segments.size()));
   metrics.bytes_fetched.Increment(static_cast<double>(fetched));
-  if (direct) {
+  if (direct || degraded) {
     if (source_copy.base) {
       ++stats_.base_hits;
       metrics.base_hits.Increment();
@@ -401,6 +451,10 @@ StatusOr<std::shared_ptr<const EncodedVideo>> VideoStorageService::AcquireStream
     ++stats_.transcodes;
     metrics.transcodes.Increment();
   }
+  if (degraded || degrade_to_source) {
+    ++stats_.degraded_reads;
+    metrics.degraded_reads.Increment();
+  }
   if (persist && new_variant.ok()) {
     auto cat = catalog_.find(name);
     if (cat != catalog_.end() && cat->second.variants.count(tier) == 0) {
@@ -411,6 +465,9 @@ StatusOr<std::shared_ptr<const EncodedVideo>> VideoStorageService::AcquireStream
       cat->second.variants[tier] = std::move(info);
       ++stats_.variants_persisted;
       metrics.variants_persisted.Increment();
+      // The persist overwrote the store object for (name, tier); a delete
+      // deferred for the stale incarnation must not fire on the new one.
+      deferred_deletes_.erase({name, tier});
       EvictVariantsLocked();
       // A failed catalog save is not a failed read: the record stays in
       // memory and rides along with the next successful save.
@@ -493,8 +550,7 @@ StatusOr<RangeRead> VideoStorageService::ReadRange(const std::string& name,
           props, source_copy, seg_first, seg_end - seg_first, &fetched);
 
       lock.lock();
-      auto pin = pins_.find({name, source_copy.key});
-      if (pin != pins_.end() && --pin->second <= 0) pins_.erase(pin);
+      UnpinLocked(name, source_copy.key);
       if (!video.ok()) return video.status();
       auto& metrics = VssMetrics::Get();
       stats_.segments_fetched += static_cast<int64_t>(seg_end - seg_first);
@@ -570,6 +626,25 @@ std::set<std::pair<std::string, VariantKey>> VideoStorageService::PinnedLocked()
     if (count > 0) pinned.insert(id);
   }
   return pinned;
+}
+
+void VideoStorageService::UnpinLocked(const std::string& name,
+                                      const VariantKey& key) {
+  auto pin = pins_.find({name, key});
+  if (pin == pins_.end()) return;
+  if (--pin->second > 0) return;
+  pins_.erase(pin);
+  auto deferred = deferred_deletes_.find({name, key});
+  if (deferred == deferred_deletes_.end()) return;
+  deferred_deletes_.erase(deferred);
+  // Execute the deferred delete only when nothing else now owns the object:
+  // a re-persisted variant is back in the catalog, and a leader mid-flight
+  // for this key is about to overwrite the object anyway.
+  auto cat = catalog_.find(name);
+  bool live = cat != catalog_.end() && cat->second.variants.count(key) > 0;
+  if (!live && inflight_.count({name, key}) == 0) {
+    options_.store->Delete(ObjectName(name, key));
+  }
 }
 
 // --- Resident cache ------------------------------------------------------

@@ -1,6 +1,7 @@
 #ifndef VISUALROAD_STORAGE_VSS_H_
 #define VISUALROAD_STORAGE_VSS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -40,6 +41,15 @@ struct VssOptions {
   /// of the same resolution and no worse quality is at most this factor
   /// larger (reads pay at most the factor in extra bytes, storage drops).
   double compaction_byte_slack = 1.25;
+  /// Optional deterministic fault source (not owned); lets transcode-on-read
+  /// observe injected stalls.
+  fault::FaultInjector* faults = nullptr;
+  /// Deadline for a transcode-on-read, measured from read start. Once past
+  /// it, the read degrades: the already-fetched nearest better variant is
+  /// served directly (no transcode), counted in vr_vss_degraded_reads_total.
+  /// 0 disables the deadline, which keeps results byte-identical to a
+  /// fault-free build.
+  std::chrono::milliseconds transcode_deadline{0};
 };
 
 /// Cumulative service counters (mirrored into the metrics registry as
@@ -65,6 +75,9 @@ struct VssStats {
   /// Current bytes persisted across all variants, base included.
   int64_t bytes_stored = 0;
   int64_t resident_evictions = 0;
+  /// Reads that blew the transcode deadline and were served the nearest
+  /// materialized better variant directly instead of the requested tier.
+  int64_t degraded_reads = 0;
 };
 
 /// A range read: `video` holds the GOP-aligned covering segments, and
@@ -135,6 +148,17 @@ class VideoStorageService {
     std::list<std::string>::iterator lru_pos;
   };
 
+  /// Shared state of one in-flight materialization. Waiters hold the
+  /// shared_ptr across the wait, so the leader's outcome (success, failure,
+  /// or deadline degradation) reaches them even after the flight entry is
+  /// erased — a failed leader propagates its Status instead of leaving
+  /// waiters to silently re-lead.
+  struct Flight {
+    bool done = false;
+    bool degraded = false;
+    Status status;
+  };
+
   explicit VideoStorageService(const VssOptions& options) : options_(options) {}
 
   static std::string ObjectName(const std::string& name, const VariantKey& key);
@@ -180,15 +204,25 @@ class VideoStorageService {
 
   std::set<std::pair<std::string, VariantKey>> PinnedLocked() const;
 
+  /// Releases one pin on (name, key) and, when the last pin drops, executes
+  /// any delete deferred while the variant was being read.
+  void UnpinLocked(const std::string& name, const VariantKey& key);
+
   VssOptions options_;
   mutable std::mutex mutex_;
   std::condition_variable inflight_cv_;
   std::map<std::string, CatalogEntry> catalog_;
   /// Streams being materialized, keyed (video, serving tier).
-  std::set<std::pair<std::string, VariantKey>> inflight_;
+  std::map<std::pair<std::string, VariantKey>, std::shared_ptr<Flight>> inflight_;
   /// Variants a reader is currently fetching outside the lock; eviction
   /// and compaction skip them. Value is a fetch count.
   std::map<std::pair<std::string, VariantKey>, int> pins_;
+  /// Stale variant objects whose delete was deferred because a reader still
+  /// had the variant pinned (Ingest replaced the video mid-read). Executed
+  /// by UnpinLocked when the last pin drops; cancelled when the same
+  /// (name, key) is re-persisted (the store object was overwritten, so
+  /// nothing stale remains).
+  std::set<std::pair<std::string, VariantKey>> deferred_deletes_;
   std::map<std::string, ResidentEntry> resident_;
   std::list<std::string> resident_lru_;  // Front is least recently used.
   int64_t resident_bytes_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/metrics.h"
 #include "storage/vss.h"
 
 namespace visualroad::systems {
@@ -16,9 +17,12 @@ VideoSource VideoSource::Offline(const video::codec::EncodedVideo* stream) {
 }
 
 VideoSource VideoSource::Online(const video::codec::EncodedVideo* stream,
-                                double rate_multiplier) {
-  return VideoSource(stream, /*offline=*/false,
+                                double rate_multiplier,
+                                fault::FaultInjector* faults) {
+  VideoSource source(stream, /*offline=*/false,
                      rate_multiplier > 0 ? rate_multiplier : 1.0);
+  source.faults_ = faults;
+  return source;
 }
 
 StatusOr<VideoSource> VideoSource::StorageOffline(
@@ -63,17 +67,50 @@ StatusOr<const video::codec::EncodedFrame*> VideoSource::Next() {
       start_ = std::chrono::steady_clock::now();
     }
     // Throttle: frame i becomes available at start + i / (fps * multiplier).
-    double seconds = position_ / (stream_->fps * rate_multiplier_);
+    const double frame_seconds = 1.0 / (stream_->fps * rate_multiplier_);
+    double seconds = position_ * frame_seconds;
     auto available_at =
         start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                      std::chrono::duration<double>(seconds));
+    // Clamp catch-up after a stall: a consumer that fell more than a few
+    // frame periods behind resumes at the camera's rate instead of
+    // bursting through the whole backlog (a live feed cannot replay what
+    // the consumer slept through). Small lag still catches up, so paced
+    // jitter keeps counting against the reader as before.
+    const auto max_catchup =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(4.0 * frame_seconds));
+    const auto now = std::chrono::steady_clock::now();
+    if (now > available_at + max_catchup) {
+      start_ += now - (available_at + max_catchup);
+      available_at = now - max_catchup;
+    }
     std::this_thread::sleep_until(available_at);
+    if (faults_ != nullptr) {
+      faults_->MaybeDelay(fault::Site::kRtpJitter);
+      if (faults_->ShouldInject(fault::Site::kRtpLoss) &&
+          last_delivered_ != nullptr) {
+        // The channel lost this frame: freeze-frame conceal by repeating
+        // the last delivered one. The stream still advances. The registry
+        // counter is shared with the depacketizer's concealment path.
+        static metrics::Counter& concealed =
+            metrics::MetricsRegistry::Global().GetCounter(
+                "vr_rtp_frames_concealed_total",
+                "Dropped frames replaced by a freeze-frame repeat");
+        concealed.Increment();
+        ++position_;
+        ++frames_degraded_;
+        return last_delivered_;
+      }
+    }
   }
   if (vss_ != nullptr) {
     VR_RETURN_IF_ERROR(FillWindow());
     return &window_->frames[static_cast<size_t>(position_++ - window_first_)];
   }
-  return &stream_->frames[static_cast<size_t>(position_++)];
+  last_delivered_ = &stream_->frames[static_cast<size_t>(position_)];
+  ++position_;
+  return last_delivered_;
 }
 
 Status VideoSource::Seek(int frame_index) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "video/codec/codec.h"
 
@@ -27,8 +28,13 @@ namespace visualroad::systems {
 class VideoSource {
  public:
   static VideoSource Offline(const video::codec::EncodedVideo* stream);
+  /// `faults` (optional, borrowed) injects channel behavior into the feed:
+  /// kRtpLoss replaces a frame with a repeat of the last delivered one
+  /// (freeze-frame, counted in frames_degraded()), kRtpJitter delays a
+  /// delivery. Null means a clean channel.
   static VideoSource Online(const video::codec::EncodedVideo* stream,
-                            double rate_multiplier = 1.0);
+                            double rate_multiplier = 1.0,
+                            fault::FaultInjector* faults = nullptr);
   /// Storage-backed offline source for logical video `name` at its base
   /// tier: frames are fetched on demand as GOP-aligned range reads of about
   /// `readahead_frames` frames, so a seek-and-read touches only the
@@ -55,6 +61,9 @@ class VideoSource {
   const video::codec::EncodedVideo& stream() const { return *stream_; }
   int position() const { return position_; }
   int FrameCount() const;
+  /// Frames delivered as freeze-frame repeats because the channel lost the
+  /// real one (online mode with faults attached; always 0 otherwise).
+  int frames_degraded() const { return frames_degraded_; }
 
  private:
   VideoSource(const video::codec::EncodedVideo* stream, bool offline,
@@ -69,8 +78,13 @@ class VideoSource {
   int position_ = 0;
   /// Online pacing anchor, established at the first Next() call so a source
   /// constructed ahead of consumption does not release an instant backlog.
+  /// After a stall longer than a few frame periods the anchor slides
+  /// forward, capping catch-up (see Next()).
   bool started_ = false;
   std::chrono::steady_clock::time_point start_;
+  fault::FaultInjector* faults_ = nullptr;
+  const video::codec::EncodedFrame* last_delivered_ = nullptr;
+  int frames_degraded_ = 0;
 
   // Storage-backed mode.
   storage::VideoStorageService* vss_ = nullptr;

@@ -21,6 +21,7 @@ struct RtpMetrics {
   metrics::Counter& packets_reordered;
   metrics::Counter& frames_completed;
   metrics::Counter& frames_dropped;
+  metrics::Counter& frames_concealed;
 
   static RtpMetrics& Get() {
     static RtpMetrics* instruments = [] {
@@ -40,6 +41,9 @@ struct RtpMetrics {
           registry.GetCounter(
               "vr_rtp_frames_dropped_total",
               "Frames abandoned because a fragment was missing or damaged"),
+          registry.GetCounter(
+              "vr_rtp_frames_concealed_total",
+              "Dropped frames replaced by a freeze-frame repeat"),
       };
     }();
     return *instruments;
@@ -178,10 +182,7 @@ void Depacketizer::Feed(const Packet& packet) {
 
   if (first_fragment) {
     // Starting a new frame; a frame still mid-assembly was truncated.
-    if (assembling_) {
-      ++stats_.frames_dropped;
-      RtpMetrics::Get().frames_dropped.Increment();
-    }
+    if (assembling_) DropFrame();
     assembly_.clear();
     assembling_ = true;
     assembly_broken_ = false;
@@ -198,13 +199,13 @@ void Depacketizer::Feed(const Packet& packet) {
 
   if (packet.marker) {
     if (assembly_broken_) {
-      ++stats_.frames_dropped;
-      RtpMetrics::Get().frames_dropped.Increment();
+      DropFrame();
     } else {
       codec::EncodedFrame frame;
       frame.keyframe = assembly_keyframe_;
       frame.qp = assembly_qp_;
       frame.data = assembly_;
+      last_completed_ = frame;
       frames_.push_back(std::move(frame));
       ++stats_.frames_completed;
       RtpMetrics::Get().frames_completed.Increment();
@@ -213,6 +214,26 @@ void Depacketizer::Feed(const Packet& packet) {
     assembling_ = false;
     assembly_broken_ = false;
   }
+}
+
+void Depacketizer::DropFrame() {
+  ++stats_.frames_dropped;
+  RtpMetrics::Get().frames_dropped.Increment();
+  if (conceal_losses_ && last_completed_.has_value()) {
+    frames_.push_back(*last_completed_);
+    ++stats_.frames_concealed;
+    RtpMetrics::Get().frames_concealed.Increment();
+  }
+}
+
+void Depacketizer::Flush() {
+  // A frame mid-assembly at end-of-stream can never complete: without this,
+  // it would be neither delivered nor counted (drops were only detected at
+  // the next frame boundary, and the boundary never comes).
+  if (assembling_) DropFrame();
+  assembly_.clear();
+  assembling_ = false;
+  assembly_broken_ = false;
 }
 
 StatusOr<codec::EncodedFrame> Depacketizer::TakeFrame() {
@@ -239,9 +260,62 @@ StatusOr<codec::EncodedVideo> Loopback(const codec::EncodedVideo& video, int mtu
       out.frames.push_back(std::move(frame));
     }
   }
+  depacketizer.Flush();
   if (out.FrameCount() != video.FrameCount()) {
     return Status::DataLoss("loopback lost frames");
   }
+  return out;
+}
+
+std::vector<Packet> ApplyChannel(std::vector<Packet> packets,
+                                 fault::FaultInjector& faults) {
+  std::vector<Packet> delivered;
+  delivered.reserve(packets.size());
+  std::optional<Packet> held;  // A reordered packet waits one slot.
+  for (Packet& packet : packets) {
+    if (faults.ShouldInject(fault::Site::kRtpLoss)) continue;
+    if (held.has_value()) {
+      delivered.push_back(std::move(packet));
+      delivered.push_back(std::move(*held));
+      held.reset();
+      continue;
+    }
+    if (faults.ShouldInject(fault::Site::kRtpReorder)) {
+      held = std::move(packet);
+      continue;
+    }
+    delivered.push_back(std::move(packet));
+  }
+  if (held.has_value()) delivered.push_back(std::move(*held));
+  return delivered;
+}
+
+StatusOr<codec::EncodedVideo> LossyLoopback(const codec::EncodedVideo& video,
+                                            int mtu,
+                                            fault::FaultInjector& faults,
+                                            ReceiverStats* stats_out) {
+  Packetizer packetizer(0x5EED, mtu);
+  Depacketizer depacketizer(/*conceal_losses=*/true);
+  codec::EncodedVideo out;
+  out.profile = video.profile;
+  out.width = video.width;
+  out.height = video.height;
+  out.fps = video.fps;
+  for (const Packet& packet :
+       ApplyChannel(packetizer.PacketizeVideo(video), faults)) {
+    VR_ASSIGN_OR_RETURN(Packet parsed, Packet::Parse(packet.Serialize()));
+    depacketizer.Feed(parsed);
+    while (depacketizer.HasFrame()) {
+      VR_ASSIGN_OR_RETURN(codec::EncodedFrame frame, depacketizer.TakeFrame());
+      out.frames.push_back(std::move(frame));
+    }
+  }
+  depacketizer.Flush();
+  while (depacketizer.HasFrame()) {
+    VR_ASSIGN_OR_RETURN(codec::EncodedFrame frame, depacketizer.TakeFrame());
+    out.frames.push_back(std::move(frame));
+  }
+  if (stats_out != nullptr) *stats_out = depacketizer.stats();
   return out;
 }
 

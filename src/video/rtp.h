@@ -2,8 +2,10 @@
 #define VISUALROAD_VIDEO_RTP_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "video/codec/codec.h"
 
@@ -67,16 +69,34 @@ struct ReceiverStats {
   int64_t packets_lost = 0;       // Forward sequence-number gaps.
   int64_t packets_reordered = 0;  // Late arrivals (behind the newest packet).
   int64_t frames_completed = 0;
-  int64_t frames_dropped = 0;     // Incomplete at the next frame boundary.
+  int64_t frames_dropped = 0;     // Incomplete at a frame boundary or Flush().
+  /// Dropped frames replaced by a repeat of the last completed frame
+  /// (freeze-frame concealment). Frames delivered = completed + concealed.
+  int64_t frames_concealed = 0;
 };
 
 /// Reassembles frames from an (ordered, possibly lossy) packet stream.
 class Depacketizer {
  public:
+  /// With `conceal_losses`, a dropped frame is replaced in the output by a
+  /// repeat of the last completed frame (freeze-frame), keeping the
+  /// delivered sequence index-aligned with the sender; the drop is still
+  /// counted in frames_dropped, and the substitution in frames_concealed.
+  /// A drop before any frame completed has nothing to repeat and stays a
+  /// plain drop.
+  explicit Depacketizer(bool conceal_losses = false)
+      : conceal_losses_(conceal_losses) {}
+
   /// Feeds one packet. Returns a completed frame when `packet` finishes one
   /// (marker bit), otherwise nullopt-like empty StatusOr handled by
   /// HasFrame/TakeFrame below.
   void Feed(const Packet& packet);
+
+  /// Ends the stream: a frame still mid-assembly can never complete (its
+  /// marker packet will not arrive), so it is dropped — and concealed, when
+  /// enabled — instead of being silently forgotten. Safe to call more than
+  /// once; further Feed() calls start fresh.
+  void Flush();
 
   /// True when at least one complete frame is ready.
   bool HasFrame() const { return !frames_.empty(); }
@@ -87,6 +107,11 @@ class Depacketizer {
   const ReceiverStats& stats() const { return stats_; }
 
  private:
+  /// Records a dropped frame and queues the freeze-frame repeat when
+  /// concealment is on and a previous frame exists.
+  void DropFrame();
+
+  bool conceal_losses_ = false;
   std::vector<codec::EncodedFrame> frames_;
   std::vector<uint8_t> assembly_;
   bool assembly_keyframe_ = false;
@@ -95,12 +120,28 @@ class Depacketizer {
   bool assembly_broken_ = false;
   bool has_last_sequence_ = false;
   uint16_t last_sequence_ = 0;
+  std::optional<codec::EncodedFrame> last_completed_;
   ReceiverStats stats_;
 };
 
 /// Convenience: packetise then reassemble an entire video (the loopback
 /// path used by tests and the online driver when no loss is injected).
 StatusOr<codec::EncodedVideo> Loopback(const codec::EncodedVideo& video, int mtu);
+
+/// A deterministic lossy channel: each packet is dropped with the
+/// injector's kRtpLoss probability, and a surviving packet is delivered one
+/// slot late with the kRtpReorder probability. Same injector state => same
+/// delivery sequence.
+std::vector<Packet> ApplyChannel(std::vector<Packet> packets,
+                                 fault::FaultInjector& faults);
+
+/// Loopback through ApplyChannel with freeze-frame concealment. The result
+/// may still hold fewer frames than `video` when a loss precedes the first
+/// completed frame. `stats_out` (optional) receives the receiver's stats.
+StatusOr<codec::EncodedVideo> LossyLoopback(const codec::EncodedVideo& video,
+                                            int mtu,
+                                            fault::FaultInjector& faults,
+                                            ReceiverStats* stats_out = nullptr);
 
 }  // namespace visualroad::video::rtp
 

@@ -476,6 +476,91 @@ TEST_F(DriverTest, BatchResultCarriesEngineCacheCounters) {
   EXPECT_NE(report.find("% hit"), std::string::npos);
 }
 
+TEST_F(DriverTest, NoneInjectorBatchMatchesNoInjectorBatch) {
+  // Faults-off byte-identity at the driver level: attaching a zero-
+  // probability injector must not change any outcome, and the robustness
+  // accounting must stay at zero.
+  auto none = fault::ProfileByName("none");
+  ASSERT_TRUE(none.ok());
+  fault::FaultInjector injector(*none, 41);
+
+  VcdOptions plain_options;
+  plain_options.batch_size_override = 2;
+  plain_options.execution_mode = systems::ExecutionMode::kOnline;
+  plain_options.online_rate_multiplier = 10000.0;
+  VcdOptions injected_options = plain_options;
+  injected_options.faults = &injector;
+
+  systems::EngineOptions engine_options;
+  auto plain_engine = systems::MakePipelineEngine(engine_options);
+  auto injected_engine = systems::MakePipelineEngine(engine_options);
+  VisualCityDriver plain_vcd(*dataset_, plain_options);
+  VisualCityDriver injected_vcd(*dataset_, injected_options);
+  auto plain = plain_vcd.RunQueryBatch(*plain_engine, QueryId::kQ1);
+  auto injected = injected_vcd.RunQueryBatch(*injected_engine, QueryId::kQ1);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(injected.ok()) << injected.status().ToString();
+
+  EXPECT_EQ(injected->succeeded, plain->succeeded);
+  EXPECT_EQ(injected->failed, plain->failed);
+  EXPECT_EQ(injected->validation.checked, plain->validation.checked);
+  EXPECT_EQ(injected->validation.passed, plain->validation.passed);
+  EXPECT_NEAR(injected->validation.mean_psnr_db, plain->validation.mean_psnr_db,
+              1e-9);
+  EXPECT_EQ(injected->frames_degraded, 0);
+  EXPECT_EQ(injected->retries, 0);
+  EXPECT_EQ(plain->frames_degraded, 0);
+  EXPECT_EQ(plain->retries, 0);
+  // A clean run renders a "-" in the Faults column.
+  std::string report = FormatBenchmarkReport({*injected});
+  EXPECT_NE(report.find("Faults"), std::string::npos);
+  EXPECT_EQ(report.find("degraded"), std::string::npos);
+}
+
+TEST_F(DriverTest, LossyOnlineBatchReportsDegradedFrames) {
+  auto lossy = fault::ProfileByName("lossy");
+  ASSERT_TRUE(lossy.ok());
+  lossy->jitter_delay = std::chrono::microseconds(10);
+
+  auto run = [&](uint64_t seed) {
+    fault::FaultInjector injector(*lossy, seed);
+    VcdOptions options;
+    options.batch_size_override = 2;
+    options.execution_mode = systems::ExecutionMode::kOnline;
+    options.online_rate_multiplier = 10000.0;
+    options.faults = &injector;
+    options.validate = false;  // The feed is lossy; measure, don't validate.
+    VisualCityDriver vcd(*dataset_, options);
+    systems::EngineOptions engine_options;
+    auto engine = systems::MakePipelineEngine(engine_options);
+    auto result = vcd.RunQueryBatch(*engine, QueryId::kQ1);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result->frames_degraded : int64_t{-1};
+  };
+
+  int64_t first = run(47);
+  // The lossy channel froze some frames, the batch still completed, and the
+  // count reproduces under the same seed.
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(first, run(47));
+
+  fault::FaultInjector injector(*lossy, 47);
+  VcdOptions options;
+  options.batch_size_override = 1;
+  options.execution_mode = systems::ExecutionMode::kOnline;
+  options.online_rate_multiplier = 10000.0;
+  options.faults = &injector;
+  options.validate = false;
+  VisualCityDriver vcd(*dataset_, options);
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  auto result = vcd.RunQueryBatch(*engine, QueryId::kQ1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->frames_degraded, 0);
+  std::string report = FormatBenchmarkReport({*result});
+  EXPECT_NE(report.find("degraded"), std::string::npos);
+}
+
 // --- Report formatting ---
 
 TEST(ReportTest, TextTableAlignsColumns) {

@@ -240,6 +240,135 @@ TEST(RtpTest, TakeFrameWithoutDataFails) {
   EXPECT_FALSE(depacketizer.TakeFrame().ok());
 }
 
+TEST(RtpTest, FlushDropsTruncatedTailFrame) {
+  // Regression: a frame mid-assembly when the stream ends was neither
+  // delivered nor counted — completed + dropped came up one frame short.
+  codec::EncodedVideo video = MakeStream(3, 2500, 11);
+  Packetizer packetizer(7, 700);
+  std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+  ASSERT_TRUE(packets.back().marker);
+  packets.pop_back();  // Truncate: the last frame's marker never arrives.
+
+  Depacketizer depacketizer;
+  for (const Packet& packet : packets) depacketizer.Feed(packet);
+  // Before Flush the tail frame is unaccounted (it could still complete).
+  EXPECT_EQ(depacketizer.stats().frames_completed, 2);
+  EXPECT_EQ(depacketizer.stats().frames_dropped, 0);
+  depacketizer.Flush();
+  EXPECT_EQ(depacketizer.stats().frames_completed, 2);
+  EXPECT_EQ(depacketizer.stats().frames_dropped, 1);
+  // Idempotent: a second Flush books nothing new.
+  depacketizer.Flush();
+  EXPECT_EQ(depacketizer.stats().frames_dropped, 1);
+}
+
+TEST(RtpTest, TruncatedLoopbackAccountsEveryFrame) {
+  codec::EncodedVideo video = MakeStream(4, 1500, 12);
+  Packetizer packetizer(7, 700);
+  std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+  packets.pop_back();
+  Depacketizer depacketizer;
+  for (const Packet& packet : packets) depacketizer.Feed(packet);
+  depacketizer.Flush();
+  const ReceiverStats& stats = depacketizer.stats();
+  EXPECT_EQ(stats.frames_completed + stats.frames_dropped, 4);
+}
+
+TEST(RtpTest, ConcealmentRepeatsLastCompletedFrame) {
+  codec::EncodedVideo video = MakeStream(6, 2500, 13);
+  Packetizer packetizer(7, 700);
+  std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+  // Drop one mid-frame fragment of a frame after the first, so the receiver
+  // has a completed frame to repeat.
+  size_t dropped = 0;
+  for (size_t i = 1; i < packets.size(); ++i) {
+    bool mid = !packets[i].marker && !(packets[i].payload[0] & 0x02);
+    if (mid && packets[i].timestamp > packets[0].timestamp) {
+      dropped = i;
+      break;
+    }
+  }
+  ASSERT_GT(dropped, 0u);
+
+  Depacketizer depacketizer(/*conceal_losses=*/true);
+  for (size_t i = 0; i < packets.size(); ++i) {
+    if (i == dropped) continue;
+    depacketizer.Feed(packets[i]);
+  }
+  depacketizer.Flush();
+  std::vector<codec::EncodedFrame> delivered;
+  while (depacketizer.HasFrame()) {
+    auto frame = depacketizer.TakeFrame();
+    ASSERT_TRUE(frame.ok());
+    delivered.push_back(std::move(*frame));
+  }
+  const ReceiverStats& stats = depacketizer.stats();
+  EXPECT_EQ(stats.frames_dropped, 1);
+  EXPECT_EQ(stats.frames_concealed, 1);
+  // Index alignment is preserved: 6 frames in, 6 frames out, with the lost
+  // one replaced by a byte-exact repeat of its predecessor.
+  ASSERT_EQ(delivered.size(), 6u);
+  bool found_repeat = false;
+  for (size_t i = 1; i < delivered.size(); ++i) {
+    if (delivered[i].data == delivered[i - 1].data) found_repeat = true;
+  }
+  EXPECT_TRUE(found_repeat);
+}
+
+TEST(RtpTest, LossBeforeFirstFrameStaysAPlainDrop) {
+  codec::EncodedVideo video = MakeStream(3, 1500, 14);
+  Packetizer packetizer(7, 700);
+  std::vector<Packet> packets = packetizer.PacketizeVideo(video);
+  Depacketizer depacketizer(/*conceal_losses=*/true);
+  // Lose a fragment of the very first frame: when its marker arrives the
+  // frame is dropped, but nothing has completed yet, so there is no frame
+  // to repeat and the drop must not conceal.
+  size_t skipped = 0;
+  for (const Packet& packet : packets) {
+    bool mid = !packet.marker && !(packet.payload[0] & 0x02);
+    if (mid && packet.timestamp == packets[0].timestamp && skipped == 0) {
+      ++skipped;
+      continue;
+    }
+    depacketizer.Feed(packet);
+  }
+  ASSERT_EQ(skipped, 1u);
+  depacketizer.Flush();
+  EXPECT_EQ(depacketizer.stats().frames_dropped, 1);
+  EXPECT_EQ(depacketizer.stats().frames_concealed, 0);
+  EXPECT_EQ(depacketizer.stats().frames_completed, 2);
+}
+
+TEST(RtpTest, LossyChannelIsDeterministicPerSeed) {
+  codec::EncodedVideo video = MakeStream(10, 2500, 15);
+  auto profile = fault::ProfileByName("lossy");
+  ASSERT_TRUE(profile.ok());
+
+  auto run = [&](uint64_t seed) {
+    fault::FaultInjector injector(*profile, seed);
+    ReceiverStats stats;
+    auto looped = LossyLoopback(video, 700, injector, &stats);
+    EXPECT_TRUE(looped.ok());
+    return std::make_pair(std::move(*looped), stats);
+  };
+  auto [a, a_stats] = run(5);
+  auto [b, b_stats] = run(5);
+  ASSERT_EQ(a.FrameCount(), b.FrameCount());
+  for (int i = 0; i < a.FrameCount(); ++i) {
+    EXPECT_EQ(a.frames[static_cast<size_t>(i)].data,
+              b.frames[static_cast<size_t>(i)].data);
+  }
+  EXPECT_EQ(a_stats.packets_lost, b_stats.packets_lost);
+  EXPECT_EQ(a_stats.packets_reordered, b_stats.packets_reordered);
+  EXPECT_EQ(a_stats.frames_concealed, b_stats.frames_concealed);
+  // The lossy profile actually exercised the channel.
+  EXPECT_GT(a_stats.packets_lost, 0);
+  // Delivered = completed + concealed; nothing silently vanishes beyond
+  // frames lost before the first completion.
+  EXPECT_EQ(a_stats.frames_completed + a_stats.frames_concealed,
+            a.FrameCount());
+}
+
 TEST(RtpTest, RealCodecStreamSurvivesRtpTransport) {
   // End-to-end: encode real video, transport over RTP, decode, compare.
   Video source;

@@ -127,6 +127,66 @@ TEST_F(SystemsTest, OnlineSourcePacingAnchorsAtFirstRead) {
   EXPECT_GE(elapsed, (frames - 1) / stream.fps / 100.0 * 0.8);
 }
 
+TEST_F(SystemsTest, OnlinePacingClampsBurstAfterStall) {
+  // Regression: a consumer that stalled for many frame periods used to get
+  // the whole backlog released instantly. A live feed cannot replay frames
+  // the consumer slept through, so after a long stall delivery must resume
+  // paced at the frame rate (small catch-up allowance aside).
+  const video::codec::EncodedVideo& stream =
+      dataset_->assets[0].container.video;
+  ASSERT_GE(stream.FrameCount(), 12);
+  // fps 15 x multiplier 13.33 => one frame every ~5 ms.
+  VideoSource source = VideoSource::Online(&stream, 200.0 / stream.fps);
+  ASSERT_TRUE(source.Next().ok());
+  ASSERT_TRUE(source.Next().ok());
+  // Stall for ~20 frame periods.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto resume = std::chrono::steady_clock::now();
+  int frames = 0;
+  while (!source.AtEnd()) {
+    ASSERT_TRUE(source.Next().ok());
+    ++frames;
+  }
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - resume).count();
+  EXPECT_EQ(frames, stream.FrameCount() - 2);
+  // With the clamp, at most ~4 frames arrive instantly; the rest are paced
+  // at 5 ms each. Without it, the whole tail would arrive in ~0 s.
+  double frame_seconds = 1.0 / 200.0;
+  EXPECT_GE(elapsed, (frames - 5) * frame_seconds * 0.8);
+}
+
+TEST_F(SystemsTest, OnlineChannelLossFreezesFramesDeterministically) {
+  const video::codec::EncodedVideo& stream =
+      dataset_->assets[0].container.video;
+  auto profile = fault::ProfileByName("lossy");
+  ASSERT_TRUE(profile.ok());
+  profile->jitter_delay = std::chrono::microseconds(10);
+
+  auto run = [&](uint64_t seed) {
+    fault::FaultInjector injector(*profile, seed);
+    VideoSource source = VideoSource::Online(&stream, 10000.0, &injector);
+    std::vector<const video::codec::EncodedFrame*> delivered;
+    while (!source.AtEnd()) {
+      auto frame = source.Next();
+      EXPECT_TRUE(frame.ok());
+      delivered.push_back(*frame);
+    }
+    EXPECT_EQ(static_cast<int>(delivered.size()), stream.FrameCount());
+    // A lost frame is concealed by repeating the previous delivery, so the
+    // consumer still sees one decodable frame per capture slot.
+    int repeats = 0;
+    for (size_t i = 1; i < delivered.size(); ++i) {
+      if (delivered[i] == delivered[i - 1]) ++repeats;
+    }
+    EXPECT_EQ(repeats, source.frames_degraded());
+    return source.frames_degraded();
+  };
+  int first = run(29);
+  EXPECT_GT(first, 0);  // The lossy profile dropped something.
+  EXPECT_EQ(first, run(29));  // Same seed, same freeze-frame schedule.
+}
+
 TEST_F(SystemsTest, StorageBackedSourceMatchesInMemorySource) {
   namespace fs = std::filesystem;
   // Re-encode with short GOPs so the windowed source issues several

@@ -339,6 +339,91 @@ TEST_F(VssTest, IngestReplacesVideoAndDropsStaleVariants) {
   EXPECT_TRUE(SameBitstream(**read, second));
 }
 
+TEST_F(VssTest, TranscodeDeadlineDegradesToNearestVariant) {
+  // Tentpole: when every transcode stalls past the deadline, the read
+  // degrades — the already-fetched nearest better variant (here the base)
+  // is served directly instead of blocking the query on the transcode.
+  auto profile = fault::ProfileByName("degraded");
+  ASSERT_TRUE(profile.ok());
+  profile->transcode_stall_delay = std::chrono::microseconds(5000);
+  fault::FaultInjector injector(*profile, 17);
+  VssOptions options = Options();
+  options.faults = &injector;
+  options.transcode_deadline = std::chrono::milliseconds(1);
+  auto vss = OpenService(options);
+  EncodedVideo original = MakeStream(12, 64, 36, 4, 13);
+  ASSERT_TRUE(vss->Ingest("cam", original).ok());
+
+  VariantKey tier{32, 18, 32};
+  auto read = vss->ReadVideo("cam", tier);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  // The degraded read serves the base bitstream (64x36), not the 32x18 tier.
+  EXPECT_EQ((*read)->width, 64);
+  EXPECT_TRUE(SameBitstream(**read, original));
+  VssStats stats = vss->stats();
+  EXPECT_EQ(stats.degraded_reads, 1);
+  EXPECT_EQ(stats.transcodes, 0);
+  // Nothing half-transcoded gets persisted as a variant.
+  EXPECT_EQ(stats.variants_persisted, 0);
+  auto entry = vss->Describe("cam");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->variants.size(), 1u);
+}
+
+TEST_F(VssTest, ZeroDeadlineNeverDegradesEvenWithStalls) {
+  // transcode_deadline == 0 disables degradation entirely: with stalls
+  // injected the read is slower but still serves the exact requested tier —
+  // the byte-identity guarantee for faults-off configurations.
+  auto profile = fault::ProfileByName("degraded");
+  ASSERT_TRUE(profile.ok());
+  profile->transcode_stall_delay = std::chrono::microseconds(100);
+  fault::FaultInjector injector(*profile, 19);
+  VssOptions options = Options();
+  options.faults = &injector;
+  auto vss = OpenService(options);
+  ASSERT_TRUE(vss->Ingest("cam", MakeStream(12, 64, 36, 4, 14)).ok());
+
+  VariantKey tier{32, 18, 32};
+  auto read = vss->ReadVideo("cam", tier);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ((*read)->width, 32);
+  EXPECT_EQ(vss->stats().degraded_reads, 0);
+  EXPECT_EQ(vss->stats().transcodes, 1);
+}
+
+TEST_F(VssTest, DegradedSingleFlightWaitersSeeTheDegradedStream) {
+  // Waiters coalesced behind a leader that degrades must observe the
+  // leader's degraded outcome instead of hanging on a tier that never
+  // materializes.
+  auto profile = fault::ProfileByName("degraded");
+  ASSERT_TRUE(profile.ok());
+  profile->transcode_stall_delay = std::chrono::microseconds(5000);
+  fault::FaultInjector injector(*profile, 23);
+  VssOptions options = Options();
+  options.faults = &injector;
+  options.transcode_deadline = std::chrono::milliseconds(1);
+  auto vss = OpenService(options);
+  EncodedVideo original = MakeStream(12, 64, 36, 4, 15);
+  ASSERT_TRUE(vss->Ingest("cam", original).ok());
+
+  constexpr int kThreads = 6;
+  std::vector<std::shared_ptr<const EncodedVideo>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto read = vss->ReadVideo("cam", VariantKey{32, 18, 32});
+      ASSERT_TRUE(read.ok()) << read.status().ToString();
+      results[static_cast<size_t>(t)] = *read;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(SameBitstream(*results[static_cast<size_t>(t)], original));
+  }
+  EXPECT_GT(vss->stats().degraded_reads, 0);
+  EXPECT_EQ(vss->stats().transcodes, 0);
+}
+
 TEST_F(VssTest, RejectsInvalidIngestAndOptions) {
   auto vss = OpenService(Options());
   EXPECT_FALSE(vss->Ingest("", MakeStream(4, 32, 32, 4, 12)).ok());
