@@ -13,6 +13,11 @@ namespace {
 std::atomic<int64_t> g_total_retries{0};
 std::atomic<int64_t> g_total_giveups{0};
 
+// Thread-scoped mirrors of the robustness counters; see ThreadRetries() /
+// ThreadDegraded() in the header for the attribution contract.
+thread_local int64_t t_thread_retries = 0;
+thread_local int64_t t_thread_degraded = 0;
+
 struct SiteInstruments {
   metrics::Counter* draws = nullptr;
   metrics::Counter* injected = nullptr;
@@ -217,6 +222,7 @@ Status RetryPolicy::Run(const std::function<Status()>& op, int* attempts_out) {
     }
     inst.retries->Increment();
     g_total_retries.fetch_add(1, std::memory_order_relaxed);
+    ++t_thread_retries;
     std::this_thread::sleep_for(sleep);
     inst.sleep_seconds->Increment(
         std::chrono::duration<double>(sleep).count());
@@ -236,5 +242,11 @@ int64_t TotalRetries() {
 int64_t TotalGiveups() {
   return g_total_giveups.load(std::memory_order_relaxed);
 }
+
+int64_t ThreadRetries() { return t_thread_retries; }
+
+int64_t ThreadDegraded() { return t_thread_degraded; }
+
+void NoteDegraded(int64_t count) { t_thread_degraded += count; }
 
 }  // namespace visualroad::fault

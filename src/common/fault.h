@@ -131,12 +131,31 @@ class RetryPolicy {
 
 /// Process-wide retry accounting, mirrored from the vr_retry_* metrics so
 /// the driver can snapshot deltas per query batch without parsing the
-/// Prometheus text.
+/// Prometheus text. Global deltas conflate whatever else ran in the window;
+/// per-instance attribution uses the thread-scoped counters below.
 int64_t TotalRetries();
 int64_t TotalGiveups();
-/// Process-wide degraded-frame/read accounting contributed by the online
-/// path and VSS; see vr_vss_degraded_reads_total and
-/// vr_rtp_frames_concealed_total for the exported views.
+
+/// Retry attempts made by code running on the current thread. RetryPolicy
+/// increments this on the calling thread alongside the global counter, so a
+/// caller that brackets an operation with two reads gets the operation's
+/// exact retry count even while other threads retry concurrently (the VCD
+/// attributes retries to query instances this way when batches overlap).
+int64_t ThreadRetries();
+
+/// Degraded deliveries recorded by code running on the current thread:
+/// online freeze-frame concealment and VSS reads served past the transcode
+/// deadline both call NoteDegraded() at their existing increment sites, which
+/// all run on the reading caller's own thread. Bracketing an instance with
+/// two reads therefore counts each degraded frame exactly once, regardless
+/// of which other batches share the storage service. The exported views
+/// remain vr_vss_degraded_reads_total and vr_rtp_frames_concealed_total.
+int64_t ThreadDegraded();
+
+/// Records `count` degraded deliveries against the current thread. Called by
+/// the degrade sites (VSS, online sources); not a metric — the sites keep
+/// their own registry instruments.
+void NoteDegraded(int64_t count = 1);
 
 }  // namespace visualroad::fault
 

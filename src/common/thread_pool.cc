@@ -171,6 +171,21 @@ PoolStats ThreadPool::stats() const {
   return stats_;
 }
 
+void ThreadPool::ResetQueuePeak() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stats_.queue_peak = static_cast<int64_t>(tasks_.size());
+}
+
+PoolStats PoolStatsDelta(const PoolStats& after, const PoolStats& before) {
+  PoolStats delta;
+  delta.tasks_submitted = after.tasks_submitted - before.tasks_submitted;
+  delta.tasks_executed = after.tasks_executed - before.tasks_executed;
+  delta.tasks_failed = after.tasks_failed - before.tasks_failed;
+  delta.queue_peak = after.queue_peak;
+  delta.busy_seconds = after.busy_seconds - before.busy_seconds;
+  return delta;
+}
+
 int ThreadPool::HardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }

@@ -31,6 +31,13 @@ struct PoolStats {
   double busy_seconds = 0.0;
 };
 
+/// Counter movement between two stats() snapshots of one pool (`after` minus
+/// `before`), for per-phase attribution on a long-lived pool. queue_peak is
+/// carried from `after` unchanged — a high-water mark is not a counter;
+/// callers that want the peak of just their window call ResetQueuePeak() at
+/// the window start.
+PoolStats PoolStatsDelta(const PoolStats& after, const PoolStats& before);
+
 /// A fixed-size worker pool. Used by the VCG (parallel tile generation and
 /// distributed mode), the VCD's parallel batch execution, and the
 /// BatchEngine's stage executor.
@@ -83,6 +90,13 @@ class ThreadPool {
 
   /// Counters accumulated since construction.
   PoolStats stats() const;
+
+  /// Resets the queue-peak high-water mark to the current queue depth, so the
+  /// next stats() reports the peak reached since this call. Pairs with
+  /// PoolStatsDelta() when one pool serves many measured phases. The
+  /// process-wide vr_pool_queue_peak gauge keeps its lifetime high-water
+  /// semantics and is unaffected.
+  void ResetQueuePeak();
 
   /// The hardware concurrency, at least 1.
   static int HardwareThreads();

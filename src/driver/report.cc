@@ -88,8 +88,8 @@ std::string FormatPoolStats(const PoolStats& stats, int threads,
 
 std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) {
   TextTable table;
-  table.SetHeader({"Query", "Engine", "Batch", "Runtime", "FPS", "Validation",
-                   "Parallel", "Cache", "Faults"});
+  table.SetHeader({"Query", "Engine", "Batch", "Runtime", "FPS", "Goodput",
+                   "Validation", "Parallel", "Cache", "Faults"});
   for (const QueryBatchResult& result : results) {
     std::string validation;
     if (!result.Supported()) {
@@ -114,6 +114,11 @@ std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) 
     }
     char fps[32];
     std::snprintf(fps, sizeof(fps), "%.0f", result.frames_per_second);
+    // Goodput (succeeded-instance frames per second) separates useful work
+    // from attempted throughput; the columns match on a failure-free batch.
+    char goodput[32];
+    std::snprintf(goodput, sizeof(goodput), "%.0f",
+                  result.goodput_frames_per_second);
     // Per-batch parallel efficiency: how busy the driver's instance pool
     // kept its workers during the measured window.
     std::string parallel = "-";
@@ -154,10 +159,51 @@ std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results) 
     table.AddRow({queries::QueryName(result.id), result.engine,
                   std::to_string(result.instances),
                   result.Supported() ? FormatSeconds(result.total_seconds) : "N/A",
-                  result.Supported() ? fps : "-", validation, parallel, cache,
-                  faults});
+                  result.Supported() ? fps : "-",
+                  result.Supported() ? goodput : "-", validation, parallel,
+                  cache, faults});
   }
   return table.ToString();
+}
+
+std::string FormatServingReport(const server::ServingReport& report) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "Serving: %lld offered over %s (%.1f batches/s), "
+                "%lld admitted, %lld shed (%lld tenant-queue, %lld server-queue)\n",
+                static_cast<long long>(report.offered_batches),
+                FormatSeconds(report.wall_seconds).c_str(),
+                report.offered_per_second,
+                static_cast<long long>(report.admitted_batches),
+                static_cast<long long>(report.shed_batches),
+                static_cast<long long>(report.server.admission.shed_tenant),
+                static_cast<long long>(report.server.admission.shed_server));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "Queries: %lld ok, %lld failed, %lld unsupported; "
+                "queue depth peak %d\n",
+                static_cast<long long>(report.succeeded_queries),
+                static_cast<long long>(report.failed_queries),
+                static_cast<long long>(report.unsupported_queries),
+                report.server.queue_depth_peak);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "Latency: p50 %s, p95 %s, p99 %s, max %s "
+                "(queued p50 %s, p99 %s)\n",
+                FormatSeconds(report.latency.p50_seconds).c_str(),
+                FormatSeconds(report.latency.p95_seconds).c_str(),
+                FormatSeconds(report.latency.p99_seconds).c_str(),
+                FormatSeconds(report.latency.max_seconds).c_str(),
+                FormatSeconds(report.queue_latency.p50_seconds).c_str(),
+                FormatSeconds(report.queue_latency.p99_seconds).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "Throughput: %.0f frames/s attempted, %.0f frames/s goodput\n",
+                report.attempted_frames_per_second,
+                report.goodput_frames_per_second);
+  out += line;
+  return out;
 }
 
 std::string FormatStageBreakdown(const QueryBatchResult& result) {

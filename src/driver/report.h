@@ -40,6 +40,11 @@ std::string FormatPoolStats(const PoolStats& stats, int threads,
 /// FPS, validation summary).
 std::string FormatBenchmarkReport(const std::vector<QueryBatchResult>& results);
 
+/// Renders a serving run's outcome: offered/admitted/shed counts, latency
+/// percentiles (p50/p95/p99), queueing delay, and attempted-vs-goodput
+/// throughput.
+std::string FormatServingReport(const server::ServingReport& report);
+
 /// Renders one batch's trace-span totals as a stage-breakdown table
 /// (Span | Count | Total | % of wall). Spans are inclusive, so nested stages
 /// can sum past 100% of the batch wall-clock; the top rows still show where

@@ -76,34 +76,15 @@ StatusOr<std::vector<QueryInstance>> VisualCityDriver::SampleBatch(
 }
 
 int64_t VisualCityDriver::InputFrames(const QueryInstance& instance) const {
-  switch (instance.id) {
-    case QueryId::kQ8: {
-      int64_t total = 0;
-      for (const sim::VideoAsset* asset : dataset_->TrafficAssets()) {
-        total += asset->container.video.FrameCount();
-      }
-      return total;
-    }
-    case QueryId::kQ9:
-    case QueryId::kQ10: {
-      std::vector<const sim::VideoAsset*> faces =
-          dataset_->PanoramicGroup(instance.pano_group);
-      int64_t total = 0;
-      for (const sim::VideoAsset* face : faces) {
-        if (face != nullptr) total += face->container.video.FrameCount();
-      }
-      return total;
-    }
-    default: {
-      std::vector<const sim::VideoAsset*> traffic = dataset_->TrafficAssets();
-      if (instance.video_index < 0 ||
-          static_cast<size_t>(instance.video_index) >= traffic.size()) {
-        return 0;
-      }
-      return traffic[static_cast<size_t>(instance.video_index)]
-          ->container.video.FrameCount();
-    }
+  return systems::detail::InputFrameCount(instance, *dataset_);
+}
+
+ThreadPool& VisualCityDriver::EnsurePool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(std::max(1, options_.parallel_instances),
+                                         "driver");
   }
+  return *pool_;
 }
 
 Status VisualCityDriver::Validate(const QueryInstance& instance,
@@ -201,17 +182,26 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
     bool resource_exhausted = false;
     std::string error;
     int64_t frames_degraded = 0;
+    int64_t retries = 0;
+    systems::EngineStats engine_stats;
   };
   std::vector<InstanceOutcome> outcomes(batch.size());
   std::vector<systems::QueryOutput> outputs(batch.size());
 
   auto run_one = [&](int i) {
     size_t index = static_cast<size_t>(i);
+    // Robustness accounting is thread-scoped: every degrade/retry site runs
+    // on the thread that performs the read, and this whole body runs on one
+    // thread, so bracketing it counts each event exactly once for exactly
+    // this instance — even with other batches live on the same services.
+    const int64_t retries_before = fault::ThreadRetries();
+    const int64_t degraded_before = fault::ThreadDegraded();
     if (options_.execution_mode == systems::ExecutionMode::kOnline) {
       // Online processing (Section 3.2): data arrives through a throttled
       // forward-only feed at the camera's capture rate. The engine cannot
       // start ahead of the data, so the ingest gate is part of the measured
-      // runtime.
+      // runtime. Freeze-frame concealments surface through the thread-scoped
+      // degraded counter.
       std::vector<const sim::VideoAsset*> traffic = dataset_->TrafficAssets();
       if (batch[index].video_index >= 0 &&
           static_cast<size_t>(batch[index].video_index) < traffic.size()) {
@@ -222,12 +212,13 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
         while (!source.AtEnd()) {
           if (!source.Next().ok()) break;
         }
-        outcomes[index].frames_degraded = source.frames_degraded();
       }
     }
     StatusOr<systems::QueryOutput> output =
         engine.Execute(batch[index], *dataset_, options_.output_mode,
-                       options_.output_dir);
+                       options_.output_dir, &outcomes[index].engine_stats);
+    outcomes[index].retries = fault::ThreadRetries() - retries_before;
+    outcomes[index].frames_degraded = fault::ThreadDegraded() - degraded_before;
     if (output.ok()) {
       outputs[index] = std::move(output).value();
       outcomes[index].succeeded = true;
@@ -252,12 +243,6 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
                               systems::ExecutionMode::kOffline &&
                           engine.ConcurrentSafe();
 
-  systems::EngineStats stats_before = engine.stats();
-  // Robustness accounting for the measured window: retry attempts across
-  // every RetryPolicy site, and reads the VSS served degraded.
-  const int64_t retries_before = fault::TotalRetries();
-  const int64_t vss_degraded_before =
-      options_.storage != nullptr ? options_.storage->stats().degraded_reads : 0;
   Stopwatch stopwatch;
   {
     // One span covering the whole measured window, so the exported trace
@@ -266,11 +251,21 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
     // spans (the batch engine's is "batch:<query>").
     trace::Span batch_span(std::string("vcd:") + queries::QueryName(id));
     if (parallel_execute) {
-      ThreadPool pool(pool_threads, "driver");
+      // The driver-lifetime pool: per-batch pool churn put worker startup
+      // and teardown inside the measured window. PoolStats still reports
+      // this batch's movement only, via the snapshot delta.
+      ThreadPool& pool = EnsurePool();
+      pool.ResetQueuePeak();
+      const PoolStats pool_before = pool.stats();
       VR_RETURN_IF_ERROR(pool.ParallelForStatus(static_cast<int>(batch.size()),
                                                 run_one, /*grain=*/1));
-      result.parallel_instances = pool.num_threads();
-      result.pool_stats = pool.stats();
+      // ParallelForStatus returns on the last chunk's completion signal,
+      // which fires inside the task body — the worker's tasks_executed /
+      // busy_seconds bookkeeping lands just after. Quiesce before the
+      // after-snapshot so the window delta covers every task it submitted.
+      (void)pool.Wait();
+      result.parallel_instances = pool_threads;
+      result.pool_stats = PoolStatsDelta(pool.stats(), pool_before);
     } else {
       for (size_t i = 0; i < batch.size(); ++i) {
         VR_RETURN_IF_ERROR(run_one(static_cast<int>(i)));
@@ -278,50 +273,42 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
     }
   }
   result.total_seconds = stopwatch.ElapsedSeconds();
-  result.retries = fault::TotalRetries() - retries_before;
-  if (options_.storage != nullptr) {
-    result.frames_degraded +=
-        options_.storage->stats().degraded_reads - vss_degraded_before;
-  }
   DriverMetrics::Get().batches.Increment();
   DriverMetrics::Get().batch_seconds.Observe(result.total_seconds);
-  // The engine's counter movement over the measured window; batches share
-  // one engine, so absolutes would conflate earlier queries.
-  systems::EngineStats stats_after = engine.stats();
-  result.engine_stats.frames_decoded =
-      stats_after.frames_decoded - stats_before.frames_decoded;
-  result.engine_stats.frames_encoded =
-      stats_after.frames_encoded - stats_before.frames_encoded;
-  result.engine_stats.cache_hits = stats_after.cache_hits - stats_before.cache_hits;
-  result.engine_stats.cache_misses =
-      stats_after.cache_misses - stats_before.cache_misses;
-  result.engine_stats.chunked_redecodes =
-      stats_after.chunked_redecodes - stats_before.chunked_redecodes;
-  result.engine_stats.cnn_frames_full =
-      stats_after.cnn_frames_full - stats_before.cnn_frames_full;
-  result.engine_stats.cnn_frames_cheap =
-      stats_after.cnn_frames_cheap - stats_before.cnn_frames_cheap;
-  result.engine_stats.cnn_frames_skipped =
-      stats_after.cnn_frames_skipped - stats_before.cnn_frames_skipped;
 
-  int64_t input_frames = 0;
+  // Aggregate the per-instance windows in index order. Engine counters are
+  // the sum of the per-call windows Execute() reported, so the batch's
+  // engine_stats is exact even when another batch overlaps on this engine —
+  // a stats() before/after snapshot would absorb the other batch's work.
+  int64_t attempted_frames = 0;
+  int64_t succeeded_frames = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     const InstanceOutcome& outcome = outcomes[i];
     result.frames_degraded += outcome.frames_degraded;
+    result.retries += outcome.retries;
+    result.engine_stats.Add(outcome.engine_stats);
     if (outcome.succeeded) {
       ++result.succeeded;
-      input_frames += InputFrames(batch[i]);
+      int64_t frames = InputFrames(batch[i]);
+      attempted_frames += frames;
+      succeeded_frames += frames;
     } else if (outcome.unsupported) {
       ++result.unsupported;
     } else if (outcome.failed) {
       ++result.failed;
+      attempted_frames += InputFrames(batch[i]);
       if (outcome.resource_exhausted) ++result.resource_exhausted;
       if (result.first_error.empty()) result.first_error = outcome.error;
     }
   }
+  result.attempted_frames = attempted_frames;
   result.frames_per_second =
       result.total_seconds > 0
-          ? static_cast<double>(input_frames) / result.total_seconds
+          ? static_cast<double>(attempted_frames) / result.total_seconds
+          : 0.0;
+  result.goodput_frames_per_second =
+      result.total_seconds > 0
+          ? static_cast<double>(succeeded_frames) / result.total_seconds
           : 0.0;
   DriverMetrics::Get().instances_succeeded.Increment(
       static_cast<double>(result.succeeded));
@@ -343,7 +330,10 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
     };
     if (pool_threads > 1) {
       std::vector<ValidationStats> per_instance(batch.size());
-      ThreadPool pool(pool_threads, "driver");
+      // Same driver-lifetime pool as the measured window; the batch's
+      // pool_stats delta was taken before validation, so validation tasks
+      // never leak into the measured counters.
+      ThreadPool& pool = EnsurePool();
       VR_RETURN_IF_ERROR(pool.ParallelForStatus(
           static_cast<int>(batch.size()),
           [&](int i) {
@@ -381,6 +371,15 @@ StatusOr<std::vector<QueryBatchResult>> VisualCityDriver::RunBenchmark(
   }
   VR_RETURN_IF_ERROR(WriteTrace());
   return results;
+}
+
+StatusOr<server::ServingReport> VisualCityDriver::RunServing(
+    systems::Vdbms& engine, const ServingRunOptions& run) {
+  VR_RETURN_IF_ERROR(StageStorage());
+  std::vector<server::Arrival> schedule =
+      server::GenerateOpenLoopSchedule(run.traffic);
+  server::QueryServer srv(*dataset_, engine, run.server);
+  return server::RunOpenLoop(srv, *dataset_, schedule, run.replay);
 }
 
 Status VisualCityDriver::WriteTrace() const {

@@ -1,6 +1,7 @@
 #ifndef VISUALROAD_DRIVER_VCD_H_
 #define VISUALROAD_DRIVER_VCD_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,8 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "driver/validation.h"
+#include "server/server.h"
+#include "server/traffic.h"
 #include "systems/vdbms.h"
 
 namespace visualroad::storage {
@@ -83,8 +86,19 @@ struct QueryBatchResult {
   /// Wall-clock seconds for the whole batch (persist time included in write
   /// mode, per Section 3.2).
   double total_seconds = 0.0;
-  /// Input frames processed per second of batch runtime.
+  /// Input frames the engine attempted over the batch (succeeded plus failed
+  /// instances; declined-as-unsupported instances read no input).
+  int64_t attempted_frames = 0;
+  /// Attempted-frame throughput: attempted_frames / total_seconds. The wall
+  /// clock covers every instance, so the numerator must too — dividing only
+  /// succeeded frames by the full wall time (the old definition) understated
+  /// throughput exactly when instances failed, which is the norm under
+  /// overload.
   double frames_per_second = 0.0;
+  /// Goodput: input frames of *succeeded* instances / total_seconds. Under
+  /// overload this diverges from frames_per_second; a healthy run has the
+  /// two equal.
+  double goodput_frames_per_second = 0.0;
   ValidationStats validation;
   /// First error message, when failures occurred (lowest instance index, so
   /// the report is deterministic under parallel execution).
@@ -101,18 +115,31 @@ struct QueryBatchResult {
   std::vector<trace::SpanTotal> stage_breakdown;
   /// Frames delivered degraded during the measured window: freeze-frame
   /// repeats from online sources plus VSS reads served past the transcode
-  /// deadline. Zero on a fault-free run.
+  /// deadline. Counted per instance from the thread-scoped accounting
+  /// (fault::ThreadDegraded), so each degraded frame is attributed exactly
+  /// once even when other batches share the storage service concurrently.
+  /// Zero on a fault-free run.
   int64_t frames_degraded = 0;
   /// Retry attempts (across every RetryPolicy site) during the measured
-  /// window. Zero on a fault-free run.
+  /// window, attributed per instance the same way. Zero on a fault-free run.
   int64_t retries = 0;
 
   bool Supported() const { return unsupported < instances; }
 };
 
+/// Serving mode: one driver-level entry point that wires the traffic
+/// generator, the query server, and the open-loop replayer together.
+struct ServingRunOptions {
+  server::ServerOptions server;
+  server::TrafficOptions traffic;
+  server::ReplayOptions replay;
+};
+
 /// The Visual City Driver (Section 3.2): samples query batches, submits them
 /// to a VDBMS, measures runtime, and validates results against the reference
-/// implementation.
+/// implementation. Batch entry points are not themselves thread-safe (one
+/// measured window at a time per driver); concurrent batch execution is the
+/// query server's job.
 class VisualCityDriver {
  public:
   VisualCityDriver(const sim::Dataset& dataset, const VcdOptions& options)
@@ -134,6 +161,13 @@ class VisualCityDriver {
   /// `trace_path` is set, finishes by writing the run's Chrome trace there.
   StatusOr<std::vector<QueryBatchResult>> RunBenchmark(systems::Vdbms& engine);
 
+  /// Serving mode: stages storage, generates the seeded open-loop schedule,
+  /// stands up a QueryServer over `engine`, and replays the schedule through
+  /// it. Returns the serving report (latency percentiles, shed counts,
+  /// goodput under the offered load).
+  StatusOr<server::ServingReport> RunServing(systems::Vdbms& engine,
+                                             const ServingRunOptions& run);
+
   /// Writes every span recorded so far as Chrome trace JSON to
   /// options().trace_path; no-op (Ok) when no path is configured.
   Status WriteTrace() const;
@@ -154,8 +188,16 @@ class VisualCityDriver {
   /// Input frames a query instance consumes (for the FPS metric).
   int64_t InputFrames(const queries::QueryInstance& instance) const;
 
+  /// The driver-lifetime executor for parallel measured windows and
+  /// validation, created on first use with options().parallel_instances
+  /// workers. One pool for the driver's whole life — constructing a fresh
+  /// pool per batch paid thread startup inside the measured window and made
+  /// PoolStats lifetime-equal-batch by accident rather than by contract.
+  ThreadPool& EnsurePool();
+
   const sim::Dataset* dataset_;
   VcdOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace visualroad::driver

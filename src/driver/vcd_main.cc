@@ -59,6 +59,15 @@ void PrintUsage(const char* argv0) {
       "                    when --storage is not given); the report gains a\n"
       "                    Faults column with retries and degraded frames\n"
       "\n"
+      "Serving (DESIGN.md Section 12):\n"
+      "  --serve           Serving mode: replay an open-loop multi-tenant\n"
+      "                    schedule through the async query server instead\n"
+      "                    of running the batch benchmark\n"
+      "  --tenants N       Tenants submitting traffic (default 4)\n"
+      "  --rate R          Per-tenant offered batches/second (default 2)\n"
+      "  --serve-seconds S Schedule length in offered seconds (default 5)\n"
+      "  --serve-workers N Server executor threads (default 4)\n"
+      "\n"
       "Observability (docs/OBSERVABILITY.md):\n"
       "  --trace PATH      Record spans; write Chrome trace JSON to PATH\n"
       "  --metrics PATH    Dump the Prometheus metrics registry to PATH\n"
@@ -151,6 +160,11 @@ int Run(int argc, char** argv) {
   std::string metrics_path;
   std::string storage_dir;
   std::string faults_name;
+  bool serve = false;
+  ServingRunOptions serving;
+  serving.traffic.tenants = 4;
+  serving.traffic.arrivals_per_second = 2.0;
+  serving.traffic.duration_seconds = 5.0;
 
   auto next_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -207,6 +221,20 @@ int Run(int argc, char** argv) {
     } else if (arg == "--faults") {
       if (!(value = next_value(i, "--faults"))) return 2;
       faults_name = value;
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--tenants") {
+      if (!(value = next_value(i, "--tenants"))) return 2;
+      serving.traffic.tenants = std::atoi(value);
+    } else if (arg == "--rate") {
+      if (!(value = next_value(i, "--rate"))) return 2;
+      serving.traffic.arrivals_per_second = std::atof(value);
+    } else if (arg == "--serve-seconds") {
+      if (!(value = next_value(i, "--serve-seconds"))) return 2;
+      serving.traffic.duration_seconds = std::atof(value);
+    } else if (arg == "--serve-workers") {
+      if (!(value = next_value(i, "--serve-workers"))) return 2;
+      serving.server.worker_threads = std::atoi(value);
     } else if (arg == "--trace") {
       if (!(value = next_value(i, "--trace"))) return 2;
       vcd_options.trace = true;
@@ -340,6 +368,35 @@ int Run(int argc, char** argv) {
       return 1;
     }
   }
+  if (serve) {
+    serving.traffic.seed = config.seed;
+    serving.replay.seed = config.seed;
+    if (!query_spec.empty()) serving.replay.query_mix = query_ids;
+    serving.server.output_mode = vcd_options.output_mode;
+    serving.server.output_dir = vcd_options.output_dir;
+    std::printf("Serving: %d tenants at %.1f batches/s each for %.1fs "
+                "(%d workers, %s engine)...\n",
+                serving.traffic.tenants, serving.traffic.arrivals_per_second,
+                serving.traffic.duration_seconds, serving.server.worker_threads,
+                engine_name.c_str());
+    auto report = vcd.RunServing(*engine, serving);
+    if (!report.ok()) {
+      std::fprintf(stderr, "serving run failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n%s\n", FormatServingReport(*report).c_str());
+    if (!metrics_path.empty()) {
+      Status status = DumpMetrics(metrics_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "metrics dump failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
   std::vector<QueryBatchResult> results;
   for (queries::QueryId id : query_ids) {
     std::printf("Running %s on %s engine (batch of %d)...\n",

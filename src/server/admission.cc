@@ -1,0 +1,32 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace visualroad::server {
+
+AdmissionController::AdmissionController(int max_total_queued)
+    : max_total_queued_(std::max(1, max_total_queued)) {}
+
+Status AdmissionController::Admit(const TenantOptions& tenant, int tenant_queued) {
+  if (tenant_queued >= std::max(0, tenant.max_queued_batches)) {
+    ++stats_.shed_tenant;
+    return Status::ResourceExhausted("tenant queue full for \"" + tenant.name +
+                                     "\" (" + std::to_string(tenant_queued) +
+                                     " batches queued)");
+  }
+  if (queued_ >= max_total_queued_) {
+    ++stats_.shed_server;
+    return Status::ResourceExhausted(
+        "server queue full (" + std::to_string(queued_) + " batches queued)");
+  }
+  ++queued_;
+  ++stats_.admitted;
+  return Status::Ok();
+}
+
+void AdmissionController::OnStarted() {
+  --queued_;
+  ++stats_.started;
+}
+
+}  // namespace visualroad::server

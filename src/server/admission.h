@@ -1,0 +1,73 @@
+#ifndef VISUALROAD_SERVER_ADMISSION_H_
+#define VISUALROAD_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace visualroad::server {
+
+/// Per-tenant serving policy. Tenants are the unit of isolation: each one
+/// gets its own bounded submission queue and a fair-share priority; the
+/// scheduler never lets one tenant's backlog starve another's quota.
+struct TenantOptions {
+  std::string name;
+  /// Scheduling priority: higher-priority tenants' queued batches are
+  /// promoted first; ties break by session-open order (deterministic).
+  int priority = 0;
+  /// Bounded per-tenant queue: a submit beyond this many queued (admitted,
+  /// not yet started) batches is shed with ResourceExhausted.
+  int max_queued_batches = 8;
+  /// How many of this tenant's batches may be running at once.
+  int max_concurrent_batches = 1;
+};
+
+/// Load-shedding counters, by decision.
+struct AdmissionStats {
+  /// Batches admitted into a queue.
+  int64_t admitted = 0;
+  /// Batches shed because the tenant's own queue was full.
+  int64_t shed_tenant = 0;
+  /// Batches shed because the server-wide queue bound was reached.
+  int64_t shed_server = 0;
+  /// Admitted batches later promoted to running.
+  int64_t started = 0;
+
+  int64_t shed() const { return shed_tenant + shed_server; }
+};
+
+/// Admission decisions for the query server: bounded per-tenant queues under
+/// one server-wide bound, shedding (never blocking) on overflow. Pure
+/// policy — no locks, no metrics; the caller (QueryServer) serializes calls
+/// under its scheduler mutex and exports the counters.
+class AdmissionController {
+ public:
+  /// `max_total_queued` bounds admitted-but-not-started batches across all
+  /// tenants (at least 1).
+  explicit AdmissionController(int max_total_queued);
+
+  /// Decides one submission for `tenant`, which currently has
+  /// `tenant_queued` batches waiting. Ok admits (the caller must enqueue);
+  /// ResourceExhausted sheds, with the bounded queue that rejected it named
+  /// in the message. Per-tenant bounds are checked before the server-wide
+  /// bound, so a noisy tenant hits its own quota first.
+  Status Admit(const TenantOptions& tenant, int tenant_queued);
+
+  /// Records that an admitted batch left its queue and started running.
+  void OnStarted();
+
+  /// Admitted batches not yet started, across all tenants.
+  int queued() const { return queued_; }
+
+  const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  int max_total_queued_;
+  int queued_ = 0;
+  AdmissionStats stats_;
+};
+
+}  // namespace visualroad::server
+
+#endif  // VISUALROAD_SERVER_ADMISSION_H_

@@ -1,0 +1,122 @@
+#ifndef VISUALROAD_SERVER_TRAFFIC_H_
+#define VISUALROAD_SERVER_TRAFFIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "queries/params.h"
+#include "server/server.h"
+
+namespace visualroad::server {
+
+/// Open-loop traffic model: every tenant submits from an independent Poisson
+/// process (optionally diurnally modulated), regardless of whether earlier
+/// batches have completed — which is what lets overload actually build up,
+/// unlike closed-loop replay where slow responses throttle the offered load.
+struct TrafficOptions {
+  int tenants = 4;
+  /// Length of the generated schedule in offered (virtual) seconds.
+  double duration_seconds = 10.0;
+  /// Per-tenant base arrival rate (batches per virtual second).
+  double arrivals_per_second = 1.0;
+  /// Diurnal modulation amplitude a in [0, 1): the instantaneous rate is
+  /// base * (1 + a * sin(2*pi*t / period)). 0 keeps arrivals homogeneous.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_seconds = 10.0;
+  /// Master seed; each tenant draws from its own substream, so adding a
+  /// tenant never perturbs another tenant's arrivals.
+  uint64_t seed = 0x5EED;
+};
+
+/// One scheduled submission.
+struct Arrival {
+  /// Offered time in virtual seconds from schedule start.
+  double time_seconds = 0.0;
+  int tenant = 0;
+};
+
+/// Generates the merged arrival schedule (sorted by time; ties broken by
+/// tenant index). Deterministic in the options: same options, same schedule,
+/// on any platform. Diurnal modulation uses thinning against the peak rate,
+/// which preserves per-tenant stream independence.
+std::vector<Arrival> GenerateOpenLoopSchedule(const TrafficOptions& options);
+
+/// Order statistics over a latency sample (seconds).
+struct LatencySummary {
+  int64_t count = 0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Summarizes `latencies_seconds` (nearest-rank percentiles). Empty input
+/// yields an all-zero summary.
+LatencySummary Summarize(std::vector<double> latencies_seconds);
+
+/// Outcome of one open-loop replay against a QueryServer.
+struct ServingReport {
+  int tenants = 0;
+  /// Batches offered / admitted / shed at Submit time.
+  int64_t offered_batches = 0;
+  int64_t admitted_batches = 0;
+  int64_t shed_batches = 0;
+  /// Per-query outcomes across admitted batches.
+  int64_t succeeded_queries = 0;
+  int64_t failed_queries = 0;
+  int64_t unsupported_queries = 0;
+  /// Wall-clock seconds from the first submission to drain.
+  double wall_seconds = 0.0;
+  /// Offered load: batches per wall-clock second over the replay.
+  double offered_per_second = 0.0;
+  /// Client-observed batch latency (admission to completion).
+  LatencySummary latency;
+  /// Time admitted batches spent queued before starting.
+  LatencySummary queue_latency;
+  /// Input frames of executed (succeeded + failed) instances, and of
+  /// succeeded instances only. Shed batches and unsupported instances read
+  /// no input, so they appear in neither.
+  int64_t attempted_frames = 0;
+  int64_t succeeded_frames = 0;
+  /// attempted_frames / wall_seconds and succeeded_frames / wall_seconds:
+  /// under overload the gap between them is the work wasted on failures,
+  /// and goodput is the number that matters.
+  double attempted_frames_per_second = 0.0;
+  double goodput_frames_per_second = 0.0;
+  /// Server counters at drain time (shed split by reason lives here).
+  ServerStats server;
+};
+
+/// Replay policy mapping a schedule onto a server.
+struct ReplayOptions {
+  /// Query instances per submitted batch.
+  int batch_size = 1;
+  /// Pacing: 0 replays as fast as possible (each arrival submits
+  /// immediately — the schedule only fixes order and sampling); > 0 sleeps
+  /// until `arrival.time_seconds * time_scale` wall seconds. Tests use 0;
+  /// benches sweeping offered load use it indirectly by scaling rates.
+  double time_scale = 0.0;
+  /// Queries to sample from; empty means Q1 only (cheap, every engine
+  /// supports it).
+  std::vector<queries::QueryId> query_mix;
+  queries::SamplerOptions sampler;
+  /// Seed for instance sampling (independent of the schedule's seed).
+  uint64_t seed = 0x5EED;
+  /// Tenant template: tenant i gets this policy with name "tenant-<i>".
+  TenantOptions tenant;
+};
+
+/// Replays `schedule` through `server` open-loop: opens one session per
+/// tenant, samples each batch deterministically from the replay seed and the
+/// arrival's schedule index, submits without waiting for completions, then
+/// drains and aggregates. Sampling is independent of submission outcome, so
+/// two replays of one schedule offer the identical instance sequence even if
+/// shedding differs.
+StatusOr<ServingReport> RunOpenLoop(QueryServer& server, const sim::Dataset& dataset,
+                                    const std::vector<Arrival>& schedule,
+                                    const ReplayOptions& options);
+
+}  // namespace visualroad::server
+
+#endif  // VISUALROAD_SERVER_TRAFFIC_H_

@@ -353,6 +353,7 @@ StatusOr<std::shared_ptr<const EncodedVideo>> VideoStorageService::AcquireStream
       if (degrade_to_source) {
         ++stats_.degraded_reads;
         VssMetrics::Get().degraded_reads.Increment();
+        fault::NoteDegraded();
       }
       return res->second.video;
     }
@@ -454,6 +455,7 @@ StatusOr<std::shared_ptr<const EncodedVideo>> VideoStorageService::AcquireStream
   if (degraded || degrade_to_source) {
     ++stats_.degraded_reads;
     metrics.degraded_reads.Increment();
+    fault::NoteDegraded();
   }
   if (persist && new_variant.ok()) {
     auto cat = catalog_.find(name);

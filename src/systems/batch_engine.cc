@@ -82,28 +82,72 @@ class BatchEngine : public Vdbms {
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
                                 const sim::Dataset& dataset, OutputMode mode,
-                                const std::string& output_dir) override {
+                                const std::string& output_dir,
+                                EngineStats* call_stats = nullptr) override {
     trace::Span span(std::string("batch:") + queries::QueryName(instance.id));
-    StatusOr<QueryOutput> result = ExecuteImpl(instance, dataset, mode, output_dir);
+    CallCounters call;
+    StatusOr<QueryOutput> result =
+        ExecuteImpl(instance, dataset, mode, output_dir, call);
+    Fold(call);
     mirror_.Publish(stats());
+    if (call_stats != nullptr) *call_stats = AsStats(call);
     return result;
   }
 
  private:
+  /// Counters for exactly one Execute() call, threaded through every stage
+  /// and folded into the cumulative atomics afterwards. The decode counters
+  /// are the atomic GopCacheCounters because the codec may update them from
+  /// its own pool threads. Retained-table accounting (retained_bytes_) stays
+  /// on the engine: it is cross-call state by design.
+  struct CallCounters {
+    video::codec::GopCacheCounters decode;
+    int64_t frames_decoded_extra = 0;
+    int64_t frames_encoded = 0;
+    int64_t chunked_redecodes = 0;
+    int64_t cnn_frames_full = 0;
+  };
+
+  void Fold(const CallCounters& call) {
+    decode_counters_.hits += call.decode.hits.load();
+    decode_counters_.misses += call.decode.misses.load();
+    decode_counters_.frames_decoded += call.decode.frames_decoded.load();
+    frames_decoded_extra_ += call.frames_decoded_extra;
+    frames_encoded_ += call.frames_encoded;
+    chunked_redecodes_ += call.chunked_redecodes;
+    cnn_frames_full_ += call.cnn_frames_full;
+  }
+
+  /// The per-call window mapped the same way stats() maps the cumulative
+  /// counters.
+  static EngineStats AsStats(const CallCounters& call) {
+    EngineStats stats;
+    stats.frames_decoded =
+        call.decode.frames_decoded.load() + call.frames_decoded_extra;
+    stats.frames_encoded = call.frames_encoded;
+    stats.cache_hits = call.decode.hits.load();
+    stats.cache_misses = call.decode.misses.load();
+    stats.chunked_redecodes = call.chunked_redecodes;
+    stats.cnn_frames_full = call.cnn_frames_full;
+    return stats;
+  }
+
   StatusOr<QueryOutput> ExecuteImpl(const QueryInstance& instance,
                                     const sim::Dataset& dataset, OutputMode mode,
-                                    const std::string& output_dir);
+                                    const std::string& output_dir,
+                                    CallCounters& call);
   /// Full eager decode of an input through the shared GOP cache;
   /// retained-table accounting drives the memory-pressure regime either way
   /// (the materialised table is this engine's copy, hit or miss). The
   /// bitstream comes from the storage service when one is configured.
-  StatusOr<Video> MaterializeAll(const sim::VideoAsset& asset) {
+  StatusOr<Video> MaterializeAll(const sim::VideoAsset& asset,
+                                 CallCounters& call) {
     TRACE_SPAN("materialize_input");
     VR_ASSIGN_OR_RETURN(std::shared_ptr<const video::codec::EncodedVideo> encoded,
                         detail::ResolveInput(asset, options_));
     VR_ASSIGN_OR_RETURN(
         Video decoded,
-        video::codec::CachedDecode(*encoded, *gop_cache_, &decode_counters_));
+        video::codec::CachedDecode(*encoded, *gop_cache_, &call.decode));
     retained_bytes_ += static_cast<int64_t>(decoded.FrameCount()) *
                        detail::FrameBytes(decoded.Width(), decoded.Height());
     return decoded;
@@ -114,7 +158,7 @@ class BatchEngine : public Vdbms {
   /// In the pressure regime, every stage's output is written to disk and
   /// read back (Scanner-style disk-backed tables). Each call gets its own
   /// file so concurrent instances cannot clobber one another's spills.
-  Status MaybeSpill(Video& video) {
+  Status MaybeSpill(Video& video, CallCounters& call) {
     if (!UnderPressure() || video.frames.empty()) return Status::Ok();
     TRACE_SPAN("spill_roundtrip");
     std::string path =
@@ -146,7 +190,7 @@ class BatchEngine : public Vdbms {
     in.close();
     std::error_code ec;
     std::filesystem::remove(path, ec);  // Best-effort cleanup.
-    ++chunked_redecodes_;
+    ++call.chunked_redecodes;
     return Status::Ok();
   }
 
@@ -156,7 +200,7 @@ class BatchEngine : public Vdbms {
   /// propagates the first (lowest-frame) failure and keeps per-call
   /// completion state, so concurrent instances can share the pool.
   template <typename Fn>
-  StatusOr<Video> Stage(const Video& input, Fn&& fn) {
+  StatusOr<Video> Stage(const Video& input, CallCounters& call, Fn&& fn) {
     TRACE_SPAN("batch_stage");
     Video output;
     output.fps = input.fps;
@@ -172,14 +216,14 @@ class BatchEngine : public Vdbms {
         /*grain=*/1));
     retained_bytes_ += static_cast<int64_t>(output.FrameCount()) *
                        detail::FrameBytes(output.Width(), output.Height());
-    VR_RETURN_IF_ERROR(MaybeSpill(output));
+    VR_RETURN_IF_ERROR(MaybeSpill(output, call));
     return output;
   }
 
   /// Stage running the detector over every frame (detections + box video).
   StatusOr<queries::ReferenceResult> DetectStage(
       const Video& input, const std::vector<sim::FrameGroundTruth>& truth,
-      sim::ObjectClass object_class) {
+      sim::ObjectClass object_class, CallCounters& call) {
     TRACE_SPAN("detect_stage");
     queries::ReferenceResult result;
     result.video.fps = input.fps;
@@ -207,7 +251,7 @@ class BatchEngine : public Vdbms {
           return Status::Ok();
         },
         /*grain=*/1));
-    cnn_frames_full_ += input.FrameCount();
+    call.cnn_frames_full += input.FrameCount();
     retained_bytes_ += static_cast<int64_t>(input.FrameCount()) *
                        detail::FrameBytes(input.Width(), input.Height());
     return result;
@@ -217,11 +261,11 @@ class BatchEngine : public Vdbms {
   /// counter (the shared helper writes through a plain pointer).
   Status Finish(const Video& result, const QueryInstance& instance,
                 OutputMode mode, const std::string& output_dir,
-                QueryOutput& output) {
+                QueryOutput& output, CallCounters& call) {
     int64_t encoded = 0;
     Status status = detail::FinishVideoResult(result, instance, options_, mode,
                                               output_dir, name(), output, &encoded);
-    frames_encoded_ += encoded;
+    call.frames_encoded += encoded;
     return status;
   }
 
@@ -243,7 +287,8 @@ class BatchEngine : public Vdbms {
 StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
                                                const sim::Dataset& dataset,
                                                OutputMode mode,
-                                               const std::string& output_dir) {
+                                               const std::string& output_dir,
+                                               CallCounters& call) {
   QueryOutput output;
   queries::ReferenceContext context;
   context.dataset = &dataset;
@@ -255,7 +300,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q1:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
       int first = std::clamp(static_cast<int>(instance.q1_t1 * input.fps), 0,
                              input.FrameCount() - 1);
       int last = std::clamp(static_cast<int>(std::ceil(instance.q1_t2 * input.fps)),
@@ -264,10 +309,10 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       trimmed.fps = input.fps;
       trimmed.frames.assign(input.frames.begin() + first,
                             input.frames.begin() + last);
-      VR_ASSIGN_OR_RETURN(Video cropped, Stage(trimmed, [&](const Frame& f, int) {
+      VR_ASSIGN_OR_RETURN(Video cropped, Stage(trimmed, call, [&](const Frame& f, int) {
                             return video::Crop(f, instance.q1_rect);
                           }));
-      VR_RETURN_IF_ERROR(Finish(cropped, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(cropped, instance, mode, output_dir, output, call));
       // vr:Q1:end
       return output;
     }
@@ -275,11 +320,11 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(a):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
-      VR_ASSIGN_OR_RETURN(Video gray, Stage(input, [](const Frame& f, int) {
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
+      VR_ASSIGN_OR_RETURN(Video gray, Stage(input, call, [](const Frame& f, int) {
                             return StatusOr<Frame>(video::Grayscale(f));
                           }));
-      VR_RETURN_IF_ERROR(Finish(gray, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(gray, instance, mode, output_dir, output, call));
       // vr:Q2(a):end
       return output;
     }
@@ -287,11 +332,11 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(b):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
-      VR_ASSIGN_OR_RETURN(Video blurred, Stage(input, [&](const Frame& f, int) {
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
+      VR_ASSIGN_OR_RETURN(Video blurred, Stage(input, call, [&](const Frame& f, int) {
                             return video::GaussianBlur(f, instance.q2b_d);
                           }));
-      VR_RETURN_IF_ERROR(Finish(blurred, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(blurred, instance, mode, output_dir, output, call));
       // vr:Q2(b):end
       return output;
     }
@@ -299,12 +344,12 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(c):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
       VR_ASSIGN_OR_RETURN(
           queries::ReferenceResult result,
-          DetectStage(input, asset->ground_truth, instance.object_class));
+          DetectStage(input, asset->ground_truth, instance.object_class, call));
       output.detections = std::move(result.detections);
-      VR_RETURN_IF_ERROR(Finish(result.video, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(result.video, instance, mode, output_dir, output, call));
       // vr:Q2(c):end
       return output;
     }
@@ -312,14 +357,14 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(d):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
       // Materialised window sums: the batch architecture's natural (and
       // fast) mean-filter implementation.
       VR_ASSIGN_OR_RETURN(Video masked,
                           vision::MaskBackgroundRunning(input, instance.q2d_m,
                                                         instance.q2d_epsilon));
-      VR_RETURN_IF_ERROR(MaybeSpill(masked));
-      VR_RETURN_IF_ERROR(Finish(masked, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(MaybeSpill(masked, call));
+      VR_RETURN_IF_ERROR(Finish(masked, instance, mode, output_dir, output, call));
       // vr:Q2(d):end
       return output;
     }
@@ -327,13 +372,13 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q3:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
       VR_ASSIGN_OR_RETURN(Video tiled,
                           vision::TiledReencode(input, instance.q3_dx, instance.q3_dy,
                                                 instance.q3_bitrates,
                                                 options_.output_profile));
-      VR_RETURN_IF_ERROR(MaybeSpill(tiled));
-      VR_RETURN_IF_ERROR(Finish(tiled, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(MaybeSpill(tiled, call));
+      VR_RETURN_IF_ERROR(Finish(tiled, instance, mode, output_dir, output, call));
       // vr:Q3:end
       return output;
     }
@@ -356,13 +401,13 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
         return Status::ResourceExhausted(
             "Q4 upsample table exceeds the engine memory ceiling");
       }
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
-      VR_ASSIGN_OR_RETURN(Video up, Stage(input, [&](const Frame& f, int) {
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
+      VR_ASSIGN_OR_RETURN(Video up, Stage(input, call, [&](const Frame& f, int) {
                             return video::BilinearResize(
                                 f, f.width() * instance.q45_alpha,
                                 f.height() * instance.q45_beta);
                           }));
-      VR_RETURN_IF_ERROR(Finish(up, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(up, instance, mode, output_dir, output, call));
       // vr:Q4:end
       return output;
     }
@@ -370,13 +415,13 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q5:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
-      VR_ASSIGN_OR_RETURN(Video down, Stage(input, [&](const Frame& f, int) {
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
+      VR_ASSIGN_OR_RETURN(Video down, Stage(input, call, [&](const Frame& f, int) {
                             return video::Downsample(
                                 f, std::max(1, f.width() / instance.q45_alpha),
                                 std::max(1, f.height() / instance.q45_beta));
                           }));
-      VR_RETURN_IF_ERROR(Finish(down, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(down, instance, mode, output_dir, output, call));
       // vr:Q5:end
       return output;
     }
@@ -384,7 +429,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q6(a):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
       // Consume the VCD's serialized box-sequence input format: parse the
       // class-id/coordinate records and rasterise a box table to join.
       const video::container::MetadataTrack* box_track =
@@ -400,12 +445,12 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
         box_table.frames.push_back(vision::RenderDetectionFrame(
             input.Width(), input.Height(), boxes[f]));
       }
-      VR_RETURN_IF_ERROR(MaybeSpill(box_table));
+      VR_RETURN_IF_ERROR(MaybeSpill(box_table, call));
       VR_ASSIGN_OR_RETURN(Video merged,
                           queries::UnionBoxesQuery(input, box_table));
-      VR_RETURN_IF_ERROR(MaybeSpill(merged));
+      VR_RETURN_IF_ERROR(MaybeSpill(merged, call));
       output.detections = std::move(boxes);
-      VR_RETURN_IF_ERROR(Finish(merged, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(merged, instance, mode, output_dir, output, call));
       // vr:Q6(a):end
       return output;
     }
@@ -421,7 +466,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(video::WebVttDocument captions,
                           video::ParseWebVtt(std::string(track->payload.begin(),
                                                          track->payload.end())));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
       // Batch trick: caption overlays are pre-rendered once per distinct
       // active-cue set and reused across every frame that set covers.
       std::vector<Frame> overlay_cache;
@@ -438,7 +483,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
         overlay_index[static_cast<size_t>(f)] =
             static_cast<int>(overlay_cache.size()) - 1;
       }
-      VR_ASSIGN_OR_RETURN(Video merged, Stage(input, [&](const Frame& f, int i) {
+      VR_ASSIGN_OR_RETURN(Video merged, Stage(input, call, [&](const Frame& f, int i) {
         const Frame& overlay =
             overlay_cache[static_cast<size_t>(overlay_index[static_cast<size_t>(i)])];
         Frame merged_frame(f.width(), f.height());
@@ -452,7 +497,7 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
         }
         return StatusOr<Frame>(std::move(merged_frame));
       }));
-      VR_RETURN_IF_ERROR(Finish(merged, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(merged, instance, mode, output_dir, output, call));
       // vr:Q6(b):end
       return output;
     }
@@ -460,18 +505,18 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q7:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
       VR_ASSIGN_OR_RETURN(
           queries::ReferenceResult boxes,
-          DetectStage(input, asset->ground_truth, instance.object_class));
+          DetectStage(input, asset->ground_truth, instance.object_class, call));
       VR_ASSIGN_OR_RETURN(Video merged,
                           queries::UnionBoxesQuery(input, boxes.video));
-      VR_RETURN_IF_ERROR(MaybeSpill(merged));
+      VR_RETURN_IF_ERROR(MaybeSpill(merged, call));
       VR_ASSIGN_OR_RETURN(Video masked,
                           vision::MaskBackgroundRunning(merged, instance.q2d_m,
                                                         instance.q2d_epsilon));
       output.detections = std::move(boxes.detections);
-      VR_RETURN_IF_ERROR(Finish(masked, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(masked, instance, mode, output_dir, output, call));
       // vr:Q7:end
       return output;
     }
@@ -480,8 +525,8 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(Video tracking,
                           queries::TrackingQuery(context, instance.q8_plate,
                                                  nullptr));
-      cnn_frames_full_ += tracking.FrameCount();
-      VR_RETURN_IF_ERROR(Finish(tracking, instance, mode, output_dir, output));
+      call.cnn_frames_full += tracking.FrameCount();
+      VR_RETURN_IF_ERROR(Finish(tracking, instance, mode, output_dir, output, call));
       // vr:Q8:end
       return output;
     }
@@ -489,9 +534,9 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q9:begin
       VR_ASSIGN_OR_RETURN(Video stitched,
                           queries::StitchQuery(context, instance.pano_group));
-      frames_decoded_extra_ += 4 * stitched.FrameCount();
-      VR_RETURN_IF_ERROR(MaybeSpill(stitched));
-      VR_RETURN_IF_ERROR(Finish(stitched, instance, mode, output_dir, output));
+      call.frames_decoded_extra += 4 * stitched.FrameCount();
+      VR_RETURN_IF_ERROR(MaybeSpill(stitched, call));
+      VR_RETURN_IF_ERROR(Finish(stitched, instance, mode, output_dir, output, call));
       // vr:Q9:end
       return output;
     }
@@ -499,14 +544,14 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q10:begin
       VR_ASSIGN_OR_RETURN(Video stitched,
                           queries::StitchQuery(context, instance.pano_group));
-      frames_decoded_extra_ += 4 * stitched.FrameCount();
+      call.frames_decoded_extra += 4 * stitched.FrameCount();
       VR_ASSIGN_OR_RETURN(
           Video result,
           queries::TileStreamQuery(stitched, instance.q10_bitrates,
                                    instance.q10_client_width,
                                    instance.q10_client_height,
                                    options_.output_profile));
-      VR_RETURN_IF_ERROR(Finish(result, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(result, instance, mode, output_dir, output, call));
       // vr:Q10:end
       return output;
     }

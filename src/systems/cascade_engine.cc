@@ -71,25 +71,67 @@ class CascadeEngine : public Vdbms {
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
                                 const sim::Dataset& dataset, OutputMode mode,
-                                const std::string& output_dir) override {
+                                const std::string& output_dir,
+                                EngineStats* call_stats = nullptr) override {
     trace::Span span(std::string("cascade:") + queries::QueryName(instance.id));
-    StatusOr<QueryOutput> result = ExecuteImpl(instance, dataset, mode, output_dir);
+    CallCounters call;
+    StatusOr<QueryOutput> result =
+        ExecuteImpl(instance, dataset, mode, output_dir, call);
+    Fold(call);
     mirror_.Publish(stats());
+    if (call_stats != nullptr) *call_stats = AsStats(call);
     return result;
   }
 
  private:
+  /// Counters for exactly one Execute() call, threaded through every stage
+  /// and folded into the cumulative atomics afterwards. The decode counters
+  /// are the atomic GopCacheCounters because the codec may update them from
+  /// its own pool threads.
+  struct CallCounters {
+    video::codec::GopCacheCounters decode;
+    int64_t frames_encoded = 0;
+    int64_t cnn_frames_full = 0;
+    int64_t cnn_frames_cheap = 0;
+    int64_t cnn_frames_skipped = 0;
+  };
+
+  void Fold(const CallCounters& call) {
+    decode_counters_.hits += call.decode.hits.load();
+    decode_counters_.misses += call.decode.misses.load();
+    decode_counters_.frames_decoded += call.decode.frames_decoded.load();
+    frames_encoded_ += call.frames_encoded;
+    cnn_frames_full_ += call.cnn_frames_full;
+    cnn_frames_cheap_ += call.cnn_frames_cheap;
+    cnn_frames_skipped_ += call.cnn_frames_skipped;
+  }
+
+  /// The per-call window mapped the same way stats() maps the cumulative
+  /// counters.
+  static EngineStats AsStats(const CallCounters& call) {
+    EngineStats stats;
+    stats.frames_decoded = call.decode.frames_decoded.load();
+    stats.frames_encoded = call.frames_encoded;
+    stats.cache_hits = call.decode.hits.load();
+    stats.cache_misses = call.decode.misses.load();
+    stats.cnn_frames_full = call.cnn_frames_full;
+    stats.cnn_frames_cheap = call.cnn_frames_cheap;
+    stats.cnn_frames_skipped = call.cnn_frames_skipped;
+    return stats;
+  }
+
   StatusOr<QueryOutput> ExecuteImpl(const QueryInstance& instance,
                                     const sim::Dataset& dataset, OutputMode mode,
-                                    const std::string& output_dir);
+                                    const std::string& output_dir,
+                                    CallCounters& call);
 
   Status Finish(const Video& result, const QueryInstance& instance,
                 OutputMode mode, const std::string& output_dir,
-                QueryOutput& output) {
+                QueryOutput& output, CallCounters& call) {
     int64_t encoded = 0;
     Status status = detail::FinishVideoResult(result, instance, options_, mode,
                                               output_dir, name(), output, &encoded);
-    frames_encoded_ += encoded;
+    call.frames_encoded += encoded;
     return status;
   }
 
@@ -108,7 +150,8 @@ class CascadeEngine : public Vdbms {
 StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
                                                  const sim::Dataset& dataset,
                                                  OutputMode mode,
-                                                 const std::string& output_dir) {
+                                                 const std::string& output_dir,
+                                                 CallCounters& call) {
   QueryOutput output;
   switch (instance.id) {
     case QueryId::kQ1: {
@@ -126,7 +169,7 @@ StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(Video range,
                           video::codec::CachedDecodeRange(
                               *input.video, first - input.first_frame,
-                              last - first, *gop_cache_, &decode_counters_));
+                              last - first, *gop_cache_, &call.decode));
       Video cropped;
       cropped.fps = range.fps;
       {
@@ -136,7 +179,8 @@ StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
           cropped.frames.push_back(std::move(c));
         }
       }
-      VR_RETURN_IF_ERROR(Finish(cropped, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(
+          Finish(cropped, instance, mode, output_dir, output, call));
       // vr:Q1:end
       return output;
     }
@@ -149,7 +193,7 @@ StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
           detail::ResolveInput(*asset, options_));
       VR_ASSIGN_OR_RETURN(Video input,
                           video::codec::CachedDecode(*encoded, *gop_cache_,
-                                                     &decode_counters_));
+                                                     &call.decode));
 
       Video boxes;
       boxes.fps = input.fps;
@@ -176,11 +220,11 @@ StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
         std::vector<vision::Detection> detections;
         if (reuse) {
           detections = last_detections;
-          cnn_frames_skipped_.fetch_add(1, std::memory_order_relaxed);
+          ++call.cnn_frames_skipped;
         } else {
           // Stage 2: the cheap model.
           detections = cheap_detector_->Detect(frame, gt, f);
-          cnn_frames_cheap_.fetch_add(1, std::memory_order_relaxed);
+          ++call.cnn_frames_cheap;
           // Stage 3: ambiguous confidence escalates to the full model.
           bool ambiguous = false;
           for (const vision::Detection& d : detections) {
@@ -188,7 +232,7 @@ StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
           }
           if (ambiguous) {
             detections = full_detector_->Detect(frame, gt, f);
-            cnn_frames_full_.fetch_add(1, std::memory_order_relaxed);
+            ++call.cnn_frames_full;
           }
           last_processed = &frame;
           last_detections = detections;
@@ -205,7 +249,7 @@ StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
         output.detections.push_back(std::move(detections));
       }
       detect_span.reset();  // Close the span before the encode stage.
-      VR_RETURN_IF_ERROR(Finish(boxes, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(boxes, instance, mode, output_dir, output, call));
       // vr:Q2(c):end
       return output;
     }

@@ -80,30 +80,72 @@ class PipelineEngine : public Vdbms {
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
                                 const sim::Dataset& dataset, OutputMode mode,
-                                const std::string& output_dir) override {
+                                const std::string& output_dir,
+                                EngineStats* call_stats = nullptr) override {
     trace::Span span(std::string("pipeline:") + queries::QueryName(instance.id));
-    StatusOr<QueryOutput> result = ExecuteImpl(instance, dataset, mode, output_dir);
+    CallCounters call;
+    StatusOr<QueryOutput> result =
+        ExecuteImpl(instance, dataset, mode, output_dir, call);
+    Fold(call);
     mirror_.Publish(stats());
+    if (call_stats != nullptr) *call_stats = AsStats(call);
     return result;
   }
 
  private:
+  /// Counters for exactly one Execute() call, threaded through every stage
+  /// and folded into the cumulative atomics afterwards. The decode counters
+  /// are the atomic GopCacheCounters because the codec may update them from
+  /// its own pool threads.
+  struct CallCounters {
+    video::codec::GopCacheCounters decode;
+    int64_t frames_decoded_extra = 0;
+    int64_t frames_encoded = 0;
+    int64_t inference_hits = 0;
+    int64_t cnn_frames_full = 0;
+  };
+
+  void Fold(const CallCounters& call) {
+    decode_counters_.hits += call.decode.hits.load();
+    decode_counters_.misses += call.decode.misses.load();
+    decode_counters_.frames_decoded += call.decode.frames_decoded.load();
+    frames_decoded_extra_ += call.frames_decoded_extra;
+    frames_encoded_ += call.frames_encoded;
+    inference_hits_ += call.inference_hits;
+    cnn_frames_full_ += call.cnn_frames_full;
+  }
+
+  /// The per-call window mapped the same way stats() maps the cumulative
+  /// counters.
+  static EngineStats AsStats(const CallCounters& call) {
+    EngineStats stats;
+    stats.frames_decoded =
+        call.decode.frames_decoded.load() + call.frames_decoded_extra;
+    stats.frames_encoded = call.frames_encoded;
+    stats.cache_hits = call.decode.hits.load() + call.inference_hits;
+    stats.cache_misses = call.decode.misses.load();
+    stats.cnn_frames_full = call.cnn_frames_full;
+    return stats;
+  }
+
   StatusOr<QueryOutput> ExecuteImpl(const QueryInstance& instance,
                                     const sim::Dataset& dataset, OutputMode mode,
-                                    const std::string& output_dir);
+                                    const std::string& output_dir,
+                                    CallCounters& call);
 
   /// Whole-stream decode through the shared GOP cache.
-  StatusOr<Video> DecodeCached(const video::codec::EncodedVideo& encoded) {
+  StatusOr<Video> DecodeCached(const video::codec::EncodedVideo& encoded,
+                               CallCounters& call) {
     TRACE_SPAN("decode_cached");
-    return video::codec::CachedDecode(encoded, *gop_cache_, &decode_counters_);
+    return video::codec::CachedDecode(encoded, *gop_cache_, &call.decode);
   }
 
   /// Whole-stream decode of a query input; the bitstream comes from the
   /// storage service when one is configured.
-  StatusOr<Video> DecodeInput(const sim::VideoAsset& asset) {
+  StatusOr<Video> DecodeInput(const sim::VideoAsset& asset, CallCounters& call) {
     VR_ASSIGN_OR_RETURN(std::shared_ptr<const video::codec::EncodedVideo> encoded,
                         detail::ResolveInput(asset, options_));
-    return DecodeCached(*encoded);
+    return DecodeCached(*encoded, call);
   }
 
   /// Inference memoisation: detection results keyed by frame content (and
@@ -113,7 +155,7 @@ class PipelineEngine : public Vdbms {
   /// caching" advantage Section 2 argues such corpora hand to systems.
   StatusOr<queries::ReferenceResult> CachedBoxesQuery(
       const Video& input, const std::vector<sim::FrameGroundTruth>& truth,
-      sim::ObjectClass object_class) {
+      sim::ObjectClass object_class, CallCounters& call) {
     TRACE_SPAN("cached_boxes");
     queries::ReferenceResult result;
     result.video.fps = input.fps;
@@ -133,13 +175,13 @@ class PipelineEngine : public Vdbms {
         }
       }
       if (cached) {
-        inference_hits_.fetch_add(1, std::memory_order_relaxed);
+        ++call.inference_hits;
       } else {
         const sim::FrameGroundTruth& gt =
             static_cast<size_t>(f) < truth.size() ? truth[static_cast<size_t>(f)]
                                                   : kEmpty;
         detections = detector_->Detect(frame, gt, f);
-        cnn_frames_full_.fetch_add(1, std::memory_order_relaxed);
+        ++call.cnn_frames_full;
         std::lock_guard<std::mutex> lock(inference_mutex_);
         if (inference_cache_.size() < 4096) {
           inference_cache_.emplace(key, detections);
@@ -161,11 +203,11 @@ class PipelineEngine : public Vdbms {
   /// counter (the shared helper writes through a plain pointer).
   Status Finish(const Video& result, const QueryInstance& instance,
                 OutputMode mode, const std::string& output_dir,
-                QueryOutput& output) {
+                QueryOutput& output, CallCounters& call) {
     int64_t encoded = 0;
     Status status = detail::FinishVideoResult(result, instance, options_, mode,
                                               output_dir, name(), output, &encoded);
-    frames_encoded_ += encoded;
+    call.frames_encoded += encoded;
     return status;
   }
 
@@ -202,7 +244,8 @@ class PipelineEngine : public Vdbms {
 StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
                                                   const sim::Dataset& dataset,
                                                   OutputMode mode,
-                                                  const std::string& output_dir) {
+                                                  const std::string& output_dir,
+                                                  CallCounters& call) {
   QueryOutput output;
   queries::ReferenceContext context;
   context.dataset = &dataset;
@@ -228,11 +271,11 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(Video range,
                           video::codec::CachedDecodeRange(
                               *input.video, first - input.first_frame,
-                              last - first, *gop_cache_, &decode_counters_));
+                              last - first, *gop_cache_, &call.decode));
       VR_ASSIGN_OR_RETURN(Video cropped, FusedPipeline(range, [&](const Frame& f, int) {
                             return video::Crop(f, instance.q1_rect);
                           }));
-      VR_RETURN_IF_ERROR(Finish(cropped, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(cropped, instance, mode, output_dir, output, call));
       // vr:Q1:end
       return output;
     }
@@ -240,11 +283,11 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(a):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
       VR_ASSIGN_OR_RETURN(Video gray, FusedPipeline(input, [](const Frame& f, int) {
                             return StatusOr<Frame>(video::Grayscale(f));
                           }));
-      VR_RETURN_IF_ERROR(Finish(gray, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(gray, instance, mode, output_dir, output, call));
       // vr:Q2(a):end
       return output;
     }
@@ -252,12 +295,12 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(b):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
       VR_ASSIGN_OR_RETURN(Video blurred,
                           FusedPipeline(input, [&](const Frame& f, int) {
                             return video::GaussianBlur(f, instance.q2b_d);
                           }));
-      VR_RETURN_IF_ERROR(Finish(blurred, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(blurred, instance, mode, output_dir, output, call));
       // vr:Q2(b):end
       return output;
     }
@@ -265,12 +308,13 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(c):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
       VR_ASSIGN_OR_RETURN(
           queries::ReferenceResult result,
-          CachedBoxesQuery(input, asset->ground_truth, instance.object_class));
+          CachedBoxesQuery(input, asset->ground_truth, instance.object_class,
+                           call));
       output.detections = std::move(result.detections);
-      VR_RETURN_IF_ERROR(Finish(result.video, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(result.video, instance, mode, output_dir, output, call));
       // vr:Q2(c):end
       return output;
     }
@@ -278,13 +322,13 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(d):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
       // The fused pipeline holds no materialised window sums, so the mean
       // filter recomputes its window per frame (the paper's slow path).
       VR_ASSIGN_OR_RETURN(Video masked,
                           vision::MaskBackgroundNaive(input, instance.q2d_m,
                                                       instance.q2d_epsilon));
-      VR_RETURN_IF_ERROR(Finish(masked, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(masked, instance, mode, output_dir, output, call));
       // vr:Q2(d):end
       return output;
     }
@@ -292,12 +336,12 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q3:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
       VR_ASSIGN_OR_RETURN(Video tiled,
                           vision::TiledReencode(input, instance.q3_dx,
                                                 instance.q3_dy, instance.q3_bitrates,
                                                 options_.output_profile));
-      VR_RETURN_IF_ERROR(Finish(tiled, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(tiled, instance, mode, output_dir, output, call));
       // vr:Q3:end
       return output;
     }
@@ -305,13 +349,13 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q4:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
       VR_ASSIGN_OR_RETURN(Video up, FusedPipeline(input, [&](const Frame& f, int) {
                             return video::BilinearResize(
                                 f, f.width() * instance.q45_alpha,
                                 f.height() * instance.q45_beta);
                           }));
-      VR_RETURN_IF_ERROR(Finish(up, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(up, instance, mode, output_dir, output, call));
       // vr:Q4:end
       return output;
     }
@@ -319,13 +363,13 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q5:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
       VR_ASSIGN_OR_RETURN(Video down, FusedPipeline(input, [&](const Frame& f, int) {
                             return video::Downsample(
                                 f, std::max(1, f.width() / instance.q45_alpha),
                                 std::max(1, f.height() / instance.q45_beta));
                           }));
-      VR_RETURN_IF_ERROR(Finish(down, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(down, instance, mode, output_dir, output, call));
       // vr:Q5:end
       return output;
     }
@@ -333,7 +377,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q6(a):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
       // Consume the VCD's encoded box-video input (it flows through the
       // shared GOP cache like any other stream) and fuse the join.
       const video::container::MetadataTrack* box_track =
@@ -343,9 +387,9 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       }
       VR_ASSIGN_OR_RETURN(video::container::Container box_container,
                           video::container::Demux(box_track->payload));
-      VR_ASSIGN_OR_RETURN(Video boxes, DecodeCached(box_container.video));
+      VR_ASSIGN_OR_RETURN(Video boxes, DecodeCached(box_container.video, call));
       VR_ASSIGN_OR_RETURN(Video merged, queries::UnionBoxesQuery(input, boxes));
-      VR_RETURN_IF_ERROR(Finish(merged, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(merged, instance, mode, output_dir, output, call));
       // vr:Q6(a):end
       return output;
     }
@@ -361,7 +405,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(video::WebVttDocument captions,
                           video::ParseWebVtt(std::string(track->payload.begin(),
                                                          track->payload.end())));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
       // Scalar CPU captioning: each frame re-renders its overlay from the
       // cue list and coalesces through a float RGB round-trip per pixel.
       VR_ASSIGN_OR_RETURN(Video merged, FusedPipeline(input, [&](const Frame& f,
@@ -385,7 +429,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
         }
         return StatusOr<Frame>(std::move(merged_frame));
       }));
-      VR_RETURN_IF_ERROR(Finish(merged, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(merged, instance, mode, output_dir, output, call));
       // vr:Q6(b):end
       return output;
     }
@@ -393,17 +437,18 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q7:begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset));
+      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
       VR_ASSIGN_OR_RETURN(
           queries::ReferenceResult boxes,
-          CachedBoxesQuery(input, asset->ground_truth, instance.object_class));
+          CachedBoxesQuery(input, asset->ground_truth, instance.object_class,
+                           call));
       VR_ASSIGN_OR_RETURN(Video merged,
                           queries::UnionBoxesQuery(input, boxes.video));
       VR_ASSIGN_OR_RETURN(Video masked,
                           vision::MaskBackgroundNaive(merged, instance.q2d_m,
                                                       instance.q2d_epsilon));
       output.detections = std::move(boxes.detections);
-      VR_RETURN_IF_ERROR(Finish(masked, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(masked, instance, mode, output_dir, output, call));
       // vr:Q7:end
       return output;
     }
@@ -412,7 +457,7 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(Video tracking,
                           queries::TrackingQuery(context, instance.q8_plate,
                                                  nullptr));
-      VR_RETURN_IF_ERROR(Finish(tracking, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(tracking, instance, mode, output_dir, output, call));
       // vr:Q8:end
       return output;
     }
@@ -420,8 +465,8 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q9:begin
       VR_ASSIGN_OR_RETURN(Video stitched,
                           queries::StitchQuery(context, instance.pano_group));
-      frames_decoded_extra_ += 4 * stitched.FrameCount();
-      VR_RETURN_IF_ERROR(Finish(stitched, instance, mode, output_dir, output));
+      call.frames_decoded_extra += 4 * stitched.FrameCount();
+      VR_RETURN_IF_ERROR(Finish(stitched, instance, mode, output_dir, output, call));
       // vr:Q9:end
       return output;
     }
@@ -429,14 +474,14 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q10:begin
       VR_ASSIGN_OR_RETURN(Video stitched,
                           queries::StitchQuery(context, instance.pano_group));
-      frames_decoded_extra_ += 4 * stitched.FrameCount();
+      call.frames_decoded_extra += 4 * stitched.FrameCount();
       VR_ASSIGN_OR_RETURN(
           Video result,
           queries::TileStreamQuery(stitched, instance.q10_bitrates,
                                    instance.q10_client_width,
                                    instance.q10_client_height,
                                    options_.output_profile));
-      VR_RETURN_IF_ERROR(Finish(result, instance, mode, output_dir, output));
+      VR_RETURN_IF_ERROR(Finish(result, instance, mode, output_dir, output, call));
       // vr:Q10:end
       return output;
     }

@@ -91,6 +91,20 @@ struct EngineStats {
   int64_t cnn_frames_full = 0;
   int64_t cnn_frames_cheap = 0;
   int64_t cnn_frames_skipped = 0;
+
+  /// Field-wise accumulation, for summing per-call windows into a batch
+  /// aggregate (the VCD merges in instance-index order so parallel and
+  /// serial execution report identically).
+  void Add(const EngineStats& other) {
+    frames_decoded += other.frames_decoded;
+    frames_encoded += other.frames_encoded;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    chunked_redecodes += other.chunked_redecodes;
+    cnn_frames_full += other.cnn_frames_full;
+    cnn_frames_cheap += other.cnn_frames_cheap;
+    cnn_frames_skipped += other.cnn_frames_skipped;
+  }
 };
 
 /// The architecture-agnostic interface every benchmarked VDBMS implements
@@ -114,9 +128,17 @@ class Vdbms {
 
   /// Executes one query instance against the dataset. In write mode the
   /// result is encoded and persisted under `output_dir`.
+  ///
+  /// `call_stats` (optional) receives the engine counter movement of exactly
+  /// this call: engines thread a per-call counter set through their stages
+  /// and fold it into the cumulative stats() at the end, so the window is
+  /// correct even when Execute() calls overlap on one engine — unlike a
+  /// stats() before/after snapshot, which conflates whatever else ran in
+  /// between. Filled (or left zero) on both success and failure.
   virtual StatusOr<QueryOutput> Execute(const queries::QueryInstance& instance,
                                         const sim::Dataset& dataset, OutputMode mode,
-                                        const std::string& output_dir) = 0;
+                                        const std::string& output_dir,
+                                        EngineStats* call_stats = nullptr) = 0;
 
   /// Drops caches and transient state; the VCD may call this between
   /// batches ("a VDBMS may optionally quiesce or restart upon completing a
@@ -173,6 +195,13 @@ Status FinishVideoResult(const video::Video& result,
 
 /// Decoded size of one frame in bytes (YUV420).
 int64_t FrameBytes(int width, int height);
+
+/// Input frames a query instance consumes: Q8 scans every traffic stream,
+/// Q9/Q10 read their whole panoramic group, everything else reads one
+/// traffic stream. Feeds the VCD's throughput metrics and the query
+/// server's goodput report.
+int64_t InputFrameCount(const queries::QueryInstance& instance,
+                        const sim::Dataset& dataset);
 
 /// The GOP cache selected by `options`: the injected instance if any, else
 /// the process-wide one; applies `gop_cache_bytes` when positive.

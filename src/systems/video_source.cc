@@ -100,6 +100,7 @@ StatusOr<const video::codec::EncodedFrame*> VideoSource::Next() {
         concealed.Increment();
         ++position_;
         ++frames_degraded_;
+        fault::NoteDegraded();
         return last_delivered_;
       }
     }

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <thread>
 
 #include "driver/datasets.h"
 #include "driver/report.h"
 #include "driver/validation.h"
 #include "driver/vcd.h"
+#include "storage/sharded_store.h"
+#include "storage/vss.h"
 #include "video/codec/gop_cache.h"
 
 namespace visualroad::driver {
@@ -396,10 +402,10 @@ class SerialOnlyEngine : public systems::Vdbms {
   bool Supports(QueryId) const override { return true; }
   systems::EngineStats stats() const override { return {}; }
   // Inherits ConcurrentSafe() == false.
-  StatusOr<systems::QueryOutput> Execute(const queries::QueryInstance&,
-                                         const sim::Dataset&,
-                                         systems::OutputMode,
-                                         const std::string&) override {
+  StatusOr<systems::QueryOutput> Execute(
+      const queries::QueryInstance&, const sim::Dataset&, systems::OutputMode,
+      const std::string&, systems::EngineStats* call_stats = nullptr) override {
+    if (call_stats != nullptr) *call_stats = {};
     return systems::QueryOutput{};
   }
 };
@@ -559,6 +565,204 @@ TEST_F(DriverTest, LossyOnlineBatchReportsDegradedFrames) {
   ASSERT_GT(result->frames_degraded, 0);
   std::string report = FormatBenchmarkReport({*result});
   EXPECT_NE(report.find("degraded"), std::string::npos);
+}
+
+TEST_F(DriverTest, DegradedReadsAttributeToTheReadingThreadOnly) {
+  // Regression: the batch accounting used to take a before/after delta of
+  // the *global* degraded counter around the measured window, so degraded
+  // reads issued by an unrelated thread sharing the storage service were
+  // billed to the batch. The thread-scoped accounting must attribute them
+  // to the reading thread and nothing else.
+  namespace fs = std::filesystem;
+  auto profile = fault::ProfileByName("degraded");
+  ASSERT_TRUE(profile.ok());
+  fault::FaultInjector injector(*profile, 41);
+
+  std::string root = (fs::temp_directory_path() / "vr_driver_degraded").string();
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  storage::StoreOptions store_options;
+  store_options.root = root;
+  store_options.block_size = 8192;
+  store_options.replication = 1;
+  store_options.metrics_label = "driver_degraded";
+  store_options.faults = &injector;
+  store_options.read_retry.max_attempts = 10;
+  auto store = storage::ShardedStore::Open(store_options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  storage::VssOptions vss_options;
+  vss_options.store = &*store;
+  vss_options.faults = &injector;
+  vss_options.transcode_deadline = std::chrono::milliseconds(1);
+  vss_options.resident_bytes = 0;  // Every neighbour read re-degrades.
+  auto vss = storage::VideoStorageService::Open(vss_options);
+  ASSERT_TRUE(vss.ok()) << vss.status().ToString();
+
+  VcdOptions options;
+  options.batch_size_override = 3;
+  options.validate = false;
+  options.storage = vss->get();
+  options.faults = &injector;
+  VisualCityDriver vcd(*dataset_, options);
+  ASSERT_TRUE(vcd.StageStorage().ok());
+
+  systems::EngineOptions engine_options;
+  engine_options.vss = vss->get();
+  auto engine = systems::MakePipelineEngine(engine_options);
+
+  // A neighbour thread reads a transcode tier whose every attempt stalls
+  // past the deadline, so each read degrades. The batch itself reads only
+  // the base tier and never degrades.
+  const std::string stream = storage::CameraStreamName(
+      dataset_->TrafficAssets().front()->camera.camera_id);
+  storage::VariantKey slow_tier{32, 18, 32};
+  int64_t service_before = (*vss)->stats().degraded_reads;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> neighbor_degraded{0};
+  std::thread neighbor([&] {
+    int64_t before = fault::ThreadDegraded();
+    int reads = 0;
+    while ((!stop.load() || reads < 4) && reads < 64) {
+      auto read = (*vss)->ReadVideo(stream, slow_tier);
+      ASSERT_TRUE(read.ok()) << read.status().ToString();
+      ++reads;
+    }
+    neighbor_degraded = fault::ThreadDegraded() - before;
+  });
+  auto result = vcd.RunQueryBatch(*engine, QueryId::kQ1);
+  stop = true;
+  neighbor.join();
+
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  int64_t service_delta = (*vss)->stats().degraded_reads - service_before;
+  EXPECT_GT(neighbor_degraded.load(), 0);
+  // Every degraded read the service saw belongs to the neighbour thread...
+  EXPECT_EQ(neighbor_degraded.load(), service_delta);
+  // ...and none of them leaked into the batch's robustness accounting.
+  EXPECT_EQ(result->frames_degraded, 0);
+  fs::remove_all(root, ec);
+}
+
+TEST_F(DriverTest, PoolStatsArePerBatchDeltas) {
+  // Regression: the driver used to build a fresh ThreadPool per batch, so
+  // PoolStats were per-batch by accident. With the driver-lifetime pool,
+  // each result must still report the *delta* for its own window — a
+  // second batch that shows cumulative task counts is the bug.
+  VcdOptions options;
+  options.batch_size_override = 4;
+  options.parallel_instances = 4;
+  options.validate = false;
+  VisualCityDriver vcd(*dataset_, options);
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+
+  auto first = vcd.RunQueryBatch(*engine, QueryId::kQ2a);
+  auto second = vcd.RunQueryBatch(*engine, QueryId::kQ2a);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // One task per instance in both windows (grain 1): cumulative counting
+  // would report 8 for the second batch.
+  EXPECT_EQ(first->pool_stats.tasks_submitted, 4);
+  EXPECT_EQ(first->pool_stats.tasks_executed, 4);
+  EXPECT_EQ(second->pool_stats.tasks_submitted, 4);
+  EXPECT_EQ(second->pool_stats.tasks_executed, 4);
+  // The queue peak is also per-window (reset between batches).
+  EXPECT_LE(first->pool_stats.queue_peak, 4);
+  EXPECT_LE(second->pool_stats.queue_peak, 4);
+}
+
+// Fails every second Execute call, so a batch splits cleanly into
+// attempted-and-succeeded versus attempted-and-failed instances.
+class EveryOtherFailsEngine : public systems::Vdbms {
+ public:
+  const char* name() const override { return "EveryOtherFailsEngine"; }
+  bool Supports(QueryId) const override { return true; }
+  bool ConcurrentSafe() const override { return false; }
+  systems::EngineStats stats() const override { return {}; }
+  StatusOr<systems::QueryOutput> Execute(
+      const queries::QueryInstance&, const sim::Dataset&, systems::OutputMode,
+      const std::string&, systems::EngineStats* call_stats = nullptr) override {
+    if (call_stats != nullptr) *call_stats = {};
+    if (++calls_ % 2 == 0) return Status::Internal("synthetic failure");
+    return systems::QueryOutput{};
+  }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST_F(DriverTest, ThroughputCountsAttemptedFramesGoodputOnlySucceeded) {
+  // Regression: frames_per_second used to divide succeeded-only frames by a
+  // wall clock that included the failed instances, understating throughput
+  // exactly when instances failed. Attempted throughput and goodput are now
+  // separate numbers.
+  VcdOptions options;
+  options.batch_size_override = 4;
+  options.validate = false;
+  VisualCityDriver vcd(*dataset_, options);
+  EveryOtherFailsEngine engine;
+  auto result = vcd.RunQueryBatch(engine, QueryId::kQ1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->succeeded, 2);
+  ASSERT_EQ(result->failed, 2);
+  ASSERT_GT(result->total_seconds, 0.0);
+
+  // Every Q1 instance reads one whole traffic stream, and all streams in
+  // this dataset have the same frame count, so attempted = 2x goodput.
+  EXPECT_GT(result->attempted_frames, 0);
+  EXPECT_NEAR(result->frames_per_second,
+              static_cast<double>(result->attempted_frames) /
+                  result->total_seconds,
+              1e-6);
+  EXPECT_NEAR(result->goodput_frames_per_second,
+              result->frames_per_second / 2.0, 1e-6);
+  std::string report = FormatBenchmarkReport({*result});
+  EXPECT_NE(report.find("Goodput"), std::string::npos);
+}
+
+TEST_F(DriverTest, PerCallEngineStatsReportIndependentWindows) {
+  // Regression: engine stats used to be sampled as before/after snapshots of
+  // the engine's cumulative counters, so two concurrent (or even sequential
+  // interleaved) windows conflated each other's work. The per-call out-param
+  // must carry exactly one call's counters, and the calls must sum to the
+  // engine's cumulative totals.
+  systems::EngineOptions engine_options;
+  video::codec::GopCache cache;
+  engine_options.gop_cache = &cache;
+  auto engine = systems::MakePipelineEngine(engine_options);
+
+  VcdOptions options;
+  options.batch_size_override = 1;
+  VisualCityDriver vcd(*dataset_, options);
+  auto batch = vcd.SampleBatch(QueryId::kQ2a);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  const queries::QueryInstance& instance = batch->front();
+
+  systems::EngineStats first, second;
+  ASSERT_TRUE(engine
+                  ->Execute(instance, *dataset_, systems::OutputMode::kWrite,
+                            "", &first)
+                  .ok());
+  ASSERT_TRUE(engine
+                  ->Execute(instance, *dataset_, systems::OutputMode::kWrite,
+                            "", &second)
+                  .ok());
+  EXPECT_GT(first.frames_decoded, 0);
+  // The second, warm call hits the GOP cache the first call populated.
+  EXPECT_GT(second.cache_hits, 0);
+
+  systems::EngineStats sum = first;
+  sum.Add(second);
+  systems::EngineStats cumulative = engine->stats();
+  EXPECT_EQ(sum.frames_decoded, cumulative.frames_decoded);
+  EXPECT_EQ(sum.frames_encoded, cumulative.frames_encoded);
+  EXPECT_EQ(sum.cache_hits, cumulative.cache_hits);
+  EXPECT_EQ(sum.cache_misses, cumulative.cache_misses);
+  EXPECT_EQ(sum.chunked_redecodes, cumulative.chunked_redecodes);
+  EXPECT_EQ(sum.cnn_frames_full, cumulative.cnn_frames_full);
+  EXPECT_EQ(sum.cnn_frames_cheap, cumulative.cnn_frames_cheap);
+  EXPECT_EQ(sum.cnn_frames_skipped, cumulative.cnn_frames_skipped);
 }
 
 // --- Report formatting ---

@@ -1,0 +1,609 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "driver/datasets.h"
+#include "driver/report.h"
+#include "driver/vcd.h"
+#include "server/admission.h"
+#include "server/server.h"
+#include "server/traffic.h"
+
+namespace visualroad::server {
+namespace {
+
+using queries::QueryId;
+
+// --- Stub engines --------------------------------------------------------
+//
+// Scheduling tests never run real queries: a gate-controlled engine lets a
+// test hold every Execute() at a barrier, drive the scheduler into a known
+// state (queues full, caps saturated), and then release work in a chosen
+// order. All assertions are on counts and ordering — no wall-clock.
+
+class GatedEngine : public systems::Vdbms {
+ public:
+  const char* name() const override { return "gated"; }
+  bool Supports(QueryId) const override { return true; }
+  bool ConcurrentSafe() const override { return true; }
+  systems::EngineStats stats() const override { return {}; }
+
+  StatusOr<systems::QueryOutput> Execute(
+      const queries::QueryInstance& instance, const sim::Dataset&,
+      systems::OutputMode, const std::string&,
+      systems::EngineStats* call_stats = nullptr) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // video_index doubles as the test's instance marker.
+      order_.push_back(instance.video_index);
+      ++started_;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return permits_ > 0 || open_; });
+      if (!open_) --permits_;
+    }
+    if (call_stats != nullptr) *call_stats = {};
+    return systems::QueryOutput{};
+  }
+
+  void WaitForStarted(int n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this, n] { return started_ >= n; });
+  }
+  void Release(int n = 1) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    permits_ += n;
+    cv_.notify_all();
+  }
+  void Open() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  std::vector<int> order() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return order_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int started_ = 0;
+  int permits_ = 0;
+  bool open_ = false;
+  std::vector<int> order_;
+};
+
+/// Counts executions; optionally dawdles so queues can actually build up in
+/// overload tests (the sleep is load, never an assertion).
+class CountingEngine : public systems::Vdbms {
+ public:
+  explicit CountingEngine(std::chrono::microseconds dawdle = {})
+      : dawdle_(dawdle) {}
+  const char* name() const override { return "counting"; }
+  bool Supports(QueryId) const override { return true; }
+  bool ConcurrentSafe() const override { return true; }
+  systems::EngineStats stats() const override { return {}; }
+
+  StatusOr<systems::QueryOutput> Execute(
+      const queries::QueryInstance&, const sim::Dataset&, systems::OutputMode,
+      const std::string&, systems::EngineStats* call_stats = nullptr) override {
+    if (dawdle_.count() > 0) std::this_thread::sleep_for(dawdle_);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (call_stats != nullptr) *call_stats = {};
+    return systems::QueryOutput{};
+  }
+  int64_t executed() const { return executed_.load(std::memory_order_relaxed); }
+
+ private:
+  std::chrono::microseconds dawdle_;
+  std::atomic<int64_t> executed_{0};
+};
+
+queries::QueryInstance Marked(int marker) {
+  queries::QueryInstance instance;
+  instance.id = QueryId::kQ1;
+  instance.video_index = marker;
+  return instance;
+}
+
+std::vector<queries::QueryInstance> Batch(std::initializer_list<int> markers) {
+  std::vector<queries::QueryInstance> batch;
+  for (int marker : markers) batch.push_back(Marked(marker));
+  return batch;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::CityConfig config;
+    config.scale_factor = 1;
+    config.width = 96;
+    config.height = 54;
+    config.duration_seconds = 1.0;
+    config.fps = 15;
+    config.seed = 41;
+    auto dataset = driver::PrepareDataset(config);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    dataset_ = new sim::Dataset(std::move(dataset).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static sim::Dataset* dataset_;
+};
+
+sim::Dataset* ServerTest::dataset_ = nullptr;
+
+// --- Admission control ---------------------------------------------------
+
+TEST(AdmissionTest, TenantBoundCheckedBeforeServerBound) {
+  AdmissionController admission(/*max_total_queued=*/2);
+  TenantOptions tenant;
+  tenant.name = "t";
+  tenant.max_queued_batches = 1;
+  EXPECT_TRUE(admission.Admit(tenant, 0).ok());
+  // The tenant's own queue rejects first, so the stats distinguish a noisy
+  // tenant from a saturated server.
+  Status tenant_full = admission.Admit(tenant, 1);
+  EXPECT_EQ(tenant_full.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(admission.Admit(tenant, 0).ok());
+  Status server_full = admission.Admit(tenant, 0);
+  EXPECT_EQ(server_full.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.stats().admitted, 2);
+  EXPECT_EQ(admission.stats().shed_tenant, 1);
+  EXPECT_EQ(admission.stats().shed_server, 1);
+  EXPECT_EQ(admission.stats().shed(), 2);
+  admission.OnStarted();
+  EXPECT_EQ(admission.queued(), 1);
+  EXPECT_EQ(admission.stats().started, 1);
+}
+
+TEST_F(ServerTest, TenantQueueOverflowShedsWithResourceExhausted) {
+  GatedEngine engine;
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.max_total_queued = 64;
+  QueryServer server(*dataset_, engine, options);
+  TenantOptions tenant;
+  tenant.name = "alpha";
+  tenant.max_queued_batches = 2;
+  tenant.max_concurrent_batches = 1;
+  QueryServer::Session& session = server.OpenSession(tenant);
+
+  // First batch promotes straight to running; the next two fill the bounded
+  // queue; the fourth must shed, not block.
+  auto running = server.Submit(session, Batch({0}));
+  ASSERT_TRUE(running.ok()) << running.status().ToString();
+  auto queued1 = server.Submit(session, Batch({1}));
+  ASSERT_TRUE(queued1.ok());
+  auto queued2 = server.Submit(session, Batch({2}));
+  ASSERT_TRUE(queued2.ok());
+  auto shed = server.Submit(session, Batch({3}));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status().message().find("tenant"), std::string::npos);
+
+  engine.Open();
+  server.Drain();
+  EXPECT_EQ(running->get().succeeded, 1);
+  EXPECT_EQ(queued1->get().succeeded, 1);
+  EXPECT_EQ(queued2->get().succeeded, 1);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission.admitted, 3);
+  EXPECT_EQ(stats.admission.shed_tenant, 1);
+  EXPECT_EQ(stats.admission.shed_server, 0);
+  EXPECT_EQ(stats.batches_completed, 3);
+  EXPECT_EQ(stats.queries_executed, 3);
+  EXPECT_EQ(stats.queue_depth_peak, 2);
+}
+
+TEST_F(ServerTest, ServerWideBoundShedsAcrossTenants) {
+  GatedEngine engine;
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.max_total_queued = 1;
+  QueryServer server(*dataset_, engine, options);
+  TenantOptions tenant;
+  tenant.max_queued_batches = 10;
+  tenant.max_concurrent_batches = 1;
+  tenant.name = "alpha";
+  QueryServer::Session& alpha = server.OpenSession(tenant);
+  tenant.name = "beta";
+  QueryServer::Session& beta = server.OpenSession(tenant);
+
+  ASSERT_TRUE(server.Submit(alpha, Batch({0})).ok());  // Running.
+  ASSERT_TRUE(server.Submit(alpha, Batch({1})).ok());  // Fills the server queue.
+  auto shed = server.Submit(beta, Batch({2}));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status().message().find("server queue"), std::string::npos);
+
+  engine.Open();
+  server.Drain();
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission.shed_server, 1);
+  EXPECT_EQ(stats.admission.shed_tenant, 0);
+  EXPECT_EQ(stats.admission.admitted, 2);
+}
+
+TEST_F(ServerTest, EmptyBatchIsRejected) {
+  CountingEngine engine;
+  QueryServer server(*dataset_, engine, ServerOptions{});
+  QueryServer::Session& session = server.OpenSession(TenantOptions{});
+  auto submitted = server.Submit(session, {});
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Priority scheduling -------------------------------------------------
+
+TEST_F(ServerTest, HigherPriorityTenantPromotedFirst) {
+  GatedEngine engine;
+  ServerOptions options;
+  options.worker_threads = 1;  // One instance at a time: ordering is total.
+  QueryServer server(*dataset_, engine, options);
+  TenantOptions low;
+  low.name = "low";
+  low.priority = 0;
+  TenantOptions high;
+  high.name = "high";
+  high.priority = 5;
+  QueryServer::Session& low_session = server.OpenSession(low);
+  QueryServer::Session& high_session = server.OpenSession(high);
+
+  // The low tenant's first batch occupies the executor; its second batch
+  // queued *earlier* than the high tenant's must still run *after* it.
+  auto first = server.Submit(low_session, Batch({0}));
+  ASSERT_TRUE(first.ok());
+  auto low_queued = server.Submit(low_session, Batch({1}));
+  ASSERT_TRUE(low_queued.ok());
+  auto high_queued = server.Submit(high_session, Batch({2}));
+  ASSERT_TRUE(high_queued.ok());
+
+  engine.Open();
+  server.Drain();
+  EXPECT_EQ(engine.order(), (std::vector<int>{0, 2, 1}));
+}
+
+TEST_F(ServerTest, PerBatchCapLetsTenantsShareTheExecutor) {
+  GatedEngine engine;
+  ServerOptions options;
+  options.worker_threads = 4;
+  options.max_concurrent_queries = 4;
+  options.max_concurrent_queries_per_batch = 2;
+  QueryServer server(*dataset_, engine, options);
+  TenantOptions tenant;
+  tenant.name = "alpha";
+  QueryServer::Session& alpha = server.OpenSession(tenant);
+  tenant.name = "beta";
+  QueryServer::Session& beta = server.OpenSession(tenant);
+
+  // A wide batch may only hold max_concurrent_queries_per_batch slots, so
+  // the narrower batch from the other tenant starts immediately too.
+  auto wide = server.Submit(alpha, Batch({0, 0, 0, 0, 0, 0}));
+  ASSERT_TRUE(wide.ok());
+  auto narrow = server.Submit(beta, Batch({1, 1}));
+  ASSERT_TRUE(narrow.ok());
+  engine.WaitForStarted(4);
+  std::vector<int> started = engine.order();
+  EXPECT_EQ(std::count(started.begin(), started.end(), 0), 2);
+  EXPECT_EQ(std::count(started.begin(), started.end(), 1), 2);
+
+  engine.Open();
+  server.Drain();
+  EXPECT_EQ(wide->get().succeeded, 6);
+  EXPECT_EQ(narrow->get().succeeded, 2);
+}
+
+// --- Traffic generation --------------------------------------------------
+
+TEST(TrafficTest, SchedulesAreDeterministicAndOrdered) {
+  TrafficOptions options;
+  options.tenants = 5;
+  options.duration_seconds = 30.0;
+  options.arrivals_per_second = 2.0;
+  options.seed = 99;
+  std::vector<Arrival> first = GenerateOpenLoopSchedule(options);
+  std::vector<Arrival> second = GenerateOpenLoopSchedule(options);
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].time_seconds, second[i].time_seconds);
+    EXPECT_EQ(first[i].tenant, second[i].tenant);
+  }
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i - 1].time_seconds, first[i].time_seconds);
+  }
+  for (const Arrival& arrival : first) {
+    EXPECT_GE(arrival.tenant, 0);
+    EXPECT_LT(arrival.tenant, options.tenants);
+    EXPECT_GE(arrival.time_seconds, 0.0);
+    EXPECT_LT(arrival.time_seconds, options.duration_seconds);
+  }
+  options.seed = 100;
+  std::vector<Arrival> reseeded = GenerateOpenLoopSchedule(options);
+  EXPECT_NE(reseeded.size(), 0u);
+  bool identical = reseeded.size() == first.size();
+  for (size_t i = 0; identical && i < first.size(); ++i) {
+    identical = reseeded[i].time_seconds == first[i].time_seconds &&
+                reseeded[i].tenant == first[i].tenant;
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(TrafficTest, AddingATenantDoesNotPerturbExistingStreams) {
+  TrafficOptions options;
+  options.tenants = 2;
+  options.duration_seconds = 20.0;
+  options.arrivals_per_second = 1.5;
+  options.seed = 7;
+  std::vector<Arrival> narrow = GenerateOpenLoopSchedule(options);
+  options.tenants = 3;
+  std::vector<Arrival> wide = GenerateOpenLoopSchedule(options);
+  auto times_of = [](const std::vector<Arrival>& schedule, int tenant) {
+    std::vector<double> times;
+    for (const Arrival& arrival : schedule) {
+      if (arrival.tenant == tenant) times.push_back(arrival.time_seconds);
+    }
+    return times;
+  };
+  EXPECT_EQ(times_of(narrow, 0), times_of(wide, 0));
+  EXPECT_EQ(times_of(narrow, 1), times_of(wide, 1));
+}
+
+TEST(TrafficTest, DiurnalModulationConcentratesArrivalsInThePeak) {
+  TrafficOptions options;
+  options.tenants = 1;
+  options.duration_seconds = 1000.0;
+  options.arrivals_per_second = 2.0;
+  options.diurnal_amplitude = 0.9;
+  options.diurnal_period_seconds = 1000.0;
+  options.seed = 13;
+  std::vector<Arrival> schedule = GenerateOpenLoopSchedule(options);
+  ASSERT_FALSE(schedule.empty());
+  // rate(t) peaks in the first half-period (sin > 0) and troughs in the
+  // second; with a = 0.9 the halves differ enormously.
+  int64_t first_half = 0, second_half = 0;
+  for (const Arrival& arrival : schedule) {
+    (arrival.time_seconds < 500.0 ? first_half : second_half)++;
+  }
+  EXPECT_GT(first_half, 2 * second_half);
+}
+
+TEST(TrafficTest, SummarizeComputesNearestRankPercentiles) {
+  std::vector<double> latencies;
+  for (int i = 100; i >= 1; --i) latencies.push_back(i);
+  LatencySummary summary = Summarize(latencies);
+  EXPECT_EQ(summary.count, 100);
+  EXPECT_DOUBLE_EQ(summary.mean_seconds, 50.5);
+  EXPECT_DOUBLE_EQ(summary.p50_seconds, 50.0);
+  EXPECT_DOUBLE_EQ(summary.p95_seconds, 95.0);
+  EXPECT_DOUBLE_EQ(summary.p99_seconds, 99.0);
+  EXPECT_DOUBLE_EQ(summary.max_seconds, 100.0);
+  LatencySummary empty = Summarize({});
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_DOUBLE_EQ(empty.max_seconds, 0.0);
+}
+
+// --- Byte identity -------------------------------------------------------
+
+bool SameEncodedVideo(const video::codec::EncodedVideo& a,
+                      const video::codec::EncodedVideo& b) {
+  if (a.FrameCount() != b.FrameCount()) return false;
+  for (size_t i = 0; i < a.frames.size(); ++i) {
+    if (a.frames[i].keyframe != b.frames[i].keyframe) return false;
+    if (a.frames[i].qp != b.frames[i].qp) return false;
+    if (a.frames[i].data != b.frames[i].data) return false;
+  }
+  return true;
+}
+
+TEST_F(ServerTest, ServedResultsAreByteIdenticalToDirectExecution) {
+  // The acceptance gate: the server adds scheduling, not semantics. The
+  // same instances run once directly against the engine and once through
+  // the concurrent server; every result bitstream must match bit for bit.
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+
+  std::vector<queries::QueryInstance> instances;
+  for (QueryId id : {QueryId::kQ1, QueryId::kQ2a, QueryId::kQ2b, QueryId::kQ4,
+                     QueryId::kQ1, QueryId::kQ5}) {
+    Pcg32 rng = SubStream(41, "byte-identity", instances.size());
+    auto instance = queries::SampleQueryInstance(id, *dataset_, rng);
+    ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+    instances.push_back(std::move(instance).value());
+  }
+
+  std::vector<systems::QueryOutput> direct;
+  for (const queries::QueryInstance& instance : instances) {
+    auto output = engine->Execute(instance, *dataset_,
+                                  systems::OutputMode::kWrite, "");
+    ASSERT_TRUE(output.ok()) << output.status().ToString();
+    direct.push_back(std::move(output).value());
+  }
+
+  ServerOptions options;
+  options.worker_threads = 3;
+  options.max_concurrent_queries_per_batch = 3;
+  QueryServer server(*dataset_, *engine, options);
+  QueryServer::Session& session = server.OpenSession(TenantOptions{});
+  auto submitted = server.Submit(session, instances);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  ServedBatch batch = submitted->get();
+  ASSERT_EQ(batch.queries.size(), instances.size());
+  EXPECT_EQ(batch.succeeded, static_cast<int>(instances.size()));
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const ServedQuery& served = batch.queries[i];
+    ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+    EXPECT_EQ(served.output.produced, direct[i].produced);
+    EXPECT_TRUE(SameEncodedVideo(served.output.video, direct[i].video))
+        << "bitstream mismatch on instance " << i;
+    EXPECT_EQ(served.output.detections.size(), direct[i].detections.size());
+  }
+}
+
+// --- Open-loop replay and overload --------------------------------------
+
+TEST_F(ServerTest, OpenLoopReplayShedsUnderOverloadAndReportsGoodput) {
+  // Offered load far above capacity: submissions are instantaneous while
+  // every query dawdles, so the bounded queues must overflow and shed with
+  // kResourceExhausted (asserted inside RunOpenLoop, which fails the run on
+  // any other submit error).
+  CountingEngine engine(std::chrono::microseconds(1000));
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.max_total_queued = 6;
+  QueryServer server(*dataset_, engine, options);
+
+  TrafficOptions traffic;
+  traffic.tenants = 4;
+  traffic.duration_seconds = 50.0;
+  traffic.arrivals_per_second = 1.0;
+  traffic.seed = 17;
+  std::vector<Arrival> schedule = GenerateOpenLoopSchedule(traffic);
+  ASSERT_GT(schedule.size(), 40u);
+
+  ReplayOptions replay;
+  replay.batch_size = 1;
+  replay.seed = 17;
+  replay.tenant.max_queued_batches = 1;
+  replay.tenant.max_concurrent_batches = 1;
+  auto report = RunOpenLoop(server, *dataset_, schedule, replay);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->tenants, 4);
+  EXPECT_EQ(report->offered_batches, static_cast<int64_t>(schedule.size()));
+  EXPECT_EQ(report->admitted_batches + report->shed_batches,
+            report->offered_batches);
+  EXPECT_GT(report->shed_batches, 0);
+  EXPECT_GT(report->admitted_batches, 0);
+  EXPECT_EQ(report->succeeded_queries, report->admitted_batches);
+  EXPECT_EQ(report->failed_queries, 0);
+  EXPECT_EQ(report->latency.count, report->admitted_batches);
+  // Every executed instance succeeded, so goodput equals attempted.
+  EXPECT_GT(report->goodput_frames_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(report->goodput_frames_per_second,
+                   report->attempted_frames_per_second);
+  EXPECT_EQ(report->server.admission.shed(), report->shed_batches);
+  EXPECT_EQ(engine.executed(), report->admitted_batches);
+
+  std::string rendered = driver::FormatServingReport(*report);
+  EXPECT_NE(rendered.find("p50"), std::string::npos);
+  EXPECT_NE(rendered.find("goodput"), std::string::npos);
+  EXPECT_NE(rendered.find("shed"), std::string::npos);
+}
+
+// --- Stress (TSan) -------------------------------------------------------
+
+TEST_F(ServerTest, StressManyTenantsManyBatchesUnderSmallCaps) {
+  // Scheduler stress for ThreadSanitizer: several submitter threads race
+  // against pool-worker completion callbacks and a stats poller, with caps
+  // small enough that promotion, dispatch, shedding, and finalization all
+  // interleave constantly. Assertions are structural counts only.
+  GatedEngine engine;
+  ServerOptions options;
+  options.worker_threads = 4;
+  options.max_concurrent_queries = 4;
+  options.max_concurrent_queries_per_batch = 2;
+  options.max_total_queued = 8;
+  QueryServer server(*dataset_, engine, options);
+
+  constexpr int kTenants = 6;
+  constexpr int kSubmitters = 3;
+  constexpr int kBatchesPerSubmitter = 30;
+  std::vector<QueryServer::Session*> sessions;
+  for (int i = 0; i < kTenants; ++i) {
+    TenantOptions tenant;
+    tenant.name = "tenant-" + std::to_string(i);
+    tenant.priority = i % 3;
+    tenant.max_queued_batches = 2;
+    tenant.max_concurrent_batches = 2;
+    sessions.push_back(&server.OpenSession(tenant));
+  }
+
+  std::atomic<int64_t> admitted{0};
+  std::atomic<int64_t> shed{0};
+  std::mutex futures_mutex;
+  std::vector<std::future<ServedBatch>> futures;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int b = 0; b < kBatchesPerSubmitter; ++b) {
+        auto& session = *sessions[static_cast<size_t>((s + b) % kTenants)];
+        auto submitted = server.Submit(session, Batch({s, b}));
+        if (submitted.ok()) {
+          admitted.fetch_add(1);
+          std::lock_guard<std::mutex> lock(futures_mutex);
+          futures.push_back(std::move(submitted).value());
+        } else {
+          ASSERT_EQ(submitted.status().code(), StatusCode::kResourceExhausted);
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::atomic<bool> stop_polling{false};
+  std::thread poller([&] {
+    while (!stop_polling.load()) {
+      ServerStats stats = server.stats();
+      ASSERT_GE(stats.admission.admitted, stats.batches_completed);
+    }
+  });
+
+  // The gate stays shut while submitters flood the queues (guaranteeing
+  // shed decisions fire), then opens to let the backlog drain.
+  for (auto& submitter : submitters) submitter.join();
+  engine.Open();
+  server.Drain();
+  stop_polling.store(true);
+  poller.join();
+
+  EXPECT_EQ(admitted.load() + shed.load(),
+            int64_t{kSubmitters} * kBatchesPerSubmitter);
+  EXPECT_GT(shed.load(), 0);
+  int64_t succeeded = 0;
+  for (auto& future : futures) succeeded += future.get().succeeded;
+  EXPECT_EQ(succeeded, 2 * admitted.load());
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission.admitted, admitted.load());
+  EXPECT_EQ(stats.admission.shed(), shed.load());
+  EXPECT_EQ(stats.batches_completed, admitted.load());
+  EXPECT_EQ(stats.queries_executed, 2 * admitted.load());
+}
+
+// --- Driver integration --------------------------------------------------
+
+TEST_F(ServerTest, DriverRunServingWiresScheduleServerAndReplay) {
+  driver::VcdOptions vcd_options;
+  driver::VisualCityDriver vcd(*dataset_, vcd_options);
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakeCascadeEngine(engine_options);
+
+  driver::ServingRunOptions run;
+  run.traffic.tenants = 2;
+  run.traffic.duration_seconds = 3.0;
+  run.traffic.arrivals_per_second = 1.0;
+  run.traffic.seed = 41;
+  run.replay.seed = 41;
+  run.replay.query_mix = {QueryId::kQ1};
+  run.server.worker_threads = 2;
+  run.server.output_mode = systems::OutputMode::kStreaming;
+  auto report = vcd.RunServing(*engine, run);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->tenants, 2);
+  EXPECT_GT(report->offered_batches, 0);
+  EXPECT_EQ(report->shed_batches, 0);
+  EXPECT_EQ(report->failed_queries, 0);
+  EXPECT_EQ(report->succeeded_queries, report->admitted_batches);
+  EXPECT_GT(report->goodput_frames_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace visualroad::server
