@@ -7,10 +7,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/cpu.h"
+#include "common/stopwatch.h"
+#include "driver/report.h"
 #include "simulation/city.h"
 #include "simulation/ground_truth.h"
 #include "simulation/recorded_corpus.h"
 #include "video/color.h"
+#include "video/kernels/kernels.h"
 #include "vision/alpr.h"
 #include "vision/miniyolo.h"
 #include "vision/stitcher.h"
@@ -113,7 +121,65 @@ void BM_TileStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TileStep)->Unit(benchmark::kMicrosecond);
 
+// --- SIMD dispatch-level speedup ---
+// RenderScene at each kernel dispatch level, repinned via SetSimdLevelForTest:
+// the rasterizer's span kernel is the render hot path. The output column
+// verifies the framebuffer (color, depth, and entity ids) is byte-identical
+// to the scalar kernels at every level.
+int RunSimdRenderSection() {
+  constexpr int kReps = 3;
+  SimdLevel detected = DetectedSimdLevel();
+  std::printf(
+      "Render by SIMD dispatch level (detected: %s, 480x270; warm-run median "
+      "of %d)\n",
+      SimdLevelName(detected), kReps);
+  sim::Camera camera = MakeCamera(480, 270);
+
+  driver::TextTable table;
+  table.SetHeader({"Level", "Render", "Speedup", "Output"});
+  double baseline_seconds = 0.0;
+  sim::Framebuffer baseline(0, 0);
+  for (int l = 0; l <= static_cast<int>(detected); ++l) {
+    SimdLevel level = static_cast<SimdLevel>(l);
+    video::kernels::SetSimdLevelForTest(level);
+    sim::Framebuffer fb = sim::RenderScene(SharedTile(), camera, 0, 99);
+    std::vector<double> reps;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch watch;
+      fb = sim::RenderScene(SharedTile(), camera, 0, 99);
+      reps.push_back(watch.ElapsedSeconds());
+      benchmark::DoNotOptimize(fb.color.data.data());
+    }
+    std::sort(reps.begin(), reps.end());
+    double seconds = reps[reps.size() / 2];
+
+    std::string output = "baseline";
+    if (l == 0) {
+      baseline_seconds = seconds;
+      baseline = std::move(fb);
+    } else {
+      bool identical = fb.color.data == baseline.color.data &&
+                       fb.depth == baseline.depth && fb.ids == baseline.ids;
+      output = identical ? "identical" : "DIVERGED";
+    }
+    table.AddRow({SimdLevelName(level), driver::FormatSeconds(seconds),
+                  driver::FormatRatio(seconds > 0 ? baseline_seconds / seconds
+                                                  : 0.0),
+                  output});
+  }
+  video::kernels::SetSimdLevelForTest(RequestedSimdLevel());
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace visualroad
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (int rc = visualroad::RunSimdRenderSection(); rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

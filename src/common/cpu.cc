@@ -1,0 +1,67 @@
+#include "common/cpu.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace visualroad {
+
+namespace {
+
+SimdLevel ProbeCpu() {
+#if defined(VISUALROAD_FORCE_SCALAR_KERNELS)
+  return SimdLevel::kScalar;
+#elif defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+  return SimdLevel::kScalar;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+}  // namespace
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel level = ProbeCpu();
+  return level;
+}
+
+bool ParseSimdLevel(const std::string& text, SimdLevel* out) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "scalar") {
+    *out = SimdLevel::kScalar;
+  } else if (lower == "sse2") {
+    *out = SimdLevel::kSse2;
+  } else if (lower == "avx2") {
+    *out = SimdLevel::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+SimdLevel RequestedSimdLevel() {
+  SimdLevel detected = DetectedSimdLevel();
+  const char* env = std::getenv("VR_SIMD");
+  if (env == nullptr || env[0] == '\0') return detected;
+  SimdLevel requested;
+  if (!ParseSimdLevel(env, &requested)) return detected;
+  return std::min(requested, detected);
+}
+
+}  // namespace visualroad

@@ -4,10 +4,15 @@
 #include <cmath>
 #include <limits>
 
+#include "video/kernels/kernels.h"
+
 namespace visualroad::sim {
 
 namespace {
 constexpr double kNearPlane = 0.2;
+
+/// Pixels handed to the span kernel per batch; bounds the stack scratch.
+constexpr int kSpanChunk = 64;
 }  // namespace
 
 Framebuffer::Framebuffer(int w, int h)
@@ -84,31 +89,41 @@ void Rasterizer::DrawClipped(const ClippedVertex& a, const ClippedVertex& b,
   if (std::abs(area) < 1e-9) return;
   double inv_area = 1.0 / area;
 
+  // The coverage test, depth interpolation, and perspective-correct (u, v)
+  // run batched through the span kernel; the z-buffer test and shader apply
+  // stay here, visiting passing pixels in the same left-to-right order as the
+  // per-pixel loop did.
+  video::kernels::SpanSetup setup{s0.x,      s0.y,       s1.x,       s1.y,
+                                  s2.x,      s2.y,       inv_area,   s0.inv_z,
+                                  s1.inv_z,  s2.inv_z,   s0.u_over_z,
+                                  s1.u_over_z, s2.u_over_z, s0.v_over_z,
+                                  s1.v_over_z, s2.v_over_z};
+  const video::kernels::KernelTable& kt = video::kernels::Kernels();
+  uint8_t valid[kSpanChunk];
+  float depth[kSpanChunk];
+  double u[kSpanChunk], v[kSpanChunk];
+  uint64_t spans = 0;
   for (int y = y0; y <= y1; ++y) {
-    for (int x = x0; x <= x1; ++x) {
-      double px = x + 0.5, py = y + 0.5;
-      double w0 = ((s1.x - px) * (s2.y - py) - (s2.x - px) * (s1.y - py)) * inv_area;
-      double w1 = ((s2.x - px) * (s0.y - py) - (s0.x - px) * (s2.y - py)) * inv_area;
-      double w2 = 1.0 - w0 - w1;
-      if (w0 < 0 || w1 < 0 || w2 < 0) continue;
-
-      double inv_z = w0 * s0.inv_z + w1 * s1.inv_z + w2 * s2.inv_z;
-      if (inv_z <= 0) continue;
-      float depth = static_cast<float>(1.0 / inv_z);
-      size_t idx = fb_.Index(x, y);
-      if (depth >= fb_.depth[idx]) continue;
-
-      double u = (w0 * s0.u_over_z + w1 * s1.u_over_z + w2 * s2.u_over_z) / inv_z;
-      double v = (w0 * s0.v_over_z + w1 * s1.v_over_z + w2 * s2.v_over_z) / inv_z;
-      video::Rgb rgb = shader(u, v);
-      uint8_t* pixel = fb_.color.Pixel(x, y);
-      pixel[0] = rgb.r;
-      pixel[1] = rgb.g;
-      pixel[2] = rgb.b;
-      fb_.depth[idx] = depth;
-      fb_.ids[idx] = id;
+    double py = y + 0.5;
+    for (int x = x0; x <= x1; x += kSpanChunk) {
+      int n = std::min(kSpanChunk, x1 - x + 1);
+      kt.raster_span(setup, py, x, n, valid, depth, u, v);
+      ++spans;
+      for (int i = 0; i < n; ++i) {
+        if (!valid[i]) continue;
+        size_t idx = fb_.Index(x + i, y);
+        if (depth[i] >= fb_.depth[idx]) continue;
+        video::Rgb rgb = shader(u[i], v[i]);
+        uint8_t* pixel = fb_.color.Pixel(x + i, y);
+        pixel[0] = rgb.r;
+        pixel[1] = rgb.g;
+        pixel[2] = rgb.b;
+        fb_.depth[idx] = depth[i];
+        fb_.ids[idx] = id;
+      }
     }
   }
+  video::kernels::CountKernelCalls(video::kernels::Kernel::kRasterSpan, spans);
 }
 
 void Rasterizer::DrawQuad(const RasterVertex v[4], const FragmentShader& shader,

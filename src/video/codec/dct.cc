@@ -1,31 +1,8 @@
 #include "video/codec/dct.h"
 
-#include <cmath>
+#include "video/kernels/kernels.h"
 
 namespace visualroad::video::codec {
-
-namespace {
-
-/// Cosine basis, computed once: basis[k][n] = c(k) * cos((2n+1) k pi / 16).
-struct DctBasis {
-  double b[kTransformSize][kTransformSize];
-  DctBasis() {
-    const double pi = 3.14159265358979323846;
-    for (int k = 0; k < kTransformSize; ++k) {
-      double ck = k == 0 ? std::sqrt(1.0 / kTransformSize) : std::sqrt(2.0 / kTransformSize);
-      for (int n = 0; n < kTransformSize; ++n) {
-        b[k][n] = ck * std::cos((2 * n + 1) * k * pi / (2.0 * kTransformSize));
-      }
-    }
-  }
-};
-
-const DctBasis& Basis() {
-  static const DctBasis basis;
-  return basis;
-}
-
-}  // namespace
 
 const int kZigZag8x8[kTransformArea] = {
     0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
@@ -34,50 +11,13 @@ const int kZigZag8x8[kTransformArea] = {
     58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
 
 void ForwardDct8x8(const int16_t* input, double* output) {
-  const auto& basis = Basis().b;
-  double rows[kTransformSize][kTransformSize];
-  // Transform rows.
-  for (int y = 0; y < kTransformSize; ++y) {
-    for (int k = 0; k < kTransformSize; ++k) {
-      double sum = 0.0;
-      for (int n = 0; n < kTransformSize; ++n) {
-        sum += basis[k][n] * input[y * kTransformSize + n];
-      }
-      rows[y][k] = sum;
-    }
-  }
-  // Transform columns.
-  for (int x = 0; x < kTransformSize; ++x) {
-    for (int k = 0; k < kTransformSize; ++k) {
-      double sum = 0.0;
-      for (int n = 0; n < kTransformSize; ++n) sum += basis[k][n] * rows[n][x];
-      output[k * kTransformSize + x] = sum;
-    }
-  }
+  kernels::Kernels().forward_dct(input, output);
+  kernels::CountKernelCalls(kernels::Kernel::kForwardDct, 1);
 }
 
 void InverseDct8x8(const double* input, int16_t* output) {
-  const auto& basis = Basis().b;
-  double cols[kTransformSize][kTransformSize];
-  // Inverse transform columns.
-  for (int x = 0; x < kTransformSize; ++x) {
-    for (int n = 0; n < kTransformSize; ++n) {
-      double sum = 0.0;
-      for (int k = 0; k < kTransformSize; ++k) {
-        sum += basis[k][n] * input[k * kTransformSize + x];
-      }
-      cols[n][x] = sum;
-    }
-  }
-  // Inverse transform rows.
-  for (int y = 0; y < kTransformSize; ++y) {
-    for (int n = 0; n < kTransformSize; ++n) {
-      double sum = 0.0;
-      for (int k = 0; k < kTransformSize; ++k) sum += basis[k][n] * cols[y][k];
-      output[y * kTransformSize + n] =
-          static_cast<int16_t>(std::lround(sum));
-    }
-  }
+  kernels::Kernels().inverse_dct(input, output);
+  kernels::CountKernelCalls(kernels::Kernel::kInverseDct, 1);
 }
 
 }  // namespace visualroad::video::codec

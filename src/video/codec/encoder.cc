@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <memory>
 
 #include "video/codec/codec.h"
@@ -9,6 +10,7 @@
 #include "video/codec/intra.h"
 #include "video/codec/quant.h"
 #include "video/codec/rate_control.h"
+#include "video/kernels/kernels.h"
 
 namespace visualroad::video::codec {
 
@@ -244,12 +246,10 @@ StatusOr<EncodedFrame> EncodeFrameImpl(const EncoderSettings& s,
               ChooseIntraMode(src_y, recon.y, tx, ty, kTransformSize, s.allow_planar);
           uint8_t prediction[kTransformArea];
           IntraPredict(recon.y, tx, ty, kTransformSize, mode, prediction);
-          for (int y = 0; y < kTransformSize; ++y) {
-            for (int x = 0; x < kTransformSize; ++x) {
-              intra_sad += std::abs(static_cast<int>(src_y.At(tx + x, ty + y)) -
-                                    prediction[y * kTransformSize + x]);
-            }
-          }
+          intra_sad += kernels::Kernels().sad_bounded(
+              src_y.Row(ty) + tx, src_y.width, prediction, kTransformSize,
+              kTransformSize, std::numeric_limits<int64_t>::max());
+          kernels::CountKernelCalls(kernels::Kernel::kSad, 1);
         }
       }
       bool use_intra = intra_sad * 5 < mv.sad * 4;  // 20% margin favours inter.

@@ -2,20 +2,33 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
+
+#include "video/kernels/kernels.h"
 
 namespace visualroad::video::codec {
 
 namespace {
-int ClampCoord(int v, int limit) { return std::clamp(v, 0, limit - 1); }
-}  // namespace
 
-int64_t BlockSadBounded(const Plane& cur, const Plane& ref, int bx, int by, int size,
-                        int dx, int dy, int64_t bound) {
+int ClampCoord(int v, int limit) { return std::clamp(v, 0, limit - 1); }
+
+/// True for the block widths the dispatch table's SAD kernel handles (full
+/// luma blocks and their chroma halves).
+bool KernelSadSize(int size) { return size == 8 || size == 16 || size == 32; }
+
+/// SAD without call accounting; DiamondSearch batches its own count.
+int64_t SadBoundedImpl(const Plane& cur, const Plane& ref, int bx, int by,
+                       int size, int dx, int dy, int64_t bound) {
   int64_t sad = 0;
   bool inside = bx + dx >= 0 && by + dy >= 0 && bx + dx + size <= ref.width &&
                 by + dy + size <= ref.height;
   if (inside) {
+    if (KernelSadSize(size)) {
+      return kernels::Kernels().sad_bounded(cur.Row(by) + bx, cur.width,
+                                            ref.Row(by + dy) + bx + dx,
+                                            ref.width, size, bound);
+    }
     for (int y = 0; y < size; ++y) {
       const uint8_t* crow = cur.Row(by + y) + bx;
       const uint8_t* rrow = ref.Row(by + dy + y) + bx + dx;
@@ -26,6 +39,9 @@ int64_t BlockSadBounded(const Plane& cur, const Plane& ref, int bx, int by, int 
     }
     return sad;
   }
+  // Edge-clamped slow path: per-sample coordinate clamping resists a
+  // contiguous-row kernel; blocks touching the frame border are a thin
+  // minority, so this stays scalar.
   for (int y = 0; y < size; ++y) {
     const uint8_t* crow = cur.Row(by + y) + bx;
     const uint8_t* rrow = ref.Row(ClampCoord(by + dy + y, ref.height));
@@ -36,6 +52,14 @@ int64_t BlockSadBounded(const Plane& cur, const Plane& ref, int bx, int by, int 
     if (sad >= bound) return sad;
   }
   return sad;
+}
+
+}  // namespace
+
+int64_t BlockSadBounded(const Plane& cur, const Plane& ref, int bx, int by, int size,
+                        int dx, int dy, int64_t bound) {
+  kernels::CountKernelCalls(kernels::Kernel::kSad, 1);
+  return SadBoundedImpl(cur, ref, bx, by, size, dx, dy, bound);
 }
 
 int64_t BlockSad(const Plane& cur, const Plane& ref, int bx, int by, int size, int dx,
@@ -51,11 +75,14 @@ MotionVector DiamondSearch(const Plane& cur, const Plane& ref, int bx, int by,
   // the returned vector — identical to the unbounded search, while losing
   // candidates abandon the sum early. An accepted SAD never hit its bound,
   // so best.sad stays exact.
+  uint64_t evaluations = 0;
   auto evaluate = [&](int dx, int dy, int64_t bound) -> int64_t {
-    return BlockSadBounded(cur, ref, bx, by, size, dx, dy, bound);
+    ++evaluations;
+    return SadBoundedImpl(cur, ref, bx, by, size, dx, dy, bound);
   };
 
-  MotionVector best{0, 0, BlockSad(cur, ref, bx, by, size, 0, 0)};
+  MotionVector best{0, 0,
+                    evaluate(0, 0, std::numeric_limits<int64_t>::max())};
   if (predictor.dx != 0 || predictor.dy != 0) {
     int64_t sad = evaluate(predictor.dx, predictor.dy, best.sad);
     if (sad < best.sad) best = {predictor.dx, predictor.dy, sad};
@@ -88,11 +115,22 @@ MotionVector DiamondSearch(const Plane& cur, const Plane& ref, int bx, int by,
     int64_t sad = evaluate(dx, dy, best.sad);
     if (sad < best.sad) best = {dx, dy, sad};
   }
+  kernels::CountKernelCalls(kernels::Kernel::kSad, evaluations);
   return best;
 }
 
 void MotionCompensate(const Plane& ref, int bx, int by, int size, int dx, int dy,
                       uint8_t* out) {
+  bool inside = bx + dx >= 0 && by + dy >= 0 && bx + dx + size <= ref.width &&
+                by + dy + size <= ref.height;
+  if (inside) {
+    // The common fully-interior case is a straight row copy.
+    for (int y = 0; y < size; ++y) {
+      std::memcpy(out + static_cast<size_t>(y) * size,
+                  ref.Row(by + dy + y) + bx + dx, static_cast<size_t>(size));
+    }
+    return;
+  }
   for (int y = 0; y < size; ++y) {
     for (int x = 0; x < size; ++x) {
       int rx = ClampCoord(bx + dx + x, ref.width);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "video/kernels/kernels.h"
+
 namespace visualroad::video::codec {
 
 double QpToStep(int qp) {
@@ -12,25 +14,13 @@ double QpToStep(int qp) {
 }
 
 void QuantizeBlock(const double* coefficients, int qp, int16_t* levels) {
-  double step = QpToStep(qp);
-  // Dead-zone fraction: values within 1/3 step of zero quantise to zero.
-  const double dead_zone = 1.0 / 3.0;
-  for (int i = 0; i < kTransformArea; ++i) {
-    double scaled = coefficients[i] / step;
-    double magnitude = std::abs(scaled);
-    int level = magnitude < dead_zone
-                    ? 0
-                    : static_cast<int>(magnitude + (1.0 - dead_zone) * 0.5);
-    level = std::min(level, 32767);
-    levels[i] = static_cast<int16_t>(scaled < 0 ? -level : level);
-  }
+  kernels::Kernels().quantize(coefficients, QpToStep(qp), levels);
+  kernels::CountKernelCalls(kernels::Kernel::kQuantize, 1);
 }
 
 void DequantizeBlock(const int16_t* levels, int qp, double* coefficients) {
-  double step = QpToStep(qp);
-  for (int i = 0; i < kTransformArea; ++i) {
-    coefficients[i] = levels[i] * step;
-  }
+  kernels::Kernels().dequantize(levels, QpToStep(qp), coefficients);
+  kernels::CountKernelCalls(kernels::Kernel::kDequantize, 1);
 }
 
 }  // namespace visualroad::video::codec

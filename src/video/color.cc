@@ -1,6 +1,9 @@
 #include "video/color.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "video/kernels/kernels.h"
 
 namespace visualroad::video {
 
@@ -25,14 +28,25 @@ Rgb YuvToRgb(const Yuv& yuv) {
 
 Frame RgbToFrame(const RgbImage& image) {
   Frame frame(image.width, image.height);
-  for (int y = 0; y < image.height; ++y) {
-    for (int x = 0; x < image.width; ++x) {
-      const uint8_t* p = image.Pixel(x, y);
-      Yuv yuv = RgbToYuv({p[0], p[1], p[2]});
-      frame.SetY(x, y, yuv.y);
-    }
+  if (frame.Empty()) return frame;
+  const int w = image.width, h = image.height;
+  // Convert each row once into planar full-resolution Y/U/V. (The per-pixel
+  // formulation converted every pixel twice — once for luma, once inside the
+  // chroma averaging — so this also halves the conversion work before any
+  // vectorisation.)
+  const kernels::KernelTable& kt = kernels::Kernels();
+  std::vector<uint8_t> u_full(static_cast<size_t>(w) * h);
+  std::vector<uint8_t> v_full(static_cast<size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    kt.rgb_to_yuv_row(image.Pixel(0, y), w,
+                           frame.y_plane().data() + static_cast<size_t>(y) * w,
+                           u_full.data() + static_cast<size_t>(y) * w,
+                           v_full.data() + static_cast<size_t>(y) * w);
   }
-  // Average each 2x2 block for the chroma planes.
+  kernels::CountKernelCalls(kernels::Kernel::kRgbToYuvRow,
+                            static_cast<uint64_t>(h));
+  // Average each 2x2 block for the chroma planes. Integer sums and the same
+  // truncating division as before — exact.
   int cw = frame.chroma_width(), ch = frame.chroma_height();
   for (int cy = 0; cy < ch; ++cy) {
     for (int cx = 0; cx < cw; ++cx) {
@@ -40,11 +54,10 @@ Frame RgbToFrame(const RgbImage& image) {
       for (int dy = 0; dy < 2; ++dy) {
         for (int dx = 0; dx < 2; ++dx) {
           int x = cx * 2 + dx, y = cy * 2 + dy;
-          if (x >= image.width || y >= image.height) continue;
-          const uint8_t* p = image.Pixel(x, y);
-          Yuv yuv = RgbToYuv({p[0], p[1], p[2]});
-          u_sum += yuv.u;
-          v_sum += yuv.v;
+          if (x >= w || y >= h) continue;
+          size_t src = static_cast<size_t>(y) * w + x;
+          u_sum += u_full[src];
+          v_sum += v_full[src];
           ++count;
         }
       }
@@ -58,15 +71,20 @@ Frame RgbToFrame(const RgbImage& image) {
 
 RgbImage FrameToRgb(const Frame& frame) {
   RgbImage image(frame.width(), frame.height());
-  for (int y = 0; y < frame.height(); ++y) {
-    for (int x = 0; x < frame.width(); ++x) {
-      Rgb rgb = YuvToRgb({frame.Y(x, y), frame.U(x, y), frame.V(x, y)});
-      uint8_t* p = image.Pixel(x, y);
-      p[0] = rgb.r;
-      p[1] = rgb.g;
-      p[2] = rgb.b;
-    }
+  if (frame.Empty()) return image;
+  const int w = frame.width(), h = frame.height();
+  const int cw = frame.chroma_width();
+  const kernels::KernelTable& kt = kernels::Kernels();
+  for (int y = 0; y < h; ++y) {
+    const uint8_t* u_row =
+        frame.u_plane().data() + static_cast<size_t>(y / 2) * cw;
+    const uint8_t* v_row =
+        frame.v_plane().data() + static_cast<size_t>(y / 2) * cw;
+    kt.yuv_to_rgb_row(frame.y_plane().data() + static_cast<size_t>(y) * w,
+                           u_row, v_row, w, image.Pixel(0, y));
   }
+  kernels::CountKernelCalls(kernels::Kernel::kYuvToRgbRow,
+                            static_cast<uint64_t>(h));
   return image;
 }
 

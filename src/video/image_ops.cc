@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "video/kernels/kernels.h"
+
 namespace visualroad::video {
 
 namespace {
@@ -218,21 +220,24 @@ StatusOr<Frame> MeanFrame(const std::vector<const Frame*>& frames) {
     }
   }
   Frame out(w, h);
+  const kernels::KernelTable& kt = kernels::Kernels();
   std::vector<uint32_t> acc(out.y_plane().size(), 0);
   for (const Frame* f : frames) {
     const auto& plane = f->y_plane();
-    for (size_t i = 0; i < plane.size(); ++i) acc[i] += plane[i];
+    kt.accumulate_row(plane.data(), static_cast<int>(plane.size()), 1, acc.data());
   }
   for (size_t i = 0; i < acc.size(); ++i) {
     out.y_plane()[i] = static_cast<uint8_t>(acc[i] / frames.size());
   }
   std::vector<uint32_t> acc_u(out.u_plane().size(), 0), acc_v(out.v_plane().size(), 0);
   for (const Frame* f : frames) {
-    for (size_t i = 0; i < acc_u.size(); ++i) {
-      acc_u[i] += f->u_plane()[i];
-      acc_v[i] += f->v_plane()[i];
-    }
+    kt.accumulate_row(f->u_plane().data(), static_cast<int>(acc_u.size()), 1,
+                      acc_u.data());
+    kt.accumulate_row(f->v_plane().data(), static_cast<int>(acc_v.size()), 1,
+                      acc_v.data());
   }
+  kernels::CountKernelCalls(kernels::Kernel::kAccumulateRow,
+                            3 * static_cast<uint64_t>(frames.size()));
   for (size_t i = 0; i < acc_u.size(); ++i) {
     out.u_plane()[i] = static_cast<uint8_t>(acc_u[i] / frames.size());
     out.v_plane()[i] = static_cast<uint8_t>(acc_v[i] / frames.size());
@@ -245,24 +250,37 @@ StatusOr<Frame> MaskAgainstBackground(const Frame& frame, const Frame& backgroun
   if (frame.width() != background.width() || frame.height() != background.height()) {
     return Status::InvalidArgument("mask inputs must share a resolution");
   }
-  Frame out(frame.width(), frame.height());
-  for (int y = 0; y < frame.height(); ++y) {
-    for (int x = 0; x < frame.width(); ++x) {
-      double pv = frame.Y(x, y);
-      double pb = background.Y(x, y);
-      // |(p_v - p_b) / p_v| < epsilon means "static": emit omega. Guard the
-      // divide-by-zero case by treating a zero pixel as static only when the
-      // background is also zero.
-      bool is_static;
-      if (pv == 0.0) {
-        is_static = pb == 0.0;
+  const int w = frame.width(), h = frame.height();
+  Frame out(w, h);
+  // |(p_v - p_b) / p_v| < epsilon means "static": emit omega. The zero-pixel
+  // guard (static only when the background is also zero) lives in the kernel.
+  const kernels::KernelTable& kt = kernels::Kernels();
+  std::vector<uint8_t> mask(static_cast<size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    kt.mask_static_row(frame.y_plane().data() + static_cast<size_t>(y) * w,
+                       background.y_plane().data() + static_cast<size_t>(y) * w,
+                       epsilon, w, mask.data() + static_cast<size_t>(y) * w);
+  }
+  kernels::CountKernelCalls(kernels::Kernel::kMaskStaticRow,
+                            static_cast<uint64_t>(h));
+  for (size_t i = 0; i < mask.size(); ++i) {
+    out.y_plane()[i] = mask[i] ? kOmega.y : frame.y_plane()[i];
+  }
+  // The per-pixel SetPixel formulation wrote each subsampled chroma cell once
+  // per covered pixel, so the bottom-right pixel of every 2x2 block decided
+  // the cell. Reproduce that last-writer-wins result directly.
+  const int cw = out.chroma_width(), ch = out.chroma_height();
+  for (int cy = 0; cy < ch; ++cy) {
+    int ly = std::min(2 * cy + 1, h - 1);
+    for (int cx = 0; cx < cw; ++cx) {
+      int lx = std::min(2 * cx + 1, w - 1);
+      size_t idx = static_cast<size_t>(cy) * cw + cx;
+      if (mask[static_cast<size_t>(ly) * w + lx]) {
+        out.u_plane()[idx] = kOmega.u;
+        out.v_plane()[idx] = kOmega.v;
       } else {
-        is_static = std::abs((pv - pb) / pv) < epsilon;
-      }
-      if (is_static) {
-        out.SetPixel(x, y, kOmega.y, kOmega.u, kOmega.v);
-      } else {
-        out.SetPixel(x, y, frame.Y(x, y), frame.U(x, y), frame.V(x, y));
+        out.u_plane()[idx] = frame.u_plane()[idx];
+        out.v_plane()[idx] = frame.v_plane()[idx];
       }
     }
   }

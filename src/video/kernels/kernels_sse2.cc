@@ -1,0 +1,404 @@
+// SSE2 kernel variants (the x86-64 baseline ISA, so this file needs no extra
+// compile flags). Identity discipline: integer kernels (SAD, accumulate) are
+// exact by nature; floating-point kernels replay the scalar expression tree
+// operation for operation — same association order, separate mul/add (the
+// baseline has no FMA), truncating conversions — so each lane computes the
+// bit-exact scalar value. Final roundings that have no vector twin (lround in
+// the inverse DCT) stay scalar on the accumulated sums.
+
+#include "video/kernels/kernels_internal.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cmath>
+
+namespace visualroad::video::kernels::internal {
+
+namespace {
+
+/// Horizontal total of the two 64-bit halves of a psadbw accumulator.
+inline int64_t SadHorizontalSum(__m128i sad) {
+  return _mm_cvtsi128_si64(sad) +
+         _mm_cvtsi128_si64(_mm_unpackhi_epi64(sad, sad));
+}
+
+/// SAD of one row of `size` (8, 16, or 32) samples, exact.
+inline int64_t RowSad(const uint8_t* c, const uint8_t* r, int size) {
+  if (size == 8) {
+    __m128i a = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(c));
+    __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(r));
+    return _mm_cvtsi128_si64(_mm_sad_epu8(a, b));
+  }
+  __m128i acc = _mm_setzero_si128();
+  for (int x = 0; x < size; x += 16) {
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(c + x));
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r + x));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(a, b));
+  }
+  return SadHorizontalSum(acc);
+}
+
+/// std::clamp(v, 0, 255) + 0.5 on two lanes (identical to ClampByte up to the
+/// truncating conversion, which the caller performs with cvttpd).
+inline __m128d ClampBytePd(__m128d v) {
+  v = _mm_min_pd(v, _mm_set1_pd(255.0));
+  v = _mm_max_pd(v, _mm_setzero_pd());
+  return _mm_add_pd(v, _mm_set1_pd(0.5));
+}
+
+inline __m128d AbsPd(__m128d v) {
+  return _mm_andnot_pd(_mm_set1_pd(-0.0), v);
+}
+
+/// Two uint8 samples widened to doubles (exact conversions).
+inline __m128d PairToPd(uint8_t a, uint8_t b) {
+  return _mm_set_pd(static_cast<double>(b), static_cast<double>(a));
+}
+
+}  // namespace
+
+int64_t Sse2SadBounded(const uint8_t* cur, int cur_stride, const uint8_t* ref,
+                       int ref_stride, int size, int64_t bound) {
+  int64_t sad = 0;
+  for (int y = 0; y < size; ++y) {
+    sad += RowSad(cur + static_cast<size_t>(y) * cur_stride,
+                  ref + static_cast<size_t>(y) * ref_stride, size);
+    if (sad >= bound) return sad;
+  }
+  return sad;
+}
+
+void Sse2ForwardDct(const int16_t* input, double* output) {
+  const DctTables& tables = GetDctTables();
+  double rows[kDctSize][kDctSize];
+  // Row pass: lanes are k; each lane accumulates over n in scalar order.
+  for (int y = 0; y < kDctSize; ++y) {
+    for (int k = 0; k < kDctSize; k += 2) {
+      __m128d acc = _mm_setzero_pd();
+      for (int n = 0; n < kDctSize; ++n) {
+        __m128d basis = _mm_loadu_pd(&tables.bt[n][k]);
+        __m128d sample = _mm_set1_pd(static_cast<double>(input[y * kDctSize + n]));
+        acc = _mm_add_pd(acc, _mm_mul_pd(basis, sample));
+      }
+      _mm_storeu_pd(&rows[y][k], acc);
+    }
+  }
+  // Column pass: lanes are x; each lane accumulates over n in scalar order.
+  for (int k = 0; k < kDctSize; ++k) {
+    for (int x = 0; x < kDctSize; x += 2) {
+      __m128d acc = _mm_setzero_pd();
+      for (int n = 0; n < kDctSize; ++n) {
+        __m128d basis = _mm_set1_pd(tables.b[k][n]);
+        acc = _mm_add_pd(acc, _mm_mul_pd(basis, _mm_loadu_pd(&rows[n][x])));
+      }
+      _mm_storeu_pd(&output[k * kDctSize + x], acc);
+    }
+  }
+}
+
+void Sse2InverseDct(const double* input, int16_t* output) {
+  const DctTables& tables = GetDctTables();
+  double cols[kDctSize][kDctSize];
+  // Column pass: lanes are x; accumulate over k in scalar order.
+  for (int n = 0; n < kDctSize; ++n) {
+    for (int x = 0; x < kDctSize; x += 2) {
+      __m128d acc = _mm_setzero_pd();
+      for (int k = 0; k < kDctSize; ++k) {
+        __m128d basis = _mm_set1_pd(tables.b[k][n]);
+        acc = _mm_add_pd(acc,
+                         _mm_mul_pd(basis, _mm_loadu_pd(&input[k * kDctSize + x])));
+      }
+      _mm_storeu_pd(&cols[n][x], acc);
+    }
+  }
+  // Row pass: lanes are n (basis rows are contiguous in n); accumulate over k.
+  double sums[kDctArea];
+  for (int y = 0; y < kDctSize; ++y) {
+    for (int n = 0; n < kDctSize; n += 2) {
+      __m128d acc = _mm_setzero_pd();
+      for (int k = 0; k < kDctSize; ++k) {
+        __m128d basis = _mm_loadu_pd(&tables.b[k][n]);
+        __m128d sample = _mm_set1_pd(cols[y][k]);
+        acc = _mm_add_pd(acc, _mm_mul_pd(basis, sample));
+      }
+      _mm_storeu_pd(&sums[y * kDctSize + n], acc);
+    }
+  }
+  // lround has no bit-exact vector twin; round the 64 sums scalar.
+  for (int i = 0; i < kDctArea; ++i) {
+    output[i] = static_cast<int16_t>(std::lround(sums[i]));
+  }
+}
+
+void Sse2Quantize(const double* coefficients, double step, int16_t* levels) {
+  const __m128d step2 = _mm_set1_pd(step);
+  const __m128d dead_zone = _mm_set1_pd(1.0 / 3.0);
+  const __m128d round_in = _mm_set1_pd((1.0 - 1.0 / 3.0) * 0.5);
+  const __m128i cap = _mm_set1_epi32(32767);
+  for (int i = 0; i < kDctArea; i += 2) {
+    __m128d scaled = _mm_div_pd(_mm_loadu_pd(coefficients + i), step2);
+    __m128d magnitude = AbsPd(scaled);
+    __m128d small = _mm_cmplt_pd(magnitude, dead_zone);
+    __m128d negative = _mm_cmplt_pd(scaled, _mm_setzero_pd());
+    // Truncating conversion of magnitude + round_in, matching (int)(m + c).
+    __m128i level = _mm_cvttpd_epi32(_mm_add_pd(magnitude, round_in));
+    // Compress the 64-bit double masks onto the two int32 lanes.
+    __m128i small_i =
+        _mm_shuffle_epi32(_mm_castpd_si128(small), _MM_SHUFFLE(3, 1, 2, 0));
+    __m128i neg_i =
+        _mm_shuffle_epi32(_mm_castpd_si128(negative), _MM_SHUFFLE(3, 1, 2, 0));
+    level = _mm_andnot_si128(small_i, level);
+    // min(level, 32767) without SSE4: blend through a compare mask.
+    __m128i over = _mm_cmpgt_epi32(level, cap);
+    level = _mm_or_si128(_mm_and_si128(over, cap), _mm_andnot_si128(over, level));
+    // Conditional negate: (level ^ m) - m.
+    level = _mm_sub_epi32(_mm_xor_si128(level, neg_i), neg_i);
+    __m128i packed = _mm_packs_epi32(level, level);  // Saturation is a no-op.
+    int pair = _mm_cvtsi128_si32(packed);
+    levels[i] = static_cast<int16_t>(pair & 0xffff);
+    levels[i + 1] = static_cast<int16_t>((pair >> 16) & 0xffff);
+  }
+}
+
+void Sse2Dequantize(const int16_t* levels, double step, double* coefficients) {
+  const __m128d step2 = _mm_set1_pd(step);
+  for (int i = 0; i < kDctArea; i += 4) {
+    __m128i raw = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(levels + i));
+    __m128i wide = _mm_srai_epi32(_mm_unpacklo_epi16(raw, raw), 16);
+    __m128d lo = _mm_cvtepi32_pd(wide);
+    __m128d hi = _mm_cvtepi32_pd(_mm_shuffle_epi32(wide, _MM_SHUFFLE(3, 2, 3, 2)));
+    _mm_storeu_pd(coefficients + i, _mm_mul_pd(lo, step2));
+    _mm_storeu_pd(coefficients + i + 2, _mm_mul_pd(hi, step2));
+  }
+}
+
+void Sse2RgbToYuvRow(const uint8_t* rgb, int n, uint8_t* y, uint8_t* u,
+                     uint8_t* v) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint8_t* p = rgb + 3 * static_cast<size_t>(i);
+    __m128d r = PairToPd(p[0], p[3]);
+    __m128d g = PairToPd(p[1], p[4]);
+    __m128d b = PairToPd(p[2], p[5]);
+    // ((0.299 r) + (0.587 g)) + (0.114 b)
+    __m128d yv = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(_mm_set1_pd(0.299), r),
+                   _mm_mul_pd(_mm_set1_pd(0.587), g)),
+        _mm_mul_pd(_mm_set1_pd(0.114), b));
+    // (((-0.168736 r) - (0.331264 g)) + (0.5 b)) + 128
+    __m128d uv = _mm_add_pd(
+        _mm_add_pd(_mm_sub_pd(_mm_mul_pd(_mm_set1_pd(-0.168736), r),
+                              _mm_mul_pd(_mm_set1_pd(0.331264), g)),
+                   _mm_mul_pd(_mm_set1_pd(0.5), b)),
+        _mm_set1_pd(128.0));
+    // (((0.5 r) - (0.418688 g)) - (0.081312 b)) + 128
+    __m128d vv = _mm_add_pd(
+        _mm_sub_pd(_mm_sub_pd(_mm_mul_pd(_mm_set1_pd(0.5), r),
+                              _mm_mul_pd(_mm_set1_pd(0.418688), g)),
+                   _mm_mul_pd(_mm_set1_pd(0.081312), b)),
+        _mm_set1_pd(128.0));
+    __m128i yi = _mm_cvttpd_epi32(ClampBytePd(yv));
+    __m128i ui = _mm_cvttpd_epi32(ClampBytePd(uv));
+    __m128i vi = _mm_cvttpd_epi32(ClampBytePd(vv));
+    y[i] = static_cast<uint8_t>(_mm_cvtsi128_si32(yi));
+    y[i + 1] = static_cast<uint8_t>(_mm_cvtsi128_si32(
+        _mm_shuffle_epi32(yi, _MM_SHUFFLE(1, 1, 1, 1))));
+    u[i] = static_cast<uint8_t>(_mm_cvtsi128_si32(ui));
+    u[i + 1] = static_cast<uint8_t>(_mm_cvtsi128_si32(
+        _mm_shuffle_epi32(ui, _MM_SHUFFLE(1, 1, 1, 1))));
+    v[i] = static_cast<uint8_t>(_mm_cvtsi128_si32(vi));
+    v[i + 1] = static_cast<uint8_t>(_mm_cvtsi128_si32(
+        _mm_shuffle_epi32(vi, _MM_SHUFFLE(1, 1, 1, 1))));
+  }
+  for (; i < n; ++i) {
+    const uint8_t* p = rgb + 3 * static_cast<size_t>(i);
+    RgbToYuvPixel(p[0], p[1], p[2], y + i, u + i, v + i);
+  }
+}
+
+void Sse2YuvToRgbRow(const uint8_t* y, const uint8_t* u, const uint8_t* v,
+                     int n, uint8_t* rgb) {
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d yv = PairToPd(y[i], y[i + 1]);
+    __m128d uv = _mm_sub_pd(PairToPd(u[i >> 1], u[(i + 1) >> 1]),
+                            _mm_set1_pd(128.0));
+    __m128d vv = _mm_sub_pd(PairToPd(v[i >> 1], v[(i + 1) >> 1]),
+                            _mm_set1_pd(128.0));
+    // y + (1.402 v)
+    __m128d r = _mm_add_pd(yv, _mm_mul_pd(_mm_set1_pd(1.402), vv));
+    // (y - (0.344136 u)) - (0.714136 v)
+    __m128d g = _mm_sub_pd(_mm_sub_pd(yv, _mm_mul_pd(_mm_set1_pd(0.344136), uv)),
+                           _mm_mul_pd(_mm_set1_pd(0.714136), vv));
+    // y + (1.772 u)
+    __m128d b = _mm_add_pd(yv, _mm_mul_pd(_mm_set1_pd(1.772), uv));
+    __m128i ri = _mm_cvttpd_epi32(ClampBytePd(r));
+    __m128i gi = _mm_cvttpd_epi32(ClampBytePd(g));
+    __m128i bi = _mm_cvttpd_epi32(ClampBytePd(b));
+    uint8_t* p = rgb + 3 * static_cast<size_t>(i);
+    p[0] = static_cast<uint8_t>(_mm_cvtsi128_si32(ri));
+    p[1] = static_cast<uint8_t>(_mm_cvtsi128_si32(gi));
+    p[2] = static_cast<uint8_t>(_mm_cvtsi128_si32(bi));
+    p[3] = static_cast<uint8_t>(_mm_cvtsi128_si32(
+        _mm_shuffle_epi32(ri, _MM_SHUFFLE(1, 1, 1, 1))));
+    p[4] = static_cast<uint8_t>(_mm_cvtsi128_si32(
+        _mm_shuffle_epi32(gi, _MM_SHUFFLE(1, 1, 1, 1))));
+    p[5] = static_cast<uint8_t>(_mm_cvtsi128_si32(
+        _mm_shuffle_epi32(bi, _MM_SHUFFLE(1, 1, 1, 1))));
+  }
+  for (; i < n; ++i) {
+    uint8_t* p = rgb + 3 * static_cast<size_t>(i);
+    YuvToRgbPixel(y[i], u[i >> 1], v[i >> 1], p, p + 1, p + 2);
+  }
+}
+
+void Sse2MaskStaticRow(const uint8_t* pv, const uint8_t* pb, double epsilon,
+                       int n, uint8_t* mask) {
+  const __m128d eps = _mm_set1_pd(epsilon);
+  const __m128d zero = _mm_setzero_pd();
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d v = PairToPd(pv[i], pv[i + 1]);
+    __m128d b = PairToPd(pb[i], pb[i + 1]);
+    // |(pv - pb) / pv| < eps; pv == 0 divides to +-inf or NaN, and both
+    // compare false — exactly the scalar branch's "non-static unless pb is
+    // also 0", which the second term supplies.
+    __m128d moving = _mm_cmplt_pd(AbsPd(_mm_div_pd(_mm_sub_pd(v, b), v)), eps);
+    __m128d both_zero =
+        _mm_and_pd(_mm_cmpeq_pd(v, zero), _mm_cmpeq_pd(b, zero));
+    int bits = _mm_movemask_pd(_mm_or_pd(moving, both_zero));
+    mask[i] = static_cast<uint8_t>(bits & 1);
+    mask[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+  }
+  for (; i < n; ++i) mask[i] = MaskStaticPixel(pv[i], pb[i], epsilon);
+}
+
+void Sse2AccumulateRow(const uint8_t* src, int n, int sign, uint32_t* acc) {
+  const __m128i zero = _mm_setzero_si128();
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i bytes = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i lo16 = _mm_unpacklo_epi8(bytes, zero);
+    __m128i hi16 = _mm_unpackhi_epi8(bytes, zero);
+    __m128i w0 = _mm_unpacklo_epi16(lo16, zero);
+    __m128i w1 = _mm_unpackhi_epi16(lo16, zero);
+    __m128i w2 = _mm_unpacklo_epi16(hi16, zero);
+    __m128i w3 = _mm_unpackhi_epi16(hi16, zero);
+    __m128i* out = reinterpret_cast<__m128i*>(acc + i);
+    if (sign >= 0) {
+      _mm_storeu_si128(out, _mm_add_epi32(_mm_loadu_si128(out), w0));
+      _mm_storeu_si128(out + 1, _mm_add_epi32(_mm_loadu_si128(out + 1), w1));
+      _mm_storeu_si128(out + 2, _mm_add_epi32(_mm_loadu_si128(out + 2), w2));
+      _mm_storeu_si128(out + 3, _mm_add_epi32(_mm_loadu_si128(out + 3), w3));
+    } else {
+      _mm_storeu_si128(out, _mm_sub_epi32(_mm_loadu_si128(out), w0));
+      _mm_storeu_si128(out + 1, _mm_sub_epi32(_mm_loadu_si128(out + 1), w1));
+      _mm_storeu_si128(out + 2, _mm_sub_epi32(_mm_loadu_si128(out + 2), w2));
+      _mm_storeu_si128(out + 3, _mm_sub_epi32(_mm_loadu_si128(out + 3), w3));
+    }
+  }
+  ScalarAccumulateRow(src + i, n - i, sign, acc + i);
+}
+
+void Sse2RasterSpan(const SpanSetup& s, double py, int x0, int n,
+                    uint8_t* valid, float* depth, double* u, double* v) {
+  const __m128d pyv = _mm_set1_pd(py);
+  const __m128d inv_area = _mm_set1_pd(s.inv_area);
+  const __m128d one = _mm_set1_pd(1.0);
+  const __m128d zero = _mm_setzero_pd();
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d px = _mm_set_pd(static_cast<double>(x0 + i + 1) + 0.5,
+                            static_cast<double>(x0 + i) + 0.5);
+    // w0 = ((s1x - px)(s2y - py) - (s2x - px)(s1y - py)) * inv_area
+    __m128d w0 = _mm_mul_pd(
+        _mm_sub_pd(_mm_mul_pd(_mm_sub_pd(_mm_set1_pd(s.s1x), px),
+                              _mm_sub_pd(_mm_set1_pd(s.s2y), pyv)),
+                   _mm_mul_pd(_mm_sub_pd(_mm_set1_pd(s.s2x), px),
+                              _mm_sub_pd(_mm_set1_pd(s.s1y), pyv))),
+        inv_area);
+    __m128d w1 = _mm_mul_pd(
+        _mm_sub_pd(_mm_mul_pd(_mm_sub_pd(_mm_set1_pd(s.s2x), px),
+                              _mm_sub_pd(_mm_set1_pd(s.s0y), pyv)),
+                   _mm_mul_pd(_mm_sub_pd(_mm_set1_pd(s.s0x), px),
+                              _mm_sub_pd(_mm_set1_pd(s.s2y), pyv))),
+        inv_area);
+    __m128d w2 = _mm_sub_pd(_mm_sub_pd(one, w0), w1);
+    __m128d outside = _mm_or_pd(_mm_or_pd(_mm_cmplt_pd(w0, zero),
+                                          _mm_cmplt_pd(w1, zero)),
+                                _mm_cmplt_pd(w2, zero));
+    // inv_z = ((w0 z0) + (w1 z1)) + (w2 z2)
+    __m128d inv_z = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(w0, _mm_set1_pd(s.z0)),
+                   _mm_mul_pd(w1, _mm_set1_pd(s.z1))),
+        _mm_mul_pd(w2, _mm_set1_pd(s.z2)));
+    __m128d behind = _mm_cmple_pd(inv_z, zero);
+    int reject = _mm_movemask_pd(_mm_or_pd(outside, behind));
+    valid[i] = static_cast<uint8_t>(~reject & 1);
+    valid[i + 1] = static_cast<uint8_t>((~reject >> 1) & 1);
+    __m128 depth_ps = _mm_cvtpd_ps(_mm_div_pd(one, inv_z));
+    _mm_storel_pi(reinterpret_cast<__m64*>(depth + i), depth_ps);
+    __m128d uz = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(w0, _mm_set1_pd(s.u0)),
+                   _mm_mul_pd(w1, _mm_set1_pd(s.u1))),
+        _mm_mul_pd(w2, _mm_set1_pd(s.u2)));
+    __m128d vz = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(w0, _mm_set1_pd(s.v0)),
+                   _mm_mul_pd(w1, _mm_set1_pd(s.v1))),
+        _mm_mul_pd(w2, _mm_set1_pd(s.v2)));
+    _mm_storeu_pd(u + i, _mm_div_pd(uz, inv_z));
+    _mm_storeu_pd(v + i, _mm_div_pd(vz, inv_z));
+  }
+  for (; i < n; ++i) {
+    double px = (x0 + i) + 0.5;
+    valid[i] = RasterPixel(s, px, py, depth + i, u + i, v + i) ? 1 : 0;
+  }
+}
+
+}  // namespace visualroad::video::kernels::internal
+
+#else  // !defined(__SSE2__): forward the whole level to scalar.
+
+namespace visualroad::video::kernels::internal {
+
+int64_t Sse2SadBounded(const uint8_t* cur, int cur_stride, const uint8_t* ref,
+                       int ref_stride, int size, int64_t bound) {
+  return ScalarSadBounded(cur, cur_stride, ref, ref_stride, size, bound);
+}
+void Sse2ForwardDct(const int16_t* input, double* output) {
+  ScalarForwardDct(input, output);
+}
+void Sse2InverseDct(const double* input, int16_t* output) {
+  ScalarInverseDct(input, output);
+}
+void Sse2Quantize(const double* coefficients, double step, int16_t* levels) {
+  ScalarQuantize(coefficients, step, levels);
+}
+void Sse2Dequantize(const int16_t* levels, double step, double* coefficients) {
+  ScalarDequantize(levels, step, coefficients);
+}
+void Sse2RgbToYuvRow(const uint8_t* rgb, int n, uint8_t* y, uint8_t* u,
+                     uint8_t* v) {
+  ScalarRgbToYuvRow(rgb, n, y, u, v);
+}
+void Sse2YuvToRgbRow(const uint8_t* y, const uint8_t* u, const uint8_t* v,
+                     int n, uint8_t* rgb) {
+  ScalarYuvToRgbRow(y, u, v, n, rgb);
+}
+void Sse2MaskStaticRow(const uint8_t* pv, const uint8_t* pb, double epsilon,
+                       int n, uint8_t* mask) {
+  ScalarMaskStaticRow(pv, pb, epsilon, n, mask);
+}
+void Sse2AccumulateRow(const uint8_t* src, int n, int sign, uint32_t* acc) {
+  ScalarAccumulateRow(src, n, sign, acc);
+}
+void Sse2RasterSpan(const SpanSetup& s, double py, int x0, int n,
+                    uint8_t* valid, float* depth, double* u, double* v) {
+  ScalarRasterSpan(s, py, x0, n, valid, depth, u, v);
+}
+
+}  // namespace visualroad::video::kernels::internal
+
+#endif  // __SSE2__

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "video/image_ops.h"
+#include "video/kernels/kernels.h"
 
 namespace visualroad::vision {
 
@@ -45,17 +46,17 @@ StatusOr<video::Video> MaskBackgroundRunning(const video::Video& input, int m,
   std::vector<uint32_t> u_sum(input.frames[0].u_plane().size(), 0);
   std::vector<uint32_t> v_sum(input.frames[0].v_plane().size(), 0);
 
+  // Signed adds on uint32 accumulators wrap exactly like the previous
+  // int64-then-truncate formulation, so the vector kernel is bit-exact.
+  const video::kernels::KernelTable& kt = video::kernels::Kernels();
   auto add = [&](const video::Frame& f, int sign) {
-    const auto& y = f.y_plane();
-    for (size_t i = 0; i < y.size(); ++i) {
-      y_sum[i] = static_cast<uint32_t>(static_cast<int64_t>(y_sum[i]) + sign * y[i]);
-    }
-    const auto& u = f.u_plane();
-    const auto& v = f.v_plane();
-    for (size_t i = 0; i < u.size(); ++i) {
-      u_sum[i] = static_cast<uint32_t>(static_cast<int64_t>(u_sum[i]) + sign * u[i]);
-      v_sum[i] = static_cast<uint32_t>(static_cast<int64_t>(v_sum[i]) + sign * v[i]);
-    }
+    kt.accumulate_row(f.y_plane().data(), static_cast<int>(f.y_plane().size()),
+                      sign, y_sum.data());
+    kt.accumulate_row(f.u_plane().data(), static_cast<int>(f.u_plane().size()),
+                      sign, u_sum.data());
+    kt.accumulate_row(f.v_plane().data(), static_cast<int>(f.v_plane().size()),
+                      sign, v_sum.data());
+    video::kernels::CountKernelCalls(video::kernels::Kernel::kAccumulateRow, 3);
   };
 
   // Prime the first window [0, min(m, n)).
