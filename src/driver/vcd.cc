@@ -172,6 +172,13 @@ StatusOr<QueryBatchResult> VisualCityDriver::RunQueryBatch(systems::Vdbms& engin
     return result;
   }
 
+  // Plan capture happens before the measured window: planning is
+  // side-effect free, and the explain string must describe what the window
+  // is about to do, not what it did.
+  if (options_.explain && !batch.empty()) {
+    result.plan_explain = engine.Explain(batch.front(), *dataset_);
+  }
+
   // Per-instance outcome slots, aggregated in index order after the measured
   // window so parallel execution reports exactly what serial execution
   // would.

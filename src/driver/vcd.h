@@ -70,6 +70,17 @@ struct VcdOptions {
   /// injector. The per-batch retry and degraded-frame accounting in
   /// QueryBatchResult is populated whenever this is set.
   fault::FaultInjector* faults = nullptr;
+  /// Capture each batch's execution plan (`vcd --explain`): before the
+  /// measured window, the engine explains the batch's first instance and
+  /// the string lands in QueryBatchResult::plan_explain. Planning is
+  /// side-effect free (the cache probe is a Peek), so explain never
+  /// changes what the measured window does.
+  bool explain = false;
+  /// Semantic result store handed to engines via
+  /// EngineOptions::semantic_cache (borrowed; null = semantic caching
+  /// off). The driver itself only persists/loads it around runs; the
+  /// engines decide per query what to materialize.
+  queries::SemanticCache* semantic_cache = nullptr;
 };
 
 /// Measured outcome of one query batch on one engine.
@@ -123,6 +134,9 @@ struct QueryBatchResult {
   /// Retry attempts (across every RetryPolicy site) during the measured
   /// window, attributed per instance the same way. Zero on a fault-free run.
   int64_t retries = 0;
+  /// The engine's plan for this batch's first instance (VcdOptions::explain;
+  /// empty otherwise, or when the engine does not plan).
+  std::string plan_explain;
 
   bool Supported() const { return unsupported < instances; }
 };

@@ -52,6 +52,14 @@ void PrintUsage(const char* argv0) {
       "  --storage DIR     Stage inputs into a tiered storage service rooted\n"
       "                    at DIR and read them back through it (DESIGN.md\n"
       "                    Section 10) instead of from memory\n"
+      "  --semcache        Materialize inference results in the semantic\n"
+      "                    result store (DESIGN.md Section 14): repeated\n"
+      "                    detection queries are answered from cache instead\n"
+      "                    of re-running decode+CNN. With --storage, cached\n"
+      "                    entries persist through the store across runs\n"
+      "  --explain         Print each batch's execution plan before running\n"
+      "                    it: pushdown window, semantic-cache temperature,\n"
+      "                    and measured-selectivity stage order\n"
       "  --faults NAME     Deterministic fault injection profile (none |\n"
       "                    flaky | lossy | degraded; DESIGN.md Section 11).\n"
       "                    Implies online execution at an accelerated rate\n"
@@ -160,6 +168,8 @@ int Run(int argc, char** argv) {
   std::string metrics_path;
   std::string storage_dir;
   std::string faults_name;
+  bool semcache = false;
+  bool explain = false;
   bool serve = false;
   ServingRunOptions serving;
   serving.traffic.tenants = 4;
@@ -221,6 +231,10 @@ int Run(int argc, char** argv) {
     } else if (arg == "--faults") {
       if (!(value = next_value(i, "--faults"))) return 2;
       faults_name = value;
+    } else if (arg == "--semcache") {
+      semcache = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--serve") {
       serve = true;
     } else if (arg == "--tenants") {
@@ -331,8 +345,31 @@ int Run(int argc, char** argv) {
     vcd_options.storage = vss.get();
   }
 
+  // Semantic result store: materialized inference outputs shared across
+  // every query this process runs. With storage configured the store doubles
+  // as the persistence substrate, so a later run starts warm.
+  std::unique_ptr<queries::SemanticCache> semantic_cache;
+  if (semcache) {
+    queries::SemanticCacheOptions semcache_options;
+    semcache_options.store = store.get();
+    semantic_cache = std::make_unique<queries::SemanticCache>(semcache_options);
+    if (store != nullptr) {
+      Status loaded = semantic_cache->LoadPersisted();
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "warning: semantic cache load failed: %s\n",
+                     loaded.ToString().c_str());
+      } else if (semantic_cache->stats().loaded > 0) {
+        std::printf("Semantic cache: recovered %lld persisted entries\n",
+                    static_cast<long long>(semantic_cache->stats().loaded));
+      }
+    }
+  }
+  vcd_options.semantic_cache = semantic_cache.get();
+  vcd_options.explain = explain;
+
   systems::EngineOptions engine_options;
   engine_options.vss = vss.get();
+  engine_options.semantic_cache = semantic_cache.get();
   std::unique_ptr<systems::Vdbms> engine;
   if (engine_name == "batch") {
     engine = systems::MakeBatchEngine(engine_options);
@@ -407,9 +444,23 @@ int Run(int argc, char** argv) {
                    result.status().ToString().c_str());
       return 1;
     }
+    if (!result->plan_explain.empty()) {
+      std::printf("  plan: %s\n", result->plan_explain.c_str());
+    }
     results.push_back(std::move(*result));
   }
   engine->Quiesce();
+  if (semantic_cache != nullptr && store != nullptr) {
+    Status persisted = semantic_cache->Persist();
+    if (!persisted.ok()) {
+      std::fprintf(stderr, "warning: semantic cache persist failed: %s\n",
+                   persisted.ToString().c_str());
+    } else {
+      std::printf("Semantic cache: persisted %lld entries to %s\n",
+                  static_cast<long long>(semantic_cache->stats().entries),
+                  storage_dir.c_str());
+    }
+  }
 
   std::printf("\n%s\n", FormatBenchmarkReport(results).c_str());
   for (const QueryBatchResult& result : results) {

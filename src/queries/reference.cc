@@ -79,6 +79,27 @@ StatusOr<ReferenceResult> BoxesQuery(const Video& input,
   return result;
 }
 
+ReferenceResult RenderBoxesFromDetections(
+    int width, int height, double fps,
+    const std::vector<std::vector<vision::Detection>>& unfiltered,
+    sim::ObjectClass object_class) {
+  ReferenceResult result;
+  result.video.fps = fps;
+  result.video.frames.reserve(unfiltered.size());
+  result.detections.reserve(unfiltered.size());
+  for (const std::vector<vision::Detection>& frame : unfiltered) {
+    std::vector<vision::Detection> kept;
+    kept.reserve(frame.size());
+    for (const vision::Detection& d : frame) {
+      if (d.object_class == object_class) kept.push_back(d);
+    }
+    result.video.frames.push_back(
+        vision::RenderDetectionFrame(width, height, kept));
+    result.detections.push_back(std::move(kept));
+  }
+  return result;
+}
+
 StatusOr<Video> UnionBoxesQuery(const Video& input, const Video& boxes) {
   // The box video may arrive through a codec (the VCD's encoded variant),
   // which perturbs the omega sentinel by a few code levels; the coalesce

@@ -59,6 +59,17 @@ StatusOr<ReferenceResult> BoxesQuery(const video::Video& input,
                                      const vision::MiniYolo& detector,
                                      int first_frame_index = 0);
 
+/// Builds a Q2(c)-style box result (class-filtered detections plus rendered
+/// box frames) from per-frame detections that are still unfiltered by object
+/// class. Touches no input pixels: only stream geometry is needed, which is
+/// what lets a warm semantic cache answer Q2(c) with zero decoder
+/// invocations. Engines use this for their cold path too, so cached and
+/// uncached results are byte-identical by construction.
+ReferenceResult RenderBoxesFromDetections(
+    int width, int height, double fps,
+    const std::vector<std::vector<vision::Detection>>& unfiltered,
+    sim::ObjectClass object_class);
+
 /// Q6(a): omega-coalesce overlay of a box video onto the input.
 StatusOr<video::Video> UnionBoxesQuery(const video::Video& input,
                                        const video::Video& boxes);

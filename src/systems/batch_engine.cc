@@ -49,6 +49,7 @@ class BatchEngine : public Vdbms {
     detector_options_ = options.detector;
     detector_options_.input_size = 224;  // The heavyweight framework path.
     detector_ = std::make_unique<vision::MiniYolo>(detector_options_);
+    model_fingerprint_ = queries::ModelFingerprint(detector_options_, "miniyolo");
   }
 
   const char* name() const override { return "BatchEngine"; }
@@ -78,6 +79,28 @@ class BatchEngine : public Vdbms {
     stats.chunked_redecodes = chunked_redecodes_.load();
     stats.cnn_frames_full = cnn_frames_full_.load();
     return stats;
+  }
+
+  std::string Explain(const QueryInstance& instance,
+                      const sim::Dataset& dataset) override {
+    StatusOr<const sim::VideoAsset*> asset = detail::InputAsset(instance, dataset);
+    if (!asset.ok()) return "";
+    const video::codec::EncodedVideo& meta = (*asset)->container.video;
+    queries::PlanContext context;
+    context.meta.identity = video::codec::StreamIdentity(meta);
+    context.meta.frame_count = meta.FrameCount();
+    context.meta.width = meta.width;
+    context.meta.height = meta.height;
+    context.meta.fps = meta.fps;
+    // Eager materialisation: this engine never trims the decode window.
+    context.temporal_pushdown = false;
+    context.cache = options_.semantic_cache;
+    context.key = SemanticKeyFor(meta);
+    if (instance.id == QueryId::kQ2c || instance.id == QueryId::kQ7) {
+      context.stages = {"miniyolo224"};
+    }
+    return std::string(name()) + ": " +
+           queries::ExplainPlan(queries::PlanQuery(instance, context));
   }
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
@@ -220,15 +243,14 @@ class BatchEngine : public Vdbms {
     return output;
   }
 
-  /// Stage running the detector over every frame (detections + box video).
-  StatusOr<queries::ReferenceResult> DetectStage(
+  /// Stage running the detector over every frame. Produces detections still
+  /// unfiltered by object class — the representation the semantic cache
+  /// stores, shared by Q2(c) and Q7 across classes.
+  StatusOr<std::vector<std::vector<vision::Detection>>> DetectStage(
       const Video& input, const std::vector<sim::FrameGroundTruth>& truth,
-      sim::ObjectClass object_class, CallCounters& call) {
+      CallCounters& call) {
     TRACE_SPAN("detect_stage");
-    queries::ReferenceResult result;
-    result.video.fps = input.fps;
-    result.video.frames.resize(input.frames.size());
-    result.detections.resize(input.frames.size());
+    std::vector<std::vector<vision::Detection>> detections(input.frames.size());
     static const sim::FrameGroundTruth kEmpty;
     VR_RETURN_IF_ERROR(pool_.ParallelForStatus(
         static_cast<int>(input.frames.size()),
@@ -236,25 +258,75 @@ class BatchEngine : public Vdbms {
           const sim::FrameGroundTruth& gt =
               static_cast<size_t>(i) < truth.size() ? truth[static_cast<size_t>(i)]
                                                     : kEmpty;
-          std::vector<vision::Detection> detections =
+          detections[static_cast<size_t>(i)] =
               detector_->Detect(input.frames[static_cast<size_t>(i)], gt, i);
-          detections.erase(
-              std::remove_if(detections.begin(), detections.end(),
-                             [object_class](const vision::Detection& d) {
-                               return d.object_class != object_class;
-                             }),
-              detections.end());
-          result.video.frames[static_cast<size_t>(i)] =
-              vision::RenderDetectionFrame(input.Width(), input.Height(),
-                                           detections);
-          result.detections[static_cast<size_t>(i)] = std::move(detections);
           return Status::Ok();
         },
         /*grain=*/1));
     call.cnn_frames_full += input.FrameCount();
     retained_bytes_ += static_cast<int64_t>(input.FrameCount()) *
                        detail::FrameBytes(input.Width(), input.Height());
-    return result;
+    return detections;
+  }
+
+  queries::SemanticKey SemanticKeyFor(
+      const video::codec::EncodedVideo& encoded) const {
+    queries::SemanticKey key;
+    key.stream = video::codec::StreamIdentity(encoded);
+    key.model = model_fingerprint_;
+    key.threshold = 0.0;  // Raw detector output is what gets materialized.
+    return key;
+  }
+
+  /// Whole-stream unfiltered detections plus render geometry, resolved
+  /// through the semantic cache when one is configured. With a warm cache
+  /// no input table is materialised (and for Q2(c) nothing is decoded at
+  /// all); `materialized` is the input table the caller already holds, so
+  /// a query that materialises anyway (Q7) feeds the compute path directly.
+  struct DetectionSet {
+    int width = 0;
+    int height = 0;
+    double fps = 0.0;
+    std::vector<std::vector<vision::Detection>> detections;
+  };
+  StatusOr<DetectionSet> StreamDetections(const sim::VideoAsset& asset,
+                                          const Video* materialized,
+                                          CallCounters& call) {
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<const video::codec::EncodedVideo> encoded,
+                        detail::ResolveInput(asset, options_));
+    DetectionSet set;
+    set.width = encoded->width;
+    set.height = encoded->height;
+    set.fps = encoded->fps;
+    auto compute_direct = [&]() -> StatusOr<std::vector<std::vector<vision::Detection>>> {
+      if (materialized != nullptr) {
+        return DetectStage(*materialized, asset.ground_truth, call);
+      }
+      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(asset, call));
+      return DetectStage(input, asset.ground_truth, call);
+    };
+    if (options_.semantic_cache == nullptr) {
+      VR_ASSIGN_OR_RETURN(set.detections, compute_direct());
+      return set;
+    }
+    queries::SemanticKey key = SemanticKeyFor(*encoded);
+    queries::FrameRange range{0, encoded->FrameCount()};
+    VR_ASSIGN_OR_RETURN(
+        std::shared_ptr<const queries::SemanticEntry> entry,
+        options_.semantic_cache->GetOrCompute(
+            key, range, [&]() -> StatusOr<queries::SemanticEntry> {
+              queries::SemanticEntry fresh;
+              fresh.key = key;
+              fresh.range = range;
+              fresh.width = encoded->width;
+              fresh.height = encoded->height;
+              fresh.fps = encoded->fps;
+              VR_ASSIGN_OR_RETURN(fresh.detections, compute_direct());
+              fresh.RecomputeBytes();
+              return fresh;
+            }));
+    set.detections = queries::SemanticCache::Slice(*entry, range);
+    return set;
   }
 
   /// FinishVideoResult with the encoded-frame count folded into the atomic
@@ -272,6 +344,7 @@ class BatchEngine : public Vdbms {
   EngineOptions options_;
   ThreadPool pool_;
   vision::DetectorOptions detector_options_;
+  std::string model_fingerprint_;
   std::unique_ptr<vision::MiniYolo> detector_;
   video::codec::GopCache* gop_cache_;
   video::codec::GopCacheCounters decode_counters_;
@@ -344,10 +417,12 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(c):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
-      VR_ASSIGN_OR_RETURN(
-          queries::ReferenceResult result,
-          DetectStage(input, asset->ground_truth, instance.object_class, call));
+      // With a warm semantic cache the input table is never materialised and
+      // the decoder never runs; the box video renders from cached detections.
+      VR_ASSIGN_OR_RETURN(DetectionSet set,
+                          StreamDetections(*asset, /*materialized=*/nullptr, call));
+      queries::ReferenceResult result = queries::RenderBoxesFromDetections(
+          set.width, set.height, set.fps, set.detections, instance.object_class);
       output.detections = std::move(result.detections);
       VR_RETURN_IF_ERROR(Finish(result.video, instance, mode, output_dir, output, call));
       // vr:Q2(c):end
@@ -506,9 +581,11 @@ StatusOr<QueryOutput> BatchEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
       VR_ASSIGN_OR_RETURN(Video input, MaterializeAll(*asset, call));
-      VR_ASSIGN_OR_RETURN(
-          queries::ReferenceResult boxes,
-          DetectStage(input, asset->ground_truth, instance.object_class, call));
+      // Union/mask are pixel-level stages, so Q7 always materialises the
+      // input; a warm semantic cache still skips the CNN stage.
+      VR_ASSIGN_OR_RETURN(DetectionSet set, StreamDetections(*asset, &input, call));
+      queries::ReferenceResult boxes = queries::RenderBoxesFromDetections(
+          set.width, set.height, set.fps, set.detections, instance.object_class);
       VR_ASSIGN_OR_RETURN(Video merged,
                           queries::UnionBoxesQuery(input, boxes.video));
       VR_RETURN_IF_ERROR(MaybeSpill(merged, call));

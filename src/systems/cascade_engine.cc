@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "common/stopwatch.h"
 #include "common/trace.h"
 #include "systems/vdbms.h"
 #include "video/codec/gop_cache.h"
@@ -42,6 +43,10 @@ class CascadeEngine : public Vdbms {
     vision::DetectorOptions full = options.detector;
     full.input_size = 96;
     full_detector_ = std::make_unique<vision::MiniYolo>(full);
+    // The cascade's output depends on the whole model stack, not just the
+    // anchor network, so the fingerprint carries a stack variant tag: its
+    // entries never answer probes from the single-detector engines.
+    model_fingerprint_ = queries::ModelFingerprint(full, "cascade48+96");
   }
 
   const char* name() const override { return "CascadeEngine"; }
@@ -55,7 +60,10 @@ class CascadeEngine : public Vdbms {
   // atomic, so concurrent Execute() calls are safe.
   bool ConcurrentSafe() const override { return true; }
 
-  void Quiesce() override { gop_cache_->Clear(); }
+  void Quiesce() override {
+    gop_cache_->Clear();
+    tracker_.Clear();
+  }
 
   EngineStats stats() const override {
     EngineStats stats;
@@ -67,6 +75,16 @@ class CascadeEngine : public Vdbms {
     stats.cnn_frames_cheap = cnn_frames_cheap_.load();
     stats.cnn_frames_skipped = cnn_frames_skipped_.load();
     return stats;
+  }
+
+  std::string Explain(const QueryInstance& instance,
+                      const sim::Dataset& dataset) override {
+    if (!Supports(instance.id)) return "";
+    StatusOr<const sim::VideoAsset*> asset = detail::InputAsset(instance, dataset);
+    if (!asset.ok()) return "";
+    queries::QueryPlan plan =
+        PlanFor(instance, (*asset)->container.video);
+    return std::string(name()) + ": " + queries::ExplainPlan(plan);
   }
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
@@ -135,7 +153,114 @@ class CascadeEngine : public Vdbms {
     return status;
   }
 
+  queries::SemanticKey SemanticKeyFor(
+      const video::codec::EncodedVideo& encoded) const {
+    queries::SemanticKey key;
+    key.stream = video::codec::StreamIdentity(encoded);
+    key.model = model_fingerprint_;
+    key.threshold = 0.0;  // Raw cascade output is what gets materialized.
+    return key;
+  }
+
+  /// The cascade's plan: semantic-cache temperature plus the measured
+  /// selectivity/cost of the three stages. The planner may disable a
+  /// prefilter whose observed selectivity cannot pay for itself — e.g. the
+  /// difference detector on busy streets where no frame ever repeats, or
+  /// the cheap model when nearly every frame escalates anyway.
+  queries::QueryPlan PlanFor(const QueryInstance& instance,
+                             const video::codec::EncodedVideo& meta) const {
+    queries::PlanContext context;
+    context.meta.identity = video::codec::StreamIdentity(meta);
+    context.meta.frame_count = meta.FrameCount();
+    context.meta.width = meta.width;
+    context.meta.height = meta.height;
+    context.meta.fps = meta.fps;
+    context.cache = options_.semantic_cache;
+    context.key = SemanticKeyFor(meta);
+    context.tracker = &tracker_;
+    if (instance.id == QueryId::kQ2c) {
+      context.stages = {"cascade.diff", "cascade.cheap", "cascade.full"};
+    }
+    return queries::PlanQuery(instance, context);
+  }
+
+  /// The model cascade over a decoded input, producing per-frame detections
+  /// unfiltered by object class. Each stage's attempts, resolutions, and
+  /// wall time feed the selectivity tracker, which is what the planner's
+  /// stage ordering/disabling decisions are measured against.
+  std::vector<std::vector<vision::Detection>> CascadeDetect(
+      const Video& input, const std::vector<sim::FrameGroundTruth>& truth,
+      bool diff_enabled, bool cheap_enabled, CallCounters& call) {
+    std::vector<std::vector<vision::Detection>> result;
+    result.reserve(input.frames.size());
+    std::vector<vision::Detection> last_detections;
+    const Frame* last_processed = nullptr;
+    static const sim::FrameGroundTruth kEmpty;
+    int64_t diff_attempts = 0, diff_resolved = 0;
+    int64_t cheap_attempts = 0, cheap_resolved = 0;
+    int64_t full_attempts = 0;
+    double diff_seconds = 0.0, cheap_seconds = 0.0, full_seconds = 0.0;
+
+    trace::Span detect_span("cascade_detect");
+    for (int f = 0; f < input.FrameCount(); ++f) {
+      const Frame& frame = input.frames[static_cast<size_t>(f)];
+      const sim::FrameGroundTruth& gt =
+          static_cast<size_t>(f) < truth.size() ? truth[static_cast<size_t>(f)]
+                                                : kEmpty;
+
+      // Stage 1: difference detector. A frame close to the last processed
+      // one reuses its detections outright.
+      bool reuse = false;
+      if (diff_enabled && last_processed != nullptr) {
+        Stopwatch diff_watch;
+        StatusOr<double> mse = video::LumaMse(frame, *last_processed);
+        diff_seconds += diff_watch.ElapsedSeconds();
+        ++diff_attempts;
+        reuse = mse.ok() && *mse < 2.0;
+      }
+      std::vector<vision::Detection> detections;
+      if (reuse) {
+        ++diff_resolved;
+        detections = last_detections;
+        ++call.cnn_frames_skipped;
+      } else {
+        // Stage 2: the cheap model. Ambiguous confidence escalates to the
+        // full model (stage 3); with the cheap stage planned out, every
+        // frame goes straight to the full model.
+        bool ambiguous = !cheap_enabled;
+        if (cheap_enabled) {
+          Stopwatch cheap_watch;
+          detections = cheap_detector_->Detect(frame, gt, f);
+          cheap_seconds += cheap_watch.ElapsedSeconds();
+          ++cheap_attempts;
+          ++call.cnn_frames_cheap;
+          for (const vision::Detection& d : detections) {
+            if (d.score > 0.35 && d.score < 0.75) ambiguous = true;
+          }
+          if (!ambiguous) ++cheap_resolved;
+        }
+        if (ambiguous) {
+          Stopwatch full_watch;
+          detections = full_detector_->Detect(frame, gt, f);
+          full_seconds += full_watch.ElapsedSeconds();
+          ++full_attempts;
+          ++call.cnn_frames_full;
+        }
+        last_processed = &frame;
+        last_detections = detections;
+      }
+      result.push_back(std::move(detections));
+    }
+    tracker_.Record("cascade.diff", diff_attempts, diff_resolved, diff_seconds);
+    tracker_.Record("cascade.cheap", cheap_attempts, cheap_resolved,
+                    cheap_seconds);
+    tracker_.Record("cascade.full", full_attempts, full_attempts, full_seconds);
+    return result;
+  }
+
   EngineOptions options_;
+  std::string model_fingerprint_;
+  queries::SelectivityTracker tracker_;
   std::unique_ptr<vision::MiniYolo> cheap_detector_;
   std::unique_ptr<vision::MiniYolo> full_detector_;
   video::codec::GopCache* gop_cache_;
@@ -191,65 +316,55 @@ StatusOr<QueryOutput> CascadeEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(
           std::shared_ptr<const video::codec::EncodedVideo> encoded,
           detail::ResolveInput(*asset, options_));
-      VR_ASSIGN_OR_RETURN(Video input,
-                          video::codec::CachedDecode(*encoded, *gop_cache_,
-                                                     &call.decode));
 
-      Video boxes;
-      boxes.fps = input.fps;
-      std::vector<vision::Detection> last_detections;
-      const Frame* last_processed = nullptr;
-      static const sim::FrameGroundTruth kEmpty;
-
-      auto detect_span =
-          std::make_unique<trace::Span>("cascade_detect");
-      for (int f = 0; f < input.FrameCount(); ++f) {
-        const Frame& frame = input.frames[static_cast<size_t>(f)];
-        const sim::FrameGroundTruth& gt =
-            static_cast<size_t>(f) < asset->ground_truth.size()
-                ? asset->ground_truth[static_cast<size_t>(f)]
-                : kEmpty;
-
-        // Stage 1: difference detector. A frame close to the last processed
-        // one reuses its detections outright.
-        bool reuse = false;
-        if (last_processed != nullptr) {
-          StatusOr<double> mse = video::LumaMse(frame, *last_processed);
-          reuse = mse.ok() && *mse < 2.0;
-        }
-        std::vector<vision::Detection> detections;
-        if (reuse) {
-          detections = last_detections;
-          ++call.cnn_frames_skipped;
-        } else {
-          // Stage 2: the cheap model.
-          detections = cheap_detector_->Detect(frame, gt, f);
-          ++call.cnn_frames_cheap;
-          // Stage 3: ambiguous confidence escalates to the full model.
-          bool ambiguous = false;
-          for (const vision::Detection& d : detections) {
-            if (d.score > 0.35 && d.score < 0.75) ambiguous = true;
-          }
-          if (ambiguous) {
-            detections = full_detector_->Detect(frame, gt, f);
-            ++call.cnn_frames_full;
-          }
-          last_processed = &frame;
-          last_detections = detections;
-        }
-
-        detections.erase(
-            std::remove_if(detections.begin(), detections.end(),
-                           [&](const vision::Detection& d) {
-                             return d.object_class != instance.object_class;
-                           }),
-            detections.end());
-        boxes.frames.push_back(vision::RenderDetectionFrame(
-            input.Width(), input.Height(), detections));
-        output.detections.push_back(std::move(detections));
+      // Plan the cascade: semantic-cache temperature decides whether any
+      // decoding happens at all, and measured stage selectivities decide
+      // which prefilters are worth running.
+      queries::QueryPlan plan = PlanFor(instance, *encoded);
+      bool diff_enabled = true;
+      bool cheap_enabled = true;
+      for (const queries::PlanStage& stage : plan.stages) {
+        if (stage.name == "cascade.diff") diff_enabled = stage.enabled;
+        if (stage.name == "cascade.cheap") cheap_enabled = stage.enabled;
       }
-      detect_span.reset();  // Close the span before the encode stage.
-      VR_RETURN_IF_ERROR(Finish(boxes, instance, mode, output_dir, output, call));
+
+      queries::FrameRange range{0, encoded->FrameCount()};
+      std::vector<std::vector<vision::Detection>> detections;
+      auto compute_direct =
+          [&]() -> StatusOr<std::vector<std::vector<vision::Detection>>> {
+        VR_ASSIGN_OR_RETURN(Video input,
+                            video::codec::CachedDecode(*encoded, *gop_cache_,
+                                                       &call.decode));
+        return CascadeDetect(input, asset->ground_truth, diff_enabled,
+                             cheap_enabled, call);
+      };
+      if (options_.semantic_cache != nullptr) {
+        queries::SemanticKey key = SemanticKeyFor(*encoded);
+        VR_ASSIGN_OR_RETURN(
+            std::shared_ptr<const queries::SemanticEntry> entry,
+            options_.semantic_cache->GetOrCompute(
+                key, range, [&]() -> StatusOr<queries::SemanticEntry> {
+                  queries::SemanticEntry fresh;
+                  fresh.key = key;
+                  fresh.range = range;
+                  fresh.width = encoded->width;
+                  fresh.height = encoded->height;
+                  fresh.fps = encoded->fps;
+                  VR_ASSIGN_OR_RETURN(fresh.detections, compute_direct());
+                  fresh.RecomputeBytes();
+                  return fresh;
+                }));
+        detections = queries::SemanticCache::Slice(*entry, range);
+      } else {
+        VR_ASSIGN_OR_RETURN(detections, compute_direct());
+      }
+
+      queries::ReferenceResult result = queries::RenderBoxesFromDetections(
+          encoded->width, encoded->height, encoded->fps, detections,
+          instance.object_class);
+      output.detections = std::move(result.detections);
+      VR_RETURN_IF_ERROR(
+          Finish(result.video, instance, mode, output_dir, output, call));
       // vr:Q2(c):end
       return output;
     }

@@ -50,6 +50,7 @@ class PipelineEngine : public Vdbms {
     detector_options_ = options.detector;
     detector_options_.input_size = 96;  // The fused fast path.
     detector_ = std::make_unique<vision::MiniYolo>(detector_options_);
+    model_fingerprint_ = queries::ModelFingerprint(detector_options_, "miniyolo");
   }
 
   const char* name() const override { return "PipelineEngine"; }
@@ -76,6 +77,26 @@ class PipelineEngine : public Vdbms {
     stats.cache_misses = decode_counters_.misses.load();
     stats.cnn_frames_full = cnn_frames_full_.load();
     return stats;
+  }
+
+  std::string Explain(const QueryInstance& instance,
+                      const sim::Dataset& dataset) override {
+    StatusOr<const sim::VideoAsset*> asset = detail::InputAsset(instance, dataset);
+    if (!asset.ok()) return "";
+    const video::codec::EncodedVideo& meta = (*asset)->container.video;
+    queries::PlanContext context;
+    context.meta.identity = video::codec::StreamIdentity(meta);
+    context.meta.frame_count = meta.FrameCount();
+    context.meta.width = meta.width;
+    context.meta.height = meta.height;
+    context.meta.fps = meta.fps;
+    context.cache = options_.semantic_cache;
+    context.key = SemanticKeyFor(meta);
+    if (instance.id == QueryId::kQ2c || instance.id == QueryId::kQ7) {
+      context.stages = {"miniyolo96"};
+    }
+    return std::string(name()) + ": " +
+           queries::ExplainPlan(queries::PlanQuery(instance, context));
   }
 
   StatusOr<QueryOutput> Execute(const QueryInstance& instance,
@@ -153,12 +174,15 @@ class PipelineEngine : public Vdbms {
   /// distinct inputs — the paper's duplicated-corpus scenario — repeated
   /// frames skip the CNN entirely, which is exactly the "aggressive
   /// caching" advantage Section 2 argues such corpora hand to systems.
-  StatusOr<queries::ReferenceResult> CachedBoxesQuery(
+  /// Returns per-frame detections unfiltered by object class; that is the
+  /// representation the semantic cache stores, so Q2(c) and Q7 over
+  /// different classes share one materialization.
+  std::vector<std::vector<vision::Detection>> DetectUnfiltered(
       const Video& input, const std::vector<sim::FrameGroundTruth>& truth,
-      sim::ObjectClass object_class, CallCounters& call) {
+      CallCounters& call) {
     TRACE_SPAN("cached_boxes");
-    queries::ReferenceResult result;
-    result.video.fps = input.fps;
+    std::vector<std::vector<vision::Detection>> result;
+    result.reserve(input.frames.size());
     static const sim::FrameGroundTruth kEmpty;
     for (int f = 0; f < input.FrameCount(); ++f) {
       const Frame& frame = input.frames[static_cast<size_t>(f)];
@@ -187,16 +211,73 @@ class PipelineEngine : public Vdbms {
           inference_cache_.emplace(key, detections);
         }
       }
-      detections.erase(std::remove_if(detections.begin(), detections.end(),
-                                      [object_class](const vision::Detection& d) {
-                                        return d.object_class != object_class;
-                                      }),
-                       detections.end());
-      result.video.frames.push_back(vision::RenderDetectionFrame(
-          input.Width(), input.Height(), detections));
-      result.detections.push_back(std::move(detections));
+      result.push_back(std::move(detections));
     }
     return result;
+  }
+
+  queries::SemanticKey SemanticKeyFor(
+      const video::codec::EncodedVideo& encoded) const {
+    queries::SemanticKey key;
+    key.stream = video::codec::StreamIdentity(encoded);
+    key.model = model_fingerprint_;
+    key.threshold = 0.0;  // Raw detector output is what gets materialized.
+    return key;
+  }
+
+  /// Whole-stream unfiltered detections plus the geometry needed to render
+  /// them, resolved through the semantic cache when one is configured. A
+  /// warm cache answers without decoding anything; `decoded` (optional) is
+  /// a frame source the caller already holds, used on the compute path so a
+  /// query that decodes anyway (Q7) never decodes twice.
+  struct DetectionSet {
+    int width = 0;
+    int height = 0;
+    double fps = 0.0;
+    std::vector<std::vector<vision::Detection>> detections;
+  };
+  StatusOr<DetectionSet> StreamDetections(const sim::VideoAsset& asset,
+                                          const Video* decoded,
+                                          CallCounters& call) {
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<const video::codec::EncodedVideo> encoded,
+                        detail::ResolveInput(asset, options_));
+    DetectionSet set;
+    set.width = encoded->width;
+    set.height = encoded->height;
+    set.fps = encoded->fps;
+    auto compute_direct = [&]() -> StatusOr<std::vector<std::vector<vision::Detection>>> {
+      if (decoded != nullptr) {
+        return DetectUnfiltered(*decoded, asset.ground_truth, call);
+      }
+      VR_ASSIGN_OR_RETURN(Video input, DecodeCached(*encoded, call));
+      return DetectUnfiltered(input, asset.ground_truth, call);
+    };
+    if (options_.semantic_cache == nullptr) {
+      VR_ASSIGN_OR_RETURN(set.detections, compute_direct());
+      return set;
+    }
+    queries::SemanticKey key = SemanticKeyFor(*encoded);
+    queries::FrameRange range{0, encoded->FrameCount()};
+    queries::SemanticCache::Outcome outcome;
+    VR_ASSIGN_OR_RETURN(
+        std::shared_ptr<const queries::SemanticEntry> entry,
+        options_.semantic_cache->GetOrCompute(
+            key, range,
+            [&]() -> StatusOr<queries::SemanticEntry> {
+              queries::SemanticEntry fresh;
+              fresh.key = key;
+              fresh.range = range;
+              fresh.width = encoded->width;
+              fresh.height = encoded->height;
+              fresh.fps = encoded->fps;
+              VR_ASSIGN_OR_RETURN(fresh.detections, compute_direct());
+              fresh.RecomputeBytes();
+              return fresh;
+            },
+            &outcome));
+    if (outcome == queries::SemanticCache::Outcome::kHit) ++call.inference_hits;
+    set.detections = queries::SemanticCache::Slice(*entry, range);
+    return set;
   }
 
   /// FinishVideoResult with the encoded-frame count folded into the atomic
@@ -229,6 +310,7 @@ class PipelineEngine : public Vdbms {
 
   EngineOptions options_;
   vision::DetectorOptions detector_options_;
+  std::string model_fingerprint_;
   std::unique_ptr<vision::MiniYolo> detector_;
   video::codec::GopCache* gop_cache_;
   video::codec::GopCacheCounters decode_counters_;
@@ -308,11 +390,12 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       // vr:Q2(c):begin
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
-      VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
-      VR_ASSIGN_OR_RETURN(
-          queries::ReferenceResult result,
-          CachedBoxesQuery(input, asset->ground_truth, instance.object_class,
-                           call));
+      // The box video is a pure function of the detections, so with a warm
+      // semantic cache this query never invokes the decoder at all.
+      VR_ASSIGN_OR_RETURN(DetectionSet set,
+                          StreamDetections(*asset, /*decoded=*/nullptr, call));
+      queries::ReferenceResult result = queries::RenderBoxesFromDetections(
+          set.width, set.height, set.fps, set.detections, instance.object_class);
       output.detections = std::move(result.detections);
       VR_RETURN_IF_ERROR(Finish(result.video, instance, mode, output_dir, output, call));
       // vr:Q2(c):end
@@ -438,10 +521,12 @@ StatusOr<QueryOutput> PipelineEngine::ExecuteImpl(const QueryInstance& instance,
       VR_ASSIGN_OR_RETURN(const sim::VideoAsset* asset,
                           detail::InputAsset(instance, dataset));
       VR_ASSIGN_OR_RETURN(Video input, DecodeInput(*asset, call));
-      VR_ASSIGN_OR_RETURN(
-          queries::ReferenceResult boxes,
-          CachedBoxesQuery(input, asset->ground_truth, instance.object_class,
-                           call));
+      // The union/mask stages are pixel-level, so Q7 always decodes; a warm
+      // semantic cache still skips the CNN (the dominant cost).
+      VR_ASSIGN_OR_RETURN(DetectionSet set,
+                          StreamDetections(*asset, &input, call));
+      queries::ReferenceResult boxes = queries::RenderBoxesFromDetections(
+          set.width, set.height, set.fps, set.detections, instance.object_class);
       VR_ASSIGN_OR_RETURN(Video merged,
                           queries::UnionBoxesQuery(input, boxes.video));
       VR_ASSIGN_OR_RETURN(Video masked,

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "queries/plan.h"
 #include "queries/reference.h"
+#include "queries/semantic_cache.h"
 
 namespace visualroad::video::codec {
 class GopCache;
@@ -67,6 +69,13 @@ struct EngineOptions {
   /// the ingested bitstream byte-for-byte, so query results are identical
   /// either way. Borrowed; must outlive the engine.
   storage::VideoStorageService* vss = nullptr;
+  /// Semantic result store for materialized inference outputs. Null turns
+  /// semantic caching off entirely: engines run every query from scratch and
+  /// results are byte-identical to the caching path by construction (both
+  /// render from the same unfiltered detections). Borrowed; engines under
+  /// one server share a single cache, which is what enables cross-tenant
+  /// reuse. Tests inject private instances.
+  queries::SemanticCache* semantic_cache = nullptr;
 };
 
 /// The outcome of one query instance.
@@ -139,6 +148,17 @@ class Vdbms {
                                         const sim::Dataset& dataset, OutputMode mode,
                                         const std::string& output_dir,
                                         EngineStats* call_stats = nullptr) = 0;
+
+  /// Human-readable execution plan for `instance` without executing it
+  /// (`vcd --explain`). Reports predicate pushdown windows, semantic-cache
+  /// temperature, and the measured-selectivity stage order. Engines that do
+  /// not plan return "".
+  virtual std::string Explain(const queries::QueryInstance& instance,
+                              const sim::Dataset& dataset) {
+    (void)instance;
+    (void)dataset;
+    return "";
+  }
 
   /// Drops caches and transient state; the VCD may call this between
   /// batches ("a VDBMS may optionally quiesce or restart upon completing a

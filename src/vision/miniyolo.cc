@@ -128,9 +128,16 @@ std::vector<Detection> MiniYolo::Detect(const video::Frame& frame,
     detections.push_back(det);
   }
 
-  // False positives.
+  // False positives. Rates above one draw that many per frame (integer part
+  // guaranteed, fractional part Bernoulli), so high-clutter configurations —
+  // the regime where a cascade's cheap model stops being selective — are
+  // expressible. Rates at or below one keep the original single-draw
+  // behaviour bit for bit.
   Pcg32 fp_rng = SubStream(options_.seed, "det-fp", static_cast<uint64_t>(frame_index));
-  if (fp_rng.NextBool(options_.false_positives_per_frame)) {
+  double fp_rate = options_.false_positives_per_frame;
+  int fp_count = static_cast<int>(fp_rate);
+  if (fp_rng.NextBool(fp_rate - fp_count)) ++fp_count;
+  for (int i = 0; i < fp_count; ++i) {
     Detection fp;
     fp.object_class =
         fp_rng.NextBool(0.5) ? sim::ObjectClass::kVehicle : sim::ObjectClass::kPedestrian;

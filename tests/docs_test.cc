@@ -1,0 +1,144 @@
+// Documentation sync tests (ctest label `docs`). The docs are part of the
+// contract: docs/ARCHITECTURE.md must name every source subsystem, relative
+// markdown links must resolve, and any `--flag` a doc shows next to the
+// `vcd` binary must actually exist in the CLI. These fail the build when
+// code and documentation drift.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace visualroad {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kRoot = fs::path(VISUALROAD_SOURCE_DIR);
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// The markdown files whose content is a maintained contract. Deliberately
+/// excludes working notes (ISSUE.md, CHANGES.md, ROADMAP.md, PAPERS.md,
+/// SNIPPETS.md), which may reference external or planned artefacts.
+std::vector<fs::path> DocFiles() {
+  std::vector<fs::path> files = {kRoot / "README.md", kRoot / "DESIGN.md",
+                                 kRoot / "EXPERIMENTS.md"};
+  for (const auto& entry : fs::directory_iterator(kRoot / "docs")) {
+    if (entry.path().extension() == ".md") files.push_back(entry.path());
+  }
+  return files;
+}
+
+TEST(DocsSyncTest, ArchitectureTableNamesEverySrcSubsystem) {
+  const std::string text = ReadFile(kRoot / "docs" / "ARCHITECTURE.md");
+  std::vector<std::string> missing;
+  for (const auto& entry : fs::directory_iterator(kRoot / "src")) {
+    if (!entry.is_directory()) continue;
+    std::string name = entry.path().filename().string();
+    // The subsystem reference table (and prose) names directories as
+    // `src/<name>/`; a new subsystem must be added there.
+    if (text.find("`src/" + name + "/`") == std::string::npos) {
+      missing.push_back(name);
+    }
+  }
+  std::string joined;
+  for (const std::string& name : missing) joined += name + " ";
+  EXPECT_TRUE(missing.empty())
+      << "src/ subsystems missing from docs/ARCHITECTURE.md: " << joined;
+}
+
+TEST(DocsSyncTest, RelativeMarkdownLinksResolve) {
+  // Matches the target of [text](target). External links, pure anchors,
+  // and mailto links are out of scope; everything else must exist on disk
+  // (anchors within a real file are stripped before the check).
+  const std::regex link_pattern(R"(\]\(([^)\s]+)\))");
+  for (const fs::path& doc : DocFiles()) {
+    const std::string text = ReadFile(doc);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), link_pattern);
+         it != std::sregex_iterator(); ++it) {
+      std::string target = (*it)[1].str();
+      if (target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+          target.rfind("mailto:", 0) == 0 || target[0] == '#') {
+        continue;
+      }
+      size_t anchor = target.find('#');
+      if (anchor != std::string::npos) target = target.substr(0, anchor);
+      if (target.empty()) continue;
+      fs::path resolved = doc.parent_path() / target;
+      EXPECT_TRUE(fs::exists(resolved))
+          << doc.filename().string() << " links to nonexistent " << target;
+    }
+  }
+}
+
+TEST(DocsSyncTest, VcdFlagsShownInDocsExist) {
+  const std::string cli_source =
+      ReadFile(kRoot / "src" / "driver" / "vcd_main.cc");
+  const std::regex flag_pattern(R"(--[a-z][a-z-]*)");
+  for (const fs::path& doc : DocFiles()) {
+    std::ifstream in(doc);
+    std::string line;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      // Only lines that talk about the vcd binary: docs also show cmake and
+      // google-benchmark flags, which are not this CLI's contract.
+      if (line.find("vcd") == std::string::npos) continue;
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), flag_pattern);
+           it != std::sregex_iterator(); ++it) {
+        std::string flag = it->str();
+        // Attribute the flag to the nearest preceding command word; a line
+        // may show both `vcd --serve` and `ctest --preset tsan`.
+        size_t flag_at = static_cast<size_t>(it->position());
+        std::string before = line.substr(0, flag_at);
+        size_t vcd_at = before.rfind("vcd");
+        bool other_command = false;
+        for (const char* command : {"ctest", "cmake", "benchmark"}) {
+          size_t at = before.rfind(command);
+          if (at != std::string::npos &&
+              (vcd_at == std::string::npos || at > vcd_at)) {
+            other_command = true;
+          }
+        }
+        if (vcd_at == std::string::npos || other_command) continue;
+        EXPECT_NE(cli_source.find("\"" + flag + "\""), std::string::npos)
+            << doc.filename().string() << ":" << line_number
+            << " mentions vcd flag " << flag
+            << " which src/driver/vcd_main.cc does not define";
+      }
+    }
+  }
+}
+
+TEST(DocsSyncTest, BenchCatalogueCoversEveryBenchBinary) {
+  const std::string text = ReadFile(kRoot / "docs" / "BENCHMARKS.md");
+  std::vector<std::string> missing;
+  for (const auto& entry : fs::directory_iterator(kRoot / "bench")) {
+    std::string name = entry.path().filename().string();
+    if (entry.path().extension() != ".cc") continue;
+    std::string stem = entry.path().stem().string();
+    if (stem == "bench_common") continue;
+    if (stem.rfind("bench_", 0) != 0) continue;
+    if (text.find("`" + stem + "`") == std::string::npos) {
+      missing.push_back(stem);
+    }
+  }
+  std::string joined;
+  for (const std::string& name : missing) joined += name + " ";
+  EXPECT_TRUE(missing.empty())
+      << "bench binaries missing from docs/BENCHMARKS.md: " << joined;
+}
+
+}  // namespace
+}  // namespace visualroad

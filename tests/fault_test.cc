@@ -1,6 +1,7 @@
 #include "common/fault.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cmath>
@@ -201,8 +202,11 @@ bool SameBitstream(const EncodedVideo& a, const EncodedVideo& b) {
 class FaultServiceTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Pid-qualified so parallel ctest shards of this binary (each its own
+    // process, each with counter_ == 0) never share a temp tree.
     root_ = (fs::temp_directory_path() /
-             ("vr_fault_" + std::to_string(counter_++))).string();
+             ("vr_fault_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++))).string();
   }
   void TearDown() override {
     std::error_code ec;

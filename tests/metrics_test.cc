@@ -12,6 +12,7 @@
 
 #include "common/thread_pool.h"
 #include "driver/datasets.h"
+#include "queries/semantic_cache.h"
 #include "driver/vcd.h"
 #include "storage/vss.h"
 #include "video/codec/codec.h"
@@ -266,6 +267,20 @@ TEST(MetricsDocsSyncTest, EveryRegisteredMetricIsDocumented) {
     ASSERT_TRUE(read.ok()) << read.status().ToString();
     std::error_code ec;
     fs::remove_all(root, ec);
+  }
+
+  // Semantic result store (vr_semcache_*): one insert and one covering
+  // probe registers the whole instrument family.
+  {
+    queries::SemanticCache semcache;
+    queries::SemanticEntry entry;
+    entry.key.stream = 0x5e;
+    entry.key.model = "metrics-test";
+    entry.range = {0, 4};
+    entry.detections.resize(4);
+    entry.RecomputeBytes();
+    semcache.Insert(std::move(entry));
+    EXPECT_NE(semcache.Probe({0x5e, "metrics-test", 0.0}, {0, 4}), nullptr);
   }
 
   std::ifstream docs(std::string(VISUALROAD_SOURCE_DIR) +

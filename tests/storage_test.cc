@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -16,8 +17,12 @@ namespace fs = std::filesystem;
 class ShardedStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // ctest runs every discovered test in its own process, so counter_
+    // restarts at zero in each shard; the pid keeps parallel shards of this
+    // binary out of each other's trees.
     root_ = (fs::temp_directory_path() /
-             ("vr_store_" + std::to_string(counter_++))).string();
+             ("vr_store_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++))).string();
   }
   void TearDown() override {
     std::error_code ec;

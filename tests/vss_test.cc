@@ -1,6 +1,7 @@
 #include "storage/vss.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <filesystem>
@@ -59,8 +60,11 @@ EncodedVideo MakeStream(int frames, int width, int height, int gop_length,
 class VssTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Pid-qualified so parallel ctest shards of this binary (each its own
+    // process, each with counter_ == 0) never share a temp tree.
     root_ = (fs::temp_directory_path() /
-             ("vr_vss_" + std::to_string(counter_++))).string();
+             ("vr_vss_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++))).string();
     StoreOptions store_options;
     store_options.root = root_;
     store_options.num_nodes = 4;
