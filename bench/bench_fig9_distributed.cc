@@ -1,104 +1,418 @@
-// Reproduces Figure 9: VCG generation time by node count in distributed
-// mode (paper: EC2 p3.2xlarge nodes; L = 2, 1k, 60 min).
+// Reproduces Figure 9: distributed scaling by worker count (paper: EC2
+// p3.2xlarge nodes; near-linear speedup).
 //
-// Dataset generation needs no coordination between cameras, so the paper
-// observes linear speedup with node count. Tiles are the unit of
-// distribution here too. Because this bench host may have fewer physical
-// cores than simulated nodes, two measurements are reported:
-//   - "wall" — actual wall-clock of the thread-per-node run on this host;
-//   - "cluster" — the simulated-cluster makespan: each tile's generation is
-//     timed independently and tiles are assigned round-robin to N nodes, so
-//     the makespan is the maximum per-node sum. This is what a real cluster
-//     of N single-tile-at-a-time nodes would take, and is the curve to
-//     compare against the paper's.
+// Real mode (the default) runs a query batch through the dist/ subsystem:
+// a Coordinator spawns N worker processes over Unix-socket RPC, partitions
+// the batch by data locality, and merges results. Because this bench host
+// may have fewer cores than workers, two measurements are reported:
+//   - "wall" — actual wall-clock of the N-worker run on this host;
+//   - "cluster makespan" — each instance's worker-measured execution time
+//     (from the 1-worker baseline) assigned to N nodes longest-processing-
+//     time-first: what a cluster of N one-instance-at-a-time nodes would
+//     take. This is the curve to compare against the paper's, and it is
+//     monotone in N by construction.
+// Every multi-worker run is checked byte-identical against a single-process
+// execution of the same batch.
+//
+// Flags:
+//   --simulate       also run the legacy simulated-makespan path (per-tile
+//                    generator timings round-robin-assigned to nodes) and
+//                    report both curves side by side.
+//   --faults [NAME]  run an extra section under the named fault profile
+//                    (default "cluster"): worker crashes mid-batch must be
+//                    re-dispatched and the merged results must still match
+//                    the single-process run byte for byte.
+//
+// Results are printed and written as JSON to bench/BENCH_distributed.json
+// (override with VR_DISTRIBUTED_OUT).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/stopwatch.h"
+#include "dist/coordinator.h"
+#include "video/container/vrmp.h"
 
 namespace visualroad::bench {
 namespace {
 
-int Run() {
-  PrintBanner("Figure 9 - Generator time by node count",
-              "Distributed VCG; expect ~linear decrease in simulated makespan.");
+/// Longest-processing-time-first assignment of `seconds` to `nodes` bins;
+/// returns the makespan (maximum bin load).
+double LptMakespan(std::vector<double> seconds, int nodes) {
+  std::sort(seconds.begin(), seconds.end(), std::greater<double>());
+  std::vector<double> load(static_cast<size_t>(nodes), 0.0);
+  for (double s : seconds) {
+    *std::min_element(load.begin(), load.end()) += s;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
 
-  int scale = EnvInt("VR_FIG9_L", QuickMode() ? 2 : 8);
-  double duration = QuickMode() ? 0.5 : 1.0;
+/// Muxed bytes of every produced output, for byte-identity comparison.
+std::vector<std::vector<uint8_t>> OutputBytes(
+    const std::vector<systems::QueryOutput>& outputs) {
+  std::vector<std::vector<uint8_t>> bytes;
+  bytes.reserve(outputs.size());
+  for (const systems::QueryOutput& output : outputs) {
+    video::container::Container container;
+    container.video = output.video;
+    bytes.push_back(video::container::Mux(container));
+  }
+  return bytes;
+}
 
+struct RealPoint {
+  int workers = 0;
+  double wall_seconds = 0.0;
+  double busy_seconds = 0.0;
+  double makespan_seconds = 0.0;
+  double speedup = 1.0;
+  bool byte_identical = true;
+};
+
+struct SimPoint {
+  int nodes = 0;
+  double wall_seconds = 0.0;
+  double makespan_seconds = 0.0;
+  double speedup = 1.0;
+};
+
+struct FaultPoint {
+  std::string profile;
+  int workers = 0;
+  bool completed = false;
+  bool byte_identical = false;
+  int64_t workers_lost = 0;
+  int64_t chunks_redispatched = 0;
+  int64_t rpc_retries = 0;
+};
+
+int Run(bool simulate, const char* fault_profile) {
+  PrintBanner("Figure 9 - Distributed scaling by worker count",
+              "Real coordinator/worker execution over local-socket RPC.");
+
+  // One batch, shared by every worker count so the curves are comparable.
   sim::CityConfig config;
-  config.scale_factor = scale;
+  config.scale_factor = EnvInt("VR_FIG9_L", 2);
   config.width = kBaseWidth;
   config.height = kBaseHeight;
-  config.duration_seconds = duration;
+  config.duration_seconds = QuickMode() ? 0.5 : 1.0;
   config.fps = kBaseFps;
   config.seed = 900;
 
-  // Per-tile serial times, for the simulated-cluster makespan: tiles are
-  // generated and timed one at a time (a single-tile city per index; tiles
-  // are homogeneous in camera count, so these are representative of the
-  // per-tile work a node would take).
-  std::vector<double> tile_seconds(static_cast<size_t>(scale), 0.0);
-  for (int t = 0; t < scale; ++t) {
-    sim::CityConfig single = config;
-    single.scale_factor = 1;
-    single.seed = config.seed ^ (static_cast<uint64_t>(t) << 8);
-    sim::GeneratorOptions options;
-    options.codec.qp = 26;
-    sim::VisualCityGenerator generator(options);
-    Stopwatch stopwatch;
-    auto dataset = generator.Generate(single);
-    if (!dataset.ok()) {
-      std::fprintf(stderr, "generation failed: %s\n",
-                   dataset.status().ToString().c_str());
+  auto dataset = MakeBenchDataset(config.scale_factor, config.width,
+                                  config.height, config.duration_seconds,
+                                  config.seed);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  const int kInstances = EnvInt("VR_FIG9_INSTANCES", QuickMode() ? 6 : 10);
+  Pcg32 rng(0xF19, 9);
+  std::vector<queries::QueryInstance> batch;
+  for (int i = 0; i < kInstances; ++i) {
+    // Mostly Q1 selects with some Q2(c) detection instances, so both the
+    // pixel path and the semantic path cross the wire.
+    queries::QueryId id =
+        (i % 3 == 2) ? queries::QueryId::kQ2c : queries::QueryId::kQ1;
+    auto instance = queries::SampleQueryInstance(id, *dataset, rng, {});
+    if (!instance.ok()) {
+      std::fprintf(stderr, "sample: %s\n",
+                   instance.status().ToString().c_str());
       return 1;
     }
-    tile_seconds[static_cast<size_t>(t)] = stopwatch.ElapsedSeconds();
+    batch.push_back(std::move(instance).value());
+  }
+
+  // Single-process reference: the same engine run directly. Every
+  // distributed point is compared against these bytes.
+  auto engine = systems::MakePipelineEngine(BenchEngineOptions());
+  std::vector<systems::QueryOutput> direct;
+  for (const queries::QueryInstance& instance : batch) {
+    auto output = engine->Execute(instance, *dataset,
+                                  systems::OutputMode::kWrite, "");
+    if (!output.ok()) {
+      std::fprintf(stderr, "direct: %s\n", output.status().ToString().c_str());
+      return 1;
+    }
+    direct.push_back(std::move(output).value());
+  }
+  std::vector<std::vector<uint8_t>> direct_bytes = OutputBytes(direct);
+
+  auto base_options = [&](int workers) {
+    dist::CoordinatorOptions options;
+    options.workers = workers;
+    options.setup.config = config;
+    options.setup.codec.qp = 26;  // MakeBenchDataset's generator settings.
+    options.setup.codec.gop_length = 15;
+    options.setup.engine = "PipelineEngine";
+    options.setup.engine_options = BenchEngineOptions();
+    options.dataset = &dataset.value();
+    return options;
+  };
+
+  // --- Real scaling curve ---
+  std::vector<RealPoint> real_points;
+  std::vector<double> baseline_exec;  // 1-worker per-instance seconds.
+  for (int workers : {1, 2, 4}) {
+    dist::Coordinator coordinator(base_options(workers));
+    if (Status status = coordinator.Start(); !status.ok()) {
+      std::fprintf(stderr, "start(%d): %s\n", workers,
+                   status.ToString().c_str());
+      return 1;
+    }
+    dist::DistBatchStats stats;
+    Stopwatch stopwatch;
+    auto outcomes = coordinator.ExecuteBatch(
+        batch, systems::OutputMode::kWrite, "", &stats);
+    double wall = stopwatch.ElapsedSeconds();
+    if (!outcomes.ok()) {
+      std::fprintf(stderr, "batch(%d): %s\n", workers,
+                   outcomes.status().ToString().c_str());
+      return 1;
+    }
+    RealPoint point;
+    point.workers = workers;
+    point.wall_seconds = wall;
+    point.busy_seconds = stats.worker_busy_seconds;
+    for (size_t i = 0; i < outcomes->size(); ++i) {
+      const dist::DistInstanceOutcome& outcome = (*outcomes)[i];
+      if (outcome.state != dist::DistInstanceOutcome::kSucceeded) {
+        std::fprintf(stderr, "instance %zu failed: %s\n", i,
+                     outcome.error.c_str());
+        return 1;
+      }
+      video::container::Container container;
+      container.video = outcome.output.video;
+      if (video::container::Mux(container) != direct_bytes[i]) {
+        point.byte_identical = false;
+      }
+      if (workers == 1) baseline_exec.push_back(outcome.exec_seconds);
+    }
+    point.makespan_seconds = LptMakespan(baseline_exec, workers);
+    point.speedup = point.makespan_seconds > 0
+                        ? LptMakespan(baseline_exec, 1) / point.makespan_seconds
+                        : 0.0;
+    real_points.push_back(point);
+    coordinator.Shutdown();
   }
 
   driver::TextTable table;
-  table.SetHeader({"Nodes", "Wall (this host)", "Cluster makespan", "Speedup"});
-  double baseline = 0.0;
-  for (int nodes : {1, 2, 4, 8}) {
-    if (nodes > scale) break;
-    // Wall-clock of the actual threaded distributed run.
-    sim::GeneratorOptions options;
-    options.codec.qp = 26;
-    options.num_nodes = nodes;
-    sim::VisualCityGenerator generator(options);
-    auto dataset = generator.Generate(config);
-    if (!dataset.ok()) {
-      std::fprintf(stderr, "generation failed: %s\n",
-                   dataset.status().ToString().c_str());
-      return 1;
-    }
-    double wall = generator.last_stats().total_seconds;
-
-    // Simulated cluster makespan from the measured per-tile times.
-    std::vector<double> node_load(static_cast<size_t>(nodes), 0.0);
-    for (int t = 0; t < scale; ++t) {
-      node_load[static_cast<size_t>(t % nodes)] +=
-          tile_seconds[static_cast<size_t>(t)];
-    }
-    double makespan = *std::max_element(node_load.begin(), node_load.end());
-    if (nodes == 1) baseline = makespan;
-
+  table.SetHeader({"Workers", "Wall (this host)", "Cluster makespan", "Speedup",
+                   "Byte-identical"});
+  for (const RealPoint& point : real_points) {
     char speedup[32];
-    std::snprintf(speedup, sizeof(speedup), "%.2fx",
-                  makespan > 0 ? baseline / makespan : 0.0);
-    table.AddRow({std::to_string(nodes), driver::FormatSeconds(wall),
-                  driver::FormatSeconds(makespan), speedup});
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", point.speedup);
+    table.AddRow({std::to_string(point.workers),
+                  driver::FormatSeconds(point.wall_seconds),
+                  driver::FormatSeconds(point.makespan_seconds), speedup,
+                  point.byte_identical ? "yes" : "NO"});
   }
   std::printf("%s\n", table.ToString().c_str());
-  std::printf("The cluster-makespan column is the Figure 9 analogue: tiles are"
-              " independent,\nso N nodes cut generation time ~Nx.\n");
-  return 0;
+  std::printf("Cluster makespan models N single-instance nodes from the "
+              "1-worker per-instance\ntimings (LPT assignment); wall-clock is "
+              "bounded by this host's cores.\n\n");
+
+  // --- Legacy simulated path (--simulate) ---
+  std::vector<SimPoint> sim_points;
+  if (simulate) {
+    int scale = config.scale_factor;
+    std::vector<double> tile_seconds(static_cast<size_t>(scale), 0.0);
+    for (int t = 0; t < scale; ++t) {
+      sim::CityConfig single = config;
+      single.scale_factor = 1;
+      single.seed = config.seed ^ (static_cast<uint64_t>(t) << 8);
+      sim::GeneratorOptions options;
+      options.codec.qp = 26;
+      sim::VisualCityGenerator generator(options);
+      Stopwatch stopwatch;
+      auto tile = generator.Generate(single);
+      if (!tile.ok()) {
+        std::fprintf(stderr, "generation failed: %s\n",
+                     tile.status().ToString().c_str());
+        return 1;
+      }
+      tile_seconds[static_cast<size_t>(t)] = stopwatch.ElapsedSeconds();
+    }
+
+    driver::TextTable sim_table;
+    sim_table.SetHeader(
+        {"Nodes", "Wall (this host)", "Cluster makespan", "Speedup"});
+    double baseline = 0.0;
+    for (int nodes : {1, 2, 4, 8}) {
+      if (nodes > scale) break;
+      sim::GeneratorOptions options;
+      options.codec.qp = 26;
+      options.num_nodes = nodes;
+      sim::VisualCityGenerator generator(options);
+      auto generated = generator.Generate(config);
+      if (!generated.ok()) {
+        std::fprintf(stderr, "generation failed: %s\n",
+                     generated.status().ToString().c_str());
+        return 1;
+      }
+      SimPoint point;
+      point.nodes = nodes;
+      point.wall_seconds = generator.last_stats().total_seconds;
+      std::vector<double> node_load(static_cast<size_t>(nodes), 0.0);
+      for (int t = 0; t < scale; ++t) {
+        node_load[static_cast<size_t>(t % nodes)] +=
+            tile_seconds[static_cast<size_t>(t)];
+      }
+      point.makespan_seconds =
+          *std::max_element(node_load.begin(), node_load.end());
+      if (nodes == 1) baseline = point.makespan_seconds;
+      point.speedup = point.makespan_seconds > 0
+                          ? baseline / point.makespan_seconds
+                          : 0.0;
+      sim_points.push_back(point);
+
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx", point.speedup);
+      sim_table.AddRow({std::to_string(nodes),
+                        driver::FormatSeconds(point.wall_seconds),
+                        driver::FormatSeconds(point.makespan_seconds),
+                        speedup});
+    }
+    std::printf("Legacy simulated generator curve (--simulate):\n%s\n",
+                sim_table.ToString().c_str());
+  }
+
+  // --- Fault section (--faults) ---
+  FaultPoint faulted;
+  bool ran_faults = fault_profile != nullptr;
+  if (ran_faults) {
+    auto profile = fault::ProfileByName(fault_profile);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+      return 1;
+    }
+    fault::FaultInjector injector(*profile, 0xF19);
+    dist::CoordinatorOptions options = base_options(3);
+    options.faults = &injector;
+    options.chunk_size = 1;  // Per-instance chunks: more crash opportunities.
+    dist::Coordinator coordinator(options);
+    if (Status status = coordinator.Start(); !status.ok()) {
+      std::fprintf(stderr, "faulted start: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    dist::DistBatchStats stats;
+    auto outcomes = coordinator.ExecuteBatch(
+        batch, systems::OutputMode::kWrite, "", &stats);
+    faulted.profile = fault_profile;
+    faulted.workers = 3;
+    faulted.workers_lost = stats.workers_lost;
+    faulted.chunks_redispatched = stats.chunks_redispatched;
+    faulted.rpc_retries = stats.rpc_retries;
+    if (outcomes.ok()) {
+      faulted.completed = true;
+      faulted.byte_identical = true;
+      for (size_t i = 0; i < outcomes->size(); ++i) {
+        const dist::DistInstanceOutcome& outcome = (*outcomes)[i];
+        video::container::Container container;
+        if (outcome.state == dist::DistInstanceOutcome::kSucceeded) {
+          container.video = outcome.output.video;
+        }
+        if (outcome.state != dist::DistInstanceOutcome::kSucceeded ||
+            video::container::Mux(container) != direct_bytes[i]) {
+          faulted.byte_identical = false;
+        }
+      }
+    }
+    std::printf("Faulted run (profile '%s', 3 workers): %s; lost %lld "
+                "worker(s), re-dispatched %lld chunk(s), %lld rpc retries; "
+                "results %s.\n\n",
+                faulted.profile.c_str(),
+                faulted.completed ? "completed" : "FAILED",
+                static_cast<long long>(faulted.workers_lost),
+                static_cast<long long>(faulted.chunks_redispatched),
+                static_cast<long long>(faulted.rpc_retries),
+                faulted.byte_identical ? "byte-identical" : "DIVERGED");
+  }
+
+  // --- JSON ---
+  const char* env_out = std::getenv("VR_DISTRIBUTED_OUT");
+  std::string out_path = env_out != nullptr && env_out[0] != '\0'
+                             ? env_out
+                             : "bench/BENCH_distributed.json";
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"instances\": " << batch.size() << ",\n  \"real\": [\n";
+  for (size_t i = 0; i < real_points.size(); ++i) {
+    const RealPoint& p = real_points[i];
+    out << "    {\n"
+        << "      \"workers\": " << p.workers << ",\n"
+        << "      \"wall_seconds\": " << p.wall_seconds << ",\n"
+        << "      \"worker_busy_seconds\": " << p.busy_seconds << ",\n"
+        << "      \"makespan_seconds\": " << p.makespan_seconds << ",\n"
+        << "      \"speedup\": " << p.speedup << ",\n"
+        << "      \"byte_identical\": "
+        << (p.byte_identical ? "true" : "false") << "\n    }"
+        << (i + 1 < real_points.size() ? "," : "") << "\n";
+  }
+  out << "  ]";
+  if (simulate) {
+    out << ",\n  \"simulated\": [\n";
+    for (size_t i = 0; i < sim_points.size(); ++i) {
+      const SimPoint& p = sim_points[i];
+      out << "    {\n"
+          << "      \"nodes\": " << p.nodes << ",\n"
+          << "      \"wall_seconds\": " << p.wall_seconds << ",\n"
+          << "      \"makespan_seconds\": " << p.makespan_seconds << ",\n"
+          << "      \"speedup\": " << p.speedup << "\n    }"
+          << (i + 1 < sim_points.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+  }
+  if (ran_faults) {
+    out << ",\n  \"faulted\": {\n"
+        << "    \"profile\": \"" << faulted.profile << "\",\n"
+        << "    \"workers\": " << faulted.workers << ",\n"
+        << "    \"completed\": " << (faulted.completed ? "true" : "false")
+        << ",\n"
+        << "    \"byte_identical\": "
+        << (faulted.byte_identical ? "true" : "false") << ",\n"
+        << "    \"workers_lost\": " << faulted.workers_lost << ",\n"
+        << "    \"chunks_redispatched\": " << faulted.chunks_redispatched
+        << ",\n"
+        << "    \"rpc_retries\": " << faulted.rpc_retries << "\n  }";
+  }
+  out << "\n}\n";
+  std::printf("Wrote %s\n", out_path.c_str());
+
+  bool ok = true;
+  for (const RealPoint& point : real_points) ok = ok && point.byte_identical;
+  if (ran_faults) ok = ok && faulted.completed && faulted.byte_identical;
+  return ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace visualroad::bench
 
-int main() { return visualroad::bench::Run(); }
+int main(int argc, char** argv) {
+  bool simulate = false;
+  const char* fault_profile = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--simulate") == 0) {
+      simulate = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      fault_profile =
+          (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i] : "cluster";
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig9_distributed [--simulate] "
+                   "[--faults [PROFILE]]\n");
+      return 2;
+    }
+  }
+  return visualroad::bench::Run(simulate, fault_profile);
+}

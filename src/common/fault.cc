@@ -72,6 +72,8 @@ std::string_view SiteName(Site site) {
     case Site::kRtpReorder: return "rtp_reorder";
     case Site::kRtpJitter: return "rtp_jitter";
     case Site::kTranscodeStall: return "transcode_stall";
+    case Site::kRpcSend: return "rpc_send";
+    case Site::kWorkerCrash: return "worker_crash";
   }
   return "unknown";
 }
@@ -115,9 +117,19 @@ StatusOr<FaultProfile> ProfileByName(std::string_view name) {
     p.prob(Site::kStoreReadFlap) = 0.15;
     return p;
   }
+  if (name == "cluster") {
+    // Distributed-execution trouble: RPC sends fail (forcing reconnect +
+    // retry under the rpc_send RetryPolicy) and worker processes crash
+    // before a dispatch lands (forcing dead-worker re-dispatch). The
+    // coordinator never crashes its last live worker, so a cluster run
+    // always completes.
+    p.prob(Site::kRpcSend) = 0.10;
+    p.prob(Site::kWorkerCrash) = 0.20;
+    return p;
+  }
   return Status::InvalidArgument(
       "unknown fault profile '" + std::string(name) +
-      "' (choose none, flaky, lossy, or degraded)");
+      "' (choose none, flaky, lossy, degraded, or cluster)");
 }
 
 FaultInjector::FaultInjector(FaultProfile profile, uint64_t seed)

@@ -26,8 +26,10 @@ enum class Site {
   kRtpReorder,          // An RTP packet delivered one slot late.
   kRtpJitter,           // Network delay on an online frame delivery.
   kTranscodeStall,      // A VSS transcode-on-read that stalls past its deadline.
+  kRpcSend,             // A distributed RPC frame lost/failed on send.
+  kWorkerCrash,         // A worker process killed before a dispatch lands.
 };
-inline constexpr int kSiteCount = 7;
+inline constexpr int kSiteCount = 9;
 
 /// Stable lower_snake label for a site ("store_read_flap", ...). Used for
 /// substream derivation, metric labels, and trace span names.

@@ -1,0 +1,468 @@
+#include "dist/coordinator.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "storage/vss.h"
+
+namespace visualroad::dist {
+
+namespace {
+
+struct DistMetrics {
+  metrics::Counter& workers_spawned;
+  metrics::Counter& workers_lost;
+  metrics::Gauge& workers_live;
+  metrics::Counter& chunks_dispatched;
+  metrics::Counter& chunks_redispatched;
+  metrics::Counter& straggler_redispatches;
+  metrics::Counter& instances_executed;
+  metrics::Counter& batches;
+
+  static DistMetrics& Get() {
+    static DistMetrics* instance = [] {
+      auto& registry = metrics::MetricsRegistry::Global();
+      return new DistMetrics{
+          registry.GetCounter("vr_dist_workers_spawned_total",
+                              "Worker processes spawned by coordinators"),
+          registry.GetCounter("vr_dist_workers_lost_total",
+                              "Workers that died or were declared dead"),
+          registry.GetGauge("vr_dist_workers_live",
+                            "Worker processes currently alive"),
+          registry.GetCounter("vr_dist_chunks_dispatched_total",
+                              "Work chunks shipped to workers"),
+          registry.GetCounter(
+              "vr_dist_chunks_redispatched_total",
+              "Chunks re-enqueued after a lost worker or failed dispatch"),
+          registry.GetCounter(
+              "vr_dist_straggler_redispatches_total",
+              "Re-dispatches triggered by the straggler detector"),
+          registry.GetCounter("vr_dist_instances_executed_total",
+                              "Query instances completed via the cluster"),
+          registry.GetCounter("vr_dist_batches_total",
+                              "Distributed query batches executed"),
+      };
+    }();
+    return *instance;
+  }
+};
+
+std::string DefaultSocketDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  if (tmp != nullptr && tmp[0] != '\0') return tmp;
+  return "/tmp";
+}
+
+/// One dispatch unit: a sub-range of the batch with a preferred worker.
+struct Chunk {
+  int affinity = 0;
+  /// Straggler re-dispatches so far; past a small cap the chunk runs with a
+  /// blocking call, so a uniformly slow fleet can never livelock on
+  /// mutual re-dispatch.
+  int straggles = 0;
+  std::vector<RangeItem> items;
+};
+
+/// Shared state of one ExecuteBatch call, guarded by `mutex`.
+struct BatchState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Chunk> queue;
+  int in_flight = 0;
+  int remaining = 0;
+  std::vector<char> done;
+  std::vector<DistInstanceOutcome> results;
+  DistBatchStats stats;
+};
+
+constexpr int kMaxStraggles = 2;
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {}
+
+Coordinator::~Coordinator() { Shutdown(); }
+
+Status Coordinator::SpawnSlot(int index) {
+  std::string binary = options_.worker_binary.empty() ? DefaultWorkerBinary()
+                                                      : options_.worker_binary;
+  std::string dir =
+      options_.socket_dir.empty() ? DefaultSocketDir() : options_.socket_dir;
+  // Pid plus a process-wide sequence number: concurrent test processes
+  // cannot collide (pid), and neither can two coordinators in one process
+  // (sequence).
+  static std::atomic<int> socket_seq{0};
+  std::string path = dir + "/vr-worker-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(socket_seq.fetch_add(1)) + "-" +
+                     std::to_string(index) + ".sock";
+  auto slot = std::make_unique<Slot>();
+  VR_ASSIGN_OR_RETURN(slot->process, WorkerProcess::Spawn(binary, path));
+  VR_ASSIGN_OR_RETURN(
+      RpcConnection connection,
+      RpcConnection::ConnectUnix(path, options_.connect_timeout));
+  slot->client = std::make_unique<RpcClient>(std::move(connection));
+  VR_RETURN_IF_ERROR(slot->client->Handshake(options_.connect_timeout));
+  slots_.push_back(std::move(slot));
+  return Status::Ok();
+}
+
+Status Coordinator::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("coordinator already started");
+  }
+  if (options_.workers < 1) {
+    return Status::InvalidArgument("coordinator needs at least one worker");
+  }
+  trace::Span span("dist:setup");
+  for (int i = 0; i < options_.workers; ++i) {
+    Status spawned = SpawnSlot(i);
+    if (!spawned.ok()) {
+      Shutdown();
+      return spawned;
+    }
+  }
+  DistMetrics::Get().workers_spawned.Increment(options_.workers);
+  DistMetrics::Get().workers_live.Set(options_.workers);
+
+  // Setup in parallel: every worker regenerates the dataset and builds its
+  // engine, which dominates startup; serialising it would cost workers×.
+  std::vector<uint8_t> payload = EncodeWorkerSetup(options_.setup);
+  std::vector<Status> outcomes(slots_.size(), Status::Ok());
+  std::vector<std::thread> threads;
+  threads.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    threads.emplace_back([this, &payload, &outcomes, i] {
+      StatusOr<std::vector<uint8_t>> response = slots_[i]->client->Call(
+          MethodId::kSetup, payload, std::chrono::milliseconds(0));
+      if (!response.ok()) outcomes[i] = response.status();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const Status& outcome : outcomes) {
+    if (!outcome.ok()) {
+      Shutdown();
+      return outcome;
+    }
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void Coordinator::Shutdown() {
+  for (std::unique_ptr<Slot>& slot : slots_) {
+    if (slot->client != nullptr && slot->client->open() && !slot->lost) {
+      // Best effort: a worker that already died just fails the call.
+      StatusOr<std::vector<uint8_t>> ack = slot->client->Call(
+          MethodId::kShutdown, {}, std::chrono::milliseconds(500));
+      (void)ack;
+    }
+    slot->process.Kill();
+  }
+  if (!slots_.empty()) DistMetrics::Get().workers_live.Set(0);
+  slots_.clear();
+  started_ = false;
+}
+
+int Coordinator::live_workers() const {
+  int live = 0;
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    if (!slot->lost && slot->client != nullptr && slot->client->open()) ++live;
+  }
+  return live;
+}
+
+int Coordinator::PreferredWorker(const queries::QueryInstance& instance,
+                                 int index) const {
+  int workers = static_cast<int>(slots_.size());
+  if (workers <= 0) return 0;
+  switch (instance.id) {
+    case queries::QueryId::kQ8:
+      // Q8 scans every traffic stream; no single stream to be near.
+      return index % workers;
+    case queries::QueryId::kQ9:
+    case queries::QueryId::kQ10:
+      return instance.pano_group % workers;
+    default:
+      break;
+  }
+  if (options_.store != nullptr && options_.dataset != nullptr) {
+    std::vector<const sim::VideoAsset*> traffic =
+        options_.dataset->TrafficAssets();
+    if (instance.video_index >= 0 &&
+        instance.video_index < static_cast<int>(traffic.size())) {
+      int camera_id = traffic[instance.video_index]->camera.camera_id;
+      std::vector<int64_t> bytes = options_.store->NodeBytesForPrefix(
+          "vss/" + storage::CameraStreamName(camera_id) + "/");
+      int best = -1;
+      int64_t best_bytes = 0;
+      for (size_t node = 0; node < bytes.size(); ++node) {
+        if (bytes[node] > best_bytes) {
+          best_bytes = bytes[node];
+          best = static_cast<int>(node);
+        }
+      }
+      // The stream's dominant datanode, folded onto the fleet: workers
+      // stand in for datanodes, so shards of one node land on one worker.
+      if (best >= 0) return best % workers;
+    }
+  }
+  return instance.video_index % workers;
+}
+
+StatusOr<std::vector<DistInstanceOutcome>> Coordinator::ExecuteBatch(
+    const std::vector<queries::QueryInstance>& batch, systems::OutputMode mode,
+    const std::string& output_dir, DistBatchStats* stats_out) {
+  if (!started_) return Status::FailedPrecondition("coordinator not started");
+  trace::Span batch_span("dist:execute_batch");
+  DistMetrics& metrics = DistMetrics::Get();
+  metrics.batches.Increment();
+
+  BatchState state;
+  state.done.assign(batch.size(), 0);
+  state.results.resize(batch.size());
+  state.remaining = static_cast<int>(batch.size());
+
+  {
+    // Partition by data locality, then split each worker's share into
+    // chunks small enough to re-dispatch cheaply.
+    trace::Span span("dist:partition");
+    int workers = static_cast<int>(slots_.size());
+    size_t chunk_size = static_cast<size_t>(
+        options_.chunk_size > 0
+            ? options_.chunk_size
+            : std::max<int>(1, static_cast<int>(batch.size()) /
+                                   std::max(1, workers * 2)));
+    std::vector<std::vector<RangeItem>> shares(workers);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      int preferred = PreferredWorker(batch[i], static_cast<int>(i));
+      shares[preferred].push_back(RangeItem{static_cast<int>(i), batch[i]});
+    }
+    for (int w = 0; w < workers; ++w) {
+      for (size_t at = 0; at < shares[w].size(); at += chunk_size) {
+        Chunk chunk;
+        chunk.affinity = w;
+        size_t end = std::min(shares[w].size(), at + chunk_size);
+        chunk.items.assign(shares[w].begin() + at, shares[w].begin() + end);
+        state.queue.push_back(std::move(chunk));
+      }
+    }
+  }
+
+  // Re-enqueues a chunk under the state lock and wakes every worker thread.
+  auto requeue = [&](Chunk chunk, bool straggler) {
+    state.queue.push_back(std::move(chunk));
+    --state.in_flight;
+    ++state.stats.chunks_redispatched;
+    metrics.chunks_redispatched.Increment();
+    if (straggler) {
+      ++state.stats.straggler_redispatches;
+      metrics.straggler_redispatches.Increment();
+    }
+    state.cv.notify_all();
+  };
+
+  // Declares worker `w` dead: its chunk goes back on the queue for the
+  // survivors to steal. Caller must NOT hold the state lock.
+  auto fail_slot = [&](int w, Chunk chunk) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    slots_[w]->lost = true;
+    slots_[w]->client->Close();
+    slots_[w]->process.Kill();
+    ++state.stats.workers_lost;
+    metrics.workers_lost.Increment();
+    metrics.workers_live.Set(live_workers());
+    requeue(std::move(chunk), /*straggler=*/false);
+  };
+
+  auto worker_loop = [&](int w) {
+    int64_t thread_retries_base = fault::ThreadRetries();
+    // Folds this thread's rpc_send retry count into the batch stats; runs
+    // on every exit path.
+    auto account_retries = [&] {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.stats.rpc_retries += fault::ThreadRetries() - thread_retries_base;
+    };
+    for (;;) {
+      Chunk chunk;
+      int live = 0;
+      {
+        std::unique_lock<std::mutex> lock(state.mutex);
+        state.cv.wait(lock, [&] {
+          return !state.queue.empty() || state.remaining == 0;
+        });
+        if (state.remaining == 0) break;
+        // Prefer a chunk whose inputs live near this worker; steal
+        // otherwise (an idle worker beats a local one that is busy).
+        auto it = std::find_if(state.queue.begin(), state.queue.end(),
+                               [&](const Chunk& c) { return c.affinity == w; });
+        if (it == state.queue.end()) it = state.queue.begin();
+        chunk = std::move(*it);
+        state.queue.erase(it);
+        ++state.in_flight;
+        ++state.stats.chunks_dispatched;
+        metrics.chunks_dispatched.Increment();
+        for (const std::unique_ptr<Slot>& slot : slots_) {
+          if (!slot->lost) ++live;
+        }
+      }
+
+      // Injected worker crash: this worker dies before the dispatch lands.
+      // The guard re-checks survivors under the lock so concurrent crashes
+      // can never take the last live worker.
+      if (options_.faults != nullptr &&
+          options_.faults->ShouldInject(fault::Site::kWorkerCrash)) {
+        bool died = false;
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          int live_others = 0;
+          for (size_t i = 0; i < slots_.size(); ++i) {
+            if (static_cast<int>(i) != w && !slots_[i]->lost) ++live_others;
+          }
+          if (live_others > 0) {
+            slots_[w]->lost = true;
+            slots_[w]->client->Close();
+            slots_[w]->process.Kill();
+            ++state.stats.workers_lost;
+            metrics.workers_lost.Increment();
+            metrics.workers_live.Set(live_workers());
+            requeue(std::move(chunk), /*straggler=*/false);
+            died = true;
+          }
+        }
+        if (died) {
+          account_retries();
+          return;
+        }
+      }
+
+      ExecuteRangeRequest request;
+      request.mode = mode;
+      request.output_dir = output_dir;
+      request.items = chunk.items;
+      std::vector<uint8_t> payload = EncodeExecuteRequest(request);
+      // Straggler detection needs someone else to pick the work up: the
+      // last live worker — and a chunk that already straggled past the cap
+      // — always get a blocking call.
+      std::chrono::milliseconds timeout =
+          (live > 1 && chunk.straggles < kMaxStraggles)
+              ? options_.call_timeout
+              : std::chrono::milliseconds(0);
+
+      std::vector<uint8_t> response_bytes;
+      bool straggled = false;
+      fault::RetryPolicy policy(fault::Site::kRpcSend, options_.rpc_retry);
+      Status sent = policy.Run([&]() -> Status {
+        if (options_.faults != nullptr &&
+            options_.faults->ShouldInject(fault::Site::kRpcSend)) {
+          return Status::IoError("injected rpc send fault");
+        }
+        trace::Span span("rpc:call");
+        StatusOr<std::vector<uint8_t>> response =
+            slots_[w]->client->Call(MethodId::kExecuteRange, payload, timeout);
+        if (response.ok()) {
+          response_bytes = std::move(response).value();
+          return Status::Ok();
+        }
+        if (response.status().code() == StatusCode::kIoError &&
+            response.status().message().find("timeout") != std::string::npos) {
+          // Straggler: hand the chunk to someone else. Non-retryable so
+          // the policy stops here; the connection stays usable because the
+          // client discards the late response by correlation id.
+          straggled = true;
+          return Status::FailedPrecondition("rpc response deadline exceeded");
+        }
+        return response.status();
+      });
+
+      if (straggled) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        ++chunk.straggles;
+        requeue(std::move(chunk), /*straggler=*/true);
+        continue;
+      }
+      if (!sent.ok()) {
+        if (sent.code() == StatusCode::kFailedPrecondition) {
+          // The worker refused an already-expired request; it is healthy,
+          // the work just needs a fresh deadline.
+          std::lock_guard<std::mutex> lock(state.mutex);
+          ++chunk.straggles;
+          requeue(std::move(chunk), /*straggler=*/true);
+          continue;
+        }
+        // Transport dead after retries: the worker is gone.
+        fail_slot(w, std::move(chunk));
+        account_retries();
+        return;
+      }
+
+      StatusOr<std::vector<InstanceResult>> decoded =
+          DecodeExecuteResponse(response_bytes);
+      if (!decoded.ok()) {
+        fail_slot(w, std::move(chunk));
+        account_retries();
+        return;
+      }
+
+      {
+        // Merge: first writer wins per instance (a straggler's chunk may
+        // complete twice, once per dispatch).
+        std::lock_guard<std::mutex> lock(state.mutex);
+        for (InstanceResult& result : *decoded) {
+          if (result.index < 0 ||
+              result.index >= static_cast<int>(state.done.size()) ||
+              state.done[result.index]) {
+            continue;
+          }
+          state.done[result.index] = 1;
+          --state.remaining;
+          DistInstanceOutcome& outcome = state.results[result.index];
+          outcome.state =
+              static_cast<DistInstanceOutcome::State>(result.outcome);
+          outcome.resource_exhausted = result.resource_exhausted;
+          outcome.error = std::move(result.error);
+          outcome.stats = result.stats;
+          outcome.exec_seconds = result.exec_seconds;
+          outcome.worker = w;
+          outcome.output = std::move(result.output);
+          state.stats.worker_busy_seconds += result.exec_seconds;
+          metrics.instances_executed.Increment();
+        }
+        --state.in_flight;
+        state.cv.notify_all();
+      }
+    }
+    account_retries();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(slots_.size());
+  for (size_t w = 0; w < slots_.size(); ++w) {
+    if (slots_[w]->lost) continue;
+    threads.emplace_back(worker_loop, static_cast<int>(w));
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  {
+    trace::Span span("dist:merge");
+    if (state.remaining > 0) {
+      return Status::Internal(
+          "distributed batch incomplete: every worker lost with " +
+          std::to_string(state.remaining) + " instance(s) pending");
+    }
+  }
+  if (stats_out != nullptr) *stats_out = state.stats;
+  return std::move(state.results);
+}
+
+}  // namespace visualroad::dist

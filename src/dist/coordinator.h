@@ -1,0 +1,144 @@
+#ifndef VISUALROAD_DIST_COORDINATOR_H_
+#define VISUALROAD_DIST_COORDINATOR_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "dist/protocol.h"
+#include "dist/rpc.h"
+#include "dist/worker.h"
+#include "simulation/generator.h"
+#include "storage/sharded_store.h"
+#include "systems/vdbms.h"
+
+namespace visualroad::dist {
+
+/// Configuration for a coordinator and the worker fleet it supervises.
+struct CoordinatorOptions {
+  /// Worker processes to spawn.
+  int workers = 2;
+  /// Worker executable; empty selects DefaultWorkerBinary().
+  std::string worker_binary;
+  /// Directory for the pid-qualified worker sockets; empty selects $TMPDIR
+  /// (or /tmp). Paths are "<dir>/vr-worker-<coordinator pid>-<index>.sock",
+  /// so concurrent test processes never collide on a socket file.
+  std::string socket_dir;
+  /// The execution environment every worker reconstructs.
+  WorkerSetup setup;
+  /// Locality hints: the store holding the ingested inputs and the dataset
+  /// mapping instances to camera streams. Both optional (and borrowed);
+  /// without them partitioning falls back to round-robin by input index.
+  const storage::ShardedStore* store = nullptr;
+  const sim::Dataset* dataset = nullptr;
+  /// Optional fault source driving the rpc_send / worker_crash sites.
+  /// Borrowed; must outlive the coordinator.
+  fault::FaultInjector* faults = nullptr;
+  /// Retry budget for RPC dispatch (the rpc_send site).
+  fault::RetryOptions rpc_retry;
+  /// How long to wait for a freshly spawned worker's socket and handshake.
+  std::chrono::milliseconds connect_timeout{10000};
+  /// Straggler detector: per-call response deadline, shipped in the frame so
+  /// the worker refuses expired work. 0 disables the detector (calls block),
+  /// which is the right default when a chunk legitimately takes a while.
+  std::chrono::milliseconds call_timeout{0};
+  /// Instances per dispatch chunk; 0 sizes chunks so each worker sees about
+  /// two, which keeps the re-dispatch unit small without drowning the
+  /// protocol in round trips.
+  int chunk_size = 0;
+};
+
+/// The merged outcome of one batch instance, mirroring the driver's
+/// three-way success/unsupported/failed split plus distributed provenance.
+struct DistInstanceOutcome {
+  enum State : uint8_t { kSucceeded = 0, kUnsupported = 1, kFailed = 2 };
+  State state = kFailed;
+  bool resource_exhausted = false;
+  std::string error;
+  systems::EngineStats stats;
+  /// Worker-measured execution seconds (excludes queueing and transport).
+  double exec_seconds = 0.0;
+  /// Index of the worker that produced the accepted result.
+  int worker = -1;
+  systems::QueryOutput output;
+};
+
+/// Dispatch accounting for one ExecuteBatch call.
+struct DistBatchStats {
+  int64_t chunks_dispatched = 0;
+  /// Chunks re-enqueued after a lost worker or failed dispatch.
+  int64_t chunks_redispatched = 0;
+  /// Re-dispatches triggered by the straggler detector specifically.
+  int64_t straggler_redispatches = 0;
+  /// RPC attempts beyond the first (rpc_send retries).
+  int64_t rpc_retries = 0;
+  /// Workers that died (or were declared dead) during the batch.
+  int64_t workers_lost = 0;
+  /// Sum of worker-measured per-instance execution seconds: the work the
+  /// cluster actually did, which the distributed bench turns into makespan.
+  double worker_busy_seconds = 0.0;
+};
+
+/// Owns a fleet of worker processes and runs query batches across them:
+/// partitions a batch by ShardedStore data locality, ships chunks over the
+/// RPC layer, re-dispatches stragglers and dead workers' chunks, and merges
+/// per-instance results back into batch order. Results are byte-identical
+/// to single-process execution because workers regenerate the same dataset
+/// and run the same engine (DESIGN.md Section 15).
+///
+/// Not thread-safe: one batch at a time (internally each worker link gets
+/// its own dispatch thread).
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Spawns the fleet, handshakes every worker, and runs Setup on all of
+  /// them in parallel (each worker regenerates the dataset and builds its
+  /// engine). Blocking; a failure tears the fleet back down.
+  Status Start();
+
+  /// Executes `batch` across the fleet. Returns one outcome per instance in
+  /// batch order. Per-instance failures are reported in the outcome, not as
+  /// an overall error; the call itself fails only when work cannot complete
+  /// at all (every worker lost with instances still pending).
+  StatusOr<std::vector<DistInstanceOutcome>> ExecuteBatch(
+      const std::vector<queries::QueryInstance>& batch,
+      systems::OutputMode mode, const std::string& output_dir,
+      DistBatchStats* stats = nullptr);
+
+  /// Graceful teardown: Shutdown RPC to every live worker, then reap.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Workers currently believed alive.
+  int live_workers() const;
+
+  const CoordinatorOptions& options() const { return options_; }
+
+ private:
+  struct Slot {
+    WorkerProcess process;
+    std::unique_ptr<RpcClient> client;
+    bool lost = false;
+  };
+
+  /// Spawns slot `index`'s process and connects + handshakes its client.
+  Status SpawnSlot(int index);
+  /// The worker index an instance's input data prefers (ShardedStore block
+  /// placement when hints are present, else a deterministic fallback).
+  int PreferredWorker(const queries::QueryInstance& instance, int index) const;
+
+  CoordinatorOptions options_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  bool started_ = false;
+};
+
+}  // namespace visualroad::dist
+
+#endif  // VISUALROAD_DIST_COORDINATOR_H_

@@ -1,0 +1,287 @@
+#include "dist/worker.h"
+
+#include <signal.h>
+#include <string.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/serialize.h"
+#include "common/stopwatch.h"
+#include "queries/semantic_cache.h"
+
+#ifndef VR_WORKER_BINARY_DEFAULT
+#define VR_WORKER_BINARY_DEFAULT ""
+#endif
+
+namespace visualroad::dist {
+
+StatusOr<std::unique_ptr<systems::Vdbms>> MakeEngineByName(
+    const std::string& name, const systems::EngineOptions& options) {
+  if (name == "BatchEngine" || name == "batch") {
+    return systems::MakeBatchEngine(options);
+  }
+  if (name == "PipelineEngine" || name == "pipeline") {
+    return systems::MakePipelineEngine(options);
+  }
+  if (name == "CascadeEngine" || name == "cascade") {
+    return systems::MakeCascadeEngine(options);
+  }
+  return Status::InvalidArgument("unknown engine '" + name +
+                                 "' (batch|pipeline|cascade)");
+}
+
+std::string DefaultWorkerBinary() {
+  const char* env = std::getenv("VR_WORKER_BINARY");
+  if (env != nullptr && env[0] != '\0') return env;
+  return VR_WORKER_BINARY_DEFAULT;
+}
+
+namespace {
+
+/// The worker's per-process execution state, built at Setup time.
+struct WorkerState {
+  sim::Dataset dataset;
+  std::unique_ptr<queries::SemanticCache> semantic_cache;
+  std::unique_ptr<systems::Vdbms> engine;
+  int64_t instances_executed = 0;
+};
+
+StatusOr<std::vector<uint8_t>> HandleSetup(const WorkerServerOptions& options,
+                                           const std::vector<uint8_t>& payload,
+                                           std::unique_ptr<WorkerState>& state) {
+  VR_ASSIGN_OR_RETURN(WorkerSetup setup, DecodeWorkerSetup(payload));
+  auto next = std::make_unique<WorkerState>();
+  sim::GeneratorOptions generator_options;
+  generator_options.codec = setup.codec;
+  VR_ASSIGN_OR_RETURN(next->dataset,
+                      options.dataset_factory(setup.config, generator_options));
+  systems::EngineOptions engine_options = setup.engine_options;
+  if (setup.semantic_cache) {
+    // A worker-local semantic result store: cross-instance reuse within this
+    // worker, byte-identical results by the cache's contract.
+    next->semantic_cache = std::make_unique<queries::SemanticCache>(
+        queries::SemanticCacheOptions{});
+    engine_options.semantic_cache = next->semantic_cache.get();
+  }
+  VR_ASSIGN_OR_RETURN(next->engine,
+                      MakeEngineByName(setup.engine, engine_options));
+  state = std::move(next);
+  return std::vector<uint8_t>{};
+}
+
+StatusOr<std::vector<uint8_t>> HandleExecuteRange(
+    const std::vector<uint8_t>& payload, WorkerState& state) {
+  VR_ASSIGN_OR_RETURN(ExecuteRangeRequest request,
+                      DecodeExecuteRequest(payload));
+  std::vector<InstanceResult> results;
+  results.reserve(request.items.size());
+  for (const RangeItem& item : request.items) {
+    InstanceResult result;
+    result.index = item.index;
+    Stopwatch stopwatch;
+    StatusOr<systems::QueryOutput> output =
+        state.engine->Execute(item.instance, state.dataset, request.mode,
+                              request.output_dir, &result.stats);
+    result.exec_seconds = stopwatch.ElapsedSeconds();
+    ++state.instances_executed;
+    if (output.ok()) {
+      result.outcome = InstanceResult::kSucceeded;
+      result.output = std::move(output).value();
+    } else if (output.status().code() == StatusCode::kUnimplemented) {
+      result.outcome = InstanceResult::kUnsupported;
+    } else {
+      result.outcome = InstanceResult::kFailed;
+      result.resource_exhausted =
+          output.status().code() == StatusCode::kResourceExhausted;
+      result.error = output.status().ToString();
+    }
+    results.push_back(std::move(result));
+  }
+  return EncodeExecuteResponse(results);
+}
+
+std::vector<uint8_t> HelloResponse() {
+  ByteWriter writer;
+  writer.U8(kRpcVersion);
+  writer.U64(static_cast<uint64_t>(::getpid()));
+  return writer.Take();
+}
+
+Status ValidateHello(const std::vector<uint8_t>& payload) {
+  ByteCursor cursor(payload);
+  uint32_t magic = cursor.U32();
+  uint8_t version = cursor.U8();
+  if (!cursor.ok() || magic != kRpcMagic) {
+    return Status::DataLoss("malformed hello request");
+  }
+  if (version != kRpcVersion) {
+    return Status::FailedPrecondition("rpc version mismatch: client speaks v" +
+                                      std::to_string(version));
+  }
+  return Status::Ok();
+}
+
+/// Serves one accepted connection until the peer disconnects or asks for
+/// shutdown. Returns true when the server should exit its accept loop.
+bool ServeConnection(const WorkerServerOptions& options,
+                     RpcConnection connection,
+                     std::unique_ptr<WorkerState>& state) {
+  for (;;) {
+    StatusOr<Frame> received = connection.RecvFrame(std::chrono::milliseconds(0));
+    if (!received.ok()) {
+      // EOF or a corrupt stream; drop the connection. With
+      // exit_on_disconnect the coordinator is gone, so exit entirely.
+      return options.exit_on_disconnect;
+    }
+    Frame& request = *received;
+    Frame response;
+    response.correlation_id = request.correlation_id;
+    response.method = request.method;
+
+    // Deadline propagation: a request whose deadline has already passed is
+    // refused without executing — the coordinator has re-dispatched it.
+    if (request.deadline_micros != 0 && NowMicros() > request.deadline_micros) {
+      internal::CountDeadlineExpiration();
+      response.type = FrameType::kResponseError;
+      response.payload = EncodeStatusPayload(
+          Status::FailedPrecondition("rpc deadline expired before execution"));
+      if (!connection.SendFrame(response).ok()) {
+        return options.exit_on_disconnect;
+      }
+      continue;
+    }
+
+    StatusOr<std::vector<uint8_t>> result = [&]() ->
+        StatusOr<std::vector<uint8_t>> {
+      switch (request.method) {
+        case MethodId::kHello: {
+          VR_RETURN_IF_ERROR(ValidateHello(request.payload));
+          return HelloResponse();
+        }
+        case MethodId::kSetup:
+          return HandleSetup(options, request.payload, state);
+        case MethodId::kExecuteRange: {
+          if (state == nullptr) {
+            return Status::FailedPrecondition(
+                "execute-range before setup: worker has no engine");
+          }
+          return HandleExecuteRange(request.payload, *state);
+        }
+        case MethodId::kHealth:
+          return HelloResponse();
+        case MethodId::kStats: {
+          WorkerStats stats;
+          if (state != nullptr) {
+            stats.engine = state->engine->stats();
+            stats.instances_executed = state->instances_executed;
+          }
+          return EncodeWorkerStats(stats);
+        }
+        case MethodId::kShutdown:
+          return std::vector<uint8_t>{};
+      }
+      return Status::InvalidArgument("unknown rpc method");
+    }();
+
+    if (result.ok()) {
+      response.type = FrameType::kResponseOk;
+      response.payload = std::move(result).value();
+    } else {
+      response.type = FrameType::kResponseError;
+      response.payload = EncodeStatusPayload(result.status());
+    }
+    if (!connection.SendFrame(response).ok()) {
+      return options.exit_on_disconnect;
+    }
+    if (request.method == MethodId::kShutdown) return true;
+  }
+}
+
+}  // namespace
+
+Status RunWorkerServer(const WorkerServerOptions& options) {
+  if (!options.dataset_factory) {
+    return Status::InvalidArgument("worker server needs a dataset factory");
+  }
+  VR_ASSIGN_OR_RETURN(RpcListener listener,
+                      RpcListener::ListenUnix(options.socket_path));
+  std::unique_ptr<WorkerState> state;
+  for (;;) {
+    VR_ASSIGN_OR_RETURN(RpcConnection connection,
+                        listener.Accept(std::chrono::milliseconds(0)));
+    // State survives across connections: a coordinator that reconnects after
+    // a dropped link finds the dataset and engine already built.
+    if (ServeConnection(options, std::move(connection), state)) break;
+  }
+  return Status::Ok();
+}
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
+    : pid_(other.pid_), socket_path_(std::move(other.socket_path_)) {
+  other.pid_ = -1;
+}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this != &other) {
+    Kill();
+    pid_ = other.pid_;
+    socket_path_ = std::move(other.socket_path_);
+    other.pid_ = -1;
+  }
+  return *this;
+}
+
+WorkerProcess::~WorkerProcess() { Kill(); }
+
+StatusOr<WorkerProcess> WorkerProcess::Spawn(const std::string& binary,
+                                             const std::string& socket_path) {
+  if (binary.empty()) {
+    return Status::InvalidArgument(
+        "no worker binary: set VR_WORKER_BINARY or build the vr_worker target");
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::IoError(std::string("fork: ") + ::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: die with the parent even if the parent is SIGKILLed (a ctest
+    // timeout kills the test runner without unwinding destructors).
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() == 1) _exit(125);  // Parent already gone before prctl.
+    ::execl(binary.c_str(), binary.c_str(), "--socket", socket_path.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);  // exec failed.
+  }
+  WorkerProcess process;
+  process.pid_ = pid;
+  process.socket_path_ = socket_path;
+  return process;
+}
+
+void WorkerProcess::Kill() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGKILL);
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+  pid_ = -1;
+  // A SIGKILLed worker never removes its socket file; do it for it so a
+  // killed fleet leaves nothing behind in the socket directory.
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+}
+
+bool WorkerProcess::Alive() {
+  if (pid_ <= 0) return false;
+  int status = 0;
+  pid_t reaped = ::waitpid(pid_, &status, WNOHANG);
+  if (reaped == pid_) {
+    pid_ = -1;  // Exited; reaped here.
+    return false;
+  }
+  return reaped == 0;
+}
+
+}  // namespace visualroad::dist

@@ -17,6 +17,10 @@ namespace visualroad::storage {
 class VideoStorageService;
 }  // namespace visualroad::storage
 
+namespace visualroad::dist {
+class Coordinator;
+}  // namespace visualroad::dist
+
 namespace visualroad::driver {
 
 /// VCD configuration.
@@ -81,6 +85,23 @@ struct VcdOptions {
   /// off). The driver itself only persists/loads it around runs; the
   /// engines decide per query what to materialize.
   queries::SemanticCache* semantic_cache = nullptr;
+  /// Distributed scale-out (DESIGN.md Section 15): when > 0, measured
+  /// batches fan out across this many worker processes over local-socket
+  /// RPC instead of running in-process. The workers regenerate the dataset
+  /// deterministically and host the same engine, so results are
+  /// byte-identical to workers == 0. Offline only (online ingest pacing is
+  /// inherently single-feed); combining with online mode is an error.
+  int workers = 0;
+  /// Codec configuration the dataset was generated with. Distributed
+  /// workers rebuild their corpus from (dataset().config, this), so it must
+  /// match the GeneratorOptions used locally; the default mirrors
+  /// PrepareDataset's default.
+  video::codec::EncoderConfig dataset_codec;
+  /// Engine configuration shipped to distributed workers; should mirror
+  /// what the local engine was constructed with. Pointer members (vss,
+  /// caches) stay process-local: each worker hosts its own GOP and semantic
+  /// caches, which are byte-identical by the caches' contracts.
+  systems::EngineOptions worker_engine_options;
 };
 
 /// Measured outcome of one query batch on one engine.
@@ -137,6 +158,12 @@ struct QueryBatchResult {
   /// The engine's plan for this batch's first instance (VcdOptions::explain;
   /// empty otherwise, or when the engine does not plan).
   std::string plan_explain;
+  /// Worker processes the measured window ran across (0 = in-process).
+  int workers = 0;
+  /// Distributed only: sum of worker-measured per-instance execution
+  /// seconds — the compute the cluster spent, regardless of coordinator
+  /// overhead. Feeds the scaling bench's makespan model.
+  double worker_busy_seconds = 0.0;
 
   bool Supported() const { return unsupported < instances; }
 };
@@ -156,10 +183,10 @@ struct ServingRunOptions {
 /// query server's job.
 class VisualCityDriver {
  public:
-  VisualCityDriver(const sim::Dataset& dataset, const VcdOptions& options)
-      : dataset_(&dataset), options_(options) {
-    if (options_.trace || !options_.trace_path.empty()) trace::SetEnabled(true);
-  }
+  /// Constructor and destructor are out of line: the cluster member's type
+  /// (dist::Coordinator) is only forward-declared here.
+  VisualCityDriver(const sim::Dataset& dataset, const VcdOptions& options);
+  ~VisualCityDriver();
 
   /// Number of instances per batch: 4L (Section 3.1) unless overridden.
   int BatchSize() const;
@@ -209,9 +236,18 @@ class VisualCityDriver {
   /// PoolStats lifetime-equal-batch by accident rather than by contract.
   ThreadPool& EnsurePool();
 
+  /// Spawns (or reuses) the worker cluster for distributed batches: workers
+  /// regenerate the dataset and construct `engine`'s architecture from
+  /// VcdOptions::worker_engine_options. Cluster startup happens here, before
+  /// any measured window; a cluster built for a different engine is torn
+  /// down and rebuilt.
+  Status EnsureCluster(systems::Vdbms& engine);
+
   const sim::Dataset* dataset_;
   VcdOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<dist::Coordinator> cluster_;
+  std::string cluster_engine_;
 };
 
 }  // namespace visualroad::driver

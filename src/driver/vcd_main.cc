@@ -46,6 +46,10 @@ void PrintUsage(const char* argv0) {
       "                    e.g. Q1,Q3 or Q1-Q4 or Q2c (default: all)\n"
       "  --batch-size N    Override the 4L batch-size rule\n"
       "  --parallel N      Driver threads for concurrent instances\n"
+      "  --workers N       Distributed scale-out (DESIGN.md Section 15):\n"
+      "                    shard each batch across N worker processes over\n"
+      "                    local-socket RPC. Offline only; results are\n"
+      "                    byte-identical to N=0\n"
       "  --no-validate     Skip reference validation\n"
       "  --streaming       Discard results instead of writing containers\n"
       "  --output-dir DIR  Persist write-mode results under DIR\n"
@@ -61,11 +65,14 @@ void PrintUsage(const char* argv0) {
       "                    it: pushdown window, semantic-cache temperature,\n"
       "                    and measured-selectivity stage order\n"
       "  --faults NAME     Deterministic fault injection profile (none |\n"
-      "                    flaky | lossy | degraded; DESIGN.md Section 11).\n"
-      "                    Implies online execution at an accelerated rate\n"
-      "                    and storage-backed reads (a temp store is created\n"
-      "                    when --storage is not given); the report gains a\n"
-      "                    Faults column with retries and degraded frames\n"
+      "                    flaky | lossy | degraded | cluster; DESIGN.md\n"
+      "                    Section 11). Implies online execution at an\n"
+      "                    accelerated rate and storage-backed reads (a temp\n"
+      "                    store is created when --storage is not given);\n"
+      "                    the report gains a Faults column with retries and\n"
+      "                    degraded frames. With --workers N the run stays\n"
+      "                    offline and the injector drives the rpc_send and\n"
+      "                    worker_crash sites instead (profile: cluster)\n"
       "\n"
       "Serving (DESIGN.md Section 12):\n"
       "  --serve           Serving mode: replay an open-loop multi-tenant\n"
@@ -218,6 +225,9 @@ int Run(int argc, char** argv) {
     } else if (arg == "--parallel") {
       if (!(value = next_value(i, "--parallel"))) return 2;
       vcd_options.parallel_instances = std::atoi(value);
+    } else if (arg == "--workers") {
+      if (!(value = next_value(i, "--workers"))) return 2;
+      vcd_options.workers = std::atoi(value);
     } else if (arg == "--no-validate") {
       vcd_options.validate = false;
     } else if (arg == "--streaming") {
@@ -286,19 +296,28 @@ int Run(int argc, char** argv) {
     }
     faults = std::make_unique<fault::FaultInjector>(*profile, config.seed);
     vcd_options.faults = faults.get();
-    vcd_options.execution_mode = systems::ExecutionMode::kOnline;
-    // Accelerate simulated real time so a faulted run stays test-sized; the
-    // pacing semantics (and the fault schedule) are unchanged.
-    vcd_options.online_rate_multiplier = 200.0;
-    if (storage_dir.empty()) {
-      storage_dir =
-          (std::filesystem::temp_directory_path() /
-           ("vcd-faults-" + std::to_string(config.seed)))
-              .string();
-      std::error_code ec;
-      std::filesystem::remove_all(storage_dir, ec);
-      std::printf("Fault profile '%s': using temporary storage at %s\n",
-                  faults_name.c_str(), storage_dir.c_str());
+    if (vcd_options.workers > 0) {
+      // Distributed runs stay offline: the injector's rpc_send and
+      // worker_crash sites act on the coordinator's dispatch path, not the
+      // ingest feed, and workers > 0 rejects online mode.
+      std::printf("Fault profile '%s': driving the distributed dispatch "
+                  "sites (%d workers)\n",
+                  faults_name.c_str(), vcd_options.workers);
+    } else {
+      vcd_options.execution_mode = systems::ExecutionMode::kOnline;
+      // Accelerate simulated real time so a faulted run stays test-sized;
+      // the pacing semantics (and the fault schedule) are unchanged.
+      vcd_options.online_rate_multiplier = 200.0;
+      if (storage_dir.empty()) {
+        storage_dir =
+            (std::filesystem::temp_directory_path() /
+             ("vcd-faults-" + std::to_string(config.seed)))
+                .string();
+        std::error_code ec;
+        std::filesystem::remove_all(storage_dir, ec);
+        std::printf("Fault profile '%s': using temporary storage at %s\n",
+                    faults_name.c_str(), storage_dir.c_str());
+      }
     }
   }
 

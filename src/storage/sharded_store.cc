@@ -461,6 +461,23 @@ std::vector<std::string> ShardedStore::List() const {
   return names;  // std::map iteration is already sorted.
 }
 
+std::vector<int64_t> ShardedStore::NodeBytesForPrefix(
+    const std::string& prefix) const {
+  std::shared_lock lock(*mutex_);
+  std::vector<int64_t> bytes(options_.num_nodes, 0);
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    for (const BlockPlacement& block : it->second.blocks) {
+      for (int replica : block.replicas) {
+        if (replica >= 0 && replica < options_.num_nodes) {
+          bytes[replica] += block.size;
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
 StatusOr<ShardedStore::FileInfo> ShardedStore::Stat(const std::string& name) const {
   std::shared_lock lock(*mutex_);
   auto it = files_.find(name);

@@ -169,6 +169,12 @@ class ShardedStore {
   /// shorter than the retry deadline is invisible to callers.
   Status FailDatanode(int node, std::chrono::milliseconds duration);
 
+  /// Physical bytes each datanode holds for files whose names start with
+  /// `prefix`, replication included. Sized num_nodes. The distributed
+  /// coordinator uses this to place query work on the worker standing in
+  /// for the datanode that holds most of the input stream's blocks.
+  std::vector<int64_t> NodeBytesForPrefix(const std::string& prefix) const;
+
   const StoreOptions& options() const { return options_; }
   StoreStats stats() const;
 

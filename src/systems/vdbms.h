@@ -76,6 +76,11 @@ struct EngineOptions {
   /// one server share a single cache, which is what enables cross-tenant
   /// reuse. Tests inject private instances.
   queries::SemanticCache* semantic_cache = nullptr;
+  /// Distributed scale-out fan-out (DESIGN.md Section 15): the number of
+  /// worker processes the driver's coordinator shards batches across. 0 =
+  /// single-process execution. Engines ignore it — it rides here so a
+  /// worker's reconstructed EngineOptions mirror the coordinator's exactly.
+  int workers = 0;
 };
 
 /// The outcome of one query instance.

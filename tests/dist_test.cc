@@ -1,0 +1,563 @@
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "dist/coordinator.h"
+#include "dist/protocol.h"
+#include "dist/rpc.h"
+#include "dist/worker.h"
+#include "driver/datasets.h"
+#include "driver/vcd.h"
+#include "storage/sharded_store.h"
+#include "video/container/vrmp.h"
+
+namespace visualroad::dist {
+namespace {
+
+using std::chrono::milliseconds;
+
+// --- RPC framing ---
+
+TEST(RpcFramingTest, Crc32KnownVector) {
+  // The standard IEEE 802.3 check value for "123456789".
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(data), 9), 0xCBF43926u);
+}
+
+/// A connected socketpair wrapped as two RpcConnections.
+struct Pipe {
+  RpcConnection a;
+  RpcConnection b;
+  static Pipe Make() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    return Pipe{RpcConnection(fds[0]), RpcConnection(fds[1])};
+  }
+};
+
+TEST(RpcFramingTest, FrameRoundTrip) {
+  Pipe pipe = Pipe::Make();
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.method = MethodId::kExecuteRange;
+  frame.correlation_id = 0xDEADBEEFCAFEull;
+  frame.deadline_micros = 1234567;
+  frame.payload = {1, 2, 3, 250, 251, 252};
+  ASSERT_TRUE(pipe.a.SendFrame(frame).ok());
+  auto received = pipe.b.RecvFrame(milliseconds(1000));
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received->type, frame.type);
+  EXPECT_EQ(received->method, frame.method);
+  EXPECT_EQ(received->correlation_id, frame.correlation_id);
+  EXPECT_EQ(received->deadline_micros, frame.deadline_micros);
+  EXPECT_EQ(received->payload, frame.payload);
+}
+
+TEST(RpcFramingTest, TruncatedFrameIsDataLoss) {
+  Frame frame;
+  frame.payload = std::vector<uint8_t>(64, 7);
+  std::vector<uint8_t> wire = EncodeFrame(frame);
+  ASSERT_GT(wire.size(), 10u);
+  // Half a frame, then EOF: SendFrame always writes whole frames, so push
+  // the truncated wire image through a raw socketpair fd instead.
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  RpcConnection reader(fds[1]);
+  ASSERT_EQ(::send(fds[0], wire.data(), wire.size() / 2, 0),
+            static_cast<ssize_t>(wire.size() / 2));
+  ::close(fds[0]);
+  auto received = reader.RecvFrame(milliseconds(1000));
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(RpcFramingTest, CorruptChecksumIsDataLoss) {
+  Frame frame;
+  frame.payload = {10, 20, 30, 40};
+  std::vector<uint8_t> wire = EncodeFrame(frame);
+  wire[wire.size() - 5] ^= 0x40;  // Flip a payload bit; CRC no longer matches.
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  RpcConnection reader(fds[1]);
+  ASSERT_EQ(::send(fds[0], wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  ::close(fds[0]);
+  auto received = reader.RecvFrame(milliseconds(1000));
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(received.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(RpcFramingTest, OversizedFrameRejectedBeforeAllocation) {
+  Frame frame;
+  frame.payload = {1};
+  std::vector<uint8_t> wire = EncodeFrame(frame);
+  // Announce a length beyond the payload ceiling in the length field
+  // (bytes 4..7, little-endian).
+  uint32_t huge = kMaxFramePayload + 1024;
+  wire[4] = static_cast<uint8_t>(huge);
+  wire[5] = static_cast<uint8_t>(huge >> 8);
+  wire[6] = static_cast<uint8_t>(huge >> 16);
+  wire[7] = static_cast<uint8_t>(huge >> 24);
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  RpcConnection reader(fds[1]);
+  ASSERT_EQ(::send(fds[0], wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  auto received = reader.RecvFrame(milliseconds(1000));
+  ::close(fds[0]);
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RpcFramingTest, BadMagicIsDataLoss) {
+  Frame frame;
+  std::vector<uint8_t> wire = EncodeFrame(frame);
+  wire[0] ^= 0xFF;
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  RpcConnection reader(fds[1]);
+  ASSERT_EQ(::send(fds[0], wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  auto received = reader.RecvFrame(milliseconds(1000));
+  ::close(fds[0]);
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kDataLoss);
+}
+
+// --- Worker server (in-process) ---
+
+/// Runs RunWorkerServer on a background thread against a throwaway socket;
+/// stops it via a Shutdown RPC on destruction.
+class InProcessWorker {
+ public:
+  explicit InProcessWorker(bool exit_on_disconnect = false) {
+    static int seq = 0;
+    path_ = (std::filesystem::temp_directory_path() /
+             ("vr-dist-test-" + std::to_string(::getpid()) + "-" +
+              std::to_string(seq++) + ".sock"))
+                .string();
+    WorkerServerOptions options;
+    options.socket_path = path_;
+    options.exit_on_disconnect = exit_on_disconnect;
+    options.dataset_factory = [](const sim::CityConfig& config,
+                                 const sim::GeneratorOptions& generator) {
+      return driver::PrepareDataset(config, generator);
+    };
+    thread_ = std::thread([options] {
+      Status status = RunWorkerServer(options);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    });
+  }
+
+  ~InProcessWorker() {
+    auto connected = RpcConnection::ConnectUnix(path_, milliseconds(2000));
+    if (connected.ok()) {
+      RpcClient client(std::move(connected).value());
+      (void)client.Call(MethodId::kShutdown, {}, milliseconds(2000));
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::thread thread_;
+};
+
+TEST(WorkerServerTest, HandshakeAndHealth) {
+  InProcessWorker worker;
+  auto connected = RpcConnection::ConnectUnix(worker.path(), milliseconds(5000));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  RpcClient client(std::move(connected).value());
+  ASSERT_TRUE(client.Handshake(milliseconds(2000)).ok());
+  EXPECT_EQ(client.worker_pid(), ::getpid());  // In-process server.
+  auto health = client.Call(MethodId::kHealth, {}, milliseconds(2000));
+  EXPECT_TRUE(health.ok());
+}
+
+TEST(WorkerServerTest, ExpiredDeadlineRefusedWithoutExecuting) {
+  InProcessWorker worker;
+  auto connected = RpcConnection::ConnectUnix(worker.path(), milliseconds(5000));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  RpcConnection connection = std::move(connected).value();
+  Frame request;
+  request.type = FrameType::kRequest;
+  request.method = MethodId::kHealth;
+  request.correlation_id = 99;
+  request.deadline_micros = NowMicros() - 1000000;  // One second in the past.
+  ASSERT_TRUE(connection.SendFrame(request).ok());
+  auto response = connection.RecvFrame(milliseconds(2000));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->type, FrameType::kResponseError);
+  Status refused = DecodeStatusPayload(response->payload);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(refused.message().find("deadline"), std::string::npos);
+}
+
+TEST(WorkerServerTest, ExecuteRangeBeforeSetupIsFailedPrecondition) {
+  InProcessWorker worker;
+  auto connected = RpcConnection::ConnectUnix(worker.path(), milliseconds(5000));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  RpcClient client(std::move(connected).value());
+  ASSERT_TRUE(client.Handshake(milliseconds(2000)).ok());
+  ExecuteRangeRequest request;
+  auto response = client.Call(MethodId::kExecuteRange,
+                              EncodeExecuteRequest(request), milliseconds(2000));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WorkerServerTest, SurvivesReconnect) {
+  InProcessWorker worker(/*exit_on_disconnect=*/false);
+  {
+    auto first = RpcConnection::ConnectUnix(worker.path(), milliseconds(5000));
+    ASSERT_TRUE(first.ok());
+    RpcClient client(std::move(first).value());
+    ASSERT_TRUE(client.Handshake(milliseconds(2000)).ok());
+  }  // Connection dropped without Shutdown.
+  auto second = RpcConnection::ConnectUnix(worker.path(), milliseconds(5000));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  RpcClient client(std::move(second).value());
+  EXPECT_TRUE(client.Handshake(milliseconds(2000)).ok());
+}
+
+// --- Worker process lifecycle ---
+
+std::string TestSocketPath(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("vr-dist-proc-" + std::to_string(::getpid()) + "-" + tag + ".sock"))
+      .string();
+}
+
+TEST(WorkerProcessTest, SpawnHandshakeKillReapsChild) {
+  std::string binary = DefaultWorkerBinary();
+  ASSERT_FALSE(binary.empty());
+  ASSERT_TRUE(std::filesystem::exists(binary)) << binary;
+  // The socket path carries this (supervisor) process's pid, so concurrent
+  // test runs cannot collide.
+  std::string path = TestSocketPath("reap");
+  EXPECT_NE(path.find(std::to_string(::getpid())), std::string::npos);
+
+  auto spawned = WorkerProcess::Spawn(binary, path);
+  ASSERT_TRUE(spawned.ok()) << spawned.status().ToString();
+  WorkerProcess process = std::move(spawned).value();
+  int pid = process.pid();
+  ASSERT_GT(pid, 0);
+  EXPECT_NE(pid, ::getpid());
+
+  auto connected = RpcConnection::ConnectUnix(path, milliseconds(10000));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  RpcClient client(std::move(connected).value());
+  ASSERT_TRUE(client.Handshake(milliseconds(5000)).ok());
+  EXPECT_EQ(client.worker_pid(), pid);
+
+  process.Kill();
+  // Reaped: the pid no longer names a process (or at least not our zombie).
+  EXPECT_FALSE(process.Alive());
+  errno = 0;
+  int probe = ::kill(pid, 0);
+  EXPECT_TRUE(probe == -1 && errno == ESRCH) << "worker not reaped";
+}
+
+TEST(WorkerProcessTest, ReconnectAfterWorkerRestart) {
+  std::string binary = DefaultWorkerBinary();
+  ASSERT_FALSE(binary.empty());
+  std::string path = TestSocketPath("restart");
+
+  auto first = WorkerProcess::Spawn(binary, path);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  {
+    auto connected = RpcConnection::ConnectUnix(path, milliseconds(10000));
+    ASSERT_TRUE(connected.ok());
+    RpcClient client(std::move(connected).value());
+    ASSERT_TRUE(client.Handshake(milliseconds(5000)).ok());
+  }
+  first->Kill();
+
+  // A replacement worker re-binds the same path (stale socket unlinked on
+  // bind) and a fresh connection handshakes cleanly.
+  auto second = WorkerProcess::Spawn(binary, path);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  auto connected = RpcConnection::ConnectUnix(path, milliseconds(10000));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  RpcClient client(std::move(connected).value());
+  ASSERT_TRUE(client.Handshake(milliseconds(5000)).ok());
+  EXPECT_EQ(client.worker_pid(), second->pid());
+}
+
+// --- Locality ---
+
+TEST(ShardedStoreTest, NodeBytesForPrefix) {
+  storage::StoreOptions options;
+  options.root = (std::filesystem::temp_directory_path() /
+                  ("vr-dist-store-" + std::to_string(::getpid())))
+                     .string();
+  std::filesystem::remove_all(options.root);
+  options.num_nodes = 3;
+  options.replication = 2;
+  options.block_size = 64;
+  auto opened = storage::ShardedStore::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  storage::ShardedStore store = std::move(opened).value();
+  ASSERT_TRUE(store.Put("vss/camera_0/base.var",
+                        std::vector<uint8_t>(200, 1)).ok());
+  ASSERT_TRUE(store.Put("vss/camera_1/base.var",
+                        std::vector<uint8_t>(100, 2)).ok());
+
+  std::vector<int64_t> camera0 = store.NodeBytesForPrefix("vss/camera_0/");
+  ASSERT_EQ(camera0.size(), 3u);
+  int64_t total0 = camera0[0] + camera0[1] + camera0[2];
+  EXPECT_EQ(total0, 200 * 2);  // Replication counted.
+
+  // The prefix filter excludes the other stream.
+  std::vector<int64_t> all = store.NodeBytesForPrefix("vss/");
+  int64_t total_all = all[0] + all[1] + all[2];
+  EXPECT_EQ(total_all, 200 * 2 + 100 * 2);
+
+  EXPECT_EQ(store.NodeBytesForPrefix("vss/camera_9/"),
+            std::vector<int64_t>(3, 0));
+  std::filesystem::remove_all(options.root);
+}
+
+// --- Coordinator ---
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_.scale_factor = 1;
+    config_.width = 96;
+    config_.height = 54;
+    config_.duration_seconds = 0.5;
+    config_.fps = 15;
+    config_.seed = 41;
+    auto dataset = driver::PrepareDataset(config_);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    dataset_ = new sim::Dataset(std::move(dataset).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static std::vector<queries::QueryInstance> SampleBatch(queries::QueryId id,
+                                                         int count,
+                                                         uint64_t seed = 7) {
+    Pcg32 rng(seed, 11);
+    queries::SamplerOptions sampler;
+    std::vector<queries::QueryInstance> batch;
+    for (int i = 0; i < count; ++i) {
+      auto instance = queries::SampleQueryInstance(id, *dataset_, rng, sampler);
+      EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+      batch.push_back(std::move(instance).value());
+    }
+    return batch;
+  }
+
+  static CoordinatorOptions BaseOptions(int workers) {
+    CoordinatorOptions options;
+    options.workers = workers;
+    options.setup.config = config_;
+    options.setup.engine = "PipelineEngine";
+    options.dataset = dataset_;
+    return options;
+  }
+
+  static sim::CityConfig config_;
+  static sim::Dataset* dataset_;
+};
+
+sim::CityConfig CoordinatorTest::config_;
+sim::Dataset* CoordinatorTest::dataset_ = nullptr;
+
+TEST_F(CoordinatorTest, ByteIdenticalToSingleProcess) {
+  std::vector<queries::QueryInstance> batch = SampleBatch(queries::QueryId::kQ1, 4);
+  std::vector<queries::QueryInstance> boxes =
+      SampleBatch(queries::QueryId::kQ2c, 2, /*seed=*/9);
+  batch.insert(batch.end(), boxes.begin(), boxes.end());
+
+  // Single-process reference: the same engine architecture, run directly.
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  std::vector<systems::QueryOutput> direct;
+  for (const queries::QueryInstance& instance : batch) {
+    auto output = engine->Execute(instance, *dataset_,
+                                  systems::OutputMode::kWrite, "");
+    ASSERT_TRUE(output.ok()) << output.status().ToString();
+    direct.push_back(std::move(output).value());
+  }
+
+  // Four workers, the acceptance configuration: N workers vs direct Execute.
+  Coordinator coordinator(BaseOptions(4));
+  ASSERT_TRUE(coordinator.Start().ok());
+  DistBatchStats stats;
+  auto outcomes = coordinator.ExecuteBatch(batch, systems::OutputMode::kWrite,
+                                           "", &stats);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), batch.size());
+  EXPECT_GT(stats.chunks_dispatched, 0);
+  EXPECT_GT(stats.worker_busy_seconds, 0.0);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const DistInstanceOutcome& outcome = (*outcomes)[i];
+    ASSERT_EQ(outcome.state, DistInstanceOutcome::kSucceeded) << outcome.error;
+    EXPECT_GE(outcome.worker, 0);
+    // Byte identity: the encoded result container must match the
+    // single-process run exactly.
+    video::container::Container got, want;
+    got.video = outcome.output.video;
+    want.video = direct[i].video;
+    EXPECT_EQ(video::container::Mux(got), video::container::Mux(want))
+        << "instance " << i;
+    // Semantic identity for the detection query.
+    ASSERT_EQ(outcome.output.detections.size(), direct[i].detections.size());
+    for (size_t f = 0; f < direct[i].detections.size(); ++f) {
+      ASSERT_EQ(outcome.output.detections[f].size(),
+                direct[i].detections[f].size());
+      for (size_t d = 0; d < direct[i].detections[f].size(); ++d) {
+        const vision::Detection& a = outcome.output.detections[f][d];
+        const vision::Detection& b = direct[i].detections[f][d];
+        EXPECT_EQ(a.box.x0, b.box.x0);
+        EXPECT_EQ(a.box.y0, b.box.y0);
+        EXPECT_EQ(a.box.x1, b.box.x1);
+        EXPECT_EQ(a.box.y1, b.box.y1);
+        EXPECT_EQ(a.score, b.score);
+      }
+    }
+  }
+}
+
+TEST_F(CoordinatorTest, DeadWorkerWorkIsRedispatched) {
+  fault::FaultProfile profile;
+  profile.name = "crash-test";
+  profile.prob(fault::Site::kWorkerCrash) = 1.0;
+  fault::FaultInjector faults(profile, 17);
+
+  CoordinatorOptions options = BaseOptions(3);
+  options.faults = &faults;
+  options.chunk_size = 1;
+  Coordinator coordinator(options);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  std::vector<queries::QueryInstance> batch = SampleBatch(queries::QueryId::kQ1, 6);
+  DistBatchStats stats;
+  auto outcomes = coordinator.ExecuteBatch(batch, systems::OutputMode::kWrite,
+                                           "", &stats);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  for (const DistInstanceOutcome& outcome : *outcomes) {
+    EXPECT_EQ(outcome.state, DistInstanceOutcome::kSucceeded) << outcome.error;
+  }
+  // With p=1.0 every worker but the guarded survivor dies.
+  EXPECT_GE(stats.workers_lost, 1);
+  EXPECT_GE(stats.chunks_redispatched, 1);
+  EXPECT_EQ(coordinator.live_workers(), 1);
+}
+
+TEST_F(CoordinatorTest, RpcSendFaultsAreRetried) {
+  fault::FaultProfile profile;
+  profile.name = "sendfault-test";
+  profile.prob(fault::Site::kRpcSend) = 0.5;
+  fault::FaultInjector faults(profile, 23);
+
+  CoordinatorOptions options = BaseOptions(2);
+  options.faults = &faults;
+  options.chunk_size = 1;
+  options.rpc_retry.max_attempts = 12;
+  options.rpc_retry.deadline = std::chrono::microseconds(0);  // Attempts-only.
+  Coordinator coordinator(options);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  std::vector<queries::QueryInstance> batch = SampleBatch(queries::QueryId::kQ1, 8);
+  DistBatchStats stats;
+  auto outcomes = coordinator.ExecuteBatch(batch, systems::OutputMode::kWrite,
+                                           "", &stats);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  for (const DistInstanceOutcome& outcome : *outcomes) {
+    EXPECT_EQ(outcome.state, DistInstanceOutcome::kSucceeded) << outcome.error;
+  }
+  EXPECT_GT(stats.rpc_retries, 0);
+  EXPECT_GT(faults.injected(fault::Site::kRpcSend), 0);
+}
+
+TEST_F(CoordinatorTest, StressManySmallChunks) {
+  // TSan target: three dispatch threads, per-instance chunks, shared queue
+  // and merge path under contention.
+  CoordinatorOptions options = BaseOptions(3);
+  options.chunk_size = 1;
+  Coordinator coordinator(options);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  std::vector<queries::QueryInstance> batch = SampleBatch(queries::QueryId::kQ1, 12);
+  DistBatchStats stats;
+  auto outcomes = coordinator.ExecuteBatch(batch, systems::OutputMode::kWrite,
+                                           "", &stats);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  for (const DistInstanceOutcome& outcome : *outcomes) {
+    EXPECT_EQ(outcome.state, DistInstanceOutcome::kSucceeded) << outcome.error;
+  }
+  EXPECT_GE(stats.chunks_dispatched, 12);
+}
+
+// --- Driver integration ---
+
+TEST_F(CoordinatorTest, DriverDistributedBatchMatchesAndValidates) {
+  driver::VcdOptions vcd_options;
+  vcd_options.workers = 2;
+  vcd_options.validate = true;
+  vcd_options.seed = 0x5EED;
+  driver::VisualCityDriver vcd(*dataset_, vcd_options);
+
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  auto result = vcd.RunQueryBatch(*engine, queries::QueryId::kQ1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->workers, 2);
+  EXPECT_EQ(result->succeeded, result->instances);
+  EXPECT_EQ(result->failed, 0);
+  EXPECT_GT(result->validation.checked, 0);
+  EXPECT_EQ(result->validation.passed, result->validation.checked);
+  EXPECT_GT(result->worker_busy_seconds, 0.0);
+
+  // Distributed online execution is rejected, not silently serialised.
+  driver::VcdOptions online = vcd_options;
+  online.execution_mode = systems::ExecutionMode::kOnline;
+  driver::VisualCityDriver online_vcd(*dataset_, online);
+  auto rejected = online_vcd.RunQueryBatch(*engine, queries::QueryId::kQ1);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoordinatorTest, FaultedDriverRunCompletesWithValidResults) {
+  // The acceptance scenario: a cluster-profile run that kills workers
+  // mid-batch still completes with validated results via re-dispatch.
+  auto profile = fault::ProfileByName("cluster");
+  ASSERT_TRUE(profile.ok());
+  fault::FaultInjector faults(*profile, 0x5EED);
+
+  driver::VcdOptions vcd_options;
+  vcd_options.workers = 3;
+  vcd_options.validate = true;
+  vcd_options.faults = &faults;
+  driver::VisualCityDriver vcd(*dataset_, vcd_options);
+
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  auto result = vcd.RunQueryBatch(*engine, queries::QueryId::kQ1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->succeeded, result->instances);
+  EXPECT_GT(result->validation.checked, 0);
+  EXPECT_EQ(result->validation.passed, result->validation.checked);
+}
+
+}  // namespace
+}  // namespace visualroad::dist
