@@ -26,9 +26,12 @@
 // Results are printed and written as JSON to bench/BENCH_distributed.json
 // (override with VR_DISTRIBUTED_OUT).
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <numeric>
 #include <string>
@@ -37,6 +40,10 @@
 #include "bench_common.h"
 #include "common/stopwatch.h"
 #include "dist/coordinator.h"
+#include "driver/dataset_io.h"
+#include "queries/semantic_cache.h"
+#include "storage/sharded_store.h"
+#include "storage/vss.h"
 #include "video/container/vrmp.h"
 
 namespace visualroad::bench {
@@ -90,6 +97,27 @@ struct FaultPoint {
   int64_t workers_lost = 0;
   int64_t chunks_redispatched = 0;
   int64_t rpc_retries = 0;
+};
+
+/// Fleet-setup time: workers regenerating the dataset vs attaching to the
+/// coordinator's staged store.
+struct SetupPoint {
+  int workers = 0;
+  double stage_seconds = 0.0;       // One-time dataset save + VSS ingest.
+  double regenerate_seconds = 0.0;  // Start() with per-worker regeneration.
+  double staged_seconds = 0.0;      // Start() attaching to the shared store.
+  double reduction_factor = 0.0;    // regenerate / staged.
+  bool staged_byte_identical = true;
+};
+
+/// Warm-start: a cold fleet vs one pre-seeded from the local semantic cache.
+struct WarmPoint {
+  int workers = 0;
+  double cold_seconds = 0.0;
+  double preseeded_seconds = 0.0;
+  int64_t entries_shipped = 0;
+  int64_t bytes_shipped = 0;
+  bool byte_identical = true;
 };
 
 int Run(bool simulate, const char* fault_profile) {
@@ -218,6 +246,169 @@ int Run(bool simulate, const char* fault_profile) {
   std::printf("Cluster makespan models N single-instance nodes from the "
               "1-worker per-instance\ntimings (LPT assignment); wall-clock is "
               "bounded by this host's cores.\n\n");
+
+  // --- Fleet setup: staged store vs per-worker regeneration ---
+  SetupPoint setup_point;
+  setup_point.workers = 2;
+  {
+    // Regenerated baseline: every worker re-renders the dataset in Setup.
+    {
+      dist::Coordinator coordinator(base_options(setup_point.workers));
+      Stopwatch stopwatch;
+      if (Status status = coordinator.Start(); !status.ok()) {
+        std::fprintf(stderr, "setup baseline: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      setup_point.regenerate_seconds = stopwatch.ElapsedSeconds();
+      coordinator.Shutdown();
+    }
+
+    // Staged: save the dataset into a sharded store once, then spawn a
+    // fleet that attaches to it read-only instead of regenerating.
+    storage::StoreOptions store_options;
+    store_options.root = (std::filesystem::temp_directory_path() /
+                          ("vr-bench-dist-stage-" + std::to_string(::getpid())))
+                             .string();
+    std::filesystem::remove_all(store_options.root);
+    auto store = storage::ShardedStore::Open(store_options);
+    if (!store.ok()) {
+      std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    {
+      Stopwatch stopwatch;
+      if (Status status = driver::SaveDatasetSharded(*dataset, *store);
+          !status.ok()) {
+        std::fprintf(stderr, "stage: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      storage::VssOptions vss_options;
+      vss_options.store = &*store;
+      auto vss = storage::VideoStorageService::Open(vss_options);
+      if (!vss.ok() || !driver::IngestDatasetVss(*dataset, **vss).ok()) {
+        std::fprintf(stderr, "vss ingest failed\n");
+        return 1;
+      }
+      setup_point.stage_seconds = stopwatch.ElapsedSeconds();
+    }
+    {
+      dist::CoordinatorOptions options = base_options(setup_point.workers);
+      options.setup.store_root = store_options.root;
+      options.store = &*store;
+      dist::Coordinator coordinator(options);
+      Stopwatch stopwatch;
+      if (Status status = coordinator.Start(); !status.ok()) {
+        std::fprintf(stderr, "staged start: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      setup_point.staged_seconds = stopwatch.ElapsedSeconds();
+      // Staged inputs must keep results byte-identical.
+      auto outcomes = coordinator.ExecuteBatch(
+          batch, systems::OutputMode::kWrite, "", nullptr);
+      if (!outcomes.ok()) {
+        std::fprintf(stderr, "staged batch: %s\n",
+                     outcomes.status().ToString().c_str());
+        return 1;
+      }
+      for (size_t i = 0; i < outcomes->size(); ++i) {
+        const dist::DistInstanceOutcome& outcome = (*outcomes)[i];
+        video::container::Container container;
+        if (outcome.state == dist::DistInstanceOutcome::kSucceeded) {
+          container.video = outcome.output.video;
+        }
+        if (outcome.state != dist::DistInstanceOutcome::kSucceeded ||
+            video::container::Mux(container) != direct_bytes[i]) {
+          setup_point.staged_byte_identical = false;
+        }
+      }
+      coordinator.Shutdown();
+    }
+    std::filesystem::remove_all(store_options.root);
+    setup_point.reduction_factor =
+        setup_point.staged_seconds > 0
+            ? setup_point.regenerate_seconds / setup_point.staged_seconds
+            : 0.0;
+    std::printf("Fleet setup (%d workers): regenerate %s, staged %s "
+                "(%.2fx reduction; one-time staging %s); staged results %s.\n\n",
+                setup_point.workers,
+                driver::FormatSeconds(setup_point.regenerate_seconds).c_str(),
+                driver::FormatSeconds(setup_point.staged_seconds).c_str(),
+                setup_point.reduction_factor,
+                driver::FormatSeconds(setup_point.stage_seconds).c_str(),
+                setup_point.staged_byte_identical ? "byte-identical"
+                                                  : "DIVERGED");
+  }
+
+  // --- Warm start: cold fleet vs semantic-cache pre-seeding ---
+  WarmPoint warm_point;
+  warm_point.workers = 2;
+  {
+    // Materialize the batch's detection results locally, cache attached.
+    queries::SemanticCache cache;
+    systems::EngineOptions cached_options = BenchEngineOptions();
+    cached_options.semantic_cache = &cache;
+    auto cached_engine = systems::MakePipelineEngine(cached_options);
+    for (const queries::QueryInstance& instance : batch) {
+      if (instance.id != queries::QueryId::kQ2c) continue;
+      auto output = cached_engine->Execute(instance, *dataset,
+                                           systems::OutputMode::kWrite, "");
+      if (!output.ok()) {
+        std::fprintf(stderr, "warm populate: %s\n",
+                     output.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    auto timed_batch = [&](queries::SemanticCache* seed, double* seconds,
+                           dist::DistBatchStats* stats) -> bool {
+      dist::CoordinatorOptions options = base_options(warm_point.workers);
+      options.semantic_cache = seed;
+      dist::Coordinator coordinator(options);
+      if (Status status = coordinator.Start(); !status.ok()) {
+        std::fprintf(stderr, "warm start: %s\n", status.ToString().c_str());
+        return false;
+      }
+      Stopwatch stopwatch;
+      auto outcomes = coordinator.ExecuteBatch(
+          batch, systems::OutputMode::kWrite, "", stats);
+      *seconds = stopwatch.ElapsedSeconds();
+      if (!outcomes.ok()) {
+        std::fprintf(stderr, "warm batch: %s\n",
+                     outcomes.status().ToString().c_str());
+        return false;
+      }
+      for (size_t i = 0; i < outcomes->size(); ++i) {
+        const dist::DistInstanceOutcome& outcome = (*outcomes)[i];
+        video::container::Container container;
+        if (outcome.state == dist::DistInstanceOutcome::kSucceeded) {
+          container.video = outcome.output.video;
+        }
+        if (outcome.state != dist::DistInstanceOutcome::kSucceeded ||
+            video::container::Mux(container) != direct_bytes[i]) {
+          warm_point.byte_identical = false;
+        }
+      }
+      coordinator.Shutdown();
+      return true;
+    };
+
+    dist::DistBatchStats cold_stats, warm_stats;
+    if (!timed_batch(nullptr, &warm_point.cold_seconds, &cold_stats) ||
+        !timed_batch(&cache, &warm_point.preseeded_seconds, &warm_stats)) {
+      return 1;
+    }
+    warm_point.entries_shipped = warm_stats.cache_entries_shipped;
+    warm_point.bytes_shipped = warm_stats.cache_bytes_shipped;
+    std::printf("Warm start (%d workers): cold %s, pre-seeded %s "
+                "(%lld entries / %lld bytes shipped); results %s.\n\n",
+                warm_point.workers,
+                driver::FormatSeconds(warm_point.cold_seconds).c_str(),
+                driver::FormatSeconds(warm_point.preseeded_seconds).c_str(),
+                static_cast<long long>(warm_point.entries_shipped),
+                static_cast<long long>(warm_point.bytes_shipped),
+                warm_point.byte_identical ? "byte-identical" : "DIVERGED");
+  }
 
   // --- Legacy simulated path (--simulate) ---
   std::vector<SimPoint> sim_points;
@@ -359,7 +550,23 @@ int Run(bool simulate, const char* fault_profile) {
         << (p.byte_identical ? "true" : "false") << "\n    }"
         << (i + 1 < real_points.size() ? "," : "") << "\n";
   }
-  out << "  ]";
+  out << "  ],\n  \"setup\": {\n"
+      << "    \"workers\": " << setup_point.workers << ",\n"
+      << "    \"stage_seconds\": " << setup_point.stage_seconds << ",\n"
+      << "    \"regenerate_seconds\": " << setup_point.regenerate_seconds
+      << ",\n"
+      << "    \"staged_seconds\": " << setup_point.staged_seconds << ",\n"
+      << "    \"reduction_factor\": " << setup_point.reduction_factor << ",\n"
+      << "    \"byte_identical\": "
+      << (setup_point.staged_byte_identical ? "true" : "false") << "\n  },\n"
+      << "  \"warm_start\": {\n"
+      << "    \"workers\": " << warm_point.workers << ",\n"
+      << "    \"cold_seconds\": " << warm_point.cold_seconds << ",\n"
+      << "    \"preseeded_seconds\": " << warm_point.preseeded_seconds << ",\n"
+      << "    \"entries_shipped\": " << warm_point.entries_shipped << ",\n"
+      << "    \"bytes_shipped\": " << warm_point.bytes_shipped << ",\n"
+      << "    \"byte_identical\": "
+      << (warm_point.byte_identical ? "true" : "false") << "\n  }";
   if (simulate) {
     out << ",\n  \"simulated\": [\n";
     for (size_t i = 0; i < sim_points.size(); ++i) {
@@ -391,6 +598,7 @@ int Run(bool simulate, const char* fault_profile) {
 
   bool ok = true;
   for (const RealPoint& point : real_points) ok = ok && point.byte_identical;
+  ok = ok && setup_point.staged_byte_identical && warm_point.byte_identical;
   if (ran_faults) ok = ok && faulted.completed && faulted.byte_identical;
   return ok ? 0 : 1;
 }

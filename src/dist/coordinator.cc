@@ -28,6 +28,9 @@ struct DistMetrics {
   metrics::Counter& straggler_redispatches;
   metrics::Counter& instances_executed;
   metrics::Counter& batches;
+  metrics::Counter& workers_respawned;
+  metrics::Counter& cache_shipped_entries;
+  metrics::Counter& cache_shipped_bytes;
 
   static DistMetrics& Get() {
     static DistMetrics* instance = [] {
@@ -51,6 +54,17 @@ struct DistMetrics {
                               "Query instances completed via the cluster"),
           registry.GetCounter("vr_dist_batches_total",
                               "Distributed query batches executed"),
+          registry.GetCounter(
+              "vr_dist_workers_respawned_total",
+              "Replacement workers respawned for slots lost in earlier "
+              "batches"),
+          registry.GetCounter(
+              "vr_dist_cache_shipped_entries_total",
+              "Semantic-cache entries shipped to workers (pre-seeding and "
+              "replacement warm-starts)"),
+          registry.GetCounter(
+              "vr_dist_cache_shipped_bytes_total",
+              "Encoded bytes of semantic-cache entries shipped to workers"),
       };
     }();
     return *instance;
@@ -70,6 +84,10 @@ struct Chunk {
   /// blocking call, so a uniformly slow fleet can never livelock on
   /// mutual re-dispatch.
   int straggles = 0;
+  /// Worker a straggler re-dispatch must land away from: the one still busy
+  /// executing the timed-out request. -1 = no restriction. Honoured only
+  /// while another worker is alive (see internal::MayTakeChunk).
+  int avoid = -1;
   std::vector<RangeItem> items;
 };
 
@@ -87,14 +105,38 @@ struct BatchState {
 
 constexpr int kMaxStraggles = 2;
 
+/// Leading entry count of an EncodeCacheEntries payload (u32 LE), for
+/// shipping metrics without a full decode.
+int64_t CacheEntryCount(const std::vector<uint8_t>& payload) {
+  if (payload.size() < 4) return 0;
+  return static_cast<int64_t>(payload[0]) |
+         (static_cast<int64_t>(payload[1]) << 8) |
+         (static_cast<int64_t>(payload[2]) << 16) |
+         (static_cast<int64_t>(payload[3]) << 24);
+}
+
 }  // namespace
+
+namespace internal {
+
+int NonNegativeMod(int value, int modulus) {
+  if (modulus <= 0) return 0;
+  int residue = value % modulus;
+  return residue < 0 ? residue + modulus : residue;
+}
+
+bool MayTakeChunk(int avoid, int worker, int other_live_workers) {
+  return avoid != worker || other_live_workers == 0;
+}
+
+}  // namespace internal
 
 Coordinator::Coordinator(CoordinatorOptions options)
     : options_(std::move(options)) {}
 
 Coordinator::~Coordinator() { Shutdown(); }
 
-Status Coordinator::SpawnSlot(int index) {
+StatusOr<std::unique_ptr<Coordinator::Slot>> Coordinator::MakeSlot(int index) {
   std::string binary = options_.worker_binary.empty() ? DefaultWorkerBinary()
                                                       : options_.worker_binary;
   std::string dir =
@@ -113,6 +155,11 @@ Status Coordinator::SpawnSlot(int index) {
       RpcConnection::ConnectUnix(path, options_.connect_timeout));
   slot->client = std::make_unique<RpcClient>(std::move(connection));
   VR_RETURN_IF_ERROR(slot->client->Handshake(options_.connect_timeout));
+  return slot;
+}
+
+Status Coordinator::SpawnSlot(int index) {
+  VR_ASSIGN_OR_RETURN(std::unique_ptr<Slot> slot, MakeSlot(index));
   slots_.push_back(std::move(slot));
   return Status::Ok();
 }
@@ -135,8 +182,10 @@ Status Coordinator::Start() {
   DistMetrics::Get().workers_spawned.Increment(options_.workers);
   DistMetrics::Get().workers_live.Set(options_.workers);
 
-  // Setup in parallel: every worker regenerates the dataset and builds its
-  // engine, which dominates startup; serialising it would cost workers×.
+  // Setup in parallel: every worker builds its dataset — staged from the
+  // shared store when setup.store_root is set, regenerated otherwise — and
+  // its engine. Regeneration dominates startup, so serialising it would
+  // cost workers×; staging makes the whole phase cheap.
   std::vector<uint8_t> payload = EncodeWorkerSetup(options_.setup);
   std::vector<Status> outcomes(slots_.size(), Status::Ok());
   std::vector<std::thread> threads;
@@ -189,10 +238,10 @@ int Coordinator::PreferredWorker(const queries::QueryInstance& instance,
   switch (instance.id) {
     case queries::QueryId::kQ8:
       // Q8 scans every traffic stream; no single stream to be near.
-      return index % workers;
+      return internal::NonNegativeMod(index, workers);
     case queries::QueryId::kQ9:
     case queries::QueryId::kQ10:
-      return instance.pano_group % workers;
+      return internal::NonNegativeMod(instance.pano_group, workers);
     default:
       break;
   }
@@ -214,10 +263,79 @@ int Coordinator::PreferredWorker(const queries::QueryInstance& instance,
       }
       // The stream's dominant datanode, folded onto the fleet: workers
       // stand in for datanodes, so shards of one node land on one worker.
-      if (best >= 0) return best % workers;
+      if (best >= 0) return internal::NonNegativeMod(best, workers);
     }
   }
-  return instance.video_index % workers;
+  // The fold must stay non-negative even for an unset (negative) video
+  // index — the result addresses a per-worker share vector directly.
+  return internal::NonNegativeMod(instance.video_index, workers);
+}
+
+void Coordinator::HealFleet(DistBatchStats* stats) {
+  DistMetrics& metrics = DistMetrics::Get();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i]->lost) continue;
+    StatusOr<std::unique_ptr<Slot>> replacement =
+        MakeSlot(static_cast<int>(i));
+    if (!replacement.ok()) continue;  // Best effort; the slot stays lost.
+    std::vector<uint8_t> setup_payload = EncodeWorkerSetup(options_.setup);
+    StatusOr<std::vector<uint8_t>> ack = (*replacement)->client->Call(
+        MethodId::kSetup, setup_payload, std::chrono::milliseconds(0));
+    if (!ack.ok()) continue;  // Replacement dies with its handle.
+    slots_[i] = std::move(*replacement);
+    ++stats->workers_respawned;
+    metrics.workers_spawned.Increment();
+    metrics.workers_respawned.Increment();
+    metrics.workers_live.Set(live_workers());
+    // Warm start: copy one surviving worker's semantic cache into the
+    // replacement. Export and import share the wire encoding, so the donor's
+    // payload ships verbatim.
+    trace::Span span("dist:cache_ship");
+    for (size_t donor = 0; donor < slots_.size(); ++donor) {
+      if (donor == i || slots_[donor]->lost) continue;
+      StatusOr<std::vector<uint8_t>> exported = slots_[donor]->client->Call(
+          MethodId::kCacheExport, {}, std::chrono::milliseconds(0));
+      if (!exported.ok()) continue;  // Try the next donor.
+      int64_t entries = CacheEntryCount(*exported);
+      if (entries > 0) {
+        StatusOr<std::vector<uint8_t>> imported = slots_[i]->client->Call(
+            MethodId::kCacheImport, *exported, std::chrono::milliseconds(0));
+        if (imported.ok()) {
+          stats->cache_entries_shipped += entries;
+          stats->cache_bytes_shipped +=
+              static_cast<int64_t>(exported->size());
+          metrics.cache_shipped_entries.Increment(
+              static_cast<double>(entries));
+          metrics.cache_shipped_bytes.Increment(
+              static_cast<double>(exported->size()));
+        }
+      }
+      break;
+    }
+  }
+}
+
+void Coordinator::PreSeedCaches(DistBatchStats* stats) {
+  if (options_.semantic_cache == nullptr) return;
+  std::vector<std::shared_ptr<const queries::SemanticEntry>> entries =
+      options_.semantic_cache->Snapshot();
+  if (entries.empty()) return;
+  trace::Span span("dist:cache_ship");
+  std::vector<uint8_t> payload = EncodeCacheEntries(entries);
+  DistMetrics& metrics = DistMetrics::Get();
+  for (std::unique_ptr<Slot>& slot : slots_) {
+    if (slot->lost || slot->client == nullptr || !slot->client->open()) {
+      continue;
+    }
+    StatusOr<std::vector<uint8_t>> ack = slot->client->Call(
+        MethodId::kCacheImport, payload, std::chrono::milliseconds(0));
+    if (!ack.ok()) continue;  // Best effort: a cold worker is still correct.
+    stats->cache_entries_shipped += static_cast<int64_t>(entries.size());
+    stats->cache_bytes_shipped += static_cast<int64_t>(payload.size());
+    metrics.cache_shipped_entries.Increment(
+        static_cast<double>(entries.size()));
+    metrics.cache_shipped_bytes.Increment(static_cast<double>(payload.size()));
+  }
 }
 
 StatusOr<std::vector<DistInstanceOutcome>> Coordinator::ExecuteBatch(
@@ -232,6 +350,13 @@ StatusOr<std::vector<DistInstanceOutcome>> Coordinator::ExecuteBatch(
   state.done.assign(batch.size(), 0);
   state.results.resize(batch.size());
   state.remaining = static_cast<int>(batch.size());
+
+  // Fleet maintenance before dispatch: respawn slots lost in earlier
+  // batches, then pre-seed every live worker's semantic cache from the
+  // coordinator-side cache. Both are single-threaded here (no dispatch
+  // threads exist yet), so slot surgery needs no lock.
+  if (options_.heal_workers) HealFleet(&state.stats);
+  PreSeedCaches(&state.stats);
 
   {
     // Partition by data locality, then split each worker's share into
@@ -298,18 +423,38 @@ StatusOr<std::vector<DistInstanceOutcome>> Coordinator::ExecuteBatch(
       int live = 0;
       {
         std::unique_lock<std::mutex> lock(state.mutex);
+        // Eligibility honours straggler avoid-tags: a re-dispatched chunk
+        // must land on a different live worker, not boomerang back to the
+        // one still busy on the timed-out request. Recomputed inside the
+        // wait because `lost` flips while we sleep.
+        auto other_live = [&] {
+          int n = 0;
+          for (size_t i = 0; i < slots_.size(); ++i) {
+            if (static_cast<int>(i) != w && !slots_[i]->lost) ++n;
+          }
+          return n;
+        };
+        auto eligible = [&](const Chunk& c) {
+          return internal::MayTakeChunk(c.avoid, w, other_live());
+        };
         state.cv.wait(lock, [&] {
-          return !state.queue.empty() || state.remaining == 0;
+          return state.remaining == 0 ||
+                 std::any_of(state.queue.begin(), state.queue.end(), eligible);
         });
         if (state.remaining == 0) break;
         // Prefer a chunk whose inputs live near this worker; steal
         // otherwise (an idle worker beats a local one that is busy).
-        auto it = std::find_if(state.queue.begin(), state.queue.end(),
-                               [&](const Chunk& c) { return c.affinity == w; });
-        if (it == state.queue.end()) it = state.queue.begin();
+        auto it = std::find_if(
+            state.queue.begin(), state.queue.end(),
+            [&](const Chunk& c) { return c.affinity == w && eligible(c); });
+        if (it == state.queue.end()) {
+          it = std::find_if(state.queue.begin(), state.queue.end(), eligible);
+        }
         chunk = std::move(*it);
         state.queue.erase(it);
         ++state.in_flight;
+        state.stats.in_flight_peak = std::max<int64_t>(
+            state.stats.in_flight_peak, state.in_flight);
         ++state.stats.chunks_dispatched;
         metrics.chunks_dispatched.Increment();
         for (const std::unique_ptr<Slot>& slot : slots_) {
@@ -388,6 +533,9 @@ StatusOr<std::vector<DistInstanceOutcome>> Coordinator::ExecuteBatch(
       if (straggled) {
         std::lock_guard<std::mutex> lock(state.mutex);
         ++chunk.straggles;
+        // This worker is still chewing on the timed-out request; steer the
+        // re-dispatch to someone else.
+        chunk.avoid = w;
         requeue(std::move(chunk), /*straggler=*/true);
         continue;
       }
@@ -397,6 +545,7 @@ StatusOr<std::vector<DistInstanceOutcome>> Coordinator::ExecuteBatch(
           // the work just needs a fresh deadline.
           std::lock_guard<std::mutex> lock(state.mutex);
           ++chunk.straggles;
+          chunk.avoid = w;
           requeue(std::move(chunk), /*straggler=*/true);
           continue;
         }

@@ -31,8 +31,20 @@ struct CoordinatorOptions {
   /// Locality hints: the store holding the ingested inputs and the dataset
   /// mapping instances to camera streams. Both optional (and borrowed);
   /// without them partitioning falls back to round-robin by input index.
+  /// When `setup.store_root` names the same store, workers also *stage* from
+  /// it: they attach read-only and load the corpus instead of regenerating.
   const storage::ShardedStore* store = nullptr;
   const sim::Dataset* dataset = nullptr;
+  /// Coordinator-side semantic cache whose ready entries pre-seed every
+  /// worker's cache at the start of each batch (kCacheImport), so results
+  /// materialized locally — or in a previous fleet — warm the workers.
+  /// Borrowed, optional; null disables pre-seeding.
+  queries::SemanticCache* semantic_cache = nullptr;
+  /// Respawn workers lost in an earlier batch at the start of the next one,
+  /// warming each replacement's semantic cache from a surviving donor
+  /// (kCacheExport -> kCacheImport). Best-effort: a failed respawn leaves
+  /// the slot lost.
+  bool heal_workers = true;
   /// Optional fault source driving the rpc_send / worker_crash sites.
   /// Borrowed; must outlive the coordinator.
   fault::FaultInjector* faults = nullptr;
@@ -76,6 +88,15 @@ struct DistBatchStats {
   int64_t rpc_retries = 0;
   /// Workers that died (or were declared dead) during the batch.
   int64_t workers_lost = 0;
+  /// Replacement workers respawned (and set up) for slots lost in earlier
+  /// batches, before this batch dispatched.
+  int64_t workers_respawned = 0;
+  /// Semantic-cache entries / encoded bytes shipped to workers this batch
+  /// (pre-seeding plus replacement warm-starts).
+  int64_t cache_entries_shipped = 0;
+  int64_t cache_bytes_shipped = 0;
+  /// Peak number of chunks simultaneously dispatched to workers.
+  int64_t in_flight_peak = 0;
   /// Sum of worker-measured per-instance execution seconds: the work the
   /// cluster actually did, which the distributed bench turns into makespan.
   double worker_busy_seconds = 0.0;
@@ -99,7 +120,8 @@ class Coordinator {
   Coordinator& operator=(const Coordinator&) = delete;
 
   /// Spawns the fleet, handshakes every worker, and runs Setup on all of
-  /// them in parallel (each worker regenerates the dataset and builds its
+  /// them in parallel (each worker stages its dataset from the shared store
+  /// when `setup.store_root` is set, else regenerates it, and builds its
   /// engine). Blocking; a failure tears the fleet back down.
   Status Start();
 
@@ -128,8 +150,17 @@ class Coordinator {
     bool lost = false;
   };
 
+  /// Spawns a worker process for slot `index` and connects + handshakes its
+  /// client; the caller decides where the slot goes (append vs. replace).
+  StatusOr<std::unique_ptr<Slot>> MakeSlot(int index);
   /// Spawns slot `index`'s process and connects + handshakes its client.
   Status SpawnSlot(int index);
+  /// Respawns lost slots in place (Setup + warm-start from a surviving
+  /// donor's exported cache). Best-effort; called before a batch dispatches.
+  void HealFleet(DistBatchStats* stats);
+  /// Ships the local semantic cache's ready entries to every live worker.
+  /// Best-effort; a worker that fails the import just stays cold.
+  void PreSeedCaches(DistBatchStats* stats);
   /// The worker index an instance's input data prefers (ShardedStore block
   /// placement when hints are present, else a deterministic fallback).
   int PreferredWorker(const queries::QueryInstance& instance, int index) const;
@@ -138,6 +169,20 @@ class Coordinator {
   std::vector<std::unique_ptr<Slot>> slots_;
   bool started_ = false;
 };
+
+namespace internal {
+/// `value % modulus` folded to the non-negative residue. C++ `%` keeps the
+/// dividend's sign, so a negative (unset) video index must not be used to
+/// address a per-worker share directly.
+int NonNegativeMod(int value, int modulus);
+
+/// Dispatch eligibility: may worker `worker` take a chunk tagged to avoid
+/// `avoid` (the worker a straggler re-dispatch is fleeing) when
+/// `other_live_workers` other workers are still alive? Self-steal is allowed
+/// only as a last resort — otherwise the re-dispatch would land on the very
+/// worker that is still busy executing the old request.
+bool MayTakeChunk(int avoid, int worker, int other_live_workers);
+}  // namespace internal
 
 }  // namespace visualroad::dist
 

@@ -221,6 +221,11 @@ std::vector<uint8_t> EncodeWorkerSetup(const WorkerSetup& setup) {
   writer.I32(options.workers);
   WriteDetectorOptions(writer, setup.detector);
   writer.U8(setup.semantic_cache ? 1 : 0);
+  writer.Str(setup.store_root);
+  writer.I32(setup.store_nodes);
+  writer.I32(setup.store_replication);
+  writer.U64(static_cast<uint64_t>(setup.store_block_size));
+  writer.U8(setup.attach_vss ? 1 : 0);
   return writer.Take();
 }
 
@@ -242,6 +247,11 @@ StatusOr<WorkerSetup> DecodeWorkerSetup(const std::vector<uint8_t>& bytes) {
   options.workers = cursor.I32();
   setup.detector = ReadDetectorOptions(cursor);
   setup.semantic_cache = cursor.U8() != 0;
+  setup.store_root = cursor.Str();
+  setup.store_nodes = cursor.I32();
+  setup.store_replication = cursor.I32();
+  setup.store_block_size = static_cast<int64_t>(cursor.U64());
+  setup.attach_vss = cursor.U8() != 0;
   if (!cursor.ok()) return Status::DataLoss("malformed worker setup payload");
   options.detector = setup.detector;
   return setup;
@@ -339,6 +349,54 @@ StatusOr<std::vector<InstanceResult>> DecodeExecuteResponse(
     return Status::DataLoss("malformed execute-range response payload");
   }
   return results;
+}
+
+std::vector<uint8_t> EncodeCacheEntries(
+    const std::vector<std::shared_ptr<const queries::SemanticEntry>>& entries) {
+  ByteWriter writer;
+  writer.U32(static_cast<uint32_t>(entries.size()));
+  for (const std::shared_ptr<const queries::SemanticEntry>& entry : entries) {
+    writer.U64(entry->key.stream);
+    writer.Str(entry->key.model);
+    writer.F64(entry->key.threshold);
+    writer.I32(entry->range.first);
+    writer.I32(entry->range.count);
+    writer.I32(entry->width);
+    writer.I32(entry->height);
+    writer.F64(entry->fps);
+    WriteDetections(writer, entry->detections);
+  }
+  return writer.Take();
+}
+
+StatusOr<std::vector<queries::SemanticEntry>> DecodeCacheEntries(
+    const std::vector<uint8_t>& bytes) {
+  ByteCursor cursor(bytes);
+  uint32_t count = cursor.U32();
+  std::vector<queries::SemanticEntry> entries;
+  for (uint32_t i = 0; i < count && cursor.ok(); ++i) {
+    queries::SemanticEntry entry;
+    entry.key.stream = cursor.U64();
+    entry.key.model = cursor.Str();
+    entry.key.threshold = cursor.F64();
+    entry.range.first = cursor.I32();
+    entry.range.count = cursor.I32();
+    entry.width = cursor.I32();
+    entry.height = cursor.I32();
+    entry.fps = cursor.F64();
+    entry.detections = ReadDetections(cursor);
+    if (!cursor.ok()) break;
+    if (entry.range.count <= 0 ||
+        entry.detections.size() != static_cast<size_t>(entry.range.count)) {
+      return Status::DataLoss("malformed cache-entries payload");
+    }
+    entry.RecomputeBytes();
+    entries.push_back(std::move(entry));
+  }
+  if (!cursor.ok() || entries.size() != count) {
+    return Status::DataLoss("malformed cache-entries payload");
+  }
+  return entries;
 }
 
 std::vector<uint8_t> EncodeWorkerStats(const WorkerStats& stats) {

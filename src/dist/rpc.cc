@@ -75,13 +75,8 @@ const std::array<uint32_t, 256>& CrcTable() {
   return *table;
 }
 
-/// Milliseconds until `deadline` for poll(), clamped to >= 0.
 int PollBudget(std::chrono::steady_clock::time_point deadline) {
-  auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-      deadline - std::chrono::steady_clock::now());
-  // poll() rounds a 0 budget to an immediate return; keep at least 1 ms so a
-  // deadline that has not yet passed still waits.
-  return static_cast<int>(std::max<int64_t>(remaining.count(), 0));
+  return internal::PollBudgetMs(deadline);
 }
 
 }  // namespace
@@ -143,15 +138,19 @@ Status DecodeStatusPayload(const std::vector<uint8_t>& payload) {
   return Status(static_cast<StatusCode>(code), std::move(message));
 }
 
-RpcConnection::RpcConnection(RpcConnection&& other) noexcept : fd_(other.fd_) {
+RpcConnection::RpcConnection(RpcConnection&& other) noexcept
+    : fd_(other.fd_), partial_(std::move(other.partial_)) {
   other.fd_ = -1;
+  other.partial_.clear();
 }
 
 RpcConnection& RpcConnection::operator=(RpcConnection&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    partial_ = std::move(other.partial_);
     other.fd_ = -1;
+    other.partial_.clear();
   }
   return *this;
 }
@@ -163,6 +162,7 @@ void RpcConnection::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  partial_.clear();
 }
 
 StatusOr<RpcConnection> RpcConnection::ConnectUnix(
@@ -214,11 +214,10 @@ Status RpcConnection::SendFrame(const Frame& frame) {
   return Status::Ok();
 }
 
-Status RpcConnection::ReadExact(uint8_t* out, size_t size,
-                                std::chrono::steady_clock::time_point deadline,
-                                bool has_deadline) {
-  size_t got = 0;
-  while (got < size) {
+Status RpcConnection::FillBuffer(size_t target,
+                                 std::chrono::steady_clock::time_point deadline,
+                                 bool has_deadline) {
+  while (partial_.size() < target) {
     if (has_deadline) {
       if (std::chrono::steady_clock::now() >= deadline) {
         return Status::IoError("rpc receive timeout");
@@ -231,18 +230,21 @@ Status RpcConnection::ReadExact(uint8_t* out, size_t size,
       }
       if (ready == 0) return Status::IoError("rpc receive timeout");
     }
-    ssize_t n = ::recv(fd_, out + got, size - got, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("rpc recv: ") + ::strerror(errno));
+    size_t have = partial_.size();
+    partial_.resize(target);
+    ssize_t n = ::recv(fd_, partial_.data() + have, target - have, 0);
+    if (n <= 0) {
+      partial_.resize(have);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("rpc recv: ") + ::strerror(errno));
+      }
+      return Status::DataLoss(have == 0 ? "rpc connection closed by peer"
+                                        : "truncated rpc frame");
     }
-    if (n == 0) {
-      return Status::DataLoss(got == 0 ? "rpc connection closed by peer"
-                                       : "truncated rpc frame");
-    }
-    got += static_cast<size_t>(n);
+    partial_.resize(have + static_cast<size_t>(n));
+    RpcMetrics::Get().bytes_received.Increment(static_cast<double>(n));
   }
-  RpcMetrics::Get().bytes_received.Increment(static_cast<double>(size));
   return Status::Ok();
 }
 
@@ -251,24 +253,30 @@ StatusOr<Frame> RpcConnection::RecvFrame(std::chrono::milliseconds timeout) {
   bool has_deadline = timeout.count() > 0;
   auto deadline = std::chrono::steady_clock::now() + timeout;
 
-  uint8_t prefix[8];
-  VR_RETURN_IF_ERROR(ReadExact(prefix, sizeof(prefix), deadline, has_deadline));
-  ByteCursor prefix_cursor(prefix, sizeof(prefix));
+  // The frame assembles in partial_ so a deadline expiry at any point is
+  // resumable: the next RecvFrame continues from the bytes already read
+  // instead of treating the remainder of a torn frame as a fresh prefix.
+  constexpr size_t kPrefixSize = 8;
+  VR_RETURN_IF_ERROR(FillBuffer(kPrefixSize, deadline, has_deadline));
+  ByteCursor prefix_cursor(partial_.data(), kPrefixSize);
   uint32_t magic = prefix_cursor.U32();
   uint32_t length = prefix_cursor.U32();
   if (magic != kRpcMagic) {
     RpcMetrics::Get().frame_rejects.Increment();
+    partial_.clear();
     return Status::DataLoss("bad rpc frame magic");
   }
   // The announced length covers the fixed header plus payload plus CRC; an
   // oversized announcement is rejected before any allocation.
   if (length < kHeaderSize + 4 || length > kHeaderSize + kMaxFramePayload + 4) {
     RpcMetrics::Get().frame_rejects.Increment();
+    partial_.clear();
     return Status::InvalidArgument("oversized or undersized rpc frame");
   }
 
-  std::vector<uint8_t> body(length);
-  VR_RETURN_IF_ERROR(ReadExact(body.data(), body.size(), deadline, has_deadline));
+  VR_RETURN_IF_ERROR(FillBuffer(kPrefixSize + length, deadline, has_deadline));
+  std::vector<uint8_t> body(partial_.begin() + kPrefixSize, partial_.end());
+  partial_.clear();
 
   uint32_t stored_crc = body[length - 4] |
                         (static_cast<uint32_t>(body[length - 3]) << 8) |
@@ -444,6 +452,16 @@ namespace internal {
 
 void CountDeadlineExpiration() {
   RpcMetrics::Get().deadline_expirations.Increment();
+}
+
+int PollBudgetMs(std::chrono::steady_clock::time_point deadline) {
+  auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return 0;
+  auto remaining =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+  // A sub-millisecond remainder truncates to 0, which poll() treats as an
+  // immediate return — round up to 1 ms so an unexpired deadline still waits.
+  return static_cast<int>(std::max<int64_t>(remaining.count(), 1));
 }
 
 }  // namespace internal

@@ -29,6 +29,8 @@ enum class MethodId : uint8_t {
   kHealth = 3,        // Liveness probe -> pid.
   kStats = 4,         // Cumulative engine stats.
   kShutdown = 5,      // Graceful exit; worker acks then leaves its loop.
+  kCacheExport = 6,   // Snapshot the worker's semantic-cache entries.
+  kCacheImport = 7,   // Seed the worker's semantic cache with shipped entries.
 };
 
 /// Frame roles. Error responses carry a serialized Status as payload.
@@ -97,22 +99,30 @@ class RpcConnection {
   ///  - DataLoss on EOF mid-frame, bad magic, or checksum mismatch;
   ///  - InvalidArgument on an oversized payload announcement (rejected
   ///    before allocation) or an unknown protocol version.
-  /// All of these leave the stream unsynchronised; callers close and
-  /// reconnect.
+  /// A timeout is RESUMABLE: bytes of the interrupted frame stay buffered
+  /// and the next RecvFrame picks up where this one stopped, so abandoning
+  /// a call on its deadline never desynchronises the stream. The straggler
+  /// path depends on this — a late oversize response is skipped whole by
+  /// correlation id, not torn mid-frame. The DataLoss / InvalidArgument
+  /// errors do leave the stream unsynchronised; callers close and reconnect.
   StatusOr<Frame> RecvFrame(std::chrono::milliseconds timeout);
 
   bool open() const { return fd_ >= 0; }
   void Close();
 
  private:
-  /// Reads exactly `size` bytes under the shared deadline; `eof_ok` makes a
-  /// clean EOF before the first byte a distinguishable condition (empty
-  /// read) instead of DataLoss.
-  Status ReadExact(uint8_t* out, size_t size,
-                   std::chrono::steady_clock::time_point deadline,
-                   bool has_deadline);
+  /// Appends socket bytes to `partial_` until it holds at least `target`
+  /// bytes of the in-progress frame. A deadline expiry returns IoError with
+  /// `partial_` intact (the resumability above); EOF and socket errors are
+  /// terminal.
+  Status FillBuffer(size_t target,
+                    std::chrono::steady_clock::time_point deadline,
+                    bool has_deadline);
 
   int fd_ = -1;
+  /// Bytes of the inbound frame currently being assembled (prefix included).
+  /// Non-empty only when a RecvFrame timed out mid-frame.
+  std::vector<uint8_t> partial_;
 };
 
 /// A bound, listening Unix-domain socket. Unlinks any stale socket file on
@@ -175,6 +185,12 @@ namespace internal {
 /// Bumps vr_rpc_deadline_expirations_total; the worker serve loop calls this
 /// when it refuses an already-expired request.
 void CountDeadlineExpiration();
+
+/// Milliseconds to hand poll() while waiting for `deadline`: 0 once the
+/// deadline has passed, otherwise at least 1 — poll() treats a 0 budget as an
+/// immediate return, so rounding a sub-millisecond remainder down to 0 would
+/// turn the tail of every wait into a busy loop.
+int PollBudgetMs(std::chrono::steady_clock::time_point deadline);
 }  // namespace internal
 
 }  // namespace visualroad::dist

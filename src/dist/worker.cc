@@ -9,9 +9,13 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/serialize.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "queries/semantic_cache.h"
+#include "storage/sharded_store.h"
+#include "storage/vss.h"
 
 #ifndef VR_WORKER_BINARY_DEFAULT
 #define VR_WORKER_BINARY_DEFAULT ""
@@ -42,9 +46,35 @@ std::string DefaultWorkerBinary() {
 
 namespace {
 
-/// The worker's per-process execution state, built at Setup time.
+struct WorkerMetrics {
+  metrics::Counter& stagings;
+  metrics::Counter& regenerations;
+
+  static WorkerMetrics& Get() {
+    static WorkerMetrics* instruments = [] {
+      metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+      return new WorkerMetrics{
+          registry.GetCounter(
+              "vr_dist_dataset_stagings_total",
+              "Worker setups that attached to a staged shared store instead "
+              "of regenerating the dataset"),
+          registry.GetCounter(
+              "vr_dist_dataset_regenerations_total",
+              "Worker setups that regenerated the dataset from configuration "
+              "(no store root shipped)"),
+      };
+    }();
+    return *instruments;
+  }
+};
+
+/// The worker's per-process execution state, built at Setup time. The store
+/// and VSS handle (staged mode only) are declared before the caches and
+/// engine that borrow them, so destruction unwinds borrowers first.
 struct WorkerState {
   sim::Dataset dataset;
+  std::unique_ptr<storage::ShardedStore> store;
+  std::unique_ptr<storage::VideoStorageService> vss;
   std::unique_ptr<queries::SemanticCache> semantic_cache;
   std::unique_ptr<systems::Vdbms> engine;
   int64_t instances_executed = 0;
@@ -55,11 +85,45 @@ StatusOr<std::vector<uint8_t>> HandleSetup(const WorkerServerOptions& options,
                                            std::unique_ptr<WorkerState>& state) {
   VR_ASSIGN_OR_RETURN(WorkerSetup setup, DecodeWorkerSetup(payload));
   auto next = std::make_unique<WorkerState>();
-  sim::GeneratorOptions generator_options;
-  generator_options.codec = setup.codec;
-  VR_ASSIGN_OR_RETURN(next->dataset,
-                      options.dataset_factory(setup.config, generator_options));
   systems::EngineOptions engine_options = setup.engine_options;
+  if (!setup.store_root.empty()) {
+    // Storage staging: attach to the coordinator's store and read the corpus
+    // back instead of regenerating pixels. Strictly read-only — store
+    // manifests are per-process in-memory state, so a worker writing through
+    // its own handle would race the coordinator's view of the same root.
+    TRACE_SPAN("dist:stage");
+    if (!options.dataset_loader) {
+      return Status::FailedPrecondition(
+          "staged setup but worker has no dataset loader");
+    }
+    storage::StoreOptions store_options;
+    store_options.root = setup.store_root;
+    store_options.num_nodes = setup.store_nodes;
+    store_options.replication = setup.store_replication;
+    store_options.block_size = setup.store_block_size;
+    store_options.metrics_label = "worker";
+    VR_ASSIGN_OR_RETURN(storage::ShardedStore store,
+                        storage::ShardedStore::Open(store_options));
+    next->store = std::make_unique<storage::ShardedStore>(std::move(store));
+    VR_ASSIGN_OR_RETURN(next->dataset, options.dataset_loader(*next->store));
+    if (setup.attach_vss) {
+      storage::VssOptions vss_options;
+      vss_options.store = next->store.get();
+      // 0 disables persisting transcode results: reads never write back.
+      vss_options.variant_cache_bytes = 0;
+      VR_ASSIGN_OR_RETURN(next->vss,
+                          storage::VideoStorageService::Open(vss_options));
+      engine_options.vss = next->vss.get();
+    }
+    WorkerMetrics::Get().stagings.Increment();
+  } else {
+    sim::GeneratorOptions generator_options;
+    generator_options.codec = setup.codec;
+    VR_ASSIGN_OR_RETURN(
+        next->dataset,
+        options.dataset_factory(setup.config, generator_options));
+    WorkerMetrics::Get().regenerations.Increment();
+  }
   if (setup.semantic_cache) {
     // A worker-local semantic result store: cross-instance reuse within this
     // worker, byte-identical results by the cache's contract.
@@ -180,6 +244,27 @@ bool ServeConnection(const WorkerServerOptions& options,
             stats.instances_executed = state->instances_executed;
           }
           return EncodeWorkerStats(stats);
+        }
+        case MethodId::kCacheExport: {
+          // A worker without a cache (not yet set up, or caching disabled)
+          // exports the empty set rather than erroring: the coordinator
+          // treats any live worker as a potential warm-start donor.
+          if (state == nullptr || state->semantic_cache == nullptr) {
+            return EncodeCacheEntries({});
+          }
+          return EncodeCacheEntries(state->semantic_cache->Snapshot());
+        }
+        case MethodId::kCacheImport: {
+          VR_ASSIGN_OR_RETURN(std::vector<queries::SemanticEntry> entries,
+                              DecodeCacheEntries(request.payload));
+          // Dropped silently when caching is off — pre-seeding is an
+          // optimisation, never a correctness requirement.
+          if (state != nullptr && state->semantic_cache != nullptr) {
+            for (queries::SemanticEntry& entry : entries) {
+              state->semantic_cache->Insert(std::move(entry));
+            }
+          }
+          return std::vector<uint8_t>{};
         }
         case MethodId::kShutdown:
           return std::vector<uint8_t>{};

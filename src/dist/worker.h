@@ -10,6 +10,10 @@
 #include "simulation/generator.h"
 #include "systems/vdbms.h"
 
+namespace visualroad::storage {
+class ShardedStore;
+}  // namespace visualroad::storage
+
 namespace visualroad::dist {
 
 /// Builds the dataset a WorkerSetup describes. Injected rather than called
@@ -17,6 +21,13 @@ namespace visualroad::dist {
 /// worker binary, which links the driver, supplies PrepareDataset).
 using DatasetFactory = std::function<StatusOr<sim::Dataset>(
     const sim::CityConfig&, const sim::GeneratorOptions&)>;
+
+/// Loads a staged dataset out of a shared store (the coordinator saved it
+/// there before spawning the fleet). Injected for the same layering reason
+/// as DatasetFactory: the loader lives in the driver library
+/// (LoadDatasetSharded), which dist must not link.
+using DatasetLoader =
+    std::function<StatusOr<sim::Dataset>(const storage::ShardedStore&)>;
 
 /// Resolves a Vdbms::name() string (or its lowercase CLI alias) to a
 /// constructed engine; unknown names are InvalidArgument.
@@ -27,8 +38,13 @@ StatusOr<std::unique_ptr<systems::Vdbms>> MakeEngineByName(
 struct WorkerServerOptions {
   /// Unix-domain socket to listen on.
   std::string socket_path;
-  /// Dataset construction hook (required).
+  /// Dataset construction hook (required); the regeneration fallback when a
+  /// Setup ships no store root.
   DatasetFactory dataset_factory;
+  /// Staged-dataset hook. Required to serve a Setup whose `store_root` is
+  /// set — a staged Setup arriving at a worker without a loader is refused
+  /// with FailedPrecondition rather than silently regenerated.
+  DatasetLoader dataset_loader;
   /// Exit the serve loop when the control connection closes without a
   /// Shutdown RPC (the coordinator died). Workers spawned by a coordinator
   /// keep this on; the reconnect tests turn it off so a worker survives a

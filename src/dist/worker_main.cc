@@ -9,6 +9,7 @@
 #include <string>
 
 #include "dist/worker.h"
+#include "driver/dataset_io.h"
 #include "driver/datasets.h"
 
 namespace {
@@ -40,6 +41,11 @@ int Run(int argc, char** argv) {
   options.dataset_factory = [](const sim::CityConfig& config,
                                const sim::GeneratorOptions& generator_options) {
     return driver::PrepareDataset(config, generator_options);
+  };
+  // Staged setups skip regeneration entirely: the corpus is read back from
+  // the shared store the coordinator saved it into.
+  options.dataset_loader = [](const storage::ShardedStore& store) {
+    return driver::LoadDatasetSharded(store);
   };
   Status status = dist::RunWorkerServer(options);
   if (!status.ok()) {

@@ -87,10 +87,14 @@ struct VcdOptions {
   queries::SemanticCache* semantic_cache = nullptr;
   /// Distributed scale-out (DESIGN.md Section 15): when > 0, measured
   /// batches fan out across this many worker processes over local-socket
-  /// RPC instead of running in-process. The workers regenerate the dataset
-  /// deterministically and host the same engine, so results are
-  /// byte-identical to workers == 0. Offline only (online ingest pacing is
-  /// inherently single-feed); combining with online mode is an error.
+  /// RPC instead of running in-process. With `storage` also set the driver
+  /// stages the dataset into the shared store and workers attach to it
+  /// read-only (storage staging) instead of regenerating; either way the
+  /// worker inputs are byte-identical to the coordinator's, so results are
+  /// byte-identical to workers == 0. With `semantic_cache` also set, its
+  /// ready entries pre-seed every worker before each batch. Offline only
+  /// (online ingest pacing is inherently single-feed); combining with
+  /// online mode is an error.
   int workers = 0;
   /// Codec configuration the dataset was generated with. Distributed
   /// workers rebuild their corpus from (dataset().config, this), so it must
@@ -237,11 +241,16 @@ class VisualCityDriver {
   ThreadPool& EnsurePool();
 
   /// Spawns (or reuses) the worker cluster for distributed batches: workers
-  /// regenerate the dataset and construct `engine`'s architecture from
-  /// VcdOptions::worker_engine_options. Cluster startup happens here, before
-  /// any measured window; a cluster built for a different engine is torn
-  /// down and rebuilt.
+  /// stage the dataset from shared storage when options().storage is set
+  /// (see StageClusterDataset), else regenerate it, and construct `engine`'s
+  /// architecture from VcdOptions::worker_engine_options. Cluster startup
+  /// happens here, before any measured window; a cluster built for a
+  /// different engine is torn down and rebuilt.
   Status EnsureCluster(systems::Vdbms& engine);
+
+  /// Saves the dataset's containers into options().storage's backing store
+  /// (idempotent) so staged workers can load them instead of regenerating.
+  Status StageClusterDataset();
 
   const sim::Dataset* dataset_;
   VcdOptions options_;

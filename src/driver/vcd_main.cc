@@ -49,7 +49,10 @@ void PrintUsage(const char* argv0) {
       "  --workers N       Distributed scale-out (DESIGN.md Section 15):\n"
       "                    shard each batch across N worker processes over\n"
       "                    local-socket RPC. Offline only; results are\n"
-      "                    byte-identical to N=0\n"
+      "                    byte-identical to N=0. With --storage, workers\n"
+      "                    stage their dataset from the shared store instead\n"
+      "                    of regenerating it; with --semcache, cached\n"
+      "                    entries pre-seed the workers before each batch\n"
       "  --no-validate     Skip reference validation\n"
       "  --streaming       Discard results instead of writing containers\n"
       "  --output-dir DIR  Persist write-mode results under DIR\n"

@@ -502,6 +502,23 @@ Status SemanticCache::LoadPersisted() {
   return Status::Ok();
 }
 
+std::vector<std::shared_ptr<const SemanticEntry>> SemanticCache::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::pair<uint64_t, std::shared_ptr<const SemanticEntry>>> ticked;
+  for (const auto& [keystr, slots] : impl_->entries) {
+    for (const Impl::Slot& slot : slots) {
+      ticked.emplace_back(slot.tick, slot.entry);
+    }
+  }
+  std::sort(ticked.begin(), ticked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::shared_ptr<const SemanticEntry>> out;
+  out.reserve(ticked.size());
+  for (auto& [tick, entry] : ticked) out.push_back(std::move(entry));
+  return out;
+}
+
 void SemanticCache::Clear() {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->entries.clear();

@@ -180,6 +180,13 @@ class SemanticCache {
   /// cache (no-op Ok when no store is configured).
   Status LoadPersisted();
 
+  /// Every ready entry, most-recently-used first, as shared immutable
+  /// snapshots. This is the export side of cache shipping: the distributed
+  /// coordinator serialises the snapshot over the wire (kCacheImport) to
+  /// pre-seed worker caches or warm a respawned replacement. Does not move
+  /// stats or LRU recency.
+  std::vector<std::shared_ptr<const SemanticEntry>> Snapshot() const;
+
   /// Drops every ready entry (in-flight computes complete uncached).
   void Clear();
 

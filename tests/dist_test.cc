@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <filesystem>
@@ -11,13 +12,17 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "dist/coordinator.h"
 #include "dist/protocol.h"
 #include "dist/rpc.h"
 #include "dist/worker.h"
+#include "driver/dataset_io.h"
 #include "driver/datasets.h"
 #include "driver/vcd.h"
+#include "queries/semantic_cache.h"
 #include "storage/sharded_store.h"
+#include "storage/vss.h"
 #include "video/container/vrmp.h"
 
 namespace visualroad::dist {
@@ -134,13 +139,136 @@ TEST(RpcFramingTest, BadMagicIsDataLoss) {
   EXPECT_EQ(received.status().code(), StatusCode::kDataLoss);
 }
 
+TEST(RpcFramingTest, PollBudgetNeverBusyLoopsBeforeDeadline) {
+  // Past deadline: no budget, the caller's timeout check fires.
+  EXPECT_EQ(internal::PollBudgetMs(std::chrono::steady_clock::now() -
+                                   milliseconds(5)),
+            0);
+  // A sub-millisecond remainder must still hand poll() a >= 1ms budget;
+  // rounding it down to 0 turns the tail of every wait into a busy loop.
+  EXPECT_GE(internal::PollBudgetMs(std::chrono::steady_clock::now() +
+                                   std::chrono::microseconds(500)),
+            1);
+  int far = internal::PollBudgetMs(std::chrono::steady_clock::now() +
+                                   milliseconds(50));
+  EXPECT_GE(far, 1);
+  EXPECT_LE(far, 51);
+}
+
+TEST(RpcFramingTest, TimeoutMidFrameIsResumableNotDesync) {
+  // A frame delivered in two halves across a receive timeout: the first
+  // RecvFrame times out mid-frame, but the stream must stay synchronised so
+  // the retry returns the complete frame. The straggler path depends on
+  // this — a late oversize response is skipped whole, never torn.
+  Frame frame;
+  frame.type = FrameType::kResponseOk;
+  frame.correlation_id = 77;
+  frame.payload = std::vector<uint8_t>(4096, 0x5A);
+  std::vector<uint8_t> wire = EncodeFrame(frame);
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  RpcConnection reader(fds[1]);
+  size_t half = wire.size() / 2;
+  ASSERT_EQ(::send(fds[0], wire.data(), half, 0), static_cast<ssize_t>(half));
+
+  auto timed_out = reader.RecvFrame(milliseconds(50));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kIoError);
+  EXPECT_NE(timed_out.status().message().find("timeout"), std::string::npos);
+
+  ASSERT_EQ(::send(fds[0], wire.data() + half, wire.size() - half, 0),
+            static_cast<ssize_t>(wire.size() - half));
+  ::close(fds[0]);
+  auto resumed = reader.RecvFrame(milliseconds(1000));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->correlation_id, frame.correlation_id);
+  EXPECT_EQ(resumed->payload, frame.payload);
+}
+
+// --- Cache shipping payload ---
+
+TEST(CacheShippingTest, CacheEntriesRoundTrip) {
+  queries::SemanticEntry entry;
+  entry.key.stream = 0xABCDEF0123ull;
+  entry.key.model = "miniyolo/test/v1";
+  entry.key.threshold = 0.25;
+  entry.range.first = 3;
+  entry.range.count = 2;
+  entry.width = 96;
+  entry.height = 54;
+  entry.fps = 15.0;
+  entry.detections.resize(2);
+  vision::Detection det;
+  det.object_class = sim::ObjectClass::kVehicle;
+  det.box.x0 = 1;
+  det.box.y0 = 2;
+  det.box.x1 = 33;
+  det.box.y1 = 44;
+  det.score = 0.875;
+  det.entity_id = 42;
+  entry.detections[1].push_back(det);
+  entry.RecomputeBytes();
+
+  std::vector<uint8_t> wire =
+      EncodeCacheEntries({std::make_shared<const queries::SemanticEntry>(entry)});
+  auto decoded = DecodeCacheEntries(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 1u);
+  const queries::SemanticEntry& got = (*decoded)[0];
+  EXPECT_EQ(got.key.stream, entry.key.stream);
+  EXPECT_EQ(got.key.model, entry.key.model);
+  EXPECT_EQ(got.key.threshold, entry.key.threshold);
+  EXPECT_EQ(got.range.first, 3);
+  EXPECT_EQ(got.range.count, 2);
+  EXPECT_EQ(got.width, 96);
+  EXPECT_EQ(got.height, 54);
+  EXPECT_EQ(got.fps, 15.0);
+  ASSERT_EQ(got.detections.size(), 2u);
+  EXPECT_TRUE(got.detections[0].empty());
+  ASSERT_EQ(got.detections[1].size(), 1u);
+  const vision::Detection& d = got.detections[1][0];
+  EXPECT_EQ(d.object_class, det.object_class);
+  EXPECT_EQ(d.box.x0, det.box.x0);
+  EXPECT_EQ(d.box.y0, det.box.y0);
+  EXPECT_EQ(d.box.x1, det.box.x1);
+  EXPECT_EQ(d.box.y1, det.box.y1);
+  EXPECT_EQ(d.score, det.score);
+  EXPECT_EQ(d.entity_id, det.entity_id);
+  EXPECT_GT(got.bytes, 0);
+
+  // A truncated payload is rejected, not misparsed.
+  std::vector<uint8_t> truncated(wire.begin(), wire.end() - 3);
+  auto rejected = DecodeCacheEntries(truncated);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDataLoss);
+
+  // The empty snapshot (a cold donor) round-trips too.
+  auto empty = DecodeCacheEntries(EncodeCacheEntries({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
 // --- Worker server (in-process) ---
+
+/// Knobs for the in-process worker harness beyond the spawn default.
+struct InProcessWorkerConfig {
+  bool exit_on_disconnect = false;
+  /// When set, the harness's dataset factory counts its invocations here —
+  /// how the staging tests prove a staged setup never regenerated pixels.
+  std::atomic<int>* factory_calls = nullptr;
+  /// Wire the sharded-store dataset loader (what worker_main.cc installs),
+  /// enabling staged Setup.
+  bool staged_loader = false;
+};
 
 /// Runs RunWorkerServer on a background thread against a throwaway socket;
 /// stops it via a Shutdown RPC on destruction.
 class InProcessWorker {
  public:
-  explicit InProcessWorker(bool exit_on_disconnect = false) {
+  explicit InProcessWorker(bool exit_on_disconnect = false)
+      : InProcessWorker(InProcessWorkerConfig{exit_on_disconnect}) {}
+
+  explicit InProcessWorker(const InProcessWorkerConfig& harness) {
     static int seq = 0;
     path_ = (std::filesystem::temp_directory_path() /
              ("vr-dist-test-" + std::to_string(::getpid()) + "-" +
@@ -148,11 +276,19 @@ class InProcessWorker {
                 .string();
     WorkerServerOptions options;
     options.socket_path = path_;
-    options.exit_on_disconnect = exit_on_disconnect;
-    options.dataset_factory = [](const sim::CityConfig& config,
-                                 const sim::GeneratorOptions& generator) {
+    options.exit_on_disconnect = harness.exit_on_disconnect;
+    std::atomic<int>* factory_calls = harness.factory_calls;
+    options.dataset_factory = [factory_calls](
+                                  const sim::CityConfig& config,
+                                  const sim::GeneratorOptions& generator) {
+      if (factory_calls != nullptr) ++*factory_calls;
       return driver::PrepareDataset(config, generator);
     };
+    if (harness.staged_loader) {
+      options.dataset_loader = [](const storage::ShardedStore& store) {
+        return driver::LoadDatasetSharded(store);
+      };
+    }
     thread_ = std::thread([options] {
       Status status = RunWorkerServer(options);
       EXPECT_TRUE(status.ok()) << status.ToString();
@@ -508,6 +644,268 @@ TEST_F(CoordinatorTest, StressManySmallChunks) {
   EXPECT_GE(stats.chunks_dispatched, 12);
 }
 
+// --- Dispatch arithmetic ---
+
+TEST(CoordinatorInternalTest, NonNegativeModFoldsNegativeIndices) {
+  // C++ % keeps the dividend's sign: -1 % 3 == -1, which previously walked
+  // off the front of the per-worker share vector.
+  EXPECT_EQ(internal::NonNegativeMod(-1, 3), 2);
+  EXPECT_EQ(internal::NonNegativeMod(-3, 3), 0);
+  EXPECT_EQ(internal::NonNegativeMod(-4, 3), 2);
+  EXPECT_EQ(internal::NonNegativeMod(0, 3), 0);
+  EXPECT_EQ(internal::NonNegativeMod(7, 3), 1);
+  EXPECT_EQ(internal::NonNegativeMod(5, 0), 0);  // Degenerate fleet.
+}
+
+TEST(CoordinatorInternalTest, StragglerChunkAvoidsTheWorkerItFled) {
+  // A re-dispatched straggler chunk must not be taken back by the very
+  // worker still busy with the old request...
+  EXPECT_FALSE(internal::MayTakeChunk(/*avoid=*/1, /*worker=*/1,
+                                      /*other_live_workers=*/1));
+  // ...any other worker may take it...
+  EXPECT_TRUE(internal::MayTakeChunk(1, 0, 1));
+  // ...and self-steal is allowed as a last resort, when nobody else lives.
+  EXPECT_TRUE(internal::MayTakeChunk(1, 1, 0));
+  // Untagged chunks are eligible everywhere.
+  EXPECT_TRUE(internal::MayTakeChunk(-1, 0, 1));
+  EXPECT_TRUE(internal::MayTakeChunk(-1, 1, 0));
+}
+
+TEST_F(CoordinatorTest, NegativeVideoIndexDispatchesWithoutCorruption) {
+  // Regression: a negative (unset) video_index or pano_group used to index
+  // the share vector at -1 during partitioning. The batch must dispatch
+  // cleanly; the invalid instances fail gracefully on the worker.
+  std::vector<queries::QueryInstance> batch = SampleBatch(queries::QueryId::kQ1, 3);
+  queries::QueryInstance bad = batch[0];
+  bad.video_index = -1;
+  batch.push_back(bad);
+  queries::QueryInstance pano = batch[1];
+  pano.id = queries::QueryId::kQ9;
+  pano.pano_group = -2;
+  batch.push_back(pano);
+
+  Coordinator coordinator(BaseOptions(2));
+  ASSERT_TRUE(coordinator.Start().ok());
+  DistBatchStats stats;
+  auto outcomes = coordinator.ExecuteBatch(batch, systems::OutputMode::kWrite,
+                                           "", &stats);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), batch.size());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*outcomes)[i].state, DistInstanceOutcome::kSucceeded)
+        << (*outcomes)[i].error;
+  }
+  EXPECT_NE((*outcomes)[3].state, DistInstanceOutcome::kSucceeded);
+  EXPECT_NE((*outcomes)[4].state, DistInstanceOutcome::kSucceeded);
+}
+
+TEST_F(CoordinatorTest, StragglerRedispatchCompletesOnAnotherWorker) {
+  // A 1ms straggler deadline fires on effectively every chunk. The fled
+  // worker must not re-take its own chunk (the avoid tag), so every
+  // re-dispatch lands on the other worker — and the batch still completes
+  // exactly once per instance because merge keeps the first result.
+  CoordinatorOptions options = BaseOptions(2);
+  options.chunk_size = 1;
+  options.call_timeout = milliseconds(1);
+  Coordinator coordinator(options);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  std::vector<queries::QueryInstance> batch = SampleBatch(queries::QueryId::kQ1, 3);
+  DistBatchStats stats;
+  auto outcomes = coordinator.ExecuteBatch(batch, systems::OutputMode::kWrite,
+                                           "", &stats);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), batch.size());
+  for (const DistInstanceOutcome& outcome : *outcomes) {
+    EXPECT_EQ(outcome.state, DistInstanceOutcome::kSucceeded) << outcome.error;
+  }
+  EXPECT_GE(stats.straggler_redispatches, 1);
+  EXPECT_GE(stats.in_flight_peak, 1);
+  EXPECT_EQ(coordinator.live_workers(), 2);
+}
+
+// --- Storage staging ---
+
+TEST_F(CoordinatorTest, StagedSetupLoadsFromStoreWithoutRegenerating) {
+  storage::StoreOptions store_options;
+  store_options.root = (std::filesystem::temp_directory_path() /
+                        ("vr-dist-stage-" + std::to_string(::getpid())))
+                           .string();
+  std::filesystem::remove_all(store_options.root);
+  auto opened = storage::ShardedStore::Open(store_options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  storage::ShardedStore store = std::move(opened).value();
+  ASSERT_TRUE(driver::SaveDatasetSharded(*dataset_, store).ok());
+  {
+    storage::VssOptions vss_options;
+    vss_options.store = &store;
+    auto vss = storage::VideoStorageService::Open(vss_options);
+    ASSERT_TRUE(vss.ok()) << vss.status().ToString();
+    ASSERT_TRUE(driver::IngestDatasetVss(*dataset_, **vss).ok());
+  }
+
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  metrics::Counter& stagings =
+      registry.GetCounter("vr_dist_dataset_stagings_total", "");
+  metrics::Counter& regenerations =
+      registry.GetCounter("vr_dist_dataset_regenerations_total", "");
+  double stagings_before = stagings.Value();
+  double regenerations_before = regenerations.Value();
+
+  std::atomic<int> factory_calls{0};
+  InProcessWorkerConfig harness;
+  harness.factory_calls = &factory_calls;
+  harness.staged_loader = true;
+  InProcessWorker worker(harness);
+  auto connected = RpcConnection::ConnectUnix(worker.path(), milliseconds(5000));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  RpcClient client(std::move(connected).value());
+  ASSERT_TRUE(client.Handshake(milliseconds(2000)).ok());
+
+  WorkerSetup setup;
+  setup.config = config_;
+  setup.engine = "PipelineEngine";
+  setup.store_root = store_options.root;
+  auto setup_response =
+      client.Call(MethodId::kSetup, EncodeWorkerSetup(setup),
+                  milliseconds(120000));
+  ASSERT_TRUE(setup_response.ok()) << setup_response.status().ToString();
+
+  // The acceptance property: zero worker-side dataset regenerations.
+  EXPECT_EQ(factory_calls.load(), 0);
+  EXPECT_EQ(stagings.Value() - stagings_before, 1.0);
+  EXPECT_EQ(regenerations.Value() - regenerations_before, 0.0);
+
+  // The staged worker's results stay byte-identical to direct execution
+  // against the locally generated dataset.
+  std::vector<queries::QueryInstance> batch = SampleBatch(queries::QueryId::kQ1, 1);
+  ExecuteRangeRequest request;
+  request.mode = systems::OutputMode::kWrite;
+  RangeItem item;
+  item.index = 0;
+  item.instance = batch[0];
+  request.items.push_back(item);
+  auto response = client.Call(MethodId::kExecuteRange,
+                              EncodeExecuteRequest(request), milliseconds(120000));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  auto results = DecodeExecuteResponse(*response);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 1u);
+  ASSERT_EQ((*results)[0].outcome, InstanceResult::kSucceeded)
+      << (*results)[0].error;
+
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  auto direct = engine->Execute(batch[0], *dataset_,
+                                systems::OutputMode::kWrite, "");
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  video::container::Container got, want;
+  got.video = (*results)[0].output.video;
+  want.video = direct->video;
+  EXPECT_EQ(video::container::Mux(got), video::container::Mux(want));
+  std::filesystem::remove_all(store_options.root);
+}
+
+TEST_F(CoordinatorTest, StagedSetupWithoutLoaderIsFailedPrecondition) {
+  // A staged Setup against a worker with no dataset loader must refuse
+  // loudly, never silently fall back to regeneration.
+  InProcessWorker worker;  // Harness default: factory only, no loader.
+  auto connected = RpcConnection::ConnectUnix(worker.path(), milliseconds(5000));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  RpcClient client(std::move(connected).value());
+  ASSERT_TRUE(client.Handshake(milliseconds(2000)).ok());
+  WorkerSetup setup;
+  setup.config = config_;
+  setup.store_root = "/nonexistent/store/root";
+  auto response = client.Call(MethodId::kSetup, EncodeWorkerSetup(setup),
+                              milliseconds(10000));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Semantic-cache shipping ---
+
+TEST_F(CoordinatorTest, PreSeedShipsLocalCacheEntriesToWorkers) {
+  // Materialize detections locally, with the cache attached.
+  queries::SemanticCache cache;
+  std::vector<queries::QueryInstance> batch =
+      SampleBatch(queries::QueryId::kQ2c, 2, /*seed=*/9);
+  systems::EngineOptions engine_options;
+  engine_options.semantic_cache = &cache;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  std::vector<systems::QueryOutput> direct;
+  for (const queries::QueryInstance& instance : batch) {
+    auto output = engine->Execute(instance, *dataset_,
+                                  systems::OutputMode::kWrite, "");
+    ASSERT_TRUE(output.ok()) << output.status().ToString();
+    direct.push_back(std::move(output).value());
+  }
+  ASSERT_GT(cache.stats().entries, 0);
+
+  // A coordinator pointed at the same cache ships its entries to every
+  // worker before dispatch; results stay byte-identical (the cache holds
+  // exactly what the workers would have computed).
+  CoordinatorOptions options = BaseOptions(2);
+  options.semantic_cache = &cache;
+  Coordinator coordinator(options);
+  ASSERT_TRUE(coordinator.Start().ok());
+  DistBatchStats stats;
+  auto outcomes = coordinator.ExecuteBatch(batch, systems::OutputMode::kWrite,
+                                           "", &stats);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), batch.size());
+  EXPECT_GT(stats.cache_entries_shipped, 0);
+  EXPECT_GT(stats.cache_bytes_shipped, 0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const DistInstanceOutcome& outcome = (*outcomes)[i];
+    ASSERT_EQ(outcome.state, DistInstanceOutcome::kSucceeded) << outcome.error;
+    video::container::Container got, want;
+    got.video = outcome.output.video;
+    want.video = direct[i].video;
+    EXPECT_EQ(video::container::Mux(got), video::container::Mux(want))
+        << "instance " << i;
+  }
+}
+
+TEST_F(CoordinatorTest, LostWorkersRespawnAndWarmFromSurvivorCache) {
+  fault::FaultProfile profile;
+  profile.name = "heal-test";
+  profile.prob(fault::Site::kWorkerCrash) = 1.0;
+  fault::FaultInjector faults(profile, 17);
+
+  CoordinatorOptions options = BaseOptions(3);
+  options.faults = &faults;
+  options.chunk_size = 1;
+  Coordinator coordinator(options);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  // Batch 1 kills every worker but the guarded survivor; its Q2c work
+  // populates the survivor's semantic cache.
+  std::vector<queries::QueryInstance> first =
+      SampleBatch(queries::QueryId::kQ2c, 3, /*seed=*/9);
+  DistBatchStats stats1;
+  auto outcomes1 = coordinator.ExecuteBatch(first, systems::OutputMode::kWrite,
+                                            "", &stats1);
+  ASSERT_TRUE(outcomes1.ok()) << outcomes1.status().ToString();
+  EXPECT_GE(stats1.workers_lost, 1);
+  ASSERT_EQ(coordinator.live_workers(), 1);
+
+  // Batch 2 heals the fleet first: lost slots respawn and each replacement
+  // is warmed from the survivor's exported cache before dispatch.
+  std::vector<queries::QueryInstance> second =
+      SampleBatch(queries::QueryId::kQ1, 3);
+  DistBatchStats stats2;
+  auto outcomes2 = coordinator.ExecuteBatch(second, systems::OutputMode::kWrite,
+                                            "", &stats2);
+  ASSERT_TRUE(outcomes2.ok()) << outcomes2.status().ToString();
+  for (const DistInstanceOutcome& outcome : *outcomes2) {
+    EXPECT_EQ(outcome.state, DistInstanceOutcome::kSucceeded) << outcome.error;
+  }
+  EXPECT_GE(stats2.workers_respawned, 1);
+  EXPECT_GT(stats2.cache_entries_shipped, 0);
+  EXPECT_GT(stats2.cache_bytes_shipped, 0);
+}
+
 // --- Driver integration ---
 
 TEST_F(CoordinatorTest, DriverDistributedBatchMatchesAndValidates) {
@@ -535,6 +933,43 @@ TEST_F(CoordinatorTest, DriverDistributedBatchMatchesAndValidates) {
   auto rejected = online_vcd.RunQueryBatch(*engine, queries::QueryId::kQ1);
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoordinatorTest, DriverStagedDistributedBatchValidates) {
+  // --workers composed with --storage: the driver stages the dataset into
+  // the shared store and the worker processes attach to it instead of
+  // regenerating; results still validate against the reference.
+  storage::StoreOptions store_options;
+  store_options.root = (std::filesystem::temp_directory_path() /
+                        ("vr-dist-vcd-stage-" + std::to_string(::getpid())))
+                           .string();
+  std::filesystem::remove_all(store_options.root);
+  auto opened = storage::ShardedStore::Open(store_options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  storage::ShardedStore store = std::move(opened).value();
+  storage::VssOptions vss_options;
+  vss_options.store = &store;
+  auto vss = storage::VideoStorageService::Open(vss_options);
+  ASSERT_TRUE(vss.ok()) << vss.status().ToString();
+
+  driver::VcdOptions vcd_options;
+  vcd_options.workers = 2;
+  vcd_options.validate = true;
+  vcd_options.storage = vss->get();
+  driver::VisualCityDriver vcd(*dataset_, vcd_options);
+
+  systems::EngineOptions engine_options;
+  auto engine = systems::MakePipelineEngine(engine_options);
+  auto result = vcd.RunQueryBatch(*engine, queries::QueryId::kQ1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->workers, 2);
+  EXPECT_EQ(result->succeeded, result->instances);
+  EXPECT_EQ(result->failed, 0);
+  EXPECT_GT(result->validation.checked, 0);
+  EXPECT_EQ(result->validation.passed, result->validation.checked);
+  // The driver staged the dataset manifest into the shared store.
+  EXPECT_TRUE(store.Get("dataset.vrds").ok());
+  std::filesystem::remove_all(store_options.root);
 }
 
 TEST_F(CoordinatorTest, FaultedDriverRunCompletesWithValidResults) {
